@@ -1,0 +1,39 @@
+# certchains build targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench fuzz report experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus ablations (bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short fuzz pass over the parsers (longer runs: increase -fuzztime).
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/dn/
+	$(GO) test -fuzz FuzzFieldRoundTrip -fuzztime 20s ./internal/zeek/
+	$(GO) test -fuzz FuzzReader -fuzztime 20s ./internal/zeek/
+	$(GO) test -fuzz FuzzJSONReader -fuzztime 20s ./internal/zeek/
+
+# The full paper report with paper-vs-measured verification.
+report:
+	$(GO) run ./cmd/certchain-analyze -scale 0.01 -verify
+
+# Regenerate the artifacts EXPERIMENTS.md records.
+experiments:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,170 @@
+package certchains_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"certchains"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README shows it:
+// generate, analyze, render, revisit, Zeek round trip.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := certchains.DefaultScenarioConfig()
+	cfg.Scale = 0.001
+	cfg.Seed = 9
+	scenario, err := certchains.GenerateScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := certchains.Analyze(scenario)
+	out := report.Render()
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "321") {
+		t.Error("render missing hybrid table")
+	}
+
+	rr := certchains.AnalyzeRevisit(scenario)
+	if rr.HybridReachable != 270 {
+		t.Errorf("revisit reachable = %d", rr.HybridReachable)
+	}
+
+	var ssl, x509 bytes.Buffer
+	subset := scenario.Observations
+	if len(subset) > 50 {
+		subset = subset[:50]
+	}
+	if err := certchains.WriteZeekLogs(subset, &ssl, &x509, 5); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := certchains.LoadZeekLogs(&ssl, &x509)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(subset) {
+		t.Errorf("round trip %d != %d", len(loaded), len(subset))
+	}
+}
+
+func TestFacadeChainAnalysis(t *testing.T) {
+	db := certchains.NewTrustDB()
+	nb := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(issuer, subject string, bc certchains.BasicConstraints) *certchains.Certificate {
+		return &certchains.Certificate{
+			FP:        certchains.Fingerprint(issuer + "|" + subject),
+			Issuer:    certchains.MustParseDN(issuer),
+			Subject:   certchains.MustParseDN(subject),
+			NotBefore: nb,
+			NotAfter:  nb.AddDate(1, 0, 0),
+			BC:        bc,
+		}
+	}
+	root := mk("CN=Root", "CN=Root", certchains.BCTrue)
+	db.AddRoot(certchains.StoreMozilla, root)
+	cl := certchains.NewClassifier(db)
+
+	a := cl.Analyze(certchains.Chain{
+		mk("CN=Root", "CN=leaf.example.com", certchains.BCFalse),
+		root,
+	})
+	if a.Category != certchains.PublicDBOnly {
+		t.Errorf("category = %v", a.Category)
+	}
+	if a.Verdict != certchains.VerdictCompletePath {
+		t.Errorf("verdict = %v", a.Verdict)
+	}
+	if !a.AnchoredToPublicRoot(db) {
+		t.Error("should anchor")
+	}
+}
+
+func TestFacadeDGA(t *testing.T) {
+	nb := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := &certchains.Certificate{
+		Issuer:    certchains.MustParseDN("CN=www.qzxkvjwp.com"),
+		Subject:   certchains.MustParseDN("CN=www.zqpxkvtj.com"),
+		NotBefore: nb,
+		NotAfter:  nb.AddDate(0, 0, 60),
+	}
+	if !certchains.IsDGACertificate(c) {
+		t.Error("DGA certificate not detected through the facade")
+	}
+}
+
+func TestFacadeCTLogAndDetector(t *testing.T) {
+	ct, err := certchains.NewCTLog("facade", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := certchains.NewTrustDB()
+	nb := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	leaf := &certchains.Certificate{
+		FP:        "f1",
+		Issuer:    certchains.MustParseDN("CN=Some CA"),
+		Subject:   certchains.MustParseDN("CN=site.example.com"),
+		NotBefore: nb,
+		NotAfter:  nb.AddDate(1, 0, 0),
+		SAN:       []string{"site.example.com"},
+	}
+	if _, err := ct.AddChain(certchains.Chain{leaf}, nb); err != nil {
+		t.Fatal(err)
+	}
+	det := certchains.NewInterceptionDetector(db, ct)
+	observed := &certchains.Certificate{
+		FP:        "f2",
+		Issuer:    certchains.MustParseDN("CN=Middlebox CA"),
+		Subject:   certchains.MustParseDN("CN=site.example.com"),
+		NotBefore: nb,
+		NotAfter:  nb.AddDate(1, 0, 0),
+	}
+	v := det.Examine(observed, "site.example.com", nb.AddDate(0, 2, 0))
+	if v.String() != "issuer-mismatch" {
+		t.Errorf("verdict = %v", v)
+	}
+}
+
+func TestFacadeMintFarmScanner(t *testing.T) {
+	mint := certchains.NewMint(17, time.Now())
+	root, err := mint.NewRoot(certchains.PkixName("Facade Root", "F"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := root.IssueLeaf(certchains.PkixName("f.example.test"), certchains.WithSANs("f.example.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm := certchains.NewServerFarm()
+	defer farm.Close()
+	srv, err := farm.Add("f.example.test", []*certchains.RealCertificate{leaf, root.Cert})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := certchains.NewScanner(5 * time.Second)
+	res := sc.Scan(context.Background(), srv.Addr, "f.example.test")
+	if res.Err != nil || len(res.Chain) != 2 {
+		t.Fatalf("scan: %+v", res)
+	}
+
+	// Validation policies through the facade.
+	browser := certchains.NewValidationClient(certchains.PolicyBrowser, root.Cert.X509)
+	if err := browser.Validate([]*certchains.RealCertificate{leaf, root.Cert}, "f.example.test", time.Now()); err != nil {
+		t.Errorf("browser validation: %v", err)
+	}
+	strict := certchains.NewValidationClient(certchains.PolicyStrictPresented, root.Cert.X509)
+	if err := strict.Validate([]*certchains.RealCertificate{leaf, root.Cert}, "f.example.test", time.Now()); err != nil {
+		t.Errorf("strict validation: %v", err)
+	}
+}
+
+func TestFacadeGraph(t *testing.T) {
+	g := certchains.NewCertGraph()
+	nb := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	a := &certchains.Certificate{FP: "a", Issuer: certchains.MustParseDN("CN=I"), Subject: certchains.MustParseDN("CN=S"), NotBefore: nb, NotAfter: nb.AddDate(1, 0, 0)}
+	b := &certchains.Certificate{FP: "b", Issuer: certchains.MustParseDN("CN=R"), Subject: certchains.MustParseDN("CN=I"), NotBefore: nb, NotAfter: nb.AddDate(1, 0, 0)}
+	g.AddChain(certchains.Chain{a, b}, nil)
+	if g.NodeCount() != 2 || g.EdgeCount() != 1 {
+		t.Errorf("graph = %d nodes %d edges", g.NodeCount(), g.EdgeCount())
+	}
+}

@@ -1,0 +1,156 @@
+package certchains_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"certchains"
+)
+
+// runCmd executes one of the repo's commands via `go run` and returns its
+// combined output. These are end-to-end smoke tests of the actual binaries.
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIGenAndAnalyze(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI e2e in -short mode")
+	}
+	dir := t.TempDir()
+	out := runCmd(t, "./cmd/certchain-gen", "-out", dir, "-scale", "0.001", "-max-conns", "5")
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("gen output: %s", out)
+	}
+	for _, f := range []string{"ssl.log", "x509.log"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+
+	out = runCmd(t, "./cmd/certchain-analyze",
+		"-ssl", filepath.Join(dir, "ssl.log"),
+		"-x509", filepath.Join(dir, "x509.log"),
+		"-scale", "0.001", "-revisit=false")
+	for _, want := range []string{"Table 1", "Table 3", "321", "Figure 6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q", want)
+		}
+	}
+}
+
+func TestCLIAnalyzeJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI e2e in -short mode")
+	}
+	out := runCmd(t, "./cmd/certchain-analyze", "-scale", "0.001", "-json")
+	if !strings.Contains(out, `"table3_hybrid"`) || !strings.Contains(out, `"total": 321`) {
+		t.Errorf("JSON export missing hybrid absolutes:\n%.500s", out)
+	}
+}
+
+func TestCLIServeAndScanDemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI e2e in -short mode")
+	}
+	out := runCmd(t, "./cmd/certchain-scan", "-demo")
+	if !strings.Contains(out, "verdict=contains-matched-path") {
+		t.Errorf("scan demo should flag the unnecessary certificate:\n%s", out)
+	}
+	out = runCmd(t, "./cmd/certchain-serve")
+	if !strings.Contains(out, "printer.campus.test") {
+		t.Errorf("serve output: %s", out)
+	}
+}
+
+func TestCLICTLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI e2e in -short mode")
+	}
+	out := runCmd(t, "./cmd/ctlog", "-scale", "0.001")
+	for _, want := range []string{"tree head:", "STH signature valid: true", "inclusion proof for entry 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ctlog output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLILintPEM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI e2e in -short mode")
+	}
+	// Mint a chain with an unnecessary certificate and write it as PEM.
+	mint := certchains.NewMint(88, time.Now())
+	root, err := mint.NewRoot(certchains.PkixName("Lint Root"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := root.IssueLeaf(certchains.PkixName("lint.example.test"), certchains.WithSANs("lint.example.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stray, err := mint.SelfSigned(certchains.PkixName("tester"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "chain.pem")
+	var pemData []byte
+	for _, c := range []*certchains.RealCertificate{leaf, root.Cert, stray} {
+		pemData = append(pemData, c.PEM()...)
+	}
+	if err := os.WriteFile(path, pemData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runCmd(t, "./cmd/certchain-lint", "-pem", path)
+	for _, want := range []string{"chain of 3 certificate(s)", "unnecessary-certificates", "drop-unnecessary", "proposed delivery"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lint output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping examples e2e in -short mode")
+	}
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"./examples/quickstart", "complete matched path: positions 1..2"},
+		{"./examples/interception-audit", "issuer-mismatch"},
+		{"./examples/chain-doctor", "prescription: drop-unnecessary"},
+		{"./examples/retrospective-scan", "strict presented-chain policy: REJECT"},
+		{"./examples/live-interception", "CT cross-reference: issuer-mismatch"},
+	}
+	for _, c := range cases {
+		out := runCmd(t, c.path)
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%s output missing %q:\n%s", c.path, c.want, out)
+		}
+	}
+}
+
+func TestExampleCampusPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping examples e2e in -short mode")
+	}
+	out := runCmd(t, "./examples/campus-pipeline")
+	for _, want := range []string{"reloaded", "Table 3", "321", "§5 Revisit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campus-pipeline output missing %q", want)
+		}
+	}
+}

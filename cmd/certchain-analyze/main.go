@@ -1,0 +1,170 @@
+// Command certchain-analyze runs the full measurement pipeline and prints
+// every table and figure of the paper's evaluation, plus the §5 revisit
+// summary.
+//
+// Two input modes:
+//
+//	certchain-analyze -seed 1 -scale 0.01            # generate in memory
+//	certchain-analyze -ssl data/ssl.log -x509 data/x509.log -seed 1
+//
+// The log-file mode still needs the seed so the pipeline rebuilds the same
+// trust stores, CT log, and interception registry the logs were generated
+// against — exactly how the paper's enrichment consults external databases.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"certchains/internal/analysis"
+	"certchains/internal/campus"
+	"certchains/internal/chain"
+	"certchains/internal/graph"
+	"certchains/internal/paper"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "certchain-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed    = flag.Int64("seed", 1, "scenario seed")
+		scale   = flag.Float64("scale", 0.01, "fraction of paper-scale volume (in-memory mode)")
+		sslPath = flag.String("ssl", "", "path to ssl.log (enables log-file mode)")
+		x5Path  = flag.String("x509", "", "path to x509.log (log-file mode)")
+		revisit = flag.Bool("revisit", true, "also run the §5 retrospective comparison")
+		asJSON  = flag.Bool("json", false, "emit the machine-readable JSON export instead of text")
+		format  = flag.String("format", "tsv", "log format for -ssl/-x509: tsv or json")
+		dotDir  = flag.String("dot", "", "also write figure5/7/8 Graphviz files into this directory")
+		verify  = flag.Bool("verify", false, "check every measured value against the paper's reported targets")
+	)
+	flag.Parse()
+
+	cfg := campus.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	scenario, err := campus.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	observations := scenario.Observations
+	if *sslPath != "" || *x5Path != "" {
+		if *sslPath == "" || *x5Path == "" {
+			return fmt.Errorf("log-file mode needs both -ssl and -x509")
+		}
+		sslF, err := os.Open(*sslPath)
+		if err != nil {
+			return err
+		}
+		defer sslF.Close()
+		x5F, err := os.Open(*x5Path)
+		if err != nil {
+			return err
+		}
+		defer x5F.Close()
+		f := analysis.FormatTSV
+		switch *format {
+		case "tsv":
+		case "json":
+			f = analysis.FormatJSON
+		default:
+			return fmt.Errorf("unknown format %q (tsv or json)", *format)
+		}
+		observations, err = analysis.LoadFormat(f, sslF, x5F)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d chain observations from logs\n\n", len(observations))
+	}
+
+	pipeline := analysis.FromScenario(scenario)
+	report := pipeline.Run(observations)
+	if *asJSON {
+		data, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return nil
+	}
+	fmt.Print(report.Render())
+
+	if *revisit {
+		fmt.Println()
+		rr := analysis.AnalyzeRevisit(scenario.Classifier, scenario.Revisit, "Lets Encrypt")
+		fmt.Print(rr.Render())
+	}
+
+	if *verify {
+		fmt.Println("\nPaper-vs-measured verification:")
+		checks := paper.Verify(report)
+		checks = append(checks, paper.VerifyRevisit(analysis.AnalyzeRevisit(scenario.Classifier, scenario.Revisit, "Lets Encrypt"))...)
+		failed := 0
+		for _, c := range checks {
+			fmt.Println(" ", c)
+			if !c.Pass {
+				failed++
+			}
+		}
+		fmt.Printf("%d checks, %d failed\n", len(checks), failed)
+		if failed > 0 {
+			return fmt.Errorf("%d reproduction checks failed", failed)
+		}
+	}
+
+	if *dotDir != "" {
+		if err := writeDOTFigures(scenario, observations, *dotDir); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote figure5.dot, figure7.dot, figure8.dot to %s (render with `dot -Tsvg`)\n", *dotDir)
+	}
+	return nil
+}
+
+// writeDOTFigures regenerates Figures 5, 7 and 8 as Graphviz files.
+func writeDOTFigures(scenario *campus.Scenario, observations []*campus.Observation, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	graphs := map[string]struct {
+		cat  chain.Category
+		opts graph.DOTOptions
+	}{
+		"figure5.dot": {chain.Hybrid, graph.DOTOptions{Name: "figure5_hybrid", MaxNodes: 800}},
+		"figure7.dot": {chain.NonPublicDBOnly, graph.DOTOptions{Name: "figure7_nonpub", MaxNodes: 800}},
+		"figure8.dot": {chain.Interception, graph.DOTOptions{Name: "figure8_interception", OmitLeaves: true, MaxNodes: 800}},
+	}
+	for name, spec := range graphs {
+		g := graph.New()
+		for _, o := range observations {
+			if len(o.Chain) > 30 {
+				continue
+			}
+			a := scenario.Classifier.Analyze(o.Chain)
+			if a.Category != spec.cat {
+				continue
+			}
+			g.AddChain(o.Chain, a.Classes)
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := g.WriteDOT(f, spec.opts); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

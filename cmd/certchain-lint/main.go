@@ -1,0 +1,124 @@
+// Command certchain-lint is the chain doctor as a CLI: it lints a delivered
+// certificate chain — from a PEM file or scanned live from a TLS endpoint —
+// and proposes the repaired delivery (§6.2's tooling recommendation).
+//
+// Usage:
+//
+//	certchain-lint -pem fullchain.pem
+//	certchain-lint -sni example.com 192.0.2.7:443
+package main
+
+import (
+	"context"
+	"crypto/x509"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"certchains"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "certchain-lint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		pemPath = flag.String("pem", "", "PEM file containing the delivered chain, leaf first")
+		sni     = flag.String("sni", "", "SNI to offer when scanning an endpoint")
+		timeout = flag.Duration("timeout", 5*time.Second, "scan timeout")
+	)
+	flag.Parse()
+
+	var ch certchains.Chain
+	switch {
+	case *pemPath != "":
+		var err error
+		ch, err = loadPEMChain(*pemPath)
+		if err != nil {
+			return err
+		}
+	case flag.NArg() == 1:
+		sc := certchains.NewScanner(*timeout)
+		res := sc.Scan(context.Background(), flag.Arg(0), *sni)
+		if res.Err != nil {
+			return res.Err
+		}
+		ch = res.Chain
+	default:
+		return fmt.Errorf("pass -pem <file> or exactly one host:port target")
+	}
+	if len(ch) == 0 {
+		return fmt.Errorf("no certificates found")
+	}
+
+	classifier := certchains.NewClassifier(certchains.NewTrustDB())
+	linter := certchains.NewLinter(classifier, certchains.LintConfig{})
+
+	fmt.Printf("chain of %d certificate(s):\n", len(ch))
+	for i, m := range ch {
+		fmt.Printf("  [%d] subject=%q issuer=%q bc=%s\n", i, m.Subject.String(), m.Issuer.String(), m.BC)
+	}
+
+	a := classifier.Analyze(ch)
+	fmt.Printf("\nstructure: verdict=%s mismatch-ratio=%.2f unnecessary=%d\n",
+		a.Verdict, a.MismatchRatio, len(a.Unnecessary))
+
+	findings := linter.Chain(ch)
+	if len(findings) == 0 {
+		fmt.Println("lint: clean")
+	}
+	for _, f := range findings {
+		fmt.Printf("lint: %s\n", f)
+	}
+	info, warn, errs := certchains.LintSummary(findings)
+	fmt.Printf("lint summary: %d info, %d warnings, %d errors\n", info, warn, errs)
+
+	r := certchains.RepairWithClock(a, time.Now())
+	if !r.Fixable {
+		fmt.Println("\nrepair: not repairable from the presented certificates")
+		return nil
+	}
+	if len(r.Actions) == 0 {
+		fmt.Println("\nrepair: delivery already minimal")
+		return nil
+	}
+	fmt.Println("\nrepair plan:")
+	for _, act := range r.Actions {
+		fmt.Printf("  %s: %s\n", act.Kind, act.Reason)
+	}
+	fmt.Printf("proposed delivery (%d certs):\n", len(r.Chain))
+	for i, m := range r.Chain {
+		fmt.Printf("  [%d] %s\n", i, m.Subject.String())
+	}
+	return nil
+}
+
+func loadPEMChain(path string) (certchains.Chain, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ch certchains.Chain
+	for len(data) > 0 {
+		var block *pem.Block
+		block, data = pem.Decode(data)
+		if block == nil {
+			break
+		}
+		if block.Type != "CERTIFICATE" {
+			continue
+		}
+		cert, err := x509.ParseCertificate(block.Bytes)
+		if err != nil {
+			return nil, fmt.Errorf("parse certificate %d: %w", len(ch), err)
+		}
+		ch = append(ch, certchains.CertificateFromX509(cert))
+	}
+	return ch, nil
+}

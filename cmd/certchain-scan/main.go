@@ -1,0 +1,140 @@
+// Command certchain-scan is the retrospective scanner of §5: it connects to
+// TLS endpoints, records the chain each presents, and prints a structural
+// verdict per endpoint.
+//
+// Usage:
+//
+//	certchain-scan host1:443 host2:8443 ...
+//	certchain-scan -sni example.com 192.0.2.1:443
+//	certchain-scan -demo            # spin up a local farm and scan it
+//	certchain-scan -baseline-ssl old/ssl.log -baseline-x509 old/x509.log host:443
+//
+// With a baseline, each scanned chain is compared against the chain the same
+// SNI served during the logged period — the paper's then-vs-now comparison.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"certchains/internal/analysis"
+	"certchains/internal/certmodel"
+	"certchains/internal/chain"
+	"certchains/internal/pki"
+	"certchains/internal/scanner"
+	"certchains/internal/serverfarm"
+	"certchains/internal/trustdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "certchain-scan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sni      = flag.String("sni", "", "server name to offer (default: derived per target)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-connection timeout")
+		parallel = flag.Int("parallel", 8, "concurrent scans")
+		demo     = flag.Bool("demo", false, "start a local demo farm and scan it")
+		baseSSL  = flag.String("baseline-ssl", "", "prior ssl.log for then-vs-now comparison")
+		baseX509 = flag.String("baseline-x509", "", "prior x509.log for then-vs-now comparison")
+	)
+	flag.Parse()
+
+	// Baseline: SNI -> previously observed chain.
+	baseline := make(map[string]certmodel.Chain)
+	if *baseSSL != "" || *baseX509 != "" {
+		if *baseSSL == "" || *baseX509 == "" {
+			return fmt.Errorf("baseline needs both -baseline-ssl and -baseline-x509")
+		}
+		sslF, err := os.Open(*baseSSL)
+		if err != nil {
+			return err
+		}
+		defer sslF.Close()
+		x5F, err := os.Open(*baseX509)
+		if err != nil {
+			return err
+		}
+		defer x5F.Close()
+		observations, err := analysis.Load(sslF, x5F)
+		if err != nil {
+			return err
+		}
+		for _, o := range observations {
+			if o.Domain != "" && len(o.Chain) > 0 {
+				if _, dup := baseline[o.Domain]; !dup {
+					baseline[o.Domain] = o.Chain
+				}
+			}
+		}
+		fmt.Printf("baseline: %d domains with prior chains\n", len(baseline))
+	}
+
+	sc := scanner.New(*timeout)
+	cl := chain.NewClassifier(trustdb.New())
+
+	var targets []scanner.Target
+	if *demo {
+		farm := serverfarm.New()
+		defer farm.Close()
+		mint := pki.NewMint(1, time.Now())
+		root, err := mint.NewRoot(pki.Name("Demo Root", "Demo"))
+		if err != nil {
+			return err
+		}
+		inter, err := root.NewIntermediate(pki.Name("Demo CA", "Demo"))
+		if err != nil {
+			return err
+		}
+		leaf, err := inter.IssueLeaf(pki.Name("demo.test"), pki.WithSANs("demo.test"))
+		if err != nil {
+			return err
+		}
+		stray, err := mint.SelfSigned(pki.Name("leftover"))
+		if err != nil {
+			return err
+		}
+		srv, err := farm.Add("demo.test", pki.Chain(leaf, inter.Cert, stray))
+		if err != nil {
+			return err
+		}
+		targets = append(targets, scanner.Target{Addr: srv.Addr, SNI: "demo.test"})
+		// Trust the demo root so classification has a public side.
+		cl.DB.AddRoot(trustdb.StoreMozilla, root.Cert.Meta)
+	} else {
+		if flag.NArg() == 0 {
+			return fmt.Errorf("no targets; pass host:port arguments or -demo")
+		}
+		for _, addr := range flag.Args() {
+			targets = append(targets, scanner.Target{Addr: addr, SNI: *sni})
+		}
+	}
+
+	results := sc.ScanAll(context.Background(), targets, *parallel)
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Printf("%-24s UNREACHABLE: %v\n", res.Addr, res.Err)
+			continue
+		}
+		a := cl.Analyze(res.Chain)
+		fmt.Printf("%-24s %d certs  category=%s  verdict=%s  unnecessary=%d  (%.0f ms)\n",
+			res.Addr, len(res.Chain), a.Category, a.Verdict, len(a.Unnecessary),
+			float64(res.Duration.Microseconds())/1000)
+		for i, m := range res.Chain {
+			fmt.Printf("    [%d] subject=%q issuer=%q\n", i, m.Subject.String(), m.Issuer.String())
+		}
+		if old, ok := baseline[res.SNI]; ok {
+			cmp := scanner.Compare(cl, res.Addr, old, res.Chain)
+			fmt.Printf("    then-vs-now: %s (%d certs) -> %s (%d certs), new verdict %s\n",
+				cmp.OldCategory, cmp.OldLen, cmp.NewCategory, cmp.NewLen, cmp.NewVerdict)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command certchain-serve runs a local TLS server farm presenting the kinds
+// of chains the paper observes — a clean public-style chain, a chain with an
+// unnecessary appended certificate, a hybrid government-style chain, and a
+// self-signed single — so certchain-scan (or openssl s_client) has real
+// endpoints to examine.
+//
+// Usage:
+//
+//	certchain-serve -seed 1 [-hold]
+//
+// Without -hold the farm starts, prints its endpoints, and exits; with -hold
+// it serves until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"certchains/internal/pki"
+	"certchains/internal/serverfarm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "certchain-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed = flag.Int64("seed", 1, "mint seed")
+		hold = flag.Bool("hold", false, "keep serving until interrupted")
+	)
+	flag.Parse()
+
+	mint := pki.NewMint(*seed, time.Now())
+	farm := serverfarm.New()
+	defer farm.Close()
+	if err := populate(mint, farm); err != nil {
+		return err
+	}
+	for _, s := range farm.Servers() {
+		fmt.Printf("%-28s %s  (%d certs)\n", s.Domain, s.Addr, len(s.Chain))
+	}
+	if *hold {
+		fmt.Println("serving; interrupt to stop")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+	return nil
+}
+
+func populate(mint *pki.Mint, farm *serverfarm.Farm) error {
+	root, err := mint.NewRoot(pki.Name("Serve Root CA", "ServeOrg"))
+	if err != nil {
+		return err
+	}
+	inter, err := root.NewIntermediate(pki.Name("Serve Issuing CA", "ServeOrg"))
+	if err != nil {
+		return err
+	}
+
+	// Clean public-style chain.
+	leaf, err := inter.IssueLeaf(pki.Name("clean.example.test"), pki.WithSANs("clean.example.test"))
+	if err != nil {
+		return err
+	}
+	if _, err := farm.Add("clean.example.test", pki.Chain(leaf, inter.Cert)); err != nil {
+		return err
+	}
+
+	// Chain with an unnecessary appended certificate (the HP "tester"
+	// pattern of Appendix F.2).
+	leaf2, err := inter.IssueLeaf(pki.Name("extra.example.test"), pki.WithSANs("extra.example.test"))
+	if err != nil {
+		return err
+	}
+	tester, err := mint.SelfSigned(pki.Name("tester"))
+	if err != nil {
+		return err
+	}
+	if _, err := farm.Add("extra.example.test", pki.Chain(leaf2, inter.Cert, tester)); err != nil {
+		return err
+	}
+
+	// Hybrid: non-public signing CA certified by the public program
+	// (Table 6 pattern).
+	signing, err := inter.NewIntermediate(pki.Name("Agency CA B3", "Government Agency"))
+	if err != nil {
+		return err
+	}
+	leaf3, err := signing.IssueLeaf(pki.Name("portal.agency.test"), pki.WithSANs("portal.agency.test"))
+	if err != nil {
+		return err
+	}
+	if _, err := farm.Add("portal.agency.test", pki.Chain(leaf3, signing.Cert, inter.Cert)); err != nil {
+		return err
+	}
+
+	// Self-signed single-certificate server (the §4.3 majority).
+	selfSigned, err := mint.SelfSigned(pki.Name("printer.campus.test"), pki.WithSANs("printer.campus.test"))
+	if err != nil {
+		return err
+	}
+	_, err = farm.Add("printer.campus.test", pki.Chain(selfSigned))
+	return err
+}

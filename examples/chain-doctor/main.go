@@ -1,0 +1,105 @@
+// Chain doctor: the §6.2 tooling recommendation made concrete. Given
+// misconfigured chains (the patterns the paper catalogs in Appendix F), the
+// doctor lints each one, explains what is wrong in the paper's terms, and
+// proposes the repaired delivery.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"certchains"
+)
+
+func main() {
+	now := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+
+	db := certchains.NewTrustDB()
+	root := cert(now, "CN=Doctor Root CA,O=TrustCo", "CN=Doctor Root CA,O=TrustCo", certchains.BCTrue, "")
+	db.AddRoot(certchains.StoreMozilla, root)
+	inter := cert(now, "CN=Doctor Root CA,O=TrustCo", "CN=Doctor Issuing CA,O=TrustCo", certchains.BCTrue, "")
+	if err := db.AddCCADBIntermediate(inter); err != nil {
+		panic(err)
+	}
+	classifier := certchains.NewClassifier(db)
+	linter := certchains.NewLinter(classifier, certchains.LintConfig{Now: now})
+
+	patients := []struct {
+		name  string
+		chain certchains.Chain
+	}{
+		{
+			// Appendix F.2: HP "tester" — valid chain + self-signed junk.
+			"tester appended (F.2)",
+			certchains.Chain{
+				cert(now, "CN=Doctor Issuing CA,O=TrustCo", "CN=webauth.printer.example", certchains.BCFalse, "webauth.printer.example"),
+				inter,
+				root,
+				cert(now, "CN=tester", "CN=tester", certchains.BCAbsent, ""),
+			},
+		},
+		{
+			// Appendix F.2: Let's Encrypt staging placeholder leaked to prod.
+			"staging placeholder (F.2)",
+			certchains.Chain{
+				cert(now, "CN=Doctor Issuing CA,O=TrustCo", "CN=blog.example", certchains.BCFalse, "blog.example"),
+				inter,
+				cert(now, "CN=Fake LE Root X1", "CN=Fake LE Intermediate X1", certchains.BCTrue, ""),
+			},
+		},
+		{
+			// Appendix F.3: localhost placeholder replacing the leaf.
+			"localhost leaf (F.3)",
+			certchains.Chain{
+				cert(now, "EMAILADDRESS=webmaster@localhost,CN=localhost,OU=none,O=none,L=Sometown,ST=Someprovince,C=US",
+					"EMAILADDRESS=webmaster@localhost,CN=localhost,OU=none,O=none,L=Sometown,ST=Someprovince,C=US",
+					certchains.BCAbsent, ""),
+				inter,
+				root,
+			},
+		},
+	}
+
+	for _, p := range patients {
+		fmt.Printf("━━ %s\n", p.name)
+		a := classifier.Analyze(p.chain)
+		fmt.Printf("   diagnosis: category=%s verdict=%s mismatch-ratio=%.2f\n",
+			a.Category, a.Verdict, a.MismatchRatio)
+
+		for _, f := range linter.Chain(p.chain) {
+			fmt.Printf("   lint %s\n", f)
+		}
+
+		r := certchains.RepairWithClock(a, now)
+		if !r.Fixable {
+			fmt.Printf("   prescription: not repairable from presented certificates\n")
+			for _, act := range r.Actions {
+				fmt.Printf("     - %s: %s\n", act.Kind, act.Reason)
+			}
+		} else {
+			for _, act := range r.Actions {
+				fmt.Printf("   prescription: %s (%s)\n", act.Kind, act.Reason)
+			}
+			fmt.Printf("   repaired delivery (%d certs):\n", len(r.Chain))
+			for i, m := range r.Chain {
+				fmt.Printf("     [%d] %s\n", i, m.Subject.String())
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func cert(now time.Time, issuer, subject string, bc certchains.BasicConstraints, san string) *certchains.Certificate {
+	c := &certchains.Certificate{
+		FP:        certchains.Fingerprint("fp|" + issuer + "|" + subject),
+		Issuer:    certchains.MustParseDN(issuer),
+		Subject:   certchains.MustParseDN(subject),
+		NotBefore: now.AddDate(-1, 0, 0),
+		NotAfter:  now.AddDate(1, 0, 0),
+		BC:        bc,
+	}
+	if san != "" {
+		c.SAN = []string{san}
+	}
+	return c
+}

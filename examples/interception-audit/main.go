@@ -1,0 +1,90 @@
+// Interception audit: detect TLS interception middleboxes the way §3.2.1
+// does — populate a CT log with the genuine certificates of popular
+// domains, then cross-reference observed leaf issuers against CT records
+// for the same domain and validity window. Issuer mismatches expose the
+// middlebox.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"certchains"
+)
+
+func main() {
+	if err := run(); err != nil {
+		panic(err)
+	}
+}
+
+func run() error {
+	now := time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+
+	// Public side: a trusted CA whose issuance is CT-logged.
+	db := certchains.NewTrustDB()
+	rootDN := certchains.MustParseDN("CN=Honest Root CA,O=Honest")
+	root := &certchains.Certificate{
+		FP: "fp-root", Issuer: rootDN, Subject: rootDN,
+		NotBefore: now.AddDate(-5, 0, 0), NotAfter: now.AddDate(10, 0, 0),
+		BC: certchains.BCTrue,
+	}
+	db.AddRoot(certchains.StoreMozilla, root)
+
+	ct, err := certchains.NewCTLog("audit-log", 7)
+	if err != nil {
+		return err
+	}
+
+	// The genuine certificates for three popular domains, logged by the
+	// honest CA.
+	domains := []string{"www.bank.example", "mail.campus.example", "videos.stream.example"}
+	for _, d := range domains {
+		leaf := &certchains.Certificate{
+			FP:        certchains.Fingerprint("fp-real-" + d),
+			Issuer:    rootDN,
+			Subject:   certchains.MustParseDN("CN=" + d),
+			NotBefore: now.AddDate(0, -3, 0),
+			NotAfter:  now.AddDate(1, 0, 0),
+			SAN:       []string{d},
+		}
+		if _, err := ct.AddChain(certchains.Chain{leaf, root}, now.AddDate(0, -3, 0)); err != nil {
+			return err
+		}
+	}
+
+	detector := certchains.NewInterceptionDetector(db, ct)
+
+	// Observations from the campus vantage: one genuine, one intercepted,
+	// one internal-only.
+	observations := []struct {
+		label  string
+		issuer string
+		domain string
+	}{
+		{"genuine connection", "CN=Honest Root CA,O=Honest", "www.bank.example"},
+		{"middlebox connection", "CN=Zscaler SSL Inspection CA,O=Zscaler Inc.", "www.bank.example"},
+		{"internal service (no CT record)", "CN=Corp Internal CA,O=Corp", "wiki.corp.internal"},
+	}
+	for _, o := range observations {
+		leaf := &certchains.Certificate{
+			FP:        certchains.Fingerprint("fp-obs-" + o.domain + o.issuer),
+			Issuer:    certchains.MustParseDN(o.issuer),
+			Subject:   certchains.MustParseDN("CN=" + o.domain),
+			NotBefore: now.AddDate(0, -1, 0),
+			NotAfter:  now.AddDate(1, 0, 0),
+		}
+		verdict := detector.Examine(leaf, o.domain, now)
+		fmt.Printf("%-32s issuer=%-45q -> %s\n", o.label, o.issuer, verdict)
+	}
+
+	fmt.Println()
+	fmt.Println("CT log state:")
+	sth := ct.TreeHead(now)
+	fmt.Printf("  %d entries, STH signature valid: %v\n", sth.TreeSize, ct.VerifySTH(sth))
+	for _, d := range domains {
+		issuers := ct.IssuersFor(d, now)
+		fmt.Printf("  %-24s logged issuers: %d\n", d, len(issuers))
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Live interception: the full Appendix B scenario over real sockets. An
+// honest origin serves www.bank.test with a CT-logged certificate; a
+// middlebox (the Fortinet/Zscaler device class of Table 1) sits in front,
+// terminating TLS with a forged certificate minted by its inspection CA and
+// relaying the plaintext. A scanner observes both paths, and the §3.2.1 CT
+// cross-reference flags the interceptor.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"certchains"
+	"certchains/internal/middlebox"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "live-interception:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	now := time.Now()
+	mint := certchains.NewMint(2026, now)
+
+	// The honest side: a public-style CA, its leaf, and a CT log entry.
+	honest, err := mint.NewRoot(certchains.PkixName("Honest Public Root", "Honest CA Inc"))
+	if err != nil {
+		return err
+	}
+	leaf, err := honest.IssueLeaf(certchains.PkixName("www.bank.test"), certchains.WithSANs("www.bank.test"))
+	if err != nil {
+		return err
+	}
+	farm := certchains.NewServerFarm()
+	defer farm.Close()
+	origin, err := farm.Add("www.bank.test", []*certchains.RealCertificate{leaf, honest.Cert})
+	if err != nil {
+		return err
+	}
+
+	ct, err := certchains.NewCTLog("public-log", 1)
+	if err != nil {
+		return err
+	}
+	if _, err := ct.AddChain(certchains.Chain{leaf.Meta, honest.Cert.Meta}, now.Add(-24*time.Hour)); err != nil {
+		return err
+	}
+	db := certchains.NewTrustDB()
+	db.AddRoot(certchains.StoreMozilla, honest.Cert.Meta)
+
+	// The interceptor: an inspection CA and a live proxy in front of the
+	// origin.
+	inspect, err := mint.NewRoot(certchains.PkixName("Corp SSL Inspection CA", "Corp Security"))
+	if err != nil {
+		return err
+	}
+	proxy, err := middlebox.New(inspect, origin.Addr)
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+
+	fmt.Printf("origin:     %s\n", origin.Addr)
+	fmt.Printf("middlebox:  %s (inspection CA %q)\n\n", proxy.Addr, "Corp SSL Inspection CA")
+
+	sc := certchains.NewScanner(5 * time.Second)
+	det := certchains.NewInterceptionDetector(db, ct)
+
+	for _, target := range []struct{ label, addr string }{
+		{"direct to origin", origin.Addr},
+		{"through middlebox", proxy.Addr},
+	} {
+		res := sc.Scan(context.Background(), target.addr, "www.bank.test")
+		if res.Err != nil {
+			return res.Err
+		}
+		verdict := det.Examine(res.Chain[0], "www.bank.test", now)
+		fmt.Printf("%-18s leaf issuer=%-40q CT cross-reference: %s\n",
+			target.label, res.Chain[0].Issuer.String(), verdict)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Quickstart: build a trust database, analyze a few delivered certificate
+// chains with the structure analyzer, and print the verdicts — the minimal
+// round trip through the library's core API.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"certchains"
+)
+
+func main() {
+	// A small trust database: one public root and its disclosed
+	// intermediate, standing in for the Mozilla/Apple/Microsoft stores and
+	// CCADB.
+	db := certchains.NewTrustDB()
+	root := cert("CN=Example Trust Root,O=TrustCo", "CN=Example Trust Root,O=TrustCo", certchains.BCTrue)
+	db.AddRoot(certchains.StoreMozilla, root)
+	inter := cert("CN=Example Trust Root,O=TrustCo", "CN=TrustCo Issuing CA,O=TrustCo", certchains.BCTrue)
+	if err := db.AddCCADBIntermediate(inter); err != nil {
+		panic(err)
+	}
+	classifier := certchains.NewClassifier(db)
+
+	chains := []struct {
+		name  string
+		chain certchains.Chain
+	}{
+		// A correct public chain: leaf plus issuing CA, root omitted.
+		{"well-formed public chain", certchains.Chain{
+			cert("CN=TrustCo Issuing CA,O=TrustCo", "CN=www.shop.example", certchains.BCFalse),
+			inter,
+		}},
+		// The same chain with an unnecessary self-signed certificate
+		// appended — the misconfiguration the paper ties to connection
+		// failures.
+		{"chain with unnecessary certificate", certchains.Chain{
+			cert("CN=TrustCo Issuing CA,O=TrustCo", "CN=www.shop.example", certchains.BCFalse),
+			inter,
+			cert("CN=tester", "CN=tester", certchains.BCAbsent),
+		}},
+		// A self-signed single, the dominant non-public-DB species.
+		{"self-signed single", certchains.Chain{
+			cert("CN=printer.campus.example", "CN=printer.campus.example", certchains.BCAbsent),
+		}},
+		// A government-style hybrid: non-public signing CA certified by
+		// the public program.
+		{"hybrid anchored to public root", certchains.Chain{
+			cert("CN=Agency CA B3,O=Government", "CN=portal.agency.example", certchains.BCFalse),
+			cert("CN=TrustCo Issuing CA,O=TrustCo", "CN=Agency CA B3,O=Government", certchains.BCTrue),
+			inter,
+		}},
+	}
+
+	for _, entry := range chains {
+		name, ch := entry.name, entry.chain
+		a := classifier.Analyze(ch)
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  category: %s\n", a.Category)
+		fmt.Printf("  verdict:  %s\n", a.Verdict)
+		fmt.Printf("  mismatch ratio: %.2f\n", a.MismatchRatio)
+		if len(a.Unnecessary) > 0 {
+			for _, i := range a.Unnecessary {
+				fmt.Printf("  unnecessary certificate at position %d: %s\n", i+1, ch[i].Subject.String())
+			}
+		}
+		if a.Complete != nil {
+			fmt.Printf("  complete matched path: positions %d..%d, anchored to public root: %v\n",
+				a.Complete.Start+1, a.Complete.End+1, a.AnchoredToPublicRoot(db))
+		}
+		fmt.Println()
+	}
+}
+
+// cert fabricates a log-level certificate like Zeek would record it.
+func cert(issuer, subject string, bc certchains.BasicConstraints) *certchains.Certificate {
+	iss := certchains.MustParseDN(issuer)
+	sub := certchains.MustParseDN(subject)
+	nb := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	na := nb.AddDate(1, 0, 0)
+	return &certchains.Certificate{
+		FP:        "fp-" + certchains.Fingerprint(subject+"|"+issuer),
+		Issuer:    iss,
+		Subject:   sub,
+		NotBefore: nb,
+		NotAfter:  na,
+		BC:        bc,
+	}
+}

@@ -1,0 +1,123 @@
+// Retrospective scan: the §5 workflow over a real network stack. A local
+// TLS server farm plays the role of the previously observed servers — one
+// migrated to an automated public CA, one still serving a chain with an
+// unnecessary certificate, one still self-signed — and a real TLS client
+// scans them, re-analyzes the presented chains, and demonstrates the
+// Chrome-vs-OpenSSL validation divergence on the misconfigured chain.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"certchains"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "retrospective-scan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	now := time.Now()
+	mint := certchains.NewMint(2024, now)
+
+	// The public program the migrated server now uses.
+	root, err := mint.NewRoot(certchains.PkixName("ISRG-like Root X1", "Lets Encrypt Analog"))
+	if err != nil {
+		return err
+	}
+	inter, err := root.NewIntermediate(certchains.PkixName("R3-like Issuing CA", "Lets Encrypt Analog"))
+	if err != nil {
+		return err
+	}
+
+	farm := certchains.NewServerFarm()
+	defer farm.Close()
+
+	// Server 1: migrated to the public CA (the 231-of-270 outcome).
+	migratedLeaf, err := inter.IssueLeaf(certchains.PkixName("migrated.example.test"), certchains.WithSANs("migrated.example.test"))
+	if err != nil {
+		return err
+	}
+	migrated, err := farm.Add("migrated.example.test", []*certchains.RealCertificate{migratedLeaf, inter.Cert})
+	if err != nil {
+		return err
+	}
+
+	// Server 2: still hybrid with an unnecessary trailing certificate
+	// (one of the 3 chains §5 validated with both Chrome and OpenSSL).
+	dirtyLeaf, err := inter.IssueLeaf(certchains.PkixName("stubborn.example.test"), certchains.WithSANs("stubborn.example.test"))
+	if err != nil {
+		return err
+	}
+	stray, err := mint.SelfSigned(certchains.PkixName("tester"))
+	if err != nil {
+		return err
+	}
+	dirty, err := farm.Add("stubborn.example.test", []*certchains.RealCertificate{dirtyLeaf, inter.Cert, stray})
+	if err != nil {
+		return err
+	}
+
+	// Server 3: still a self-signed single (the non-public majority).
+	selfSigned, err := mint.SelfSigned(certchains.PkixName("printer.campus.test"), certchains.WithSANs("printer.campus.test"))
+	if err != nil {
+		return err
+	}
+	single, err := farm.Add("printer.campus.test", []*certchains.RealCertificate{selfSigned})
+	if err != nil {
+		return err
+	}
+
+	// Trust database for classification: the public root and its
+	// disclosed intermediate.
+	db := certchains.NewTrustDB()
+	db.AddRoot(certchains.StoreMozilla, root.Cert.Meta)
+	if err := db.AddCCADBIntermediate(inter.Cert.Meta); err != nil {
+		return err
+	}
+	classifier := certchains.NewClassifier(db)
+
+	// Scan all three servers with the real TLS client.
+	sc := certchains.NewScanner(5 * time.Second)
+	fmt.Println("scan results:")
+	for _, srv := range []struct {
+		domain, addr string
+	}{
+		{migrated.Domain, migrated.Addr},
+		{dirty.Domain, dirty.Addr},
+		{single.Domain, single.Addr},
+	} {
+		res := sc.Scan(context.Background(), srv.addr, srv.domain)
+		if res.Err != nil {
+			return res.Err
+		}
+		a := classifier.Analyze(res.Chain)
+		fmt.Printf("  %-26s %d certs  category=%-20s verdict=%-22s unnecessary=%d\n",
+			srv.domain, len(res.Chain), a.Category, a.Verdict, len(a.Unnecessary))
+	}
+
+	// The validation divergence: the browser-style client completes the
+	// path from its store and tolerates the unnecessary certificate; the
+	// strict presented-chain client rejects it.
+	fmt.Println("\nvalidation divergence on the misconfigured chain:")
+	presented := []*certchains.RealCertificate{dirtyLeaf, inter.Cert, stray}
+	browser := certchains.NewValidationClient(certchains.PolicyBrowser, root.Cert.X509)
+	strict := certchains.NewValidationClient(certchains.PolicyStrictPresented, root.Cert.X509)
+	if err := browser.Validate(presented, "stubborn.example.test", now); err != nil {
+		fmt.Printf("  browser policy: REJECT (%v)\n", err)
+	} else {
+		fmt.Println("  browser policy: ACCEPT (trust-store completion ignores the stray certificate)")
+	}
+	if err := strict.Validate(presented, "stubborn.example.test", now); err != nil {
+		fmt.Println("  strict presented-chain policy: REJECT (the stray certificate breaks the path)")
+	} else {
+		fmt.Println("  strict presented-chain policy: ACCEPT")
+	}
+	return nil
+}

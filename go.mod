@@ -1,0 +1,3 @@
+module certchains
+
+go 1.22

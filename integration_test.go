@@ -1,0 +1,96 @@
+package certchains_test
+
+import (
+	"testing"
+
+	"certchains"
+	"certchains/internal/chain"
+)
+
+// TestRepairImprovesPopulation runs the §6.2 tooling over the entire
+// generated hybrid population: every chain that contains a complete matched
+// path must repair to a clean complete path, and re-analysis of the
+// repaired deliveries must show zero unnecessary certificates — the
+// end-to-end payoff of the paper's recommendation.
+func TestRepairImprovesPopulation(t *testing.T) {
+	cfg := certchains.DefaultScenarioConfig()
+	cfg.Scale = 0.001
+	cfg.Seed = 4242
+	s, err := certchains.GenerateScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		repaired, unfixable int
+	)
+	for _, o := range s.Observations {
+		if o.TLS13 || s.Classifier.Categorize(o.Chain) != certchains.Hybrid {
+			continue
+		}
+		a := s.Classifier.Analyze(o.Chain)
+		if a.Verdict != certchains.VerdictContainsPath {
+			continue
+		}
+		r := chain.ProposeRepair(a)
+		if !r.Fixable {
+			unfixable++
+			continue
+		}
+		repaired++
+		ra := s.Classifier.Analyze(r.Chain)
+		if ra.Verdict != certchains.VerdictCompletePath {
+			t.Fatalf("repaired chain re-analyzes as %v (original %v)", ra.Verdict, a.Verdict)
+		}
+		if len(ra.Unnecessary) != 0 {
+			t.Fatalf("repaired chain still has unnecessary certs: %v", ra.Unnecessary)
+		}
+		// The repair never grows the delivery.
+		if len(r.Chain) > len(o.Chain) {
+			t.Fatal("repair grew the chain")
+		}
+	}
+	// All 70 contains-path hybrids are repairable by construction.
+	if repaired != 70 || unfixable != 0 {
+		t.Errorf("repaired %d, unfixable %d; want 70/0", repaired, unfixable)
+	}
+}
+
+// TestStoreCompletionDivergencePopulation quantifies §6.1 across the whole
+// no-path hybrid population: chains with a public leaf complete via the
+// store; chains with non-public leaves do not.
+func TestStoreCompletionDivergencePopulation(t *testing.T) {
+	cfg := certchains.DefaultScenarioConfig()
+	cfg.Scale = 0.001
+	cfg.Seed = 77
+	s, err := certchains.GenerateScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completable, notCompletable := 0, 0
+	for _, o := range s.Observations {
+		if o.TLS13 || s.Classifier.Categorize(o.Chain) != certchains.Hybrid {
+			continue
+		}
+		a := s.Classifier.Analyze(o.Chain)
+		if a.Verdict != certchains.VerdictNoPath {
+			continue
+		}
+		if certchains.StoreCompletable(s.DB, a) {
+			completable++
+		} else {
+			notCompletable++
+		}
+	}
+	// 61 chains have a public-issued head that the store can chain to an
+	// anchor: the 56 missing-issuer chains (public leaf, intermediate not
+	// delivered) plus the 5 truncated chains whose head is itself a public
+	// intermediate. The remaining 154 no-path chains start at non-public
+	// certificates and stay unvalidatable for every client.
+	if completable != 61 {
+		t.Errorf("store-completable = %d, want 61 (56 missing-issuer + 5 truncated)", completable)
+	}
+	if completable+notCompletable != 215 {
+		t.Errorf("no-path population = %d, want 215", completable+notCompletable)
+	}
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"certchains/internal/chain"
+)
+
+// Export is the machine-readable form of a Report: flattened, stable field
+// names, JSON-friendly types. It exists so downstream tooling (plotting,
+// regression tracking) does not scrape the rendered text.
+type Export struct {
+	Table1 []ExportSector         `json:"table1_interception_sectors"`
+	Table2 map[string]ExportCat   `json:"table2_categories"`
+	Table3 ExportHybrid           `json:"table3_hybrid"`
+	Table4 map[string][]PortShare `json:"table4_ports"`
+	Table6 Table6                 `json:"table6_entities"`
+	Table7 map[string]int         `json:"table7_no_path"`
+	Table8 ExportTable8           `json:"table8_multi_cert"`
+	Fig1   map[string][]ExportCDF `json:"figure1_length_cdf"`
+	Fig1Ex []int                  `json:"figure1_excluded_lengths"`
+	Fig4   [][]string             `json:"figure4_structures"`
+	Fig5   GraphSummary           `json:"figure5_hybrid_graph"`
+	Fig6   ExportHistogram        `json:"figure6_mismatch_ratios"`
+	Fig7   GraphSummary           `json:"figure7_nonpub_graph"`
+	Fig8   GraphSummary           `json:"figure8_interception_graph"`
+	Sec42  ExportSec42            `json:"sec42"`
+	Sec43  ExportSec43            `json:"sec43"`
+}
+
+// ExportSector is one Table 1 row.
+type ExportSector struct {
+	Category  string  `json:"category"`
+	Issuers   int     `json:"issuers"`
+	ConnShare float64 `json:"conn_share"`
+	ClientIPs int     `json:"client_ips"`
+}
+
+// ExportCat is one Table 2 row.
+type ExportCat struct {
+	Chains      int   `json:"chains"`
+	Conns       int64 `json:"conns"`
+	Established int64 `json:"established"`
+	ClientIPs   int   `json:"client_ips"`
+}
+
+// ExportHybrid is Table 3 plus establishment rates.
+type ExportHybrid struct {
+	Counts          map[string]int     `json:"counts"`
+	EstablishByPath map[string]float64 `json:"establish_rates"`
+	Total           int                `json:"total"`
+}
+
+// ExportTable8 is the multi-cert structure comparison.
+type ExportTable8 struct {
+	NonPub       MultiCertStats `json:"non_public"`
+	Interception MultiCertStats `json:"interception"`
+}
+
+// ExportCDF is one CDF point.
+type ExportCDF struct {
+	Length int     `json:"length"`
+	Cum    float64 `json:"cum"`
+}
+
+// ExportHistogram is Figure 6's binned distribution.
+type ExportHistogram struct {
+	Bins             []int64 `json:"bins"`
+	Lo, Hi           float64 `json:"-"`
+	ShareAtOrAbove05 float64 `json:"share_at_or_above_05"`
+}
+
+// ExportSec42 mirrors Sec42 with JSON names.
+type ExportSec42 struct {
+	AnchoredLeaves         int               `json:"anchored_leaves"`
+	CTLoggedAnchoredLeaves int               `json:"ct_logged_anchored_leaves"`
+	ExpiredLeafChains      int               `json:"expired_leaf_chains"`
+	FakeLEChains           int               `json:"fake_le_chains"`
+	MultiChainServers      int               `json:"multi_chain_servers"`
+	MissingIssuerChains    int               `json:"missing_issuer_chains"`
+	ContainsBreakdown      ContainsBreakdown `json:"contains_breakdown"`
+}
+
+// ExportSec43 mirrors Sec43 with JSON names.
+type ExportSec43 struct {
+	SingleTotal          int     `json:"single_total"`
+	SingleSelfSigned     int     `json:"single_self_signed"`
+	InterceptSingleTotal int     `json:"intercept_single_total"`
+	BCAbsentFirst        float64 `json:"bc_absent_first"`
+	BCAbsentSubsequent   float64 `json:"bc_absent_subsequent"`
+	NoSNIShare           float64 `json:"no_sni_share"`
+	DGACerts             int     `json:"dga_certs"`
+	DGAConns             int64   `json:"dga_conns"`
+	DGAClients           int     `json:"dga_clients"`
+}
+
+// Export converts the report to its machine-readable form.
+func (r *Report) Export() *Export {
+	e := &Export{
+		Table2: make(map[string]ExportCat),
+		Table4: map[string][]PortShare{
+			"hybrid":        r.Table4.Hybrid,
+			"nonpub_single": r.Table4.NonPubSingle,
+			"nonpub_multi":  r.Table4.NonPubMulti,
+			"interception":  r.Table4.Interception,
+		},
+		Table6: r.Table6,
+		Table7: make(map[string]int),
+		Table8: ExportTable8{NonPub: r.Table8.NonPub, Interception: r.Table8.Interception},
+		Fig1:   make(map[string][]ExportCDF),
+		Fig1Ex: r.Figure1.Excluded,
+		Fig5:   r.Figure5,
+		Fig7:   r.Figure7,
+		Fig8:   r.Figure8,
+		Sec42: ExportSec42{
+			AnchoredLeaves:         r.Sec42.AnchoredLeaves,
+			CTLoggedAnchoredLeaves: r.Sec42.CTLoggedAnchoredLeaves,
+			ExpiredLeafChains:      r.Sec42.ExpiredLeafChains,
+			FakeLEChains:           r.Sec42.FakeLEChains,
+			MultiChainServers:      r.Sec42.MultiChainServers,
+			MissingIssuerChains:    r.Sec42.MissingIssuerChains,
+			ContainsBreakdown:      r.Sec42.ContainsBreakdown,
+		},
+		Sec43: ExportSec43{
+			SingleTotal:          r.Sec43.SingleStats.Total,
+			SingleSelfSigned:     r.Sec43.SingleStats.SelfSigned,
+			InterceptSingleTotal: r.Sec43.InterceptSingle.Total,
+			BCAbsentFirst:        r.Sec43.BCAbsentFirst,
+			BCAbsentSubsequent:   r.Sec43.BCAbsentSubsequent,
+			NoSNIShare:           r.Sec43.NoSNIShare,
+			DGACerts:             r.Sec43.DGACerts,
+			DGAConns:             r.Sec43.DGAConns,
+			DGAClients:           r.Sec43.DGAClients,
+		},
+	}
+	for _, s := range r.Table1.Sectors {
+		e.Table1 = append(e.Table1, ExportSector{
+			Category:  string(s.Category),
+			Issuers:   s.Issuers,
+			ConnShare: s.ConnShare,
+			ClientIPs: s.ClientIPs,
+		})
+	}
+	for cat, cs := range r.Table2.PerCategory {
+		e.Table2[cat.String()] = ExportCat{
+			Chains: cs.Chains, Conns: cs.Conns, Established: cs.Established, ClientIPs: cs.ClientIPs,
+		}
+	}
+	e.Table3 = ExportHybrid{
+		Counts:          make(map[string]int),
+		EstablishByPath: make(map[string]float64),
+		Total:           r.Table3.Total,
+	}
+	for hc, n := range r.Table3.Counts {
+		e.Table3.Counts[hc.String()] = n
+	}
+	for v, rate := range r.Table3.EstablishRate {
+		e.Table3.EstablishByPath[v.String()] = rate
+	}
+	for nc, n := range r.Table7.Counts {
+		e.Table7[nc.String()] = n
+	}
+	for cat, cdf := range r.Figure1.CDF {
+		var pts []ExportCDF
+		for _, p := range cdf.Points() {
+			pts = append(pts, ExportCDF{Length: p.X, Cum: p.Y})
+		}
+		e.Fig1[cat.String()] = pts
+	}
+	for _, row := range r.Figure4.Chains {
+		var cells []string
+		for _, c := range row {
+			class := "nonpub"
+			if c.Public {
+				class = "public"
+			}
+			cells = append(cells, class+"/"+c.Segment)
+		}
+		e.Fig4 = append(e.Fig4, cells)
+	}
+	e.Fig6 = ExportHistogram{
+		Bins:             r.Figure6.Hist.Bins,
+		ShareAtOrAbove05: r.Figure6.ShareAtOrAbove05,
+	}
+	return e
+}
+
+// JSON renders the export with indentation.
+func (r *Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r.Export(), "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("analysis: marshal report: %w", err)
+	}
+	return out, nil
+}
+
+// Headline checks used by regression tooling: decode a JSON export and
+// verify the structural absolutes hold.
+func VerifyExportAbsolutes(data []byte) error {
+	var e Export
+	if err := json.Unmarshal(data, &e); err != nil {
+		return fmt.Errorf("analysis: unmarshal export: %w", err)
+	}
+	if e.Table3.Total != 321 {
+		return fmt.Errorf("analysis: hybrid total %d != 321", e.Table3.Total)
+	}
+	if got := e.Table7[chain.NoPathSelfSignedLeafMismatch.String()]; got != 108 {
+		return fmt.Errorf("analysis: self-signed+mismatch %d != 108", got)
+	}
+	if e.Sec42.FakeLEChains != 14 {
+		return fmt.Errorf("analysis: Fake LE chains %d != 14", e.Sec42.FakeLEChains)
+	}
+	total := 0
+	for _, s := range e.Table1 {
+		total += s.Issuers
+	}
+	if total != 80 {
+		return fmt.Errorf("analysis: interception issuers %d != 80", total)
+	}
+	return nil
+}

@@ -1,0 +1,546 @@
+package analysis
+
+import (
+	"sort"
+
+	"certchains/internal/campus"
+	"certchains/internal/certmodel"
+	"certchains/internal/chain"
+	"certchains/internal/ctlog"
+	"certchains/internal/dga"
+	"certchains/internal/graph"
+	"certchains/internal/intercept"
+	"certchains/internal/stats"
+	"certchains/internal/trustdb"
+)
+
+// Pipeline wires the enrichment components of Figure 2.
+type Pipeline struct {
+	DB         *trustdb.DB
+	CT         *ctlog.Log
+	Classifier *chain.Classifier
+	Registry   *intercept.Registry
+}
+
+// NewPipeline builds a pipeline from a generated scenario's components.
+func NewPipeline(db *trustdb.DB, ct *ctlog.Log, cl *chain.Classifier, reg *intercept.Registry) *Pipeline {
+	return &Pipeline{DB: db, CT: ct, Classifier: cl, Registry: reg}
+}
+
+// FromScenario is a convenience constructor.
+func FromScenario(s *campus.Scenario) *Pipeline {
+	return NewPipeline(s.DB, s.CT, s.Classifier, s.InterceptRegistry)
+}
+
+// pathologicalLength is the chain length beyond which Figure 1 excludes a
+// chain as a misconfiguration outlier.
+const pathologicalLength = 30
+
+// Run executes the full analysis over the observations.
+func (p *Pipeline) Run(observations []*campus.Observation) *Report {
+	r := &Report{}
+	r.Table2.PerCategory = make(map[chain.Category]*CategoryStats)
+	r.Table3.Counts = make(map[chain.HybridCategory]int)
+	r.Table7.Counts = make(map[chain.NoPathCategory]int)
+	r.Figure1.CDF = make(map[chain.Category]*stats.CDF)
+	r.Figure6.Hist = stats.NewHistogram(0, 1, 10)
+
+	ipSets := make(map[chain.Category]map[string]bool)
+	estByVerdict := make(map[chain.Verdict][2]int64) // established, total
+	hybridGraph := graph.New()
+	nonPubGraph := graph.New()
+	interceptGraph := graph.New()
+	detector := intercept.NewDetector(p.DB, p.CT)
+	detected := make(map[string]bool)
+	sectorConns := make(map[intercept.Category]int64)
+	sectorIPs := make(map[intercept.Category]map[string]bool)
+	sectorIssuers := make(map[intercept.Category]map[string]bool)
+	portHist := map[string]map[int]int64{
+		"hybrid": {}, "nonpub-single": {}, "nonpub-multi": {}, "interception": {},
+	}
+	hybridServerChains := make(map[string]map[string]bool)
+	missingIssuerIPs := make(map[string]bool)
+	dgaStats := dga.NewClusterStats()
+	// basicConstraints rates count distinct certificates per delivery
+	// position, as §4.3 does.
+	bcSeen := map[string]map[certmodel.Fingerprint]bool{"first": {}, "sub": {}}
+	var bcFirst, bcFirstAbsent, bcSub, bcSubAbsent int64
+	var singleConns, singleNoSNI int64
+
+	// Cache analyses per unique chain; many observations share chains.
+	analyses := make(map[string]*chain.Analysis)
+	analyze := func(ch certmodel.Chain) *chain.Analysis {
+		k := ch.Key()
+		if a, ok := analyses[k]; ok {
+			return a
+		}
+		a := p.Classifier.Analyze(ch)
+		analyses[k] = a
+		return a
+	}
+
+	for _, o := range observations {
+		if o.TLS13 || len(o.Chain) == 0 {
+			// §6.3: TLS 1.3 handshakes hide certificates from the passive
+			// vantage — counted, never categorized.
+			r.Sec63.TLS13Conns += o.Conns
+			continue
+		}
+		r.Sec63.VisibleConns += o.Conns
+		a := analyze(o.Chain)
+		cat := a.Category
+
+		// ---- Table 2 ----------------------------------------------------
+		cs := r.Table2.PerCategory[cat]
+		if cs == nil {
+			cs = &CategoryStats{}
+			r.Table2.PerCategory[cat] = cs
+		}
+		cs.Chains++
+		cs.Conns += o.Conns
+		cs.Established += o.Established
+		set := ipSets[cat]
+		if set == nil {
+			set = make(map[string]bool)
+			ipSets[cat] = set
+		}
+		for _, ip := range o.ClientIPs {
+			set[ip] = true
+		}
+
+		// ---- Figure 1 ---------------------------------------------------
+		if len(o.Chain) > pathologicalLength {
+			r.Figure1.Excluded = append(r.Figure1.Excluded, len(o.Chain))
+		} else {
+			cdf := r.Figure1.CDF[cat]
+			if cdf == nil {
+				cdf = stats.NewCDF()
+				r.Figure1.CDF[cat] = cdf
+			}
+			cdf.Add(len(o.Chain), 1)
+		}
+
+		switch cat {
+		case chain.Hybrid:
+			p.accumulateHybrid(r, o, a, estByVerdict, hybridGraph, portHist["hybrid"], hybridServerChains, missingIssuerIPs)
+		case chain.NonPublicDBOnly:
+			p.accumulateNonPub(r, o, a, nonPubGraph, portHist, dgaStats, bcSeen,
+				&bcFirst, &bcFirstAbsent, &bcSub, &bcSubAbsent, &singleConns, &singleNoSNI)
+		case chain.Interception:
+			p.accumulateInterception(r, o, a, interceptGraph, portHist["interception"],
+				detector, detected, sectorConns, sectorIPs, sectorIssuers)
+		}
+	}
+
+	// ---- finishing passes ------------------------------------------------
+	for cat, set := range ipSets {
+		r.Table2.PerCategory[cat].ClientIPs = len(set)
+	}
+	for _, cs := range r.Table2.PerCategory {
+		r.Table2.TotalChains += cs.Chains
+	}
+
+	r.Table3.EstablishRate = make(map[chain.Verdict]float64)
+	for v, et := range estByVerdict {
+		r.Table3.EstablishRate[v] = stats.Ratio(et[0], et[1])
+	}
+	for _, n := range r.Table3.Counts {
+		r.Table3.Total += n
+	}
+	for _, n := range r.Table7.Counts {
+		r.Table7.Total += n
+	}
+	for srv, chains := range hybridServerChains {
+		if len(chains) > 1 {
+			r.Sec42.MultiChainServers++
+		}
+		_ = srv
+	}
+	r.Sec42.MissingIssuerClientIPs = len(missingIssuerIPs)
+
+	r.Table1 = p.buildTable1(sectorConns, sectorIPs, sectorIssuers, detected)
+	r.Table4 = buildTable4(portHist)
+	r.Figure4 = p.buildFigure4(analyses)
+	r.Figure5 = summarizeGraph(hybridGraph)
+	r.Figure6.ShareAtOrAbove05 = r.Figure6.Hist.ShareAbove(0.5)
+	r.Figure7 = summarizeGraph(nonPubGraph)
+	r.Figure8 = summarizeGraph(interceptGraph.WithoutLeaves())
+
+	r.Sec43.BCAbsentFirst = stats.Ratio(bcFirstAbsent, bcFirst)
+	r.Sec43.BCAbsentSubsequent = stats.Ratio(bcSubAbsent, bcSub)
+	r.Sec43.BCFirstN = int(bcFirst)
+	r.Sec43.BCSubsequentN = int(bcSub)
+	r.Sec43.NoSNIShare = stats.Ratio(singleNoSNI, singleConns)
+	r.Sec43.DGACerts = dgaStats.Certificates
+	r.Sec43.DGAConns = int64(dgaStats.Connections)
+	r.Sec43.DGAClients = len(dgaStats.ClientIPs)
+	if dgaStats.Certificates > 0 {
+		r.Sec43.DGAMinDays = dgaStats.MinValidity
+		r.Sec43.DGAMaxDays = dgaStats.MaxValidity
+	}
+	return r
+}
+
+func (p *Pipeline) accumulateHybrid(r *Report, o *campus.Observation, a *chain.Analysis,
+	estByVerdict map[chain.Verdict][2]int64, g *graph.Graph, ports map[int]int64,
+	serverChains map[string]map[string]bool, missingIssuerIPs map[string]bool) {
+
+	hc := chain.ClassifyHybrid(a)
+	r.Table3.Counts[hc]++
+
+	et := estByVerdict[a.Verdict]
+	et[0] += o.Established
+	et[1] += o.Conns
+	estByVerdict[a.Verdict] = et
+
+	g.AddChain(o.Chain, a.Classes)
+	ports[o.Port] += o.Conns
+
+	key := o.ServerIP + "|" + o.Domain
+	if serverChains[key] == nil {
+		serverChains[key] = make(map[string]bool)
+	}
+	serverChains[key][o.Chain.Key()] = true
+
+	switch hc {
+	case chain.HybridCompleteNonPubToPub:
+		r.Sec42.AnchoredLeaves++
+		if p.CT.Contains(o.Chain[0].FP) {
+			r.Sec42.CTLoggedAnchoredLeaves++
+		}
+		if a.HasExpiredLeaf(o.Last) {
+			r.Sec42.ExpiredLeafChains++
+		}
+		// Table 6: the signing CA's organization attribute distinguishes
+		// government PKIs from corporate deployments.
+		if o.Chain[0].Issuer.Organization() == "Government" {
+			r.Table6.Government++
+		} else {
+			r.Table6.Corporate++
+		}
+	case chain.HybridContainsComplete:
+		if containsFakeLE(o.Chain) {
+			r.Sec42.FakeLEChains++
+		}
+		p.classifyContains(r, a)
+	case chain.HybridNoComplete:
+		r.Table7.Counts[chain.ClassifyNoPath(a)]++
+		r.Figure6.Hist.Add(a.MismatchRatio)
+		if missingIssuer(a) {
+			r.Sec42.MissingIssuerChains++
+			r.Sec42.MissingIssuerConns += o.Conns
+			r.Sec42.MissingIssuerEstablished += o.Established
+			for _, ip := range o.ClientIPs {
+				missingIssuerIPs[ip] = true
+			}
+			if chain.StoreCompletable(p.DB, a) {
+				r.Sec42.MissingIssuerStoreCompletable++
+			}
+		}
+	}
+}
+
+// classifyContains assigns the Appendix F.2 misconfiguration pattern of a
+// contains-path hybrid chain.
+func (p *Pipeline) classifyContains(r *Report, a *chain.Analysis) {
+	bd := &r.Sec42.ContainsBreakdown
+	switch {
+	case containsFakeLE(a.Chain):
+		bd.FakeLE++
+	case leafFirst(a):
+		bd.LeafFirst++
+	case p.appendedTrustAnchor(a):
+		bd.ExtraRoots++
+	case appendedSelfSigned(a):
+		bd.SelfSignedAppended++
+	default:
+		bd.Other++
+	}
+}
+
+// leafFirst reports whether unnecessary certificates precede the complete
+// matched path (the chain begins with an unrelated leaf).
+func leafFirst(a *chain.Analysis) bool {
+	if a.Complete == nil {
+		return false
+	}
+	for _, i := range a.Unnecessary {
+		if i < a.Complete.Start {
+			return true
+		}
+	}
+	return false
+}
+
+// appendedTrustAnchor reports whether an unnecessary certificate after the
+// complete path is a stored public root (the multiple-roots-appended
+// pattern).
+func (p *Pipeline) appendedTrustAnchor(a *chain.Analysis) bool {
+	if a.Complete == nil {
+		return false
+	}
+	for _, i := range a.Unnecessary {
+		if i > a.Complete.End && a.Chain[i].SelfSigned() && p.DB.IsTrustAnchorSubject(a.Chain[i].Subject) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendedSelfSigned reports whether an unnecessary self-signed certificate
+// follows the complete path (HP "tester", Athenz).
+func appendedSelfSigned(a *chain.Analysis) bool {
+	if a.Complete == nil {
+		return false
+	}
+	for _, i := range a.Unnecessary {
+		if i > a.Complete.End && a.Chain[i].SelfSigned() {
+			return true
+		}
+	}
+	return false
+}
+
+// missingIssuer reports the §4.2 sub-finding: the chain's first certificate
+// is public-DB issued, yet nothing in the chain names its issuer.
+func missingIssuer(a *chain.Analysis) bool {
+	if len(a.Chain) < 2 || a.Classes[0] != trustdb.IssuedByPublicDB {
+		return false
+	}
+	issuer := a.Chain[0].Issuer
+	for _, m := range a.Chain[1:] {
+		if m.Subject.Equal(issuer) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsFakeLE(ch certmodel.Chain) bool {
+	for _, m := range ch {
+		if m.Subject.CommonName() == "Fake LE Intermediate X1" {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pipeline) accumulateNonPub(r *Report, o *campus.Observation, a *chain.Analysis,
+	g *graph.Graph, portHist map[string]map[int]int64, dgaStats *dga.ClusterStats,
+	bcSeen map[string]map[certmodel.Fingerprint]bool,
+	bcFirst, bcFirstAbsent, bcSub, bcSubAbsent, singleConns, singleNoSNI *int64) {
+
+	if len(o.Chain) > pathologicalLength {
+		// The oversized misconfiguration outliers are excluded from the
+		// structural statistics, as in Figure 1.
+		return
+	}
+	g.AddChain(o.Chain, a.Classes)
+
+	// basicConstraints omission rates over distinct non-public
+	// certificates, by delivery position (§4.3).
+	for i, m := range o.Chain {
+		pos := "sub"
+		if i == 0 {
+			pos = "first"
+		}
+		if bcSeen[pos][m.FP] {
+			continue
+		}
+		bcSeen[pos][m.FP] = true
+		if i == 0 {
+			*bcFirst++
+			if m.BC == certmodel.BCAbsent {
+				*bcFirstAbsent++
+			}
+		} else {
+			*bcSub++
+			if m.BC == certmodel.BCAbsent {
+				*bcSubAbsent++
+			}
+		}
+	}
+
+	if len(o.Chain) == 1 {
+		r.Sec43.SingleStats.Add(a)
+		portHist["nonpub-single"][o.Port] += o.Conns
+		*singleConns += o.Conns
+		*singleNoSNI += o.NoSNI
+		if dga.IsDGACertificate(o.Chain[0]) {
+			dgaStats.Add(o.Chain[0], int(o.Conns), o.ClientIPs)
+		}
+		return
+	}
+	portHist["nonpub-multi"][o.Port] += o.Conns
+	switch a.MatchedVerdict {
+	case chain.VerdictCompletePath:
+		r.Table8.NonPub.IsMatched++
+	case chain.VerdictContainsPath:
+		r.Table8.NonPub.ContainsMatch++
+	default:
+		r.Table8.NonPub.NoMatch++
+	}
+	r.Table8.NonPub.MultiChains++
+}
+
+func (p *Pipeline) accumulateInterception(r *Report, o *campus.Observation, a *chain.Analysis,
+	g *graph.Graph, ports map[int]int64, detector *intercept.Detector, detected map[string]bool,
+	sectorConns map[intercept.Category]int64, sectorIPs map[intercept.Category]map[string]bool,
+	sectorIssuers map[intercept.Category]map[string]bool) {
+
+	g.AddChain(o.Chain, a.Classes)
+	ports[o.Port] += o.Conns
+
+	if len(o.Chain) == 1 {
+		r.Sec43.InterceptSingle.Add(a)
+	} else if len(o.Chain) <= pathologicalLength {
+		switch a.MatchedVerdict {
+		case chain.VerdictCompletePath:
+			r.Table8.Interception.IsMatched++
+		case chain.VerdictContainsPath:
+			r.Table8.Interception.ContainsMatch++
+		default:
+			r.Table8.Interception.NoMatch++
+		}
+		r.Table8.Interception.MultiChains++
+	}
+
+	// Independent CT cross-reference detection (§3.2.1).
+	if o.Domain != "" {
+		if detector.Examine(o.Chain[0], o.Domain, o.First) == intercept.IssuerMismatch {
+			detected[o.Chain[0].Issuer.Normalized()] = true
+		}
+	}
+
+	// Attribute to a curated entity for Table 1: match the leaf issuer or
+	// any chain member's issuer against the registry.
+	for _, m := range o.Chain {
+		if iss, ok := p.Registry.Lookup(m.Issuer); ok {
+			sectorConns[iss.Category] += o.Conns
+			if sectorIPs[iss.Category] == nil {
+				sectorIPs[iss.Category] = make(map[string]bool)
+			}
+			for _, ip := range o.ClientIPs {
+				sectorIPs[iss.Category][ip] = true
+			}
+			if sectorIssuers[iss.Category] == nil {
+				sectorIssuers[iss.Category] = make(map[string]bool)
+			}
+			sectorIssuers[iss.Category][iss.DN.Normalized()] = true
+			break
+		}
+	}
+}
+
+func (p *Pipeline) buildTable1(sectorConns map[intercept.Category]int64,
+	sectorIPs map[intercept.Category]map[string]bool,
+	sectorIssuers map[intercept.Category]map[string]bool, detected map[string]bool) Table1 {
+
+	var total int64
+	for _, c := range sectorConns {
+		total += c
+	}
+	t := Table1{DetectedIssuers: len(detected)}
+	for _, cat := range intercept.Categories {
+		issuers := 0
+		// Prefer the registry's full entity count per sector: entities
+		// with no observed traffic still exist.
+		for _, iss := range p.Registry.All() {
+			if iss.Category == cat {
+				issuers++
+			}
+		}
+		row := InterceptionSector{
+			Category:  cat,
+			Issuers:   issuers,
+			ConnShare: stats.Ratio(sectorConns[cat], total),
+			ClientIPs: len(sectorIPs[cat]),
+		}
+		t.Sectors = append(t.Sectors, row)
+		t.TotalIssuers += issuers
+	}
+	_ = sectorIssuers
+	return t
+}
+
+func buildTable4(portHist map[string]map[int]int64) Table4 {
+	shares := func(h map[int]int64) []PortShare {
+		var total int64
+		for _, c := range h {
+			total += c
+		}
+		out := make([]PortShare, 0, len(h))
+		for port, c := range h {
+			out = append(out, PortShare{Port: port, Share: stats.Ratio(c, total)})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Share != out[j].Share {
+				return out[i].Share > out[j].Share
+			}
+			return out[i].Port < out[j].Port
+		})
+		return out
+	}
+	return Table4{
+		Hybrid:       shares(portHist["hybrid"]),
+		NonPubSingle: shares(portHist["nonpub-single"]),
+		NonPubMulti:  shares(portHist["nonpub-multi"]),
+		Interception: shares(portHist["interception"]),
+	}
+}
+
+// buildFigure4 renders the per-position class/segment matrix for the
+// contains-path hybrid chains.
+func (p *Pipeline) buildFigure4(analyses map[string]*chain.Analysis) Figure4 {
+	var keys []string
+	for k, a := range analyses {
+		if a.Category == chain.Hybrid && chain.ClassifyHybrid(a) == chain.HybridContainsComplete {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var fig Figure4
+	for _, k := range keys {
+		a := analyses[k]
+		row := make([]PositionCell, len(a.Chain))
+		for i := range a.Chain {
+			cell := PositionCell{Public: a.Classes[i] == trustdb.IssuedByPublicDB, Segment: "single"}
+			for _, run := range a.Runs {
+				if i >= run.Start && i <= run.End {
+					switch {
+					case a.Complete != nil && run.Start == a.Complete.Start && run.End == a.Complete.End:
+						cell.Segment = "complete"
+					case run.Len() > 1:
+						cell.Segment = "partial"
+					}
+					break
+				}
+			}
+			row[i] = cell
+		}
+		fig.Chains = append(fig.Chains, row)
+	}
+	return fig
+}
+
+func summarizeGraph(g *graph.Graph) GraphSummary {
+	pub, npub := g.ClassCounts()
+	l, i, rt := g.RoleCounts()
+	comps := g.Components()
+	largest := 0
+	if len(comps) > 0 {
+		largest = len(comps[0])
+	}
+	return GraphSummary{
+		Nodes:                g.NodeCount(),
+		Edges:                g.EdgeCount(),
+		PublicNodes:          pub,
+		NonPublicNodes:       npub,
+		Leaves:               l,
+		Inters:               i,
+		Roots:                rt,
+		ComplexIntermediates: len(g.ComplexIntermediates(3)),
+		Components:           len(comps),
+		LargestComponent:     largest,
+	}
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"certchains/internal/campus"
+	"certchains/internal/chain"
+	"certchains/internal/stats"
+)
+
+// RevisitReport reproduces §5: the November-2024 comparison of previously
+// observed hybrid and non-public-DB-only servers against their current
+// chains.
+type RevisitReport struct {
+	// Hybrid side.
+	HybridTargets     int
+	HybridReachable   int
+	HybridToPublic    int
+	HybridToPublicLE  int
+	HybridToNonPub    int
+	HybridStillHybrid int
+	HybridStillClean  int // complete matched path, no unnecessary certs
+	HybridStillExtra  int // complete matched path with unnecessary certs
+	HybridStillNoPath int
+
+	// Non-public side.
+	NonPubScanned        int
+	NonPubStillNonPub    int
+	NonPubNowMulti       int
+	NonPubPrevMulti      int // of the now-multi servers
+	NonPubPrevSingleSelf int
+	NonPubPrevSingleDist int
+	NonPubNewComplete    int // of the now-multi servers
+}
+
+// AnalyzeRevisit runs the §5 comparison over a revisit plan using the given
+// classifier (which carries the trust DB and cross-sign registry).
+func AnalyzeRevisit(cl *chain.Classifier, plan *campus.RevisitPlan, leIssuerOrg string) *RevisitReport {
+	r := &RevisitReport{HybridTargets: len(plan.Hybrid)}
+
+	for _, rs := range plan.Hybrid {
+		if !rs.Reachable {
+			continue
+		}
+		r.HybridReachable++
+		a := cl.Analyze(rs.NewChain)
+		switch a.Category {
+		case chain.PublicDBOnly:
+			r.HybridToPublic++
+			if len(rs.NewChain) > 0 && rs.NewChain[0].Issuer.Organization() == leIssuerOrg {
+				r.HybridToPublicLE++
+			}
+		case chain.NonPublicDBOnly:
+			r.HybridToNonPub++
+		case chain.Hybrid:
+			r.HybridStillHybrid++
+			switch a.Verdict {
+			case chain.VerdictCompletePath:
+				r.HybridStillClean++
+			case chain.VerdictContainsPath:
+				r.HybridStillExtra++
+			default:
+				r.HybridStillNoPath++
+			}
+		}
+	}
+
+	for _, rs := range plan.NonPub {
+		if !rs.Reachable {
+			continue
+		}
+		r.NonPubScanned++
+		a := cl.Analyze(rs.NewChain)
+		if a.Category == chain.NonPublicDBOnly {
+			r.NonPubStillNonPub++
+		}
+		if len(rs.NewChain) <= 1 {
+			continue
+		}
+		r.NonPubNowMulti++
+		switch {
+		case len(rs.Old.Chain) > 1:
+			r.NonPubPrevMulti++
+		case rs.Old.Chain[0].SelfSigned():
+			r.NonPubPrevSingleSelf++
+		default:
+			r.NonPubPrevSingleDist++
+		}
+		if a.MatchedVerdict == chain.VerdictCompletePath {
+			r.NonPubNewComplete++
+		}
+	}
+	return r
+}
+
+// Render produces the §5 text summary.
+func (r *RevisitReport) Render() string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+	w("§5 Revisit (November 2024)\n")
+	w("Hybrid servers: %d targets, %d reachable\n", r.HybridTargets, r.HybridReachable)
+	w("  now public-DB-only: %d (%d via the Lets Encrypt analog)\n", r.HybridToPublic, r.HybridToPublicLE)
+	w("  now non-public-DB-only: %d\n", r.HybridToNonPub)
+	w("  still hybrid: %d (%d clean complete, %d complete+unnecessary, %d no matched path)\n",
+		r.HybridStillHybrid, r.HybridStillClean, r.HybridStillExtra, r.HybridStillNoPath)
+	w("Non-public servers: %d scanned, %d still non-public-DB-only\n", r.NonPubScanned, r.NonPubStillNonPub)
+	w("  now multi-certificate: %d (%s)\n", r.NonPubNowMulti,
+		stats.Pct(stats.Ratio(int64(r.NonPubNowMulti), int64(r.NonPubScanned))))
+	w("  of those, previously: multi %s, single self-signed %s, single distinct %s\n",
+		stats.Pct(stats.Ratio(int64(r.NonPubPrevMulti), int64(r.NonPubNowMulti))),
+		stats.Pct(stats.Ratio(int64(r.NonPubPrevSingleSelf), int64(r.NonPubNowMulti))),
+		stats.Pct(stats.Ratio(int64(r.NonPubPrevSingleDist), int64(r.NonPubNowMulti))))
+	w("  new multi chains that are complete matched paths: %s\n",
+		stats.Pct(stats.Ratio(int64(r.NonPubNewComplete), int64(r.NonPubNowMulti))))
+	return b.String()
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"certchains/internal/campus"
+	"certchains/internal/zeek"
+)
+
+// Format selects the Zeek on-disk log format.
+type Format int
+
+const (
+	// FormatTSV is Zeek's default tab-separated ASCII format.
+	FormatTSV Format = iota
+	// FormatJSON is Zeek's ND-JSON format (LogAscii::use_json=T).
+	FormatJSON
+)
+
+// Load re-aggregates Zeek ssl.log / x509.log streams (TSV format) into the
+// observation model the pipeline consumes: one observation per (delivered
+// chain, server endpoint), with connection, establishment, SNI and
+// client-IP aggregates — the same reduction the paper performs over its
+// twelve months of logs.
+func Load(ssl, x509 io.Reader) ([]*campus.Observation, error) {
+	return LoadFormat(FormatTSV, ssl, x509)
+}
+
+// maybeGunzip wraps a reader with a gzip decoder when the stream starts
+// with the gzip magic — Zeek deployments rotate logs compressed.
+func maybeGunzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil {
+		// Short or empty stream: hand it through; downstream readers
+		// produce their own EOF handling.
+		return br, nil
+	}
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: gzip: %w", err)
+		}
+		return gz, nil
+	}
+	return br, nil
+}
+
+// LoadFormat is Load with an explicit log format. Gzip-compressed streams
+// are detected and decompressed transparently.
+func LoadFormat(format Format, ssl, x509 io.Reader) ([]*campus.Observation, error) {
+	var err error
+	if ssl, err = maybeGunzip(ssl); err != nil {
+		return nil, err
+	}
+	if x509, err = maybeGunzip(x509); err != nil {
+		return nil, err
+	}
+	type agg struct {
+		o   *campus.Observation
+		ips map[string]bool
+	}
+	byKey := make(map[string]*agg)
+	var order []string
+
+	join := zeek.Join
+	if format == FormatJSON {
+		join = zeek.JoinJSON
+	}
+	err = join(ssl, x509, func(c *zeek.Connection, err error) error {
+		if err != nil {
+			// Tolerate per-row join gaps (x509 rotation) like real log
+			// pipelines; the row is dropped.
+			return nil
+		}
+		key := c.Chain.Key() + "|" + c.SSL.RespH + "|" + fmt.Sprint(c.SSL.RespP)
+		a := byKey[key]
+		if a == nil {
+			a = &agg{
+				o: &campus.Observation{
+					Chain:    c.Chain,
+					ServerIP: c.SSL.RespH,
+					Port:     c.SSL.RespP,
+					First:    c.SSL.TS,
+					Last:     c.SSL.TS,
+				},
+				ips: make(map[string]bool),
+			}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		a.o.Conns++
+		if c.SSL.Established {
+			a.o.Established++
+		}
+		if c.SSL.ServerName == "" {
+			a.o.NoSNI++
+		} else if a.o.Domain == "" {
+			a.o.Domain = c.SSL.ServerName
+		}
+		if len(c.Chain) == 0 {
+			a.o.TLS13 = true
+		}
+		a.ips[c.SSL.OrigH] = true
+		if c.SSL.TS.Before(a.o.First) {
+			a.o.First = c.SSL.TS
+		}
+		if c.SSL.TS.After(a.o.Last) {
+			a.o.Last = c.SSL.TS
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]*campus.Observation, 0, len(order))
+	for _, key := range order {
+		a := byKey[key]
+		ips := make([]string, 0, len(a.ips))
+		for ip := range a.ips {
+			ips = append(ips, ip)
+		}
+		sort.Strings(ips)
+		a.o.ClientIPs = ips
+		out = append(out, a.o)
+	}
+	return out, nil
+}
+
+// WriteOptions controls how observations expand into Zeek log records.
+type WriteOptions struct {
+	// MaxConnsPerObservation caps the ssl.log rows emitted per
+	// observation; 0 means no cap. Aggregate counts above the cap are
+	// down-sampled proportionally (establishment and SNI ratios are
+	// preserved by interleaving).
+	MaxConnsPerObservation int64
+	// Format selects TSV (default) or ND-JSON output.
+	Format Format
+}
+
+// recordSink abstracts the two writer formats.
+type recordSink struct {
+	writeSSL  func(*zeek.SSLRecord) error
+	writeX509 func(*zeek.X509Record) error
+	close     func(at time.Time) error
+}
+
+func newSink(format Format, ssl, x509 io.Writer, open time.Time) *recordSink {
+	if format == FormatJSON {
+		sslW := zeek.NewJSONSSLWriter(ssl)
+		x509W := zeek.NewJSONX509Writer(x509)
+		return &recordSink{
+			writeSSL:  sslW.Write,
+			writeX509: x509W.Write,
+			close: func(time.Time) error {
+				if err := sslW.Close(); err != nil {
+					return err
+				}
+				return x509W.Close()
+			},
+		}
+	}
+	sslW := zeek.NewSSLWriter(ssl, open)
+	x509W := zeek.NewX509Writer(x509, open)
+	return &recordSink{
+		writeSSL:  sslW.Write,
+		writeX509: x509W.Write,
+		close: func(at time.Time) error {
+			if err := sslW.Close(at); err != nil {
+				return err
+			}
+			return x509W.Close(at)
+		},
+	}
+}
+
+// Write expands observations into Zeek ssl.log and x509.log streams — the
+// inverse of Load, used to materialize a scenario as the log files the
+// paper's pipeline starts from.
+func Write(observations []*campus.Observation, ssl, x509 io.Writer, opts WriteOptions) error {
+	var open time.Time
+	for _, o := range observations {
+		if open.IsZero() || o.First.Before(open) {
+			open = o.First
+		}
+	}
+	sink := newSink(opts.Format, ssl, x509, open)
+	seenCert := make(map[string]bool)
+	uid := 0
+
+	for _, o := range observations {
+		fuids := make([]string, len(o.Chain))
+		for i, m := range o.Chain {
+			fuids[i] = string(m.FP)
+			if !seenCert[fuids[i]] {
+				seenCert[fuids[i]] = true
+				if err := sink.writeX509(zeek.FromMeta(m, o.First)); err != nil {
+					return fmt.Errorf("analysis: write x509 record: %w", err)
+				}
+			}
+		}
+		conns := o.Conns
+		if opts.MaxConnsPerObservation > 0 && conns > opts.MaxConnsPerObservation {
+			conns = opts.MaxConnsPerObservation
+		}
+		span := o.Last.Sub(o.First)
+		for i := int64(0); i < conns; i++ {
+			uid++
+			ts := o.First
+			if conns > 1 && span > 0 {
+				ts = o.First.Add(time.Duration(i * int64(span) / (conns - 1)))
+			}
+			// Preserve the establishment and SNI ratios under sampling by
+			// spreading flags evenly across the emitted rows.
+			established := i*o.Conns/conns < o.Established
+			noSNI := o.Conns > 0 && i*o.Conns/conns >= o.Conns-o.NoSNI
+			sni := o.Domain
+			if noSNI {
+				sni = ""
+			}
+			clientIP := "10.0.0.1"
+			if len(o.ClientIPs) > 0 {
+				clientIP = o.ClientIPs[int(i)%len(o.ClientIPs)]
+			}
+			version := "TLSv12"
+			if o.TLS13 {
+				version = "TLSv13"
+			}
+			rec := &zeek.SSLRecord{
+				TS:             ts,
+				UID:            fmt.Sprintf("C%08x", uid),
+				OrigH:          clientIP,
+				OrigP:          32768 + int(i%28000),
+				RespH:          o.ServerIP,
+				RespP:          o.Port,
+				Version:        version,
+				Cipher:         "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256",
+				ServerName:     sni,
+				Established:    established,
+				CertChainFUIDs: fuids,
+			}
+			if err := sink.writeSSL(rec); err != nil {
+				return fmt.Errorf("analysis: write ssl record: %w", err)
+			}
+		}
+	}
+	var closeAt time.Time
+	for _, o := range observations {
+		if o.Last.After(closeAt) {
+			closeAt = o.Last
+		}
+	}
+	return sink.close(closeAt)
+}

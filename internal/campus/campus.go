@@ -1,0 +1,328 @@
+// Package campus generates the synthetic campus-network dataset that stands
+// in for the paper's IRB-restricted Zeek logs (DESIGN.md substitution table).
+//
+// Given a seed and a scale factor, Generate builds a complete measurement
+// scenario: the public Web PKI (trust stores, CCADB, CT log), the private
+// and interception CA populations, and twelve months of TLS connection
+// observations whose statistical structure follows the paper's published
+// shapes — category mix (Table 2), chain-length distributions (Figure 1),
+// hybrid chain taxonomy (Tables 3, 6, 7), interception issuer sectors
+// (Table 1), port mixes (Table 4), SNI rates, establishment rates, the DGA
+// cluster, and the pathological oversized chains.
+//
+// Everything is deterministic: the same (seed, scale) pair reproduces the
+// same dataset byte for byte.
+package campus
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/chain"
+	"certchains/internal/ctlog"
+	"certchains/internal/intercept"
+	"certchains/internal/trustdb"
+)
+
+// Config controls scenario generation.
+type Config struct {
+	// Seed drives every random choice.
+	Seed int64
+	// Scale multiplies the paper-scale bulk counts (chains, connections,
+	// client IPs). The hybrid population (321 chains) and the interception
+	// issuer set (80) are structural absolutes and do not scale.
+	Scale float64
+	// Start is the first day of collection; the paper's window opens
+	// 2020-09-01.
+	Start time.Time
+	// Months is the collection length; the paper observed 12.
+	Months int
+}
+
+// DefaultConfig mirrors the paper's collection at 1% volume, a size every
+// laptop-scale analysis completes in seconds.
+func DefaultConfig() Config {
+	return Config{
+		Seed:   1,
+		Scale:  0.01,
+		Start:  time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC),
+		Months: 12,
+	}
+}
+
+// Paper-scale constants (Table 2 and §4): counts the generator scales.
+const (
+	paperPublicChains    = 530000
+	paperNonPubChains    = 118743
+	paperInterceptChains = 81818
+
+	paperNonPubConns    = 216470000
+	paperHybridConns    = 78260
+	paperInterceptConns = 42750000
+
+	paperNonPubClientIPs    = 231228
+	paperHybridClientIPs    = 11933
+	paperInterceptClientIPs = 19149
+)
+
+// Observation is the aggregate view of one delivered chain at one server —
+// every downstream table is computed from these.
+type Observation struct {
+	// Chain is the delivered certificate sequence, leaf first.
+	Chain certmodel.Chain
+	// Category is the generator's intended §3.2.2 category; the analysis
+	// pipeline re-derives it independently and the two must agree.
+	Category chain.Category
+	// ServerIP and Port locate the server.
+	ServerIP string
+	Port     int
+	// Domain is the SNI clients send; empty when connections carry none.
+	Domain string
+	// Conns counts TLS connections delivering this chain.
+	Conns int64
+	// Established counts connections with a completed handshake.
+	Established int64
+	// NoSNI counts connections lacking SNI (subset of Conns).
+	NoSNI int64
+	// ClientIPs are the distinct (NATted) client addresses observed.
+	ClientIPs []string
+	// First and Last bound the observation window.
+	First, Last time.Time
+	// TLS13 marks connections whose certificates the passive vantage
+	// cannot observe (§6.3); such observations carry no chain and their
+	// Category field is meaningless.
+	TLS13 bool
+}
+
+// EstablishRate returns the connection establishment rate.
+func (o *Observation) EstablishRate() float64 {
+	if o.Conns == 0 {
+		return 0
+	}
+	return float64(o.Established) / float64(o.Conns)
+}
+
+// Scenario is the complete generated dataset.
+type Scenario struct {
+	Config Config
+	// DB holds the synthetic root stores and CCADB.
+	DB *trustdb.DB
+	// CT is the CT log (crt.sh substitute), populated with every
+	// publicly-anchored leaf the synthetic Web PKI issued.
+	CT *ctlog.Log
+	// Classifier is pre-configured with the trust DB, the identified
+	// interception issuers and cross-signing registry.
+	Classifier *chain.Classifier
+	// InterceptRegistry holds the curated interception issuers (Table 1).
+	InterceptRegistry *intercept.Registry
+	// Observations is the full connection dataset.
+	Observations []*Observation
+	// Revisit is the §5 retrospective plan.
+	Revisit *RevisitPlan
+
+	// pki carries the synthetic CA metadata used during generation.
+	pki       *metaPKI
+	rng       *rand.Rand
+	ipPool    *clientIPPool
+	publicCAs []*publicCA
+	crossRoot *metaCA
+	// hybridServers records the 321 hybrid observations for the revisit.
+	hybridServers []*Observation
+	// nonPubServers records non-public-DB-only observations with SNI.
+	nonPubServers []*Observation
+}
+
+// Generate builds the scenario.
+func Generate(cfg Config) (*Scenario, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("campus: scale must be positive, got %v", cfg.Scale)
+	}
+	if cfg.Months <= 0 {
+		cfg.Months = 12
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC)
+	}
+	ct, err := ctlog.New("campus-ct", cfg.Seed^0x5eed)
+	if err != nil {
+		return nil, fmt.Errorf("campus: create CT log: %w", err)
+	}
+	s := &Scenario{
+		Config:            cfg,
+		DB:                trustdb.New(),
+		CT:                ct,
+		InterceptRegistry: intercept.NewRegistry(),
+		rng:               rand.New(rand.NewPCG(uint64(cfg.Seed), 0x9e3779b97f4a7c15)),
+		ipPool:            &clientIPPool{},
+	}
+	s.pki = newMetaPKI(s)
+	s.Classifier = chain.NewClassifier(s.DB)
+
+	s.buildPublicPKI()
+	s.generatePublicOnly()
+	s.generateNonPublicOnly()
+	s.generateHybrid()
+	s.generateInterception()
+	s.generateTLS13()
+	s.generateRevisit()
+	return s, nil
+}
+
+// generateTLS13 emits the §6.3 blind spot: TLS 1.3 connections whose
+// certificates passive monitoring cannot capture — "about a quarter of TLS
+// connections". They appear in ssl.log with no certificate chain and are
+// counted but not categorized.
+func (s *Scenario) generateTLS13() {
+	var visible int64
+	for _, o := range s.Observations {
+		visible += o.Conns
+	}
+	// tls13 / (tls13 + visible) = 0.25  =>  tls13 = visible / 3.
+	target := visible / 3
+	if target == 0 {
+		return
+	}
+	n := 50 + s.scaled(2000)
+	split := s.split(target, n)
+	pop := s.ipPool.take(s.scaled(40000))
+	for i := 0; i < n; i++ {
+		first, last := s.window()
+		s.Observations = append(s.Observations, &Observation{
+			TLS13:       true,
+			ServerIP:    s.serverIP(),
+			Port:        443,
+			Domain:      s.randHost(),
+			Conns:       split[i],
+			Established: s.establishSplit(split[i], 0.99),
+			ClientIPs:   s.pickClientIPs(pop, 1+s.rng.IntN(10)),
+			First:       first,
+			Last:        last,
+		})
+	}
+}
+
+// scaled converts a paper-scale count to this scenario's size (minimum 1).
+func (s *Scenario) scaled(paperCount int) int {
+	n := int(float64(paperCount)*s.Config.Scale + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// End returns the end of the collection window.
+func (s *Scenario) End() time.Time {
+	return s.Config.Start.AddDate(0, s.Config.Months, 0)
+}
+
+// randTime returns a uniformly random instant inside the window.
+func (s *Scenario) randTime() time.Time {
+	span := s.End().Sub(s.Config.Start)
+	return s.Config.Start.Add(time.Duration(s.rng.Int64N(int64(span))))
+}
+
+// window returns a random (first, last) observation pair in order.
+func (s *Scenario) window() (time.Time, time.Time) {
+	a, b := s.randTime(), s.randTime()
+	if b.Before(a) {
+		a, b = b, a
+	}
+	return a, b
+}
+
+// split distributes total units into n parts with multiplicative jitter,
+// preserving the exact total.
+func (s *Scenario) split(total int64, n int) []int64 {
+	if n <= 0 {
+		return nil
+	}
+	// Draw jittered weights, then allocate proportionally with a floor of
+	// one unit each; the remainder spreads one unit at a time so the total
+	// is exact whenever total >= n.
+	weights := make([]float64, n)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 0.25 + s.rng.Float64()*1.75
+		wsum += weights[i]
+	}
+	out := make([]int64, n)
+	var sum int64
+	for i := range out {
+		out[i] = int64(float64(total) * weights[i] / wsum)
+		if out[i] < 1 {
+			out[i] = 1
+		}
+		sum += out[i]
+	}
+	for i := 0; sum > total && i < n; i++ {
+		if out[i] > 1 {
+			give := out[i] - 1
+			if give > sum-total {
+				give = sum - total
+			}
+			out[i] -= give
+			sum -= give
+		}
+	}
+	for i := 0; sum < total; i++ {
+		out[i%n]++
+		sum++
+	}
+	return out
+}
+
+// establishSplit splits conns into (established, rest) at the given rate,
+// rounding stochastically so small observations still average correctly.
+func (s *Scenario) establishSplit(conns int64, rate float64) int64 {
+	est := float64(conns) * rate
+	n := int64(est)
+	if s.rng.Float64() < est-float64(n) {
+		n++
+	}
+	if n > conns {
+		n = conns
+	}
+	return n
+}
+
+// Totals aggregates the scenario per category — the generator-side ground
+// truth for Table 2.
+type Totals struct {
+	Chains      map[chain.Category]int
+	Conns       map[chain.Category]int64
+	Established map[chain.Category]int64
+	ClientIPs   map[chain.Category]int
+}
+
+// Totals computes the aggregate counts.
+func (s *Scenario) Totals() Totals {
+	t := Totals{
+		Chains:      make(map[chain.Category]int),
+		Conns:       make(map[chain.Category]int64),
+		Established: make(map[chain.Category]int64),
+		ClientIPs:   make(map[chain.Category]int),
+	}
+	ipSets := make(map[chain.Category]map[string]bool)
+	for _, o := range s.Observations {
+		if o.TLS13 {
+			continue
+		}
+		t.Chains[o.Category]++
+		t.Conns[o.Category] += o.Conns
+		t.Established[o.Category] += o.Established
+		set := ipSets[o.Category]
+		if set == nil {
+			set = make(map[string]bool)
+			ipSets[o.Category] = set
+		}
+		for _, ip := range o.ClientIPs {
+			set[ip] = true
+		}
+	}
+	for c, set := range ipSets {
+		t.ClientIPs[c] = len(set)
+	}
+	return t
+}

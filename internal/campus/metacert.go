@@ -1,0 +1,227 @@
+package campus
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/dn"
+)
+
+// metaPKI fabricates log-level certificates (certmodel.Meta) at scale —
+// the campus pipeline never sees raw DER (§3.1), so generation at the log
+// level is both faithful and fast. Fingerprints are synthetic but stable.
+type metaPKI struct {
+	s      *Scenario
+	serial int64
+}
+
+func newMetaPKI(s *Scenario) *metaPKI {
+	return &metaPKI{s: s, serial: 1}
+}
+
+func (p *metaPKI) nextSerial() string {
+	p.serial++
+	return fmt.Sprintf("%x", p.serial)
+}
+
+// certSpec holds optional knobs for mkCert.
+type certSpec struct {
+	bc       certmodel.BasicConstraints
+	validity time.Duration
+	backdate time.Duration
+	anchor   time.Time
+	sans     []string
+	keyAlg   certmodel.KeyAlgorithm
+	keyBits  int
+}
+
+type certOpt func(*certSpec)
+
+func withBC(bc certmodel.BasicConstraints) certOpt {
+	return func(s *certSpec) { s.bc = bc }
+}
+
+func withValidity(d time.Duration) certOpt {
+	return func(s *certSpec) { s.validity = d }
+}
+
+// withBackdate shifts the validity window into the past (expired certs).
+func withBackdate(d time.Duration) certOpt {
+	return func(s *certSpec) { s.backdate = d }
+}
+
+// withIssuedAround anchors the validity window near t instead of the
+// scenario start — used for the 2024 revisit-era certificates.
+func withIssuedAround(t time.Time) certOpt {
+	return func(s *certSpec) { s.anchor = t }
+}
+
+func withSANs(sans ...string) certOpt {
+	return func(s *certSpec) { s.sans = sans }
+}
+
+func withRSA(bits int) certOpt {
+	return func(s *certSpec) { s.keyAlg = certmodel.KeyRSA; s.keyBits = bits }
+}
+
+// mkCert fabricates one certificate.
+func (p *metaPKI) mkCert(issuer, subject dn.DN, opts ...certOpt) *certmodel.Meta {
+	spec := certSpec{
+		bc:       certmodel.BCAbsent,
+		validity: 365 * 24 * time.Hour,
+		keyAlg:   certmodel.KeyECDSA,
+		keyBits:  256,
+	}
+	for _, o := range opts {
+		o(&spec)
+	}
+	anchor := p.s.Config.Start
+	if !spec.anchor.IsZero() {
+		anchor = spec.anchor
+	}
+	nb := anchor.Add(-time.Duration(p.s.rng.Int64N(int64(180 * 24 * time.Hour))))
+	nb = nb.Add(-spec.backdate)
+	na := nb.Add(spec.validity)
+	serial := p.nextSerial()
+	return &certmodel.Meta{
+		FP:        certmodel.SyntheticFingerprint(issuer, subject, serial, nb, na),
+		Issuer:    issuer.Clone(),
+		Subject:   subject.Clone(),
+		SerialHex: serial,
+		NotBefore: nb,
+		NotAfter:  na,
+		KeyAlg:    spec.keyAlg,
+		KeyBits:   spec.keyBits,
+		BC:        spec.bc,
+		SAN:       append([]string(nil), spec.sans...),
+	}
+}
+
+// metaCA is a fabricated certificate authority.
+type metaCA struct {
+	pki  *metaPKI
+	Cert *certmodel.Meta
+}
+
+// newRootCA fabricates a self-signed root with CA=TRUE and 15y validity.
+func (p *metaPKI) newRootCA(subject dn.DN) *metaCA {
+	cert := p.mkCert(subject, subject, withBC(certmodel.BCTrue), withValidity(15*365*24*time.Hour))
+	return &metaCA{pki: p, Cert: cert}
+}
+
+// newSelfSignedIssuer fabricates a self-signed non-public-DB root. Like
+// most subsequent-position non-public certificates it omits basicConstraints
+// at the §4.3 rate (78.32%), otherwise asserting CA=TRUE.
+func (p *metaPKI) newSelfSignedIssuer(subject dn.DN) *metaCA {
+	cert := p.mkCert(subject, subject, withValidity(10*365*24*time.Hour),
+		withBC(p.s.subsequentBC()))
+	return &metaCA{pki: p, Cert: cert}
+}
+
+// intermediate issues a CA certificate under this CA.
+func (ca *metaCA) intermediate(subject dn.DN, opts ...certOpt) *metaCA {
+	opts = append([]certOpt{withBC(certmodel.BCTrue), withValidity(8 * 365 * 24 * time.Hour)}, opts...)
+	cert := ca.pki.mkCert(ca.Cert.Subject, subject, opts...)
+	return &metaCA{pki: ca.pki, Cert: cert}
+}
+
+// leaf issues an end-entity certificate under this CA.
+func (ca *metaCA) leaf(subject dn.DN, opts ...certOpt) *certmodel.Meta {
+	opts = append([]certOpt{withBC(certmodel.BCFalse)}, opts...)
+	return ca.pki.mkCert(ca.Cert.Subject, subject, opts...)
+}
+
+// dnFor builds the standard DN shape used across the scenario.
+func dnFor(cn string, org string, country string) dn.DN {
+	pairs := []string{"CN", cn}
+	if org != "" {
+		pairs = append(pairs, "O", org)
+	}
+	if country != "" {
+		pairs = append(pairs, "C", country)
+	}
+	return dn.FromMap(pairs...)
+}
+
+// --- name and address generation -----------------------------------------
+
+var domainWords = []string{
+	"blue", "river", "stone", "cloud", "pixel", "nova", "summit", "cedar",
+	"orbit", "lumen", "quanta", "vertex", "harbor", "maple", "crest", "atlas",
+	"delta", "ember", "falcon", "garnet", "helix", "iris", "jade", "krypton",
+	"lotus", "meadow", "nimbus", "onyx", "prairie", "quill", "raven", "sage",
+	"tundra", "umber", "violet", "willow", "xenon", "yonder", "zephyr", "acorn",
+}
+
+var domainSuffixes = []string{"com", "net", "org", "edu", "io", "dev"}
+
+// randDomain produces a plausible (non-gibberish) domain name.
+func (s *Scenario) randDomain() string {
+	a := domainWords[s.rng.IntN(len(domainWords))]
+	b := domainWords[s.rng.IntN(len(domainWords))]
+	tld := domainSuffixes[s.rng.IntN(len(domainSuffixes))]
+	return fmt.Sprintf("%s%s%d.%s", a, b, s.rng.IntN(1000), tld)
+}
+
+// randHost produces a host under a fresh domain.
+func (s *Scenario) randHost() string {
+	sub := []string{"www", "api", "portal", "mail", "vpn", "app"}[s.rng.IntN(6)]
+	return sub + "." + s.randDomain()
+}
+
+// consonants used for gibberish DGA labels (vowel-free so the detector's
+// linguistic score flags them, as real DGA output does).
+const dgaAlphabet = "bcdfghjklmnpqrstvwxz"
+
+// randDGAName produces a www.<random>.com name matching the §4.3 cluster.
+func (s *Scenario) randDGAName() string {
+	n := 7 + s.rng.IntN(6)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(dgaAlphabet[s.rng.IntN(len(dgaAlphabet))])
+	}
+	return "www." + b.String() + ".com"
+}
+
+// clientIPPool hands out unique NATted campus client addresses.
+type clientIPPool struct {
+	next int
+}
+
+func (p *clientIPPool) take(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		v := p.next
+		p.next++
+		out[i] = fmt.Sprintf("10.%d.%d.%d", 16+(v>>16)&0x3f, (v>>8)&0xff, v&0xff)
+	}
+	return out
+}
+
+// serverIP hands out unique external server addresses.
+func (s *Scenario) serverIP() string {
+	return fmt.Sprintf("%d.%d.%d.%d", 20+s.rng.IntN(180), s.rng.IntN(256), s.rng.IntN(256), 1+s.rng.IntN(254))
+}
+
+// pickClientIPs selects k addresses from a pre-allocated population slice,
+// without replacement when k <= len(pop).
+func (s *Scenario) pickClientIPs(pop []string, k int) []string {
+	if k >= len(pop) {
+		return append([]string(nil), pop...)
+	}
+	// Rejection sampling of k distinct indices: k is small relative to the
+	// pool, so this stays O(k) instead of O(len(pop)).
+	seen := make(map[int]bool, k)
+	out := make([]string, 0, k)
+	for len(out) < k {
+		j := s.rng.IntN(len(pop))
+		if seen[j] {
+			continue
+		}
+		seen[j] = true
+		out = append(out, pop[j])
+	}
+	return out
+}

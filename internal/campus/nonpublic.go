@@ -1,0 +1,280 @@
+package campus
+
+import (
+	"fmt"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/chain"
+	"certchains/internal/dn"
+)
+
+// §4.3 / Figure 1 shape constants for the non-public-DB-only population.
+const (
+	nonPubSingleShare       = 0.7810 // single-certificate chains
+	nonPubSelfSignedShare   = 0.9419 // of single-cert chains
+	nonPubNoSNIShare        = 0.8670 // of single-cert connections
+	nonPubMultiMatchedShare = 0.9976 // multi-cert chains that are matched paths
+	// Of the non-matched multi-cert remainder, the paper counts 142
+	// contains vs 87 none.
+	nonPubContainsShare = 142.0 / (142.0 + 87.0)
+
+	// DGA cluster absolutes (scaled): 21,880 connections from 761 IPs.
+	paperDGAConns   = 21880
+	paperDGAIPs     = 761
+	paperDGACerts   = 400 // cluster size; paper reports the cluster, not a count
+	dgaMinValidityD = 4
+	dgaMaxValidityD = 365
+)
+
+// Table 4 port mixes.
+var nonPubSinglePorts = weightedPorts{
+	{443, 4629}, {8888, 2152}, {33854, 1908}, {13000, 422}, {25, 130}, {9000, 759},
+}
+
+var nonPubMultiPorts = weightedPorts{
+	{443, 8351}, {8531, 418}, {9093, 285}, {38881, 181}, {6443, 145}, {8080, 620},
+}
+
+type weightedPorts []struct {
+	port   int
+	weight int
+}
+
+func (w weightedPorts) pick(s *Scenario) int {
+	total := 0
+	for _, p := range w {
+		total += p.weight
+	}
+	n := s.rng.IntN(total)
+	for _, p := range w {
+		n -= p.weight
+		if n < 0 {
+			return p.port
+		}
+	}
+	return w[0].port
+}
+
+// generateNonPublicOnly emits the non-public-DB-only population: the
+// self-signed sea, the DGA cluster, multi-certificate private hierarchies,
+// the complex-PKI structures of Appendix I, and the three pathological
+// oversized chains.
+func (s *Scenario) generateNonPublicOnly() {
+	n := s.scaled(paperNonPubChains)
+	nSingle := int(float64(n) * nonPubSingleShare)
+	nMulti := n - nSingle
+	nDGA := s.scaled(paperDGACerts)
+	if nDGA > nSingle/10 {
+		nDGA = nSingle / 10
+	}
+	nSelfSigned := int(float64(nSingle) * nonPubSelfSignedShare)
+	nDistinct := nSingle - nSelfSigned
+	if nDGA > nDistinct {
+		nDGA = nDistinct
+	}
+
+	pop := s.ipPool.take(s.scaled(paperNonPubClientIPs))
+	connBudget := int64(float64(paperNonPubConns) * s.Config.Scale)
+	dgaConnBudget := int64(float64(paperDGAConns) * s.Config.Scale)
+	if dgaConnBudget < int64(nDGA) {
+		dgaConnBudget = int64(nDGA)
+	}
+	singleConns := s.split(connBudget*7/10, nSelfSigned)
+	distinctConns := s.split(connBudget*1/10, nDistinct-nDGA)
+	dgaConns := s.split(dgaConnBudget, nDGA)
+	multiConns := s.split(connBudget*2/10, nMulti)
+
+	dgaPop := s.pickClientIPs(pop, min(s.scaled(paperDGAIPs), len(pop)))
+
+	// --- single-certificate, self-signed (the 94.19%) -------------------
+	for i := 0; i < nSelfSigned; i++ {
+		name := s.randHost()
+		subject := dnFor(name, "", "")
+		cert := s.pki.mkCert(subject, subject,
+			withValidity(time.Duration(1+s.rng.IntN(10))*365*24*time.Hour),
+			withBC(s.maybeAbsentBC(0.5531)))
+		s.emitNonPub(certmodel.Chain{cert}, name, nonPubSinglePorts.pick(s), singleConns[i], 0.72, pop, nonPubNoSNIShare)
+	}
+
+	// --- single-certificate, distinct issuer/subject: DGA cluster -------
+	for i := 0; i < nDGA; i++ {
+		issuer := dnFor(s.randDGAName(), "", "")
+		subject := dnFor(s.randDGAName(), "", "")
+		days := dgaMinValidityD + s.rng.IntN(dgaMaxValidityD-dgaMinValidityD+1)
+		cert := s.pki.mkCert(issuer, subject, withValidity(time.Duration(days)*24*time.Hour))
+		first, last := s.window()
+		c := dgaConns[i]
+		o := &Observation{
+			Chain:       certmodel.Chain{cert},
+			Category:    chain.NonPublicDBOnly,
+			ServerIP:    s.serverIP(),
+			Port:        443,
+			Domain:      subject.CommonName(),
+			Conns:       c,
+			Established: s.establishSplit(c, 0.35),
+			NoSNI:       c / 2,
+			ClientIPs:   s.pickClientIPs(dgaPop, 1+s.rng.IntN(4)),
+			First:       first,
+			Last:        last,
+		}
+		s.Observations = append(s.Observations, o)
+	}
+
+	// --- single-certificate, distinct issuer/subject: non-DGA -----------
+	for i := 0; i < nDistinct-nDGA; i++ {
+		org := s.randDomain()
+		issuer := dnFor("CA "+org, org, "US")
+		subject := dnFor("device."+org, org, "US")
+		cert := s.pki.mkCert(issuer, subject, withValidity(3*365*24*time.Hour),
+			withBC(s.maybeAbsentBC(0.5531)))
+		s.emitNonPub(certmodel.Chain{cert}, subject.CommonName(), nonPubSinglePorts.pick(s), distinctConns[i], 0.60, pop, 0.5)
+	}
+
+	// --- multi-certificate private hierarchies ---------------------------
+	// A pool of private CA families; most chains are straightforward
+	// (intermediates linked to at most two others), a few form the complex
+	// structures of Appendix I.
+	nFamilies := 1 + nMulti/40
+	families := make([]*metaCA, 0, nFamilies)
+	for i := 0; i < nFamilies; i++ {
+		org := s.randDomain()
+		families = append(families, s.pki.newSelfSignedIssuer(dnFor(org+" Root CA", org, "US")))
+	}
+	// Complex hub: one intermediate seen with >= 3 other intermediates.
+	hubOrg := "megacorp.example"
+	hubRoot := s.pki.newSelfSignedIssuer(dnFor(hubOrg+" Root", hubOrg, "US"))
+	hub := hubRoot.intermediate(dnFor(hubOrg+" Policy CA", hubOrg, "US"), withBC(certmodel.BCAbsent))
+	hubSubs := make([]*metaCA, 4)
+	for i := range hubSubs {
+		hubSubs[i] = hub.intermediate(dnFor(fmt.Sprintf("%s Issuing CA %d", hubOrg, i+1), hubOrg, "US"), withBC(certmodel.BCAbsent))
+	}
+
+	for i := 0; i < nMulti; i++ {
+		var ch certmodel.Chain
+		host := s.randHost()
+		r := s.rng.Float64()
+		switch {
+		case i < 4*len(hubSubs): // complex-PKI chains through the hub
+			sub := hubSubs[i%len(hubSubs)]
+			// Leaves of non-public issuers frequently omit
+			// basicConstraints (55.31% first-position).
+			leaf := sub.leaf(dnFor(host, hubOrg, "US"), withBC(s.maybeAbsentBC(0.5531)))
+			ch = certmodel.Chain{leaf, sub.Cert, hub.Cert, hubRoot.Cert}
+		case r < nonPubMultiMatchedShare:
+			fam := families[s.rng.IntN(len(families))]
+			length := 2 + s.rng.IntN(3)
+			ch = s.privateMatchedChain(fam, host, length)
+		case r < nonPubMultiMatchedShare+(1-nonPubMultiMatchedShare)*nonPubContainsShare:
+			fam := families[s.rng.IntN(len(families))]
+			ch = s.privateMatchedChain(fam, host, 2)
+			// Unrelated extra certificate appended.
+			stray := s.pki.mkCert(dnFor("Stray CA", "", ""), dnFor("stray."+s.randDomain(), "", ""))
+			ch = append(ch, stray)
+		default:
+			// No matched path at all.
+			a := s.pki.mkCert(dnFor("Mis CA 1", "", ""), dnFor(host, "", ""), withBC(s.maybeAbsentBC(0.5531)))
+			b := s.pki.mkCert(dnFor("Mis CA 2", "", ""), dnFor("other-"+s.randDomain(), "", ""))
+			ch = certmodel.Chain{a, b}
+		}
+		s.emitNonPub(ch, host, nonPubMultiPorts.pick(s), multiConns[i], 0.80, pop, 0.05)
+	}
+
+	// --- pathological oversized chains (Figure 1 exclusions) ------------
+	for _, length := range []int{3822, 921, 41} {
+		iss := dnFor("Broken Generator CA", "", "")
+		ch := make(certmodel.Chain, length)
+		for j := range ch {
+			ch[j] = s.pki.mkCert(iss, dnFor(fmt.Sprintf("pad-%d.invalid", j), "", ""))
+		}
+		first, _ := s.window()
+		o := &Observation{
+			Chain:       ch,
+			Category:    chain.NonPublicDBOnly,
+			ServerIP:    s.serverIP(),
+			Port:        443,
+			Domain:      "",
+			Conns:       1,
+			Established: 0, // all three yielded unestablished connections
+			NoSNI:       1,
+			ClientIPs:   s.pickClientIPs(pop, 1),
+			First:       first,
+			Last:        first,
+		}
+		s.Observations = append(s.Observations, o)
+	}
+}
+
+// maybeAbsentBC returns BCAbsent with probability p, else BCFalse —
+// modelling the §4.3 basicConstraints omission rates.
+func (s *Scenario) maybeAbsentBC(p float64) certmodel.BasicConstraints {
+	if s.rng.Float64() < p {
+		return certmodel.BCAbsent
+	}
+	return certmodel.BCFalse
+}
+
+// privateMatchedChain mints a fully matched private chain of the given
+// length under the family root. Subsequent-position certificates omit
+// basicConstraints at the §4.3 rate (78.32%).
+func (s *Scenario) privateMatchedChain(root *metaCA, host string, length int) certmodel.Chain {
+	cas := []*metaCA{root}
+	for len(cas) < length-1 {
+		parent := cas[len(cas)-1]
+		name := parent.Cert.Subject.Organization()
+		sub := parent.intermediate(
+			dnFor(fmt.Sprintf("%s Issuing CA %d", name, len(cas)), name, "US"),
+			withBC(s.subsequentBC()))
+		cas = append(cas, sub)
+	}
+	// Build leaf-first, ending at the root.
+	issuerCA := cas[len(cas)-1]
+	leaf := issuerCA.leaf(dnFor(host, "", ""), withBC(s.maybeAbsentBC(0.5531)), withSANs(host))
+	ch := certmodel.Chain{leaf}
+	for i := len(cas) - 1; i >= 0; i-- {
+		ch = append(ch, cas[i].Cert)
+	}
+	return ch
+}
+
+// subsequentBC models basicConstraints on non-first-position certificates:
+// absent 78.32% of the time, else CA=TRUE.
+func (s *Scenario) subsequentBC() certmodel.BasicConstraints {
+	if s.rng.Float64() < 0.7832 {
+		return certmodel.BCAbsent
+	}
+	return certmodel.BCTrue
+}
+
+// emitNonPub appends a non-public-DB-only observation and tracks servers
+// with SNI for the §5 revisit.
+func (s *Scenario) emitNonPub(ch certmodel.Chain, domain string, port int, conns int64, estRate float64, pop []string, noSNIShare float64) {
+	first, last := s.window()
+	noSNI := int64(float64(conns) * noSNIShare)
+	if noSNI > conns {
+		noSNI = conns
+	}
+	sni := domain
+	if noSNI == conns {
+		sni = ""
+	}
+	o := &Observation{
+		Chain:       ch,
+		Category:    chain.NonPublicDBOnly,
+		ServerIP:    s.serverIP(),
+		Port:        port,
+		Domain:      sni,
+		Conns:       conns,
+		Established: s.establishSplit(conns, estRate),
+		NoSNI:       noSNI,
+		ClientIPs:   s.pickClientIPs(pop, 1+s.rng.IntN(6)),
+		First:       first,
+		Last:        last,
+	}
+	s.Observations = append(s.Observations, o)
+	if sni != "" {
+		s.nonPubServers = append(s.nonPubServers, o)
+	}
+}
+
+var _ = dn.FromMap

@@ -1,0 +1,189 @@
+package campus
+
+import (
+	"fmt"
+	"time"
+
+	"certchains/internal/certmodel"
+)
+
+// §5 revisit absolutes and shapes.
+const (
+	revisitHybridReachable   = 270
+	revisitHybridToPublic    = 231
+	revisitHybridToPublicLE  = 180 // "the majority being Let's Encrypt"
+	revisitHybridToNonPub    = 4
+	revisitHybridStillHybrid = 35
+	revisitHybridStillClean  = 9 // complete path, no unnecessary certs
+	revisitHybridStillExtra  = 3 // complete path with unnecessary certs
+
+	paperRevisitNonPubServers = 12404
+	revisitNonPubNowMulti     = 0.7940
+	revisitNonPubPrevMulti    = 0.3900 // of the now-multi servers
+	revisitNonPubPrevSelf     = 0.5344
+	revisitNonPubNewComplete  = 0.9761
+)
+
+// RevisitServer pairs a campus-period observation with the chain the same
+// server delivers at scan time (November 2024).
+type RevisitServer struct {
+	Domain   string
+	ServerIP string
+	// Old is the campus-period observation.
+	Old *Observation
+	// Reachable reports whether the 2024 scan could connect.
+	Reachable bool
+	// NewChain is the chain delivered at scan time (nil when unreachable).
+	NewChain certmodel.Chain
+}
+
+// RevisitPlan is the §5 retrospective dataset.
+type RevisitPlan struct {
+	// ScanTime is the retrospective scan instant (November 2024).
+	ScanTime time.Time
+	// Hybrid covers the 321 servers that delivered hybrid chains.
+	Hybrid []*RevisitServer
+	// NonPub covers the SNI-bearing non-public-DB-only servers the scan
+	// could extract (12,404 at paper scale).
+	NonPub []*RevisitServer
+}
+
+// generateRevisit builds the plan from the recorded server populations.
+func (s *Scenario) generateRevisit() {
+	plan := &RevisitPlan{ScanTime: time.Date(2024, 11, 15, 0, 0, 0, 0, time.UTC)}
+
+	// --- hybrid servers ---------------------------------------------------
+	le := s.publicCAs[0]
+	for i, o := range s.hybridServers {
+		rs := &RevisitServer{Domain: o.Domain, ServerIP: o.ServerIP, Old: o}
+		switch {
+		case i >= revisitHybridReachable:
+			// 51 servers no longer reachable.
+			rs.Reachable = false
+		case i < revisitHybridToPublicLE:
+			rs.Reachable = true
+			rs.NewChain = s.revisitPublicChain(le, o.Domain, plan.ScanTime)
+		case i < revisitHybridToPublic:
+			rs.Reachable = true
+			other := s.publicCAs[1+s.rng.IntN(len(s.publicCAs)-1)]
+			rs.NewChain = s.revisitPublicChain(other, o.Domain, plan.ScanTime)
+		case i < revisitHybridToPublic+revisitHybridToNonPub:
+			// 4 servers now deliver non-public-DB-only chains.
+			rs.Reachable = true
+			d := dnFor(o.Domain, "", "")
+			rs.NewChain = certmodel.Chain{s.pki.mkCert(d, d, withValidity(2*365*24*time.Hour), withIssuedAround(plan.ScanTime))}
+		default:
+			// 35 still hybrid: 9 clean complete, 3 complete+unnecessary,
+			// 23 without a matched path.
+			rs.Reachable = true
+			j := i - revisitHybridToPublic - revisitHybridToNonPub
+			switch {
+			case j < revisitHybridStillClean:
+				rs.NewChain = s.revisitHybridComplete(o.Domain, false)
+			case j < revisitHybridStillClean+revisitHybridStillExtra:
+				rs.NewChain = s.revisitHybridComplete(o.Domain, true)
+			default:
+				d := localhostDN()
+				leaf := s.pki.mkCert(d, d)
+				pub, _ := s.issuePublicChain(o.Domain, true)
+				rs.NewChain = append(certmodel.Chain{leaf}, pub[len(pub)-1:]...)
+			}
+		}
+		plan.Hybrid = append(plan.Hybrid, rs)
+	}
+
+	// --- non-public-DB-only servers ---------------------------------------
+	// The scan reaches the SNI-bearing servers; composition follows the
+	// §5 previous-type mix.
+	nTarget := s.scaled(paperRevisitNonPubServers)
+	var oldMulti, oldSelf, oldDistinct []*Observation
+	for _, o := range s.nonPubServers {
+		switch {
+		case len(o.Chain) > 1:
+			oldMulti = append(oldMulti, o)
+		case o.Chain[0].SelfSigned():
+			oldSelf = append(oldSelf, o)
+		default:
+			oldDistinct = append(oldDistinct, o)
+		}
+	}
+	nowMulti := int(float64(nTarget) * revisitNonPubNowMulti)
+	nowSingle := nTarget - nowMulti
+
+	wantPrevMulti := int(float64(nowMulti) * revisitNonPubPrevMulti)
+	wantPrevSelf := int(float64(nowMulti) * revisitNonPubPrevSelf)
+	wantPrevDistinct := nowMulti - wantPrevMulti - wantPrevSelf
+
+	take := func(src []*Observation, n int) []*Observation {
+		if n > len(src) {
+			n = len(src)
+		}
+		return src[:n]
+	}
+	prevMulti := take(oldMulti, wantPrevMulti)
+	prevSelf := take(oldSelf, wantPrevSelf)
+	prevDistinct := take(oldDistinct, wantPrevDistinct)
+
+	org := "revisit-upgraded"
+	root := s.pki.newSelfSignedIssuer(dnFor(org+" Root CA", org, "US"))
+	emitNew := func(o *Observation, multi bool) {
+		rs := &RevisitServer{Domain: o.Domain, ServerIP: o.ServerIP, Old: o, Reachable: true}
+		if multi {
+			if s.rng.Float64() < revisitNonPubNewComplete {
+				rs.NewChain = s.privateMatchedChain(root, o.Domain, 2+s.rng.IntN(2))
+			} else {
+				ch := s.privateMatchedChain(root, o.Domain, 2)
+				stray := s.pki.mkCert(dnFor("Leftover CA", "", ""), dnFor("leftover."+o.Domain, "", ""))
+				rs.NewChain = append(ch, stray)
+			}
+		} else {
+			d := dnFor(o.Domain, "", "")
+			rs.NewChain = certmodel.Chain{s.pki.mkCert(d, d, withValidity(3*365*24*time.Hour), withIssuedAround(plan.ScanTime))}
+		}
+		plan.NonPub = append(plan.NonPub, rs)
+	}
+	for _, o := range prevMulti {
+		emitNew(o, true)
+	}
+	for _, o := range prevSelf {
+		emitNew(o, true)
+	}
+	for _, o := range prevDistinct {
+		emitNew(o, true)
+	}
+	// The remaining servers still deliver single certificates; prefer
+	// leftovers from the self-signed pool.
+	rest := append(append([]*Observation(nil), oldSelf[len(prevSelf):]...), oldMulti[len(prevMulti):]...)
+	for i := 0; i < nowSingle && i < len(rest); i++ {
+		emitNew(rest[i], false)
+	}
+
+	s.Revisit = plan
+}
+
+// revisitPublicChain mints the 2024-era public chain for a migrated server.
+func (s *Scenario) revisitPublicChain(ca *publicCA, domain string, at time.Time) certmodel.Chain {
+	iss := ca.issuing[s.rng.IntN(len(ca.issuing))]
+	leaf := s.pki.mkCert(iss.Cert.Subject, dnFor(domain, "", ""),
+		withBC(certmodel.BCFalse), withSANs(domain), withValidity(90*24*time.Hour),
+		withIssuedAround(at))
+	return certmodel.Chain{leaf, iss.Cert}
+}
+
+// revisitHybridComplete mints a 2024 hybrid complete path, optionally with
+// an unnecessary trailing certificate (the 3 chains §5 validated against
+// Chrome and OpenSSL).
+func (s *Scenario) revisitHybridComplete(domain string, extra bool) certmodel.Chain {
+	pub := s.pickPublicCA()
+	iss := pub.issuing[0]
+	signing := s.pki.mkCert(iss.Cert.Subject, dnFor("Private Signing CA 2024", "Org", "US"), withBC(certmodel.BCTrue))
+	leaf := s.pki.mkCert(signing.Subject, dnFor(domain, "", ""), withBC(certmodel.BCFalse), withSANs(domain))
+	ch := certmodel.Chain{leaf, signing, iss.Cert}
+	if extra {
+		stray := s.pki.mkCert(dnFor("tester", "", ""), dnFor("tester", "", ""))
+		ch = append(ch, stray)
+	}
+	return ch
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,228 @@
+// Package certmodel defines the certificate metadata model that the whole
+// pipeline operates on.
+//
+// The paper's campus dataset contains no raw certificates (IRB restriction):
+// only the structured fields Zeek exports in x509.log. This package models
+// exactly that projection — issuer DN, subject DN, validity window, key
+// algorithm, serial, and the tri-state basicConstraints — plus a stable
+// fingerprint used to cross-reference ssl.log entries. When full certificates
+// are available (the retrospective scan of Section 5 and the Appendix D
+// validation study), Meta is derived from a *x509.Certificate via FromX509 so
+// both halves of the system share one model.
+package certmodel
+
+import (
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"certchains/internal/dn"
+)
+
+// BasicConstraints is the tri-state basicConstraints extension value. The
+// paper highlights (§4.3) that most non-public-DB issuer certificates omit
+// the extension entirely rather than setting CA to TRUE or FALSE, so the
+// model must distinguish "absent" from "false".
+type BasicConstraints int
+
+const (
+	// BCAbsent means the certificate carries no basicConstraints extension.
+	BCAbsent BasicConstraints = iota
+	// BCFalse means basicConstraints is present with CA=FALSE.
+	BCFalse
+	// BCTrue means basicConstraints is present with CA=TRUE.
+	BCTrue
+)
+
+// String implements fmt.Stringer.
+func (b BasicConstraints) String() string {
+	switch b {
+	case BCAbsent:
+		return "absent"
+	case BCFalse:
+		return "CA=FALSE"
+	case BCTrue:
+		return "CA=TRUE"
+	default:
+		return fmt.Sprintf("BasicConstraints(%d)", int(b))
+	}
+}
+
+// KeyAlgorithm identifies the public-key algorithm of a certificate, at the
+// granularity Zeek logs it.
+type KeyAlgorithm string
+
+// Key algorithms observed in campus traffic.
+const (
+	KeyRSA     KeyAlgorithm = "rsa"
+	KeyECDSA   KeyAlgorithm = "ecdsa"
+	KeyEd25519 KeyAlgorithm = "ed25519"
+	KeyDSA     KeyAlgorithm = "dsa"
+	KeyUnknown KeyAlgorithm = "unknown"
+)
+
+// Fingerprint is the hex-encoded SHA-256 of the certificate (or, for purely
+// synthetic log-level certificates, of a canonical rendering of its fields).
+// It doubles as the Zeek file-unique identifier that links x509.log rows to
+// ssl.log cert_chain_fuids entries.
+type Fingerprint string
+
+// Meta is the log-level view of one certificate.
+type Meta struct {
+	// FP uniquely identifies the certificate across the dataset.
+	FP Fingerprint
+	// Issuer is the parsed issuer distinguished name.
+	Issuer dn.DN
+	// Subject is the parsed subject distinguished name.
+	Subject dn.DN
+	// SerialHex is the certificate serial number in lower-case hex.
+	SerialHex string
+	// NotBefore and NotAfter bound the validity window.
+	NotBefore time.Time
+	NotAfter  time.Time
+	// KeyAlg is the public-key algorithm.
+	KeyAlg KeyAlgorithm
+	// KeyBits is the public key size in bits (0 when unknown).
+	KeyBits int
+	// BC is the tri-state basicConstraints value.
+	BC BasicConstraints
+	// SAN holds dNSName subject alternative names when logged.
+	SAN []string
+}
+
+// SelfSigned reports whether issuer and subject are identical — the paper's
+// operational definition of a self-signed certificate (§4.3), which is all
+// that log data can support (no signature to verify).
+func (m *Meta) SelfSigned() bool {
+	return m.Issuer.Equal(m.Subject)
+}
+
+// ExpiredAt reports whether the certificate validity window has ended at t.
+func (m *Meta) ExpiredAt(t time.Time) bool {
+	return t.After(m.NotAfter)
+}
+
+// ValidAt reports whether t falls inside [NotBefore, NotAfter].
+func (m *Meta) ValidAt(t time.Time) bool {
+	return !t.Before(m.NotBefore) && !t.After(m.NotAfter)
+}
+
+// ValidityDays returns the validity period length in whole days.
+func (m *Meta) ValidityDays() int {
+	return int(m.NotAfter.Sub(m.NotBefore) / (24 * time.Hour))
+}
+
+// CanIssue reports whether this certificate, per its own extensions, is
+// allowed to act as a CA. Certificates omitting basicConstraints are treated
+// as potentially issuing, matching how legacy verifiers (and the paper's
+// structural analysis) must treat them.
+func (m *Meta) CanIssue() bool {
+	return m.BC != BCFalse
+}
+
+// String returns a compact one-line description for diagnostics.
+func (m *Meta) String() string {
+	return fmt.Sprintf("cert{%s subj=%q iss=%q bc=%s}", shortFP(m.FP), m.Subject.String(), m.Issuer.String(), m.BC)
+}
+
+func shortFP(fp Fingerprint) string {
+	if len(fp) > 12 {
+		return string(fp[:12])
+	}
+	return string(fp)
+}
+
+// SyntheticFingerprint derives a deterministic fingerprint for a certificate
+// that exists only as log fields. Two Meta values with identical identifying
+// fields fingerprint identically, mirroring how a DER hash is stable.
+func SyntheticFingerprint(issuer, subject dn.DN, serialHex string, notBefore, notAfter time.Time) Fingerprint {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d\x00%d",
+		issuer.Normalized(), subject.Normalized(), strings.ToLower(serialHex),
+		notBefore.Unix(), notAfter.Unix())
+	return Fingerprint(hex.EncodeToString(h.Sum(nil)))
+}
+
+// FromX509 projects a parsed X.509 certificate into the log-level model,
+// hashing the raw DER for the fingerprint exactly as Zeek does.
+func FromX509(c *x509.Certificate) *Meta {
+	sum := sha256.Sum256(c.Raw)
+	m := &Meta{
+		FP:        Fingerprint(hex.EncodeToString(sum[:])),
+		Issuer:    fromPkixName(c.Issuer.String()),
+		Subject:   fromPkixName(c.Subject.String()),
+		SerialHex: strings.ToLower(c.SerialNumber.Text(16)),
+		NotBefore: c.NotBefore,
+		NotAfter:  c.NotAfter,
+		SAN:       append([]string(nil), c.DNSNames...),
+	}
+	switch c.PublicKeyAlgorithm {
+	case x509.RSA:
+		m.KeyAlg = KeyRSA
+	case x509.ECDSA:
+		m.KeyAlg = KeyECDSA
+	case x509.Ed25519:
+		m.KeyAlg = KeyEd25519
+	case x509.DSA:
+		m.KeyAlg = KeyDSA
+	default:
+		m.KeyAlg = KeyUnknown
+	}
+	if c.BasicConstraintsValid {
+		if c.IsCA {
+			m.BC = BCTrue
+		} else {
+			m.BC = BCFalse
+		}
+	} else {
+		m.BC = BCAbsent
+	}
+	return m
+}
+
+func fromPkixName(s string) dn.DN {
+	d, err := dn.Parse(s)
+	if err != nil {
+		// pkix.Name.String always yields a parseable RFC 2253 string for
+		// certificates we mint; a parse failure means an empty name.
+		return dn.DN{}
+	}
+	return d
+}
+
+// Chain is an ordered sequence of certificates exactly as a server delivered
+// them in the TLS handshake: index 0 is the first certificate presented
+// (normally the leaf).
+type Chain []*Meta
+
+// Key returns a deterministic identity for the delivered chain: the ordered
+// concatenation of member fingerprints. Two connections delivering the same
+// certificates in the same order share a Key; this is the unit the paper
+// counts 731,175 of.
+func (c Chain) Key() string {
+	var b strings.Builder
+	for i, m := range c {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(string(m.FP))
+	}
+	return b.String()
+}
+
+// Fingerprints returns the ordered member fingerprints.
+func (c Chain) Fingerprints() []Fingerprint {
+	out := make([]Fingerprint, len(c))
+	for i, m := range c {
+		out[i] = m.FP
+	}
+	return out
+}
+
+// Clone returns a shallow copy of the chain slice (members shared).
+func (c Chain) Clone() Chain {
+	return append(Chain(nil), c...)
+}

@@ -1,0 +1,164 @@
+// Package chain implements the paper's core contribution: the certificate
+// chain structure analyzer of §4 (Figure 2's "Certificate Chain Enrichment
+// Pipeline").
+//
+// Given a delivered certificate chain — the exact sequence a server sent in
+// its TLS handshake — the analyzer:
+//
+//   - classifies every member certificate as issued by a public-DB or
+//     non-public-DB issuer (§3.2.1, via internal/trustdb);
+//   - categorizes the chain as public-DB-only, non-public-DB-only, hybrid,
+//     or TLS interception (§3.2.2);
+//   - walks the issuer–subject links, marking matches, mismatches, and
+//     cross-signing exemptions (§4.2, Appendix D.1);
+//   - finds maximal matched runs, detects complete matched paths (runs that
+//     start at a leaf certificate), computes the mismatch ratio, and flags
+//     unnecessary certificates (§4.2, Figure 3);
+//   - assigns the taxonomy labels of Table 3, Table 7 and Table 8.
+package chain
+
+import (
+	"fmt"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/dn"
+	"certchains/internal/trustdb"
+)
+
+// Category is the §3.2.2 chain categorization.
+type Category int
+
+const (
+	// PublicDBOnly chains comprise only certificates issued by public-DB
+	// issuers.
+	PublicDBOnly Category = iota
+	// NonPublicDBOnly chains comprise only certificates issued by
+	// non-public-DB issuers (and are not interception chains).
+	NonPublicDBOnly
+	// Hybrid chains mix certificates from both issuer classes.
+	Hybrid
+	// Interception chains contain certificates issued by an entity
+	// identified as performing TLS interception.
+	Interception
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case PublicDBOnly:
+		return "public-DB-only"
+	case NonPublicDBOnly:
+		return "non-public-DB-only"
+	case Hybrid:
+		return "hybrid"
+	case Interception:
+		return "TLS-interception"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Classifier bundles everything certificate and chain classification needs:
+// the public databases, the set of known interception issuers, and the
+// cross-signing registry.
+type Classifier struct {
+	DB *trustdb.DB
+	// interceptIssuers holds normalized issuer DNs identified as TLS
+	// interception entities (§3.2.1, Table 1).
+	interceptIssuers map[string]bool
+	// CrossSigns exempts known cross-signing relationships from mismatch
+	// flagging (Appendix D.1).
+	CrossSigns *CrossSignRegistry
+}
+
+// NewClassifier creates a classifier over the given trust database.
+func NewClassifier(db *trustdb.DB) *Classifier {
+	return &Classifier{
+		DB:               db,
+		interceptIssuers: make(map[string]bool),
+		CrossSigns:       NewCrossSignRegistry(),
+	}
+}
+
+// AddInterceptionIssuer registers an issuer DN as a TLS interception entity.
+func (c *Classifier) AddInterceptionIssuer(d dn.DN) {
+	c.interceptIssuers[d.Normalized()] = true
+}
+
+// IsInterceptionIssuer reports whether the DN is a registered interception
+// entity.
+func (c *Classifier) IsInterceptionIssuer(d dn.DN) bool {
+	return c.interceptIssuers[d.Normalized()]
+}
+
+// InterceptionIssuerCount returns the number of registered interception
+// issuers (the paper identifies 80).
+func (c *Classifier) InterceptionIssuerCount() int {
+	return len(c.interceptIssuers)
+}
+
+// CertClass classifies one certificate per §3.2.1.
+func (c *Classifier) CertClass(m *certmodel.Meta) trustdb.Class {
+	return c.DB.Classify(m)
+}
+
+// Categorize assigns the §3.2.2 chain category. Interception takes
+// precedence: a chain containing any certificate issued by an interception
+// entity is an interception chain regardless of its other members.
+func (c *Classifier) Categorize(ch certmodel.Chain) Category {
+	if len(ch) == 0 {
+		return NonPublicDBOnly
+	}
+	anyPublic, anyPrivate := false, false
+	for _, m := range ch {
+		if c.interceptIssuers[m.Issuer.Normalized()] || c.interceptIssuers[m.Subject.Normalized()] {
+			return Interception
+		}
+		switch c.DB.Classify(m) {
+		case trustdb.IssuedByPublicDB:
+			anyPublic = true
+		default:
+			anyPrivate = true
+		}
+	}
+	switch {
+	case anyPublic && anyPrivate:
+		return Hybrid
+	case anyPublic:
+		return PublicDBOnly
+	default:
+		return NonPublicDBOnly
+	}
+}
+
+// CrossSignRegistry records DN equivalences induced by cross-signing: a
+// certificate naming issuer A can legitimately chain to a certificate with
+// subject B when (A, B) is registered, even though the strings differ.
+// The paper builds this set from Zeek validation output and CA cross-signing
+// disclosures (Appendix D.1); scenarios populate it directly.
+type CrossSignRegistry struct {
+	pairs map[[2]string]bool
+}
+
+// NewCrossSignRegistry returns an empty registry.
+func NewCrossSignRegistry() *CrossSignRegistry {
+	return &CrossSignRegistry{pairs: make(map[[2]string]bool)}
+}
+
+// Add registers that certificates with issuer childIssuer may chain to
+// certificates with subject parentSubject. The relation is directional.
+func (r *CrossSignRegistry) Add(childIssuer, parentSubject dn.DN) {
+	r.pairs[[2]string{childIssuer.Normalized(), parentSubject.Normalized()}] = true
+}
+
+// Exempt reports whether the (issuer, subject) pair is a registered
+// cross-signing relationship.
+func (r *CrossSignRegistry) Exempt(childIssuer, parentSubject dn.DN) bool {
+	if r == nil {
+		return false
+	}
+	return r.pairs[[2]string{childIssuer.Normalized(), parentSubject.Normalized()}]
+}
+
+// Len returns the number of registered pairs.
+func (r *CrossSignRegistry) Len() int { return len(r.pairs) }

@@ -1,0 +1,136 @@
+package chain
+
+import (
+	"fmt"
+	"time"
+
+	"certchains/internal/certmodel"
+)
+
+// Repair is the §6.2 recommendation engine: given an analyzed chain, it
+// proposes the chain the server should deliver instead — the complete
+// matched path without unnecessary certificates — together with the concrete
+// actions a deployment tool would take. The paper motivates exactly this
+// kind of automation: "many unnecessary certificates in chains originate
+// from poor certificate management and misconfigured certificate management
+// software".
+type Repair struct {
+	// Fixable reports whether a well-formed chain can be extracted.
+	Fixable bool
+	// Chain is the proposed delivery, leaf first; nil when not fixable.
+	Chain certmodel.Chain
+	// Actions describes each change in order.
+	Actions []RepairAction
+}
+
+// RepairActionKind enumerates repair operations.
+type RepairActionKind int
+
+const (
+	// ActionDropUnnecessary removes a certificate outside the trust path.
+	ActionDropUnnecessary RepairActionKind = iota
+	// ActionDropRoot removes an included root: delivering roots wastes
+	// bytes, clients must already hold the anchor (§4.1, RFC 5246 note).
+	ActionDropRoot
+	// ActionReplaceExpiredLeaf flags an expired leaf needing reissuance.
+	ActionReplaceExpiredLeaf
+	// ActionNoPath reports that no repair is possible from the presented
+	// certificates alone (the server must obtain its intermediates).
+	ActionNoPath
+)
+
+// String implements fmt.Stringer.
+func (k RepairActionKind) String() string {
+	switch k {
+	case ActionDropUnnecessary:
+		return "drop-unnecessary"
+	case ActionDropRoot:
+		return "drop-root"
+	case ActionReplaceExpiredLeaf:
+		return "replace-expired-leaf"
+	case ActionNoPath:
+		return "no-path"
+	default:
+		return fmt.Sprintf("RepairActionKind(%d)", int(k))
+	}
+}
+
+// RepairAction is one proposed change.
+type RepairAction struct {
+	Kind RepairActionKind
+	// Index is the position in the original delivered chain the action
+	// refers to (-1 for chain-level actions).
+	Index int
+	// Reason is a human-readable explanation.
+	Reason string
+}
+
+// ProposeRepair computes the repair for an analyzed chain. The analysis must
+// have been produced by the same classifier (for cross-sign awareness).
+func ProposeRepair(a *Analysis) *Repair {
+	r := &Repair{}
+	if len(a.Chain) == 0 {
+		r.Actions = append(r.Actions, RepairAction{Kind: ActionNoPath, Index: -1,
+			Reason: "empty chain"})
+		return r
+	}
+	if a.Verdict == VerdictSingleCert {
+		// Nothing structural to repair in a single-certificate delivery;
+		// it is already minimal (whether it validates is a trust question,
+		// not a delivery question).
+		r.Fixable = true
+		r.Chain = a.Chain.Clone()
+		return r
+	}
+	if a.Verdict == VerdictNoPath || a.Complete == nil || !a.Complete.HasLeaf {
+		// Without a leaf-headed complete path there is nothing to extract:
+		// the server must obtain the correct intermediates (or a new
+		// leaf), not merely reorder what it has.
+		r.Actions = append(r.Actions, RepairAction{Kind: ActionNoPath, Index: -1,
+			Reason: "no complete matched path among the presented certificates; obtain the leaf's issuing intermediates"})
+		return r
+	}
+
+	r.Fixable = true
+	for _, i := range a.Unnecessary {
+		r.Actions = append(r.Actions, RepairAction{
+			Kind:  ActionDropUnnecessary,
+			Index: i,
+			Reason: fmt.Sprintf("certificate %q does not contribute to the trust path",
+				a.Chain[i].Subject.String()),
+		})
+	}
+	// Keep the complete run; additionally drop a trailing self-signed root
+	// inside the run (root-omitted delivery is the best practice the
+	// public-DB population follows, Figure 1).
+	start, end := a.Complete.Start, a.Complete.End
+	if end > start && a.Chain[end].SelfSigned() {
+		r.Actions = append(r.Actions, RepairAction{
+			Kind:  ActionDropRoot,
+			Index: end,
+			Reason: fmt.Sprintf("root %q should be omitted from delivery; clients use their trust store",
+				a.Chain[end].Subject.String()),
+		})
+		end--
+	}
+	r.Chain = a.Chain[start : end+1].Clone()
+	return r
+}
+
+// RepairWithClock additionally flags an expired leaf at the given time.
+func RepairWithClock(a *Analysis, now time.Time) *Repair {
+	r := ProposeRepair(a)
+	if r.Fixable && len(r.Chain) > 0 && r.Chain[0].ExpiredAt(now) {
+		idx := 0
+		if a.Complete != nil {
+			idx = a.Complete.Start
+		}
+		r.Actions = append(r.Actions, RepairAction{
+			Kind:  ActionReplaceExpiredLeaf,
+			Index: idx,
+			Reason: fmt.Sprintf("leaf expired %s; reissue before redeploying",
+				r.Chain[0].NotAfter.Format("2006-01-02")),
+		})
+	}
+	return r
+}

@@ -1,0 +1,135 @@
+package chain
+
+import (
+	"testing"
+
+	"certchains/internal/certmodel"
+)
+
+func TestRepairCleanChainUnchanged(t *testing.T) {
+	_, cl := testEnv(t)
+	a := cl.Analyze(publicChain())
+	r := ProposeRepair(a)
+	if !r.Fixable {
+		t.Fatal("clean chain must be fixable")
+	}
+	if len(r.Actions) != 0 {
+		t.Errorf("clean chain produced actions: %v", r.Actions)
+	}
+	if r.Chain.Key() != publicChain().Key() {
+		t.Error("clean chain must be returned unchanged")
+	}
+}
+
+func TestRepairDropsUnnecessaryAndRoot(t *testing.T) {
+	_, cl := testEnv(t)
+	root := cert("CN=Public Root G1,O=TrustCo", "CN=Public Root G1,O=TrustCo", certmodel.BCTrue)
+	stray := cert("CN=tester", "CN=tester", certmodel.BCAbsent)
+	ch := append(publicChain(), root, stray)
+	a := cl.Analyze(ch)
+	if a.Verdict != VerdictContainsPath {
+		t.Fatalf("verdict = %v", a.Verdict)
+	}
+	r := ProposeRepair(a)
+	if !r.Fixable {
+		t.Fatal("must be fixable")
+	}
+	// Expect: drop the stray (unnecessary) and the included root.
+	var kinds []RepairActionKind
+	for _, act := range r.Actions {
+		kinds = append(kinds, act.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != ActionDropUnnecessary || kinds[1] != ActionDropRoot {
+		t.Fatalf("actions = %v", r.Actions)
+	}
+	if len(r.Chain) != 2 {
+		t.Errorf("repaired chain length = %d, want 2 (leaf + intermediate)", len(r.Chain))
+	}
+	if r.Chain[0].Subject.CommonName() != "www.shop.com" {
+		t.Error("repaired chain must start at the leaf")
+	}
+	// The repaired chain re-analyzes as a clean complete path.
+	ra := cl.Analyze(r.Chain)
+	if ra.Verdict != VerdictCompletePath || len(ra.Unnecessary) != 0 {
+		t.Errorf("repaired chain verdict = %v, unnecessary = %v", ra.Verdict, ra.Unnecessary)
+	}
+}
+
+func TestRepairLeafFirstChain(t *testing.T) {
+	_, cl := testEnv(t)
+	extra := cert("CN=Old CA", "CN=legacy.shop.com", certmodel.BCFalse)
+	ch := append(certmodel.Chain{extra}, publicChain()...)
+	a := cl.Analyze(ch)
+	r := ProposeRepair(a)
+	if !r.Fixable {
+		t.Fatal("must be fixable")
+	}
+	if len(r.Chain) != 2 || r.Chain[0].Subject.CommonName() != "www.shop.com" {
+		t.Errorf("repaired chain = %v", r.Chain)
+	}
+	if len(r.Actions) != 1 || r.Actions[0].Kind != ActionDropUnnecessary || r.Actions[0].Index != 0 {
+		t.Errorf("actions = %v", r.Actions)
+	}
+}
+
+func TestRepairNoPath(t *testing.T) {
+	_, cl := testEnv(t)
+	ch := certmodel.Chain{
+		cert("CN=A", "CN=a.com", certmodel.BCFalse),
+		cert("CN=B", "CN=bee", certmodel.BCTrue),
+	}
+	r := ProposeRepair(cl.Analyze(ch))
+	if r.Fixable {
+		t.Error("no-path chain must not be fixable")
+	}
+	if len(r.Actions) != 1 || r.Actions[0].Kind != ActionNoPath {
+		t.Errorf("actions = %v", r.Actions)
+	}
+}
+
+func TestRepairSingleCert(t *testing.T) {
+	_, cl := testEnv(t)
+	ch := certmodel.Chain{cert("CN=s", "CN=s", certmodel.BCAbsent)}
+	r := ProposeRepair(cl.Analyze(ch))
+	if !r.Fixable || len(r.Chain) != 1 || len(r.Actions) != 0 {
+		t.Errorf("single cert repair = %+v", r)
+	}
+}
+
+func TestRepairEmptyChain(t *testing.T) {
+	_, cl := testEnv(t)
+	r := ProposeRepair(cl.Analyze(nil))
+	if r.Fixable || len(r.Actions) != 1 {
+		t.Errorf("empty chain repair = %+v", r)
+	}
+}
+
+func TestRepairWithClockFlagsExpiredLeaf(t *testing.T) {
+	_, cl := testEnv(t)
+	a := cl.Analyze(publicChain())
+	r := RepairWithClock(a, obs.AddDate(5, 0, 0))
+	found := false
+	for _, act := range r.Actions {
+		if act.Kind == ActionReplaceExpiredLeaf {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expired leaf must be flagged")
+	}
+	// Not flagged when valid.
+	r = RepairWithClock(a, obs)
+	for _, act := range r.Actions {
+		if act.Kind == ActionReplaceExpiredLeaf {
+			t.Error("valid leaf must not be flagged")
+		}
+	}
+}
+
+func TestRepairActionKindStrings(t *testing.T) {
+	for _, k := range []RepairActionKind{ActionDropUnnecessary, ActionDropRoot, ActionReplaceExpiredLeaf, ActionNoPath, RepairActionKind(42)} {
+		if k.String() == "" {
+			t.Errorf("kind %d empty string", int(k))
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package chain
+
+import (
+	"certchains/internal/certmodel"
+	"certchains/internal/trustdb"
+)
+
+// StorePath is the result of attempting to complete a trust path for a leaf
+// using the public databases instead of the server-delivered chain — the
+// §6.1 mechanism behind the validation divergence: "browsers such as Chrome
+// often succeed in validating these chains because they rely on local trust
+// stores to complete the chain", while presented-chain validators fail.
+type StorePath struct {
+	// Complete reports whether a path from the leaf to a trust anchor was
+	// assembled from database entries.
+	Complete bool
+	// Path is the assembled certificate sequence, leaf first, ending at
+	// the anchoring certificate (or the last reachable intermediate when
+	// incomplete).
+	Path certmodel.Chain
+	// Anchor is the trust-anchor subject DN string the path terminates at
+	// ("" when incomplete).
+	Anchor string
+}
+
+// maxStorePathDepth bounds the walk; real chains never exceed a handful of
+// intermediates, and the bound also defends against DN cycles in the DB.
+const maxStorePathDepth = 8
+
+// BuildStorePath walks from the leaf upward through the database: at each
+// hop the current certificate's issuer DN is looked up among disclosed
+// certificates (CCADB intermediates and roots). It mirrors what a browser
+// with a maintained intermediate store does when the server's delivery is
+// incomplete or polluted.
+func BuildStorePath(db *trustdb.DB, leaf *certmodel.Meta) StorePath {
+	out := StorePath{Path: certmodel.Chain{leaf}}
+	seen := map[string]bool{leaf.Subject.Normalized(): true}
+	cur := leaf
+	for depth := 0; depth < maxStorePathDepth; depth++ {
+		issuerKey := cur.Issuer.Normalized()
+		// Terminal: the issuer is a trust anchor; root omission is fine.
+		if db.IsTrustAnchorSubject(cur.Issuer) {
+			out.Complete = true
+			out.Anchor = cur.Issuer.String()
+			return out
+		}
+		if seen[issuerKey] {
+			return out // cycle (or self-signed non-anchor): dead end
+		}
+		entries := db.LookupSubject(cur.Issuer)
+		if len(entries) == 0 {
+			return out // issuer unknown to every database
+		}
+		// Prefer a non-expired entry; the stores can hold several
+		// certificates for one subject (reissuance, cross-signs).
+		next := entries[0].Meta
+		for _, e := range entries {
+			if !e.Meta.ExpiredAt(leaf.NotBefore) {
+				next = e.Meta
+				break
+			}
+		}
+		out.Path = append(out.Path, next)
+		seen[issuerKey] = true
+		cur = next
+	}
+	return out
+}
+
+// StoreCompletable reports whether an analyzed chain that fails
+// presented-chain validation would still validate for a store-completing
+// client: its first certificate is public-DB issued and a store path
+// exists. This quantifies the §6.1 "fragmented reliability" finding.
+func StoreCompletable(db *trustdb.DB, a *Analysis) bool {
+	if len(a.Chain) == 0 {
+		return false
+	}
+	if a.Classes[0] != trustdb.IssuedByPublicDB {
+		return false
+	}
+	return BuildStorePath(db, a.Chain[0]).Complete
+}

@@ -1,0 +1,211 @@
+package chain
+
+import (
+	"fmt"
+
+	"certchains/internal/trustdb"
+)
+
+// HybridCategory is the Table 3 taxonomy for hybrid chains.
+type HybridCategory int
+
+const (
+	// HybridCompleteNonPubToPub: the chain is a complete matched path whose
+	// non-public-DB leaf anchors to a public trust root (26 chains in the
+	// paper: government and corporate sub-CAs under public roots).
+	HybridCompleteNonPubToPub HybridCategory = iota
+	// HybridCompletePubToPrv: the chain is a complete matched path where a
+	// public-DB-issued prefix chains into a trailing non-public-DB
+	// certificate (10 chains: the Scalyr/Canal+ pattern).
+	HybridCompletePubToPrv
+	// HybridCompleteOther: a complete matched path not matching either
+	// special pattern.
+	HybridCompleteOther
+	// HybridContainsComplete: the chain contains a complete matched path
+	// plus unnecessary certificates (70 chains).
+	HybridContainsComplete
+	// HybridNoComplete: no complete matched path exists (215 chains).
+	HybridNoComplete
+)
+
+// String implements fmt.Stringer.
+func (h HybridCategory) String() string {
+	switch h {
+	case HybridCompleteNonPubToPub:
+		return "complete/non-pub-chained-to-pub"
+	case HybridCompletePubToPrv:
+		return "complete/pub-chained-to-prv"
+	case HybridCompleteOther:
+		return "complete/other"
+	case HybridContainsComplete:
+		return "contains-complete"
+	case HybridNoComplete:
+		return "no-complete-path"
+	default:
+		return fmt.Sprintf("HybridCategory(%d)", int(h))
+	}
+}
+
+// ClassifyHybrid assigns the Table 3 category to an analyzed hybrid chain.
+func ClassifyHybrid(a *Analysis) HybridCategory {
+	switch a.Verdict {
+	case VerdictContainsPath:
+		return HybridContainsComplete
+	case VerdictNoPath, VerdictSingleCert:
+		return HybridNoComplete
+	}
+	// Complete matched path: decide the sub-pattern from the class layout.
+	leafClass := a.Classes[0]
+	lastClass := a.Classes[len(a.Classes)-1]
+	if leafClass == trustdb.IssuedByNonPublicDB {
+		return HybridCompleteNonPubToPub
+	}
+	if leafClass == trustdb.IssuedByPublicDB && lastClass == trustdb.IssuedByNonPublicDB {
+		return HybridCompletePubToPrv
+	}
+	return HybridCompleteOther
+}
+
+// NoPathCategory is the Table 7 taxonomy for hybrid chains without a
+// complete matched path.
+type NoPathCategory int
+
+const (
+	// NoPathSelfSignedLeafMismatch: a non-public self-signed first
+	// certificate followed by mismatched pairs (108 chains; the
+	// "CN=localhost" pattern).
+	NoPathSelfSignedLeafMismatch NoPathCategory = iota
+	// NoPathSelfSignedLeafValidSub: a non-public self-signed certificate
+	// replacing the leaf of an otherwise valid sub-chain (13 chains).
+	NoPathSelfSignedLeafValidSub
+	// NoPathAllMismatched: every issuer–subject pair mismatches (61).
+	NoPathAllMismatched
+	// NoPathPartial: some pairs match but no complete path forms (27).
+	NoPathPartial
+	// NoPathPrivateRootAppended: a non-public root appended after a valid
+	// truncated public sub-chain (5).
+	NoPathPrivateRootAppended
+	// NoPathPrivateRootMismatch: a non-public root present amid otherwise
+	// mismatched pairs (1).
+	NoPathPrivateRootMismatch
+)
+
+// String implements fmt.Stringer.
+func (n NoPathCategory) String() string {
+	switch n {
+	case NoPathSelfSignedLeafMismatch:
+		return "non-pub-self-signed-leaf+mismatches"
+	case NoPathSelfSignedLeafValidSub:
+		return "non-pub-self-signed-leaf+valid-subchain"
+	case NoPathAllMismatched:
+		return "all-pairs-mismatched"
+	case NoPathPartial:
+		return "partial-pairs-mismatched"
+	case NoPathPrivateRootAppended:
+		return "non-pub-root-appended-to-valid-subchain"
+	case NoPathPrivateRootMismatch:
+		return "non-pub-root+mismatches"
+	default:
+		return fmt.Sprintf("NoPathCategory(%d)", int(n))
+	}
+}
+
+// ClassifyNoPath assigns the Table 7 category. It must only be called for
+// chains whose Verdict is VerdictNoPath and with at least two certificates.
+func ClassifyNoPath(a *Analysis) NoPathCategory {
+	ch := a.Chain
+	first := ch[0]
+	firstSelfSigned := first.SelfSigned() && a.Classes[0] == trustdb.IssuedByNonPublicDB
+
+	// All links mismatched?
+	allMismatch := true
+	anyMismatch := false
+	for _, l := range a.Links {
+		if l.Matched() {
+			allMismatch = false
+		} else {
+			anyMismatch = true
+		}
+	}
+
+	if firstSelfSigned {
+		// Is the remainder one fully matched public run (leafless valid
+		// sub-chain)?
+		if len(ch) >= 3 && restFullyMatched(a, 1) {
+			return NoPathSelfSignedLeafValidSub
+		}
+		return NoPathSelfSignedLeafMismatch
+	}
+
+	// Trailing non-public self-signed root?
+	last := ch[len(ch)-1]
+	lastIsPrivateRoot := last.SelfSigned() && a.Classes[len(ch)-1] == trustdb.IssuedByNonPublicDB
+	if lastIsPrivateRoot {
+		// Everything before the appended root matched (a truncated valid
+		// public sub-chain)?
+		if len(ch) >= 3 && prefixFullyMatched(a, len(ch)-2) {
+			return NoPathPrivateRootAppended
+		}
+		return NoPathPrivateRootMismatch
+	}
+
+	if allMismatch {
+		return NoPathAllMismatched
+	}
+	_ = anyMismatch
+	return NoPathPartial
+}
+
+// restFullyMatched reports whether links from index `from` to the end are
+// all matched (i.e. chain[from:] forms one matched run).
+func restFullyMatched(a *Analysis, from int) bool {
+	for i := from; i < len(a.Links); i++ {
+		if !a.Links[i].Matched() {
+			return false
+		}
+	}
+	return len(a.Links) > from
+}
+
+// prefixFullyMatched reports whether links 0..upto-1 are all matched
+// (i.e. chain[0..upto] forms one matched run).
+func prefixFullyMatched(a *Analysis, upto int) bool {
+	if upto <= 0 {
+		return false
+	}
+	for i := 0; i < upto; i++ {
+		if !a.Links[i].Matched() {
+			return false
+		}
+	}
+	return true
+}
+
+// SingleCertStats summarizes single-certificate chains (§4.3).
+type SingleCertStats struct {
+	Total         int
+	SelfSigned    int
+	DistinctNames int
+}
+
+// Add accounts one single-certificate chain.
+func (s *SingleCertStats) Add(a *Analysis) {
+	if len(a.Chain) != 1 {
+		return
+	}
+	s.Total++
+	if a.Chain[0].SelfSigned() {
+		s.SelfSigned++
+	} else {
+		s.DistinctNames++
+	}
+}
+
+// SelfSignedShare returns the self-signed fraction (94.19% for
+// non-public-DB-only chains in the paper).
+func (s *SingleCertStats) SelfSignedShare() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.SelfSigned) / float64(s.Total)
+}

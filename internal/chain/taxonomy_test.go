@@ -1,0 +1,201 @@
+package chain
+
+import (
+	"testing"
+
+	"certchains/internal/certmodel"
+)
+
+// hybridEnv-specific builders for the Table 3 patterns.
+
+// nonPubToPub: non-public-DB leaf chained through an affiliated signing CA to
+// a public trust root (the government/corporate pattern of Table 6).
+func nonPubToPubChain() certmodel.Chain {
+	return certmodel.Chain{
+		cert("CN=Veterans Affairs CA B3,O=US Gov", "CN=portal.va.gov", certmodel.BCFalse),
+		cert("CN=Public Root G1,O=TrustCo", "CN=Veterans Affairs CA B3,O=US Gov", certmodel.BCTrue),
+	}
+}
+
+// pubToPrv: public leaf + intermediate followed by a non-public certificate
+// whose subject matches the preceding issuer (the Scalyr pattern of F.1).
+func pubToPrvChain() certmodel.Chain {
+	return certmodel.Chain{
+		cert("CN=TrustCo Issuing CA,O=TrustCo", "CN=app.scalyr.com", certmodel.BCFalse),
+		cert("CN=Public Root G1,O=TrustCo", "CN=TrustCo Issuing CA,O=TrustCo", certmodel.BCTrue),
+		cert("CN=Scalyr Internal,O=Scalyr", "CN=Public Root G1,O=TrustCo", certmodel.BCTrue),
+	}
+}
+
+func TestClassifyHybridComplete(t *testing.T) {
+	_, cl := testEnv(t)
+
+	a := cl.Analyze(nonPubToPubChain())
+	if a.Category != Hybrid {
+		t.Fatalf("category = %v, want hybrid", a.Category)
+	}
+	if a.Verdict != VerdictCompletePath {
+		t.Fatalf("verdict = %v", a.Verdict)
+	}
+	if got := ClassifyHybrid(a); got != HybridCompleteNonPubToPub {
+		t.Errorf("ClassifyHybrid = %v, want non-pub-to-pub", got)
+	}
+
+	a = cl.Analyze(pubToPrvChain())
+	if a.Category != Hybrid {
+		t.Fatalf("category = %v, want hybrid", a.Category)
+	}
+	if a.Verdict != VerdictCompletePath {
+		t.Fatalf("verdict = %v (links %v)", a.Verdict, a.Links)
+	}
+	if got := ClassifyHybrid(a); got != HybridCompletePubToPrv {
+		t.Errorf("ClassifyHybrid = %v, want pub-to-prv", got)
+	}
+}
+
+func TestClassifyHybridContains(t *testing.T) {
+	_, cl := testEnv(t)
+	// Valid public path + appended self-signed corporate cert (the HP
+	// "tester" pattern of F.2).
+	ch := append(publicChain(), cert("CN=tester", "CN=tester", certmodel.BCAbsent))
+	a := cl.Analyze(ch)
+	if a.Category != Hybrid {
+		t.Fatalf("category = %v", a.Category)
+	}
+	if got := ClassifyHybrid(a); got != HybridContainsComplete {
+		t.Errorf("ClassifyHybrid = %v, want contains-complete", got)
+	}
+	if len(a.Unnecessary) != 1 || a.Unnecessary[0] != 2 {
+		t.Errorf("unnecessary = %v", a.Unnecessary)
+	}
+}
+
+func TestClassifyHybridNoComplete(t *testing.T) {
+	_, cl := testEnv(t)
+	ch := certmodel.Chain{
+		cert("CN=localhost", "CN=localhost", certmodel.BCAbsent),
+		cert("CN=Public Root G1,O=TrustCo", "CN=TrustCo Issuing CA,O=TrustCo", certmodel.BCTrue),
+	}
+	a := cl.Analyze(ch)
+	if got := ClassifyHybrid(a); got != HybridNoComplete {
+		t.Errorf("ClassifyHybrid = %v, want no-complete", got)
+	}
+}
+
+func TestClassifyNoPathSelfSignedLeafMismatch(t *testing.T) {
+	_, cl := testEnv(t)
+	// The localhost pattern: self-signed non-pub leaf then junk.
+	ch := certmodel.Chain{
+		cert("CN=localhost,OU=none,O=none", "CN=localhost,OU=none,O=none", certmodel.BCAbsent),
+		cert("CN=Unrelated CA", "CN=Another CA", certmodel.BCTrue),
+	}
+	a := cl.Analyze(ch)
+	if a.Verdict != VerdictNoPath {
+		t.Fatalf("verdict = %v", a.Verdict)
+	}
+	if got := ClassifyNoPath(a); got != NoPathSelfSignedLeafMismatch {
+		t.Errorf("ClassifyNoPath = %v", got)
+	}
+}
+
+func TestClassifyNoPathSelfSignedLeafValidSub(t *testing.T) {
+	_, cl := testEnv(t)
+	// Self-signed cert replacing the leaf of an otherwise valid public
+	// sub-chain (13 chains in Table 7).
+	ch := certmodel.Chain{
+		cert("CN=selfhost.corp", "CN=selfhost.corp", certmodel.BCAbsent),
+		cert("CN=Public Root G1,O=TrustCo", "CN=TrustCo Issuing CA,O=TrustCo", certmodel.BCTrue),
+		cert("CN=Public Root G1,O=TrustCo", "CN=Public Root G1,O=TrustCo", certmodel.BCTrue),
+	}
+	a := cl.Analyze(ch)
+	if a.Verdict != VerdictNoPath {
+		t.Fatalf("verdict = %v (runs %+v)", a.Verdict, a.Runs)
+	}
+	if got := ClassifyNoPath(a); got != NoPathSelfSignedLeafValidSub {
+		t.Errorf("ClassifyNoPath = %v", got)
+	}
+}
+
+func TestClassifyNoPathAllMismatched(t *testing.T) {
+	_, cl := testEnv(t)
+	ch := certmodel.Chain{
+		cert("CN=A", "CN=a.com", certmodel.BCFalse),
+		cert("CN=B", "CN=bee", certmodel.BCTrue),
+		cert("CN=C", "CN=sea", certmodel.BCTrue),
+	}
+	a := cl.Analyze(ch)
+	if got := ClassifyNoPath(a); got != NoPathAllMismatched {
+		t.Errorf("ClassifyNoPath = %v", got)
+	}
+}
+
+func TestClassifyNoPathPartial(t *testing.T) {
+	_, cl := testEnv(t)
+	// A matched CA pair in the middle but no leaf-headed complete path and
+	// non-self-signed ends.
+	ch := certmodel.Chain{
+		cert("CN=X", "CN=x.com", certmodel.BCFalse),
+		cert("CN=Mid Root,O=M", "CN=Mid CA,O=M", certmodel.BCTrue),
+		cert("CN=Elsewhere", "CN=Mid Root,O=M", certmodel.BCTrue),
+	}
+	a := cl.Analyze(ch)
+	if a.Verdict != VerdictNoPath {
+		t.Fatalf("verdict = %v (runs %+v)", a.Verdict, a.Runs)
+	}
+	if got := ClassifyNoPath(a); got != NoPathPartial {
+		t.Errorf("ClassifyNoPath = %v", got)
+	}
+}
+
+func TestClassifyNoPathPrivateRootAppended(t *testing.T) {
+	_, cl := testEnv(t)
+	// Truncated public sub-chain (intermediate onward, no leaf) with a
+	// non-public root appended (5 chains in Table 7).
+	ch := certmodel.Chain{
+		cert("CN=Public Root G1,O=TrustCo", "CN=TrustCo Issuing CA,O=TrustCo", certmodel.BCTrue),
+		cert("CN=Public Root G1,O=TrustCo", "CN=Public Root G1,O=TrustCo", certmodel.BCTrue),
+		cert("CN=Corp Root,O=Corp", "CN=Corp Root,O=Corp", certmodel.BCAbsent),
+	}
+	a := cl.Analyze(ch)
+	if a.Verdict != VerdictNoPath {
+		t.Fatalf("verdict = %v (runs %+v)", a.Verdict, a.Runs)
+	}
+	if got := ClassifyNoPath(a); got != NoPathPrivateRootAppended {
+		t.Errorf("ClassifyNoPath = %v", got)
+	}
+}
+
+func TestClassifyNoPathPrivateRootMismatch(t *testing.T) {
+	_, cl := testEnv(t)
+	ch := certmodel.Chain{
+		cert("CN=Nothing", "CN=n.com", certmodel.BCFalse),
+		cert("CN=Corp Root,O=Corp", "CN=Corp Root,O=Corp", certmodel.BCAbsent),
+	}
+	a := cl.Analyze(ch)
+	if a.Verdict != VerdictNoPath {
+		t.Fatalf("verdict = %v", a.Verdict)
+	}
+	if got := ClassifyNoPath(a); got != NoPathPrivateRootMismatch {
+		t.Errorf("ClassifyNoPath = %v", got)
+	}
+}
+
+func TestSingleCertStats(t *testing.T) {
+	_, cl := testEnv(t)
+	var s SingleCertStats
+	s.Add(cl.Analyze(certmodel.Chain{cert("CN=a", "CN=a", certmodel.BCAbsent)}))
+	s.Add(cl.Analyze(certmodel.Chain{cert("CN=b", "CN=b", certmodel.BCAbsent)}))
+	s.Add(cl.Analyze(certmodel.Chain{cert("CN=www.r1.com", "CN=www.r2.com", certmodel.BCAbsent)}))
+	// Multi-cert chains are ignored.
+	s.Add(cl.Analyze(publicChain()))
+	if s.Total != 3 || s.SelfSigned != 2 || s.DistinctNames != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := s.SelfSignedShare(); got < 0.66 || got > 0.67 {
+		t.Errorf("share = %v", got)
+	}
+	var empty SingleCertStats
+	if empty.SelfSignedShare() != 0 {
+		t.Error("empty stats share must be 0")
+	}
+}

@@ -1,0 +1,303 @@
+package ctlog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/dn"
+	"certchains/internal/merkle"
+)
+
+var t0 = time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func mkCert(issuer, subject string, sans ...string) *certmodel.Meta {
+	iss := dn.MustParse(issuer)
+	sub := dn.MustParse(subject)
+	nb := t0.AddDate(0, -1, 0)
+	na := t0.AddDate(1, 0, 0)
+	return &certmodel.Meta{
+		FP:        certmodel.SyntheticFingerprint(iss, sub, fmt.Sprintf("%x", len(sans)+len(subject)), nb, na),
+		Issuer:    iss,
+		Subject:   sub,
+		NotBefore: nb,
+		NotAfter:  na,
+		SAN:       sans,
+	}
+}
+
+func newLog(t *testing.T) *Log {
+	t.Helper()
+	l, err := New("test-log", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestAddChainAndSCT(t *testing.T) {
+	l := newLog(t)
+	leaf := mkCert("CN=Issuing CA", "CN=site.example.com", "site.example.com")
+	ca := mkCert("CN=Root", "CN=Issuing CA")
+	sct, err := l.AddChain(certmodel.Chain{leaf, ca}, t0)
+	if err != nil {
+		t.Fatalf("AddChain: %v", err)
+	}
+	if sct.LeafIndex != 0 {
+		t.Errorf("leaf index = %d, want 0", sct.LeafIndex)
+	}
+	if !l.VerifySCT(sct, leaf) {
+		t.Error("SCT must verify against the logged cert")
+	}
+	other := mkCert("CN=Issuing CA", "CN=other.example.com")
+	if l.VerifySCT(sct, other) {
+		t.Error("SCT must not verify against a different cert")
+	}
+	if !l.Contains(leaf.FP) {
+		t.Error("Contains must report logged leaf")
+	}
+	if l.Contains(ca.FP) {
+		t.Error("chain certificates are not logged leaves")
+	}
+	if l.Size() != 1 {
+		t.Errorf("Size = %d, want 1", l.Size())
+	}
+	es := l.GetEntries(0, 10)
+	if len(es) != 1 || len(es[0].ChainFPs) != 1 || es[0].ChainFPs[0] != ca.FP {
+		t.Error("entry must record the submitted issuing chain")
+	}
+}
+
+func TestAddChainDuplicate(t *testing.T) {
+	l := newLog(t)
+	leaf := mkCert("CN=CA", "CN=dup.example.com")
+	if _, err := l.AddChain(certmodel.Chain{leaf}, t0); err != nil {
+		t.Fatal(err)
+	}
+	sct, err := l.AddChain(certmodel.Chain{leaf}, t0.Add(time.Hour))
+	if !errors.Is(err, ErrAlreadyLogged) {
+		t.Fatalf("duplicate err = %v, want ErrAlreadyLogged", err)
+	}
+	if sct == nil || sct.LeafIndex != 0 {
+		t.Error("duplicate must return the original entry's SCT")
+	}
+	if l.Size() != 1 {
+		t.Errorf("Size = %d after duplicate, want 1", l.Size())
+	}
+}
+
+func TestAddChainEmpty(t *testing.T) {
+	l := newLog(t)
+	if _, err := l.AddChain(nil, t0); err == nil {
+		t.Error("empty chain must be rejected")
+	}
+}
+
+func TestTreeHeadAndProofs(t *testing.T) {
+	l := newLog(t)
+	for i := 0; i < 20; i++ {
+		leaf := mkCert("CN=CA", fmt.Sprintf("CN=host%02d.example.com", i))
+		if _, err := l.AddChain(certmodel.Chain{leaf}, t0.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sth := l.TreeHead(t0.Add(time.Hour))
+	if sth.TreeSize != 20 {
+		t.Errorf("STH size = %d, want 20", sth.TreeSize)
+	}
+	if !l.VerifySTH(sth) {
+		t.Error("STH signature must verify")
+	}
+	bad := *sth
+	bad.TreeSize = 21
+	if l.VerifySTH(&bad) {
+		t.Error("tampered STH must not verify")
+	}
+
+	for _, idx := range []uint64{0, 7, 19} {
+		proof, err := l.InclusionProof(idx, sth.TreeSize)
+		if err != nil {
+			t.Fatalf("InclusionProof(%d): %v", idx, err)
+		}
+		e := l.GetEntries(idx, idx+1)[0]
+		if !merkle.VerifyInclusion(LeafHashOf(e), idx, sth.TreeSize, proof, sth.RootHash) {
+			t.Errorf("inclusion proof for entry %d failed", idx)
+		}
+	}
+
+	cp, err := l.ConsistencyProof(5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sth5Root := func() merkle.Hash {
+		// Rebuild the size-5 root from entries to cross-check consistency.
+		tr := merkle.New()
+		for _, e := range l.GetEntries(0, 5) {
+			tr.AppendHash(LeafHashOf(e))
+		}
+		return tr.Root()
+	}()
+	if !merkle.VerifyConsistency(5, 20, sth5Root, sth.RootHash, cp) {
+		t.Error("consistency proof failed")
+	}
+}
+
+func TestQueryDomain(t *testing.T) {
+	l := newLog(t)
+	a := mkCert("CN=CA 1", "CN=www.example.com", "www.example.com", "example.com")
+	b := mkCert("CN=CA 2", "CN=*.wild.example.org", "*.wild.example.org")
+	c := mkCert("CN=CA 3", "CN=unrelated.net")
+	for _, m := range []*certmodel.Meta{a, b, c} {
+		if _, err := l.AddChain(certmodel.Chain{m}, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if es := l.QueryDomain("www.example.com"); len(es) != 1 || es[0].Cert.FP != a.FP {
+		t.Errorf("QueryDomain(www.example.com) = %d entries", len(es))
+	}
+	if es := l.QueryDomain("example.com"); len(es) != 1 {
+		t.Errorf("SAN query returned %d entries", len(es))
+	}
+	if es := l.QueryDomain("host.wild.example.org"); len(es) != 1 || es[0].Cert.FP != b.FP {
+		t.Errorf("wildcard query returned %d entries", len(es))
+	}
+	if es := l.QueryDomain("deep.host.wild.example.org"); len(es) != 0 {
+		t.Errorf("wildcard must cover one label only, got %d", len(es))
+	}
+	if es := l.QueryDomain("WWW.EXAMPLE.COM"); len(es) != 1 {
+		t.Errorf("query must be case-insensitive, got %d", len(es))
+	}
+	if es := l.QueryDomain("absent.example.net"); len(es) != 0 {
+		t.Errorf("unknown domain returned %d entries", len(es))
+	}
+}
+
+func TestIssuersFor(t *testing.T) {
+	l := newLog(t)
+	legit := mkCert("CN=Public CA X", "CN=bank.example.com", "bank.example.com")
+	if _, err := l.AddChain(certmodel.Chain{legit}, t0); err != nil {
+		t.Fatal(err)
+	}
+	issuers := l.IssuersFor("bank.example.com", t0)
+	if len(issuers) != 1 || issuers[0].CommonName() != "Public CA X" {
+		t.Fatalf("IssuersFor = %v", issuers)
+	}
+	// Outside the validity window the set is empty.
+	if got := l.IssuersFor("bank.example.com", t0.AddDate(3, 0, 0)); len(got) != 0 {
+		t.Errorf("expired window returned %d issuers", len(got))
+	}
+	// The interception test: observed issuer differs from CT's record.
+	observed := dn.MustParse("CN=Corp TLS Inspection CA")
+	match := false
+	for _, d := range issuers {
+		if d.Equal(observed) {
+			match = true
+		}
+	}
+	if match {
+		t.Error("interception issuer must not match CT record")
+	}
+}
+
+func TestEntriesByIssuer(t *testing.T) {
+	l := newLog(t)
+	for i := 0; i < 3; i++ {
+		m := mkCert("CN=Shared CA", fmt.Sprintf("CN=s%d.example.com", i))
+		l.AddChain(certmodel.Chain{m}, t0)
+	}
+	l.AddChain(certmodel.Chain{mkCert("CN=Other CA", "CN=x.example.com")}, t0)
+	if es := l.EntriesByIssuer(dn.MustParse("CN=Shared CA")); len(es) != 3 {
+		t.Errorf("EntriesByIssuer = %d, want 3", len(es))
+	}
+}
+
+func TestGetEntriesBounds(t *testing.T) {
+	l := newLog(t)
+	for i := 0; i < 5; i++ {
+		l.AddChain(certmodel.Chain{mkCert("CN=CA", fmt.Sprintf("CN=e%d", i))}, t0)
+	}
+	if es := l.GetEntries(10, 20); es != nil {
+		t.Error("start beyond size must return nil")
+	}
+	if es := l.GetEntries(3, 100); len(es) != 2 {
+		t.Errorf("clamped range returned %d", len(es))
+	}
+	if es := l.GetEntries(0, 5); len(es) != 5 {
+		t.Errorf("full range returned %d", len(es))
+	}
+}
+
+func TestLogIdentity(t *testing.T) {
+	a, _ := New("a", 1)
+	b, _ := New("b", 2)
+	if a.ID() == b.ID() {
+		t.Error("different seeds must give different log IDs")
+	}
+	c, _ := New("c", 1)
+	if a.ID() != c.ID() {
+		t.Error("same seed must give the same log ID")
+	}
+	if a.Name() != "a" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	if len(a.PublicKey()) == 0 {
+		t.Error("PublicKey must be exposed")
+	}
+}
+
+func TestConcurrentAddAndQuery(t *testing.T) {
+	l := newLog(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				m := mkCert("CN=CA", fmt.Sprintf("CN=c%d-%d.example.com", g, i))
+				l.AddChain(certmodel.Chain{m}, t0)
+				l.QueryDomain(fmt.Sprintf("c%d-%d.example.com", g, i))
+				l.Size()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Size() != 100 {
+		t.Errorf("Size = %d, want 100", l.Size())
+	}
+	// All entries must have verifiable inclusion in the final tree.
+	sth := l.TreeHead(t0)
+	for _, e := range l.GetEntries(0, 100) {
+		proof, err := l.InclusionProof(e.Index, sth.TreeSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !merkle.VerifyInclusion(LeafHashOf(e), e.Index, sth.TreeSize, proof, sth.RootHash) {
+			t.Fatalf("inclusion failed for concurrent entry %d", e.Index)
+		}
+	}
+}
+
+func BenchmarkAddChain(b *testing.B) {
+	l, _ := New("bench", 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := mkCert("CN=CA", fmt.Sprintf("CN=b%d.example.com", i))
+		l.AddChain(certmodel.Chain{m}, t0)
+	}
+}
+
+func BenchmarkQueryDomain(b *testing.B) {
+	l, _ := New("bench", 3)
+	for i := 0; i < 10000; i++ {
+		m := mkCert("CN=CA", fmt.Sprintf("CN=q%d.example.com", i))
+		l.AddChain(certmodel.Chain{m}, t0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.QueryDomain(fmt.Sprintf("q%d.example.com", i%10000))
+	}
+}

@@ -1,0 +1,482 @@
+package ctlog
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/dn"
+	"certchains/internal/merkle"
+)
+
+// HTTP wire formats, modeled on RFC 6962's JSON messages with the log-level
+// certificate representation this system uses (no raw DER in the campus
+// pipeline).
+
+// WireSTH is the get-sth response.
+type WireSTH struct {
+	TreeSize  uint64 `json:"tree_size"`
+	Timestamp int64  `json:"timestamp"` // milliseconds since epoch
+	RootHash  string `json:"sha256_root_hash"`
+	Signature string `json:"tree_head_signature"`
+}
+
+// WireCert is the JSON form of a logged certificate.
+type WireCert struct {
+	Fingerprint string   `json:"fingerprint"`
+	Issuer      string   `json:"issuer"`
+	Subject     string   `json:"subject"`
+	SerialHex   string   `json:"serial"`
+	NotBefore   int64    `json:"not_before"` // unix seconds
+	NotAfter    int64    `json:"not_after"`
+	SAN         []string `json:"san,omitempty"`
+}
+
+func toWireCert(m *certmodel.Meta) WireCert {
+	return WireCert{
+		Fingerprint: string(m.FP),
+		Issuer:      m.Issuer.String(),
+		Subject:     m.Subject.String(),
+		SerialHex:   m.SerialHex,
+		NotBefore:   m.NotBefore.Unix(),
+		NotAfter:    m.NotAfter.Unix(),
+		SAN:         m.SAN,
+	}
+}
+
+func (w *WireCert) toMeta() (*certmodel.Meta, error) {
+	issuer, err := dn.Parse(w.Issuer)
+	if err != nil {
+		return nil, fmt.Errorf("ctlog: wire issuer: %w", err)
+	}
+	subject, err := dn.Parse(w.Subject)
+	if err != nil {
+		return nil, fmt.Errorf("ctlog: wire subject: %w", err)
+	}
+	return &certmodel.Meta{
+		FP:        certmodel.Fingerprint(w.Fingerprint),
+		Issuer:    issuer,
+		Subject:   subject,
+		SerialHex: w.SerialHex,
+		NotBefore: time.Unix(w.NotBefore, 0).UTC(),
+		NotAfter:  time.Unix(w.NotAfter, 0).UTC(),
+		SAN:       w.SAN,
+	}, nil
+}
+
+// WireEntry is one get-entries element.
+type WireEntry struct {
+	Index     uint64   `json:"index"`
+	Timestamp int64    `json:"timestamp"`
+	Cert      WireCert `json:"cert"`
+}
+
+// WireSCT is the add-chain response.
+type WireSCT struct {
+	LogID     string `json:"id"`
+	Timestamp int64  `json:"timestamp"`
+	LeafIndex uint64 `json:"leaf_index"`
+	Signature string `json:"signature"`
+	// Duplicate is set when the leaf was already logged.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// WireProof is the get-proof / get-consistency response.
+type WireProof struct {
+	LeafIndex uint64   `json:"leaf_index,omitempty"`
+	Path      []string `json:"audit_path"`
+}
+
+// Handler exposes the log over HTTP:
+//
+//	GET  /ct/v1/get-sth
+//	GET  /ct/v1/get-entries?start=S&end=E
+//	GET  /ct/v1/get-proof?index=I&tree_size=N
+//	GET  /ct/v1/get-consistency?first=M&second=N
+//	GET  /ct/v1/query?domain=D          (crt.sh-style)
+//	POST /ct/v1/add-chain               ({"chain":[WireCert...]})
+func (l *Log) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ct/v1/get-sth", l.handleGetSTH)
+	mux.HandleFunc("GET /ct/v1/get-entries", l.handleGetEntries)
+	mux.HandleFunc("GET /ct/v1/get-proof", l.handleGetProof)
+	mux.HandleFunc("GET /ct/v1/get-consistency", l.handleGetConsistency)
+	mux.HandleFunc("GET /ct/v1/query", l.handleQuery)
+	mux.HandleFunc("POST /ct/v1/add-chain", l.handleAddChain)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; nothing more to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func (l *Log) handleGetSTH(w http.ResponseWriter, r *http.Request) {
+	sth := l.TreeHead(time.Now())
+	writeJSON(w, WireSTH{
+		TreeSize:  sth.TreeSize,
+		Timestamp: sth.Timestamp.UnixMilli(),
+		RootHash:  base64.StdEncoding.EncodeToString(sth.RootHash[:]),
+		Signature: base64.StdEncoding.EncodeToString(sth.Signature),
+	})
+}
+
+func queryUint(r *http.Request, name string) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad parameter %q: %v", name, err)
+	}
+	return n, nil
+}
+
+func (l *Log) handleGetEntries(w http.ResponseWriter, r *http.Request) {
+	start, err := queryUint(r, "start")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	end, err := queryUint(r, "end")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if end < start {
+		httpError(w, http.StatusBadRequest, "end < start")
+		return
+	}
+	// RFC 6962 end is inclusive.
+	entries := l.GetEntries(start, end+1)
+	out := struct {
+		Entries []WireEntry `json:"entries"`
+	}{Entries: make([]WireEntry, 0, len(entries))}
+	for _, e := range entries {
+		out.Entries = append(out.Entries, WireEntry{
+			Index:     e.Index,
+			Timestamp: e.Timestamp.UnixMilli(),
+			Cert:      toWireCert(e.Cert),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func encodePath(path []merkle.Hash) []string {
+	out := make([]string, len(path))
+	for i, h := range path {
+		out[i] = base64.StdEncoding.EncodeToString(h[:])
+	}
+	return out
+}
+
+func (l *Log) handleGetProof(w http.ResponseWriter, r *http.Request) {
+	index, err := queryUint(r, "index")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	size, err := queryUint(r, "tree_size")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	proof, err := l.InclusionProof(index, size)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, WireProof{LeafIndex: index, Path: encodePath(proof)})
+}
+
+func (l *Log) handleGetConsistency(w http.ResponseWriter, r *http.Request) {
+	first, err := queryUint(r, "first")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	second, err := queryUint(r, "second")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	proof, err := l.ConsistencyProof(first, second)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, WireProof{Path: encodePath(proof)})
+}
+
+func (l *Log) handleQuery(w http.ResponseWriter, r *http.Request) {
+	domain := r.URL.Query().Get("domain")
+	if domain == "" {
+		httpError(w, http.StatusBadRequest, "missing parameter %q", "domain")
+		return
+	}
+	entries := l.QueryDomain(domain)
+	out := struct {
+		Entries []WireEntry `json:"entries"`
+	}{Entries: make([]WireEntry, 0, len(entries))}
+	for _, e := range entries {
+		out.Entries = append(out.Entries, WireEntry{
+			Index:     e.Index,
+			Timestamp: e.Timestamp.UnixMilli(),
+			Cert:      toWireCert(e.Cert),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (l *Log) handleAddChain(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Chain []WireCert `json:"chain"`
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Chain) == 0 {
+		httpError(w, http.StatusBadRequest, "empty chain")
+		return
+	}
+	chain := make(certmodel.Chain, 0, len(req.Chain))
+	for i := range req.Chain {
+		m, err := req.Chain[i].toMeta()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "certificate %d: %v", i, err)
+			return
+		}
+		chain = append(chain, m)
+	}
+	sct, err := l.AddChain(chain, time.Now())
+	duplicate := errors.Is(err, ErrAlreadyLogged)
+	if err != nil && !duplicate {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, WireSCT{
+		LogID:     base64.StdEncoding.EncodeToString(sct.LogID[:]),
+		Timestamp: sct.Timestamp.UnixMilli(),
+		LeafIndex: sct.LeafIndex,
+		Signature: base64.StdEncoding.EncodeToString(sct.Signature),
+		Duplicate: duplicate,
+	})
+}
+
+// Client talks to a log's HTTP API.
+type Client struct {
+	// Base is the server base URL (e.g. "http://127.0.0.1:8634").
+	Base string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) get(ctx context.Context, path string, params url.Values, out any) error {
+	u := c.Base + path
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("ctlog client: build request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("ctlog client: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("ctlog client: %s: status %d: %s", path, resp.StatusCode, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// GetSTH fetches and decodes the signed tree head.
+func (c *Client) GetSTH(ctx context.Context) (*STH, error) {
+	var wire WireSTH
+	if err := c.get(ctx, "/ct/v1/get-sth", nil, &wire); err != nil {
+		return nil, err
+	}
+	root, err := base64.StdEncoding.DecodeString(wire.RootHash)
+	if err != nil || len(root) != merkle.HashSize {
+		return nil, fmt.Errorf("ctlog client: bad root hash")
+	}
+	sig, err := base64.StdEncoding.DecodeString(wire.Signature)
+	if err != nil {
+		return nil, fmt.Errorf("ctlog client: bad signature encoding")
+	}
+	sth := &STH{
+		TreeSize:  wire.TreeSize,
+		Timestamp: time.UnixMilli(wire.Timestamp).UTC(),
+		Signature: sig,
+	}
+	copy(sth.RootHash[:], root)
+	return sth, nil
+}
+
+// GetEntries fetches entries [start, end] inclusive.
+func (c *Client) GetEntries(ctx context.Context, start, end uint64) ([]*Entry, error) {
+	var wire struct {
+		Entries []WireEntry `json:"entries"`
+	}
+	params := url.Values{
+		"start": {strconv.FormatUint(start, 10)},
+		"end":   {strconv.FormatUint(end, 10)},
+	}
+	if err := c.get(ctx, "/ct/v1/get-entries", params, &wire); err != nil {
+		return nil, err
+	}
+	out := make([]*Entry, 0, len(wire.Entries))
+	for i := range wire.Entries {
+		m, err := wire.Entries[i].Cert.toMeta()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Entry{
+			Index:     wire.Entries[i].Index,
+			Timestamp: time.UnixMilli(wire.Entries[i].Timestamp).UTC(),
+			Cert:      m,
+		})
+	}
+	return out, nil
+}
+
+// GetInclusionProof fetches the audit path for index at tree_size.
+func (c *Client) GetInclusionProof(ctx context.Context, index, treeSize uint64) ([]merkle.Hash, error) {
+	var wire WireProof
+	params := url.Values{
+		"index":     {strconv.FormatUint(index, 10)},
+		"tree_size": {strconv.FormatUint(treeSize, 10)},
+	}
+	if err := c.get(ctx, "/ct/v1/get-proof", params, &wire); err != nil {
+		return nil, err
+	}
+	return decodePath(wire.Path)
+}
+
+// GetConsistencyProof fetches the proof between tree sizes first and second.
+func (c *Client) GetConsistencyProof(ctx context.Context, first, second uint64) ([]merkle.Hash, error) {
+	var wire WireProof
+	params := url.Values{
+		"first":  {strconv.FormatUint(first, 10)},
+		"second": {strconv.FormatUint(second, 10)},
+	}
+	if err := c.get(ctx, "/ct/v1/get-consistency", params, &wire); err != nil {
+		return nil, err
+	}
+	return decodePath(wire.Path)
+}
+
+// QueryDomain fetches the crt.sh-style entries covering a domain.
+func (c *Client) QueryDomain(ctx context.Context, domain string) ([]*Entry, error) {
+	var wire struct {
+		Entries []WireEntry `json:"entries"`
+	}
+	if err := c.get(ctx, "/ct/v1/query", url.Values{"domain": {domain}}, &wire); err != nil {
+		return nil, err
+	}
+	out := make([]*Entry, 0, len(wire.Entries))
+	for i := range wire.Entries {
+		m, err := wire.Entries[i].Cert.toMeta()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Entry{
+			Index:     wire.Entries[i].Index,
+			Timestamp: time.UnixMilli(wire.Entries[i].Timestamp).UTC(),
+			Cert:      m,
+		})
+	}
+	return out, nil
+}
+
+// AddChain submits a chain and returns the SCT.
+func (c *Client) AddChain(ctx context.Context, chain certmodel.Chain) (*SCT, bool, error) {
+	req := struct {
+		Chain []WireCert `json:"chain"`
+	}{}
+	for _, m := range chain {
+		req.Chain = append(req.Chain, toWireCert(m))
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("ctlog client: marshal: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.Base+"/ct/v1/add-chain", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, false, fmt.Errorf("ctlog client: add-chain: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, false, fmt.Errorf("ctlog client: add-chain: status %d: %s", resp.StatusCode, msg)
+	}
+	var wire WireSCT
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		return nil, false, err
+	}
+	sig, err := base64.StdEncoding.DecodeString(wire.Signature)
+	if err != nil {
+		return nil, false, fmt.Errorf("ctlog client: bad SCT signature encoding")
+	}
+	id, err := base64.StdEncoding.DecodeString(wire.LogID)
+	if err != nil || len(id) != 32 {
+		return nil, false, fmt.Errorf("ctlog client: bad log id")
+	}
+	sct := &SCT{
+		Timestamp: time.UnixMilli(wire.Timestamp).UTC(),
+		LeafIndex: wire.LeafIndex,
+		Signature: sig,
+	}
+	copy(sct.LogID[:], id)
+	return sct, wire.Duplicate, nil
+}
+
+func decodePath(encoded []string) ([]merkle.Hash, error) {
+	out := make([]merkle.Hash, len(encoded))
+	for i, s := range encoded {
+		b, err := base64.StdEncoding.DecodeString(s)
+		if err != nil || len(b) != merkle.HashSize {
+			return nil, fmt.Errorf("ctlog client: bad proof hash %d", i)
+		}
+		copy(out[i][:], b)
+	}
+	return out, nil
+}

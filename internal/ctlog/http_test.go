@@ -1,0 +1,250 @@
+package ctlog
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/merkle"
+)
+
+// httpEnv starts a log server with a few entries.
+func httpEnv(t *testing.T) (*Log, *Client) {
+	t.Helper()
+	l, err := New("http-test", 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		m := mkCert("CN=HTTP CA", fmt.Sprintf("CN=h%02d.example.com", i), fmt.Sprintf("h%02d.example.com", i))
+		if _, err := l.AddChain(certmodel.Chain{m}, t0.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(l.Handler())
+	t.Cleanup(srv.Close)
+	return l, &Client{Base: srv.URL, HTTPClient: srv.Client()}
+}
+
+func TestHTTPGetSTH(t *testing.T) {
+	l, c := httpEnv(t)
+	sth, err := c.GetSTH(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sth.TreeSize != 12 {
+		t.Errorf("tree size = %d", sth.TreeSize)
+	}
+	if !l.VerifySTH(sth) {
+		t.Error("fetched STH signature must verify against the log key")
+	}
+}
+
+func TestHTTPGetEntries(t *testing.T) {
+	_, c := httpEnv(t)
+	entries, err := c.GetEntries(context.Background(), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d, want 4 (end inclusive)", len(entries))
+	}
+	if entries[0].Index != 2 || entries[3].Index != 5 {
+		t.Errorf("indices = %d..%d", entries[0].Index, entries[3].Index)
+	}
+	if entries[0].Cert.Subject.CommonName() != "h02.example.com" {
+		t.Errorf("subject = %q", entries[0].Cert.Subject.CommonName())
+	}
+}
+
+func TestHTTPInclusionProofEndToEnd(t *testing.T) {
+	l, c := httpEnv(t)
+	ctx := context.Background()
+	sth, err := c.GetSTH(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := c.GetEntries(ctx, 7, 7)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries: %v", err)
+	}
+	proof, err := c.GetInclusionProof(ctx, 7, sth.TreeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fetched entry's recomputed leaf hash must verify against the
+	// fetched STH through the fetched proof — a complete CT monitor cycle.
+	if !merkle.VerifyInclusion(LeafHashOf(entries[0]), 7, sth.TreeSize, proof, sth.RootHash) {
+		t.Error("end-to-end inclusion verification failed")
+	}
+	_ = l
+}
+
+func TestHTTPConsistencyProof(t *testing.T) {
+	l, c := httpEnv(t)
+	ctx := context.Background()
+	proof, err := c.GetConsistencyProof(ctx, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the size-4 root locally.
+	tr := merkle.New()
+	for _, e := range l.GetEntries(0, 4) {
+		tr.AppendHash(LeafHashOf(e))
+	}
+	sth, _ := c.GetSTH(ctx)
+	if !merkle.VerifyConsistency(4, 12, tr.Root(), sth.RootHash, proof) {
+		t.Error("consistency verification failed")
+	}
+}
+
+func TestHTTPQueryDomain(t *testing.T) {
+	_, c := httpEnv(t)
+	entries, err := c.QueryDomain(context.Background(), "h03.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Cert.Subject.CommonName() != "h03.example.com" {
+		t.Errorf("query returned %d entries", len(entries))
+	}
+	none, err := c.QueryDomain(context.Background(), "absent.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("absent domain returned %d entries", len(none))
+	}
+}
+
+func TestHTTPAddChain(t *testing.T) {
+	l, c := httpEnv(t)
+	m := mkCert("CN=HTTP CA", "CN=added.example.com", "added.example.com")
+	sct, dup, err := c.AddChain(context.Background(), certmodel.Chain{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup {
+		t.Error("first submission must not be duplicate")
+	}
+	if sct.LeafIndex != 12 {
+		t.Errorf("leaf index = %d, want 12", sct.LeafIndex)
+	}
+	if sct.LogID != l.ID() {
+		t.Error("SCT log id mismatch")
+	}
+	if !l.Contains(m.FP) {
+		t.Error("submitted chain must be logged")
+	}
+	// Resubmission returns the original SCT with the duplicate flag.
+	sct2, dup2, err := c.AddChain(context.Background(), certmodel.Chain{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup2 || sct2.LeafIndex != 12 {
+		t.Errorf("duplicate submission: dup=%v index=%d", dup2, sct2.LeafIndex)
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	_, c := httpEnv(t)
+	base := c.Base
+	get := func(path string) int {
+		resp, err := c.HTTPClient.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/ct/v1/get-entries", http.StatusBadRequest},                      // missing params
+		{"/ct/v1/get-entries?start=5&end=2", http.StatusBadRequest},        // end < start
+		{"/ct/v1/get-entries?start=x&end=2", http.StatusBadRequest},        // bad number
+		{"/ct/v1/get-proof?index=99&tree_size=12", http.StatusBadRequest},  // out of range
+		{"/ct/v1/get-consistency?first=9&second=3", http.StatusBadRequest}, // m > n
+		{"/ct/v1/query", http.StatusBadRequest},                            // missing domain
+		{"/ct/v1/get-sth", http.StatusOK},
+	}
+	for _, tc := range cases {
+		if got := get(tc.path); got != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.path, got, tc.want)
+		}
+	}
+
+	// Bad add-chain bodies.
+	for _, body := range []string{"", "{", `{"chain":[]}`, `{"chain":[{"issuer":"=bad","subject":"CN=x"}]}`} {
+		resp, err := c.HTTPClient.Post(base+"/ct/v1/add-chain", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("add-chain with body %q = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPClientAgainstDownServer(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close() // immediately down
+	c := &Client{Base: srv.URL}
+	if _, err := c.GetSTH(context.Background()); err == nil {
+		t.Error("client must surface connection errors")
+	}
+}
+
+func TestHTTPClientBadResponses(t *testing.T) {
+	// A server returning garbage.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"sha256_root_hash":"!!!not-base64!!!","tree_head_signature":"eA==","audit_path":["%%%"]}`)
+	}))
+	defer srv.Close()
+	c := &Client{Base: srv.URL, HTTPClient: srv.Client()}
+	if _, err := c.GetSTH(context.Background()); err == nil {
+		t.Error("bad root hash must error")
+	}
+	if _, err := c.GetInclusionProof(context.Background(), 0, 1); err == nil {
+		t.Error("bad proof hash must error")
+	}
+}
+
+func TestWireCertRoundTrip(t *testing.T) {
+	m := mkCert("CN=Wire CA,O=Org", "CN=wire.example.com", "wire.example.com", "alt.example.com")
+	w := toWireCert(m)
+	back, err := w.toMeta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Issuer.Equal(m.Issuer) || !back.Subject.Equal(m.Subject) {
+		t.Error("DNs must survive the wire round trip")
+	}
+	if back.FP != m.FP || len(back.SAN) != 2 {
+		t.Errorf("round trip = %+v", back)
+	}
+	if !back.NotBefore.Equal(m.NotBefore.Truncate(time.Second)) {
+		t.Errorf("notBefore = %v vs %v", back.NotBefore, m.NotBefore)
+	}
+}
+
+func TestHTTPQueryEscaping(t *testing.T) {
+	_, c := httpEnv(t)
+	// A domain needing URL escaping must not break the query.
+	v := url.Values{"domain": {"weird domain/with?chars"}}
+	resp, err := c.HTTPClient.Get(c.Base + "/ct/v1/query?" + v.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("escaped query = %d", resp.StatusCode)
+	}
+}

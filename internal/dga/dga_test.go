@@ -1,0 +1,84 @@
+package dga
+
+import (
+	"testing"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/dn"
+)
+
+func certWithCNs(issuerCN, subjectCN string, days int) *certmodel.Meta {
+	nb := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	return &certmodel.Meta{
+		Issuer:    dn.FromMap("CN", issuerCN),
+		Subject:   dn.FromMap("CN", subjectCN),
+		NotBefore: nb,
+		NotAfter:  nb.AddDate(0, 0, days),
+	}
+}
+
+func TestScoreSeparatesRandomFromNatural(t *testing.T) {
+	natural := []string{"mailserver", "university", "webportal", "secureline", "brandstore"}
+	random := []string{"qzxkvjwp", "xkcdqzwv", "zqpxkvtj", "wvqxzjkp", "kjqzwxvp"}
+	for _, n := range natural {
+		if Score(n) <= maxScore {
+			t.Errorf("natural label %q scored %v (≤ %v): would be flagged", n, Score(n), maxScore)
+		}
+	}
+	for _, r := range random {
+		if Score(r) > maxScore {
+			t.Errorf("random label %q scored %v (> %v): would be missed", r, Score(r), maxScore)
+		}
+	}
+}
+
+func TestScoreEdgeCases(t *testing.T) {
+	if Score("") != 1 {
+		t.Error("empty label should score 1 (never flagged)")
+	}
+	if Score("1234") != 0 {
+		t.Error("digit-only label has no letters -> score 0")
+	}
+}
+
+func TestIsDGACertificate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *certmodel.Meta
+		want bool
+	}{
+		{"typical DGA", certWithCNs("www.qzxkvjwp.com", "www.zqpxkvtj.com", 90), true},
+		{"same names", certWithCNs("www.qzxkvjwp.com", "www.qzxkvjwp.com", 90), false},
+		{"natural names", certWithCNs("www.university.com", "www.webportal.com", 90), false},
+		{"wrong TLD", certWithCNs("www.qzxkvjwp.net", "www.zqpxkvtj.net", 90), false},
+		{"no www prefix", certWithCNs("qzxkvjwp.com", "zqpxkvtj.com", 90), false},
+		{"too short validity", certWithCNs("www.qzxkvjwp.com", "www.zqpxkvtj.com", 2), false},
+		{"too long validity", certWithCNs("www.qzxkvjwp.com", "www.zqpxkvtj.com", 700), false},
+		{"min validity 4d", certWithCNs("www.qzxkvjwp.com", "www.zqpxkvtj.com", 4), true},
+		{"max validity 365d", certWithCNs("www.qzxkvjwp.com", "www.zqpxkvtj.com", 365), true},
+		{"short label", certWithCNs("www.qz.com", "www.zx.com", 90), false},
+		{"nested label", certWithCNs("www.a.qzxkvjwp.com", "www.zqpxkvtj.com", 90), false},
+		{"one natural one random", certWithCNs("www.university.com", "www.zqpxkvtj.com", 90), false},
+	}
+	for _, c := range cases {
+		if got := IsDGACertificate(c.m); got != c.want {
+			t.Errorf("%s: IsDGACertificate = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClusterStats(t *testing.T) {
+	s := NewClusterStats()
+	s.Add(certWithCNs("www.qzxkvjwp.com", "www.zqpxkvtj.com", 30), 100, []string{"10.0.0.1", "10.0.0.2"})
+	s.Add(certWithCNs("www.kjqzwxvp.com", "www.wvqxzjkp.com", 200), 50, []string{"10.0.0.2", "10.0.0.3"})
+	if s.Certificates != 2 || s.Connections != 150 {
+		t.Errorf("stats = %+v", s)
+	}
+	if len(s.ClientIPs) != 3 {
+		t.Errorf("client IPs = %d, want 3 (deduplicated)", len(s.ClientIPs))
+	}
+	if s.MinValidity != 30 || s.MaxValidity != 200 {
+		t.Errorf("validity range = [%d, %d]", s.MinValidity, s.MaxValidity)
+	}
+}

@@ -1,0 +1,330 @@
+package dn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimple(t *testing.T) {
+	d, err := Parse("CN=example.com,O=Example Inc.,C=US")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(d) != 3 {
+		t.Fatalf("got %d RDNs, want 3", len(d))
+	}
+	if cn := d.CommonName(); cn != "example.com" {
+		t.Errorf("CommonName = %q, want example.com", cn)
+	}
+	if o := d.Organization(); o != "Example Inc." {
+		t.Errorf("Organization = %q, want Example Inc.", o)
+	}
+	if c := d.Country(); c != "US" {
+		t.Errorf("Country = %q, want US", c)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	for _, in := range []string{"", "   ", "\t"} {
+		if _, err := Parse(in); err != ErrEmpty {
+			t.Errorf("Parse(%q) err = %v, want ErrEmpty", in, err)
+		}
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	cases := []struct {
+		in      string
+		typ     string
+		wantVal string
+	}{
+		{`CN=Foo\, Bar`, "CN", "Foo, Bar"},
+		{`CN=a\+b`, "CN", "a+b"},
+		{`CN=back\\slash`, "CN", `back\slash`},
+		{`CN=\#leading`, "CN", "#leading"},
+		{`CN=\20space`, "CN", " space"},
+		{`CN=tab\09end`, "CN", "tab\tend"},
+		{`O=Acme \"Quoted\"`, "O", `Acme "Quoted"`},
+	}
+	for _, c := range cases {
+		d, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		v, ok := d.Get(c.typ)
+		if !ok || v != c.wantVal {
+			t.Errorf("Parse(%q).Get(%s) = %q,%v want %q", c.in, c.typ, v, ok, c.wantVal)
+		}
+	}
+}
+
+func TestParseHexValue(t *testing.T) {
+	d, err := Parse("CN=#414243")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if v := d.CommonName(); v != "ABC" {
+		t.Errorf("hex value = %q, want ABC", v)
+	}
+}
+
+func TestParseHexValueErrors(t *testing.T) {
+	for _, in := range []string{"CN=#", "CN=#abc", "CN=#zz"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseMultiValuedRDN(t *testing.T) {
+	d, err := Parse("CN=x+OU=dev,O=org")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(d) != 2 {
+		t.Fatalf("got %d RDNs, want 2", len(d))
+	}
+	if len(d[0]) != 2 {
+		t.Fatalf("first RDN has %d attrs, want 2", len(d[0]))
+	}
+}
+
+func TestParseSemicolonSeparator(t *testing.T) {
+	d, err := Parse("CN=a;O=b")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(d) != 2 {
+		t.Fatalf("got %d RDNs, want 2", len(d))
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	cases := []struct{ in, typ, val string }{
+		{"commonName=a", "CN", "a"},
+		{"emailAddress=x@y.z", "EMAILADDRESS", "x@y.z"},
+		{"E=x@y.z", "EMAILADDRESS", "x@y.z"},
+		{"2.5.4.3=oid", "CN", "oid"},
+		{"S=Virginia", "ST", "Virginia"},
+		{"domainComponent=edu", "DC", "edu"},
+	}
+	for _, c := range cases {
+		d, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if v, ok := d.Get(c.typ); !ok || v != c.val {
+			t.Errorf("Parse(%q).Get(%s) = %q,%v want %q", c.in, c.typ, v, ok, c.val)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"CN",         // no '='
+		"=v",         // empty type
+		"CN=a,",      // trailing separator with nothing after: empty type
+		"CN=a,=b",    // empty type mid-DN
+		`CN=a\`,      // dangling escape
+		"CN=a,OU",    // second attr missing '='
+		"CN=a++OU=b", // empty attribute in multi-valued RDN
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("CN")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("err type %T, want *SyntaxError", err)
+	}
+	if !strings.Contains(se.Error(), "offset") {
+		t.Errorf("error message %q missing offset", se.Error())
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		"CN=example.com,O=Example Inc.,C=US",
+		`CN=Foo\, Bar,O=x`,
+		"CN=a+OU=b,O=c",
+		`O=lead\ space end`,
+		"CN=üñí¢ödé,C=DE",
+	}
+	for _, in := range inputs {
+		d1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		s := d1.String()
+		d2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("reparse(%q): %v", s, err)
+		}
+		if !d1.Equal(d2) {
+			t.Errorf("round trip changed DN: %q -> %q", in, s)
+		}
+	}
+}
+
+func TestEqualNormalization(t *testing.T) {
+	a := MustParse("CN=x, O=y , C=US")
+	b := MustParse("CN=x,O=y,C=US")
+	if !a.Equal(b) {
+		t.Error("whitespace around separators should not affect equality")
+	}
+	c := MustParse("commonName=x,organizationName=y,countryName=US")
+	if !a.Equal(c) {
+		t.Error("attribute aliases should not affect equality")
+	}
+	d := MustParse("CN=x,O=y,C=GB")
+	if a.Equal(d) {
+		t.Error("different values must not be equal")
+	}
+	e := MustParse("CN=x,O=y")
+	if a.Equal(e) {
+		t.Error("different lengths must not be equal")
+	}
+}
+
+func TestEqualMultiValuedOrderInsensitive(t *testing.T) {
+	a := MustParse("CN=x+OU=dev,O=org")
+	b := MustParse("OU=dev+CN=x,O=org")
+	if !a.Equal(b) {
+		t.Error("multi-valued RDN attribute order should not affect equality")
+	}
+}
+
+func TestEqualishIgnoresRDNOrder(t *testing.T) {
+	a := MustParse("CN=x,O=y,C=US")
+	b := MustParse("C=US,O=y,CN=x")
+	if a.Equal(b) {
+		t.Error("Equal should be order sensitive")
+	}
+	if !Equalish(a, b) {
+		t.Error("Equalish should ignore RDN order")
+	}
+	c := MustParse("C=US,O=zzz,CN=x")
+	if Equalish(a, c) {
+		t.Error("Equalish must still compare values")
+	}
+}
+
+func TestCollapseSpaces(t *testing.T) {
+	a := MustParse("O=Example   Inc")
+	b := MustParse("O=Example Inc")
+	if !a.Equal(b) {
+		t.Error("internal space runs should collapse under normalization")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	d := MustParse("CN=x")
+	if v, ok := d.Get("O"); ok || v != "" {
+		t.Errorf("Get missing attr = %q,%v want \"\",false", v, ok)
+	}
+	if d.Organization() != "" || d.Country() != "" {
+		t.Error("missing O/C should be empty")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := MustParse("CN=x,O=y")
+	b := a.Clone()
+	b[0][0].Value = "changed"
+	if a.CommonName() != "x" {
+		t.Error("Clone must not share attribute storage")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("Clone must be equal to original")
+	}
+}
+
+func TestFromMap(t *testing.T) {
+	d := FromMap("CN", "x", "O", "y")
+	if d.String() != "CN=x,O=y" {
+		t.Errorf("FromMap String = %q", d.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromMap with odd args should panic")
+		}
+	}()
+	FromMap("CN")
+}
+
+func TestNormalizedStableForMapKeys(t *testing.T) {
+	d1 := MustParse("CN=a, O=b")
+	d2 := MustParse("CN=a,O=b")
+	m := map[string]int{d1.Normalized(): 1}
+	if m[d2.Normalized()] != 1 {
+		t.Error("Normalized keys for equal DNs must collide")
+	}
+}
+
+// Property: String() output always reparses to an Equal DN, for DNs built
+// from arbitrary attribute values.
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(cn, o, c string) bool {
+		// Strip NUL which cannot appear in log-rendered DNs.
+		clean := func(s string) string {
+			return strings.Map(func(r rune) rune {
+				if r == 0 {
+					return -1
+				}
+				return r
+			}, s)
+		}
+		d := FromMap("CN", clean(cn), "O", clean(o), "C", clean(c))
+		d2, err := Parse(d.String())
+		if err != nil {
+			t.Logf("Parse(%q): %v", d.String(), err)
+			return false
+		}
+		return d.Equal(d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal is symmetric and Normalized() equality coincides with
+// Equal() for same-length DNs.
+func TestQuickEqualSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		da := FromMap("CN", strings.ReplaceAll(a, "\x00", ""))
+		db := FromMap("CN", strings.ReplaceAll(b, "\x00", ""))
+		return da.Equal(db) == db.Equal(da)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	in := "CN=long.example-hostname.campus.edu,OU=Information Technology,O=University of Example,L=Townsville,ST=Virginia,C=US"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEqual(b *testing.B) {
+	x := MustParse("CN=a.example.com,O=Example,C=US")
+	y := MustParse("CN=a.example.com,O=Example,C=US")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !x.Equal(y) {
+			b.Fatal("not equal")
+		}
+	}
+}

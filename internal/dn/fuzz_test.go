@@ -1,0 +1,41 @@
+package dn
+
+import "testing"
+
+// FuzzParse drives the DN parser with arbitrary byte strings: it must never
+// panic, and any successfully parsed DN must re-render to a string that
+// parses back to an equal DN (the round-trip invariant the pipeline's
+// cross-referencing relies on).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"CN=example.com,O=Example Inc.,C=US",
+		`CN=Foo\, Bar+OU=dev,O=x`,
+		"CN=#414243",
+		"commonName=a;O=b",
+		`CN=back\\slash\20`,
+		"EMAILADDRESS=webmaster@localhost,CN=localhost,OU=none,O=none,L=Sometown,ST=Someprovince,C=US",
+		"2.5.4.3=oid,0.9.2342.19200300.100.1.25=edu",
+		"CN=,O=empty-value",
+		"CN=трест,O=юникод",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		s := d.String()
+		d2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("re-render of %q produced unparseable %q: %v", input, s, err)
+		}
+		if !d.Equal(d2) {
+			t.Fatalf("round trip changed DN: %q -> %q", input, s)
+		}
+		// Normalization must be stable.
+		if d.Normalized() != d2.Normalized() {
+			t.Fatalf("normalization unstable for %q", input)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"certchains/internal/trustdb"
+)
+
+// DOTOptions controls Graphviz rendering of the co-occurrence graphs, so
+// Figures 5, 7 and 8 can be regenerated as actual images
+// (`dot -Tsvg out.dot`).
+type DOTOptions struct {
+	// Name is the graph name in the output.
+	Name string
+	// OmitLeaves drops leaf nodes, as Figure 8 does.
+	OmitLeaves bool
+	// MaxNodes truncates very large graphs for renderability (0 = all).
+	MaxNodes int
+}
+
+// WriteDOT renders the graph in Graphviz DOT format. Node colour encodes
+// the issuer class (blue public / red non-public, matching Figure 5's
+// legend); node size encodes the role (leaf < intermediate < root).
+func (g *Graph) WriteDOT(w io.Writer, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "certchains"
+	}
+	src := g
+	if opts.OmitLeaves {
+		src = g.WithoutLeaves()
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n  layout=neato;\n  overlap=false;\n  node [style=filled, fontsize=8];\n", name); err != nil {
+		return err
+	}
+	nodes := src.Nodes()
+	if opts.MaxNodes > 0 && len(nodes) > opts.MaxNodes {
+		nodes = nodes[:opts.MaxNodes]
+	}
+	kept := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		id := shortID(string(n.FP))
+		kept[id] = true
+		color := "indianred"
+		if n.Class == trustdb.IssuedByPublicDB {
+			color = "steelblue"
+		}
+		var size float64
+		switch n.Role {
+		case RoleLeaf:
+			size = 0.12
+		case RoleIntermediate:
+			size = 0.25
+		default:
+			size = 0.40
+		}
+		label := n.Meta.Subject.CommonName()
+		if label == "" {
+			label = id
+		}
+		if _, err := fmt.Fprintf(w, "  %q [fillcolor=%s, width=%.2f, height=%.2f, label=%q];\n",
+			id, color, size, size, truncateLabel(label)); err != nil {
+			return err
+		}
+	}
+	for _, n := range nodes {
+		id := shortID(string(n.FP))
+		for _, nb := range src.Neighbors(n.FP) {
+			nbID := shortID(string(nb.FP))
+			if !kept[nbID] || id >= nbID { // emit each undirected edge once
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  %q -- %q;\n", id, nbID); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+func shortID(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
+func truncateLabel(s string) string {
+	if len(s) > 28 {
+		return s[:25] + "..."
+	}
+	return strings.ReplaceAll(s, "\n", " ")
+}

@@ -1,0 +1,247 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/dn"
+	"certchains/internal/trustdb"
+)
+
+func meta(issuer, subject string) *certmodel.Meta {
+	iss := dn.MustParse(issuer)
+	sub := dn.MustParse(subject)
+	nb := time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC)
+	na := nb.AddDate(2, 0, 0)
+	return &certmodel.Meta{
+		FP:        certmodel.SyntheticFingerprint(iss, sub, "01", nb, na),
+		Issuer:    iss,
+		Subject:   sub,
+		NotBefore: nb,
+		NotAfter:  na,
+	}
+}
+
+// buildPKI returns a reusable cert family:
+// root (self-signed) -> interA, interB -> leaves.
+func buildPKI() (root, interA, interB, leaf1, leaf2, leaf3 *certmodel.Meta) {
+	root = meta("CN=Root", "CN=Root")
+	interA = meta("CN=Root", "CN=Inter A")
+	interB = meta("CN=Root", "CN=Inter B")
+	leaf1 = meta("CN=Inter A", "CN=l1.example.com")
+	leaf2 = meta("CN=Inter A", "CN=l2.example.com")
+	leaf3 = meta("CN=Inter B", "CN=l3.example.com")
+	return
+}
+
+func TestAddChainBasics(t *testing.T) {
+	g := New()
+	root, interA, _, leaf1, _, _ := buildPKI()
+	g.AddChain(certmodel.Chain{leaf1, interA, root}, []trustdb.Class{
+		trustdb.IssuedByNonPublicDB, trustdb.IssuedByNonPublicDB, trustdb.IssuedByNonPublicDB,
+	})
+	if g.NodeCount() != 3 || g.EdgeCount() != 2 {
+		t.Errorf("nodes=%d edges=%d", g.NodeCount(), g.EdgeCount())
+	}
+	n, ok := g.Node(leaf1.FP)
+	if !ok || n.Role != RoleLeaf {
+		t.Errorf("leaf node = %+v", n)
+	}
+	if n, _ := g.Node(interA.FP); n.Role != RoleIntermediate {
+		t.Errorf("intermediate role = %v", n.Role)
+	}
+	if n, _ := g.Node(root.FP); n.Role != RoleRoot {
+		t.Errorf("root role = %v", n.Role)
+	}
+	if nb := g.Neighbors(interA.FP); len(nb) != 2 {
+		t.Errorf("intermediate neighbours = %d", len(nb))
+	}
+}
+
+func TestDuplicateChainsNoDoubleEdges(t *testing.T) {
+	g := New()
+	_, interA, _, leaf1, _, _ := buildPKI()
+	ch := certmodel.Chain{leaf1, interA}
+	g.AddChain(ch, nil)
+	g.AddChain(ch, nil)
+	if g.EdgeCount() != 1 {
+		t.Errorf("edges = %d, want 1", g.EdgeCount())
+	}
+	n, _ := g.Node(leaf1.FP)
+	if n.Degree != 1 {
+		t.Errorf("degree = %d, want 1", n.Degree)
+	}
+}
+
+func TestRoleUpgradeAcrossChains(t *testing.T) {
+	g := New()
+	interA := meta("CN=Root", "CN=Inter A")
+	// First seen alone at the head of a chain: looks like a leaf.
+	g.AddChain(certmodel.Chain{interA}, nil)
+	if n, _ := g.Node(interA.FP); n.Role != RoleLeaf {
+		t.Fatalf("initial role = %v", n.Role)
+	}
+	// Later seen issuing a leaf: upgraded to intermediate.
+	leaf := meta("CN=Inter A", "CN=x.example.com")
+	g.AddChain(certmodel.Chain{leaf, interA}, nil)
+	if n, _ := g.Node(interA.FP); n.Role != RoleIntermediate {
+		t.Errorf("upgraded role = %v", n.Role)
+	}
+}
+
+func TestComplexIntermediates(t *testing.T) {
+	g := New()
+	// Hub intermediate linked to three other intermediates via chains.
+	hub := meta("CN=Root", "CN=Hub CA")
+	var others []*certmodel.Meta
+	for _, name := range []string{"CN=Sub1", "CN=Sub2", "CN=Sub3"} {
+		sub := meta("CN=Hub CA", name)
+		others = append(others, sub)
+		leaf := meta(name, "CN=leaf-"+name[3:]+".example.com")
+		g.AddChain(certmodel.Chain{leaf, sub, hub}, nil)
+	}
+	complx := g.ComplexIntermediates(3)
+	if len(complx) != 1 || complx[0].FP != hub.FP {
+		t.Errorf("complex intermediates = %v", complx)
+	}
+	if len(g.ComplexIntermediates(4)) != 0 {
+		t.Error("threshold 4 should match nothing")
+	}
+	_ = others
+}
+
+func TestComponents(t *testing.T) {
+	g := New()
+	root, interA, interB, leaf1, leaf2, leaf3 := buildPKI()
+	g.AddChain(certmodel.Chain{leaf1, interA, root}, nil)
+	g.AddChain(certmodel.Chain{leaf2, interA, root}, nil)
+	g.AddChain(certmodel.Chain{leaf3, interB, root}, nil)
+	// A disconnected island.
+	island := meta("CN=Island", "CN=Island")
+	g.AddChain(certmodel.Chain{island}, nil)
+
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[0]) != 6 || len(comps[1]) != 1 {
+		t.Errorf("component sizes = %d, %d", len(comps[0]), len(comps[1]))
+	}
+}
+
+func TestDegreeDistributionAndCounts(t *testing.T) {
+	g := New()
+	root, interA, _, leaf1, leaf2, _ := buildPKI()
+	g.AddChain(certmodel.Chain{leaf1, interA, root}, []trustdb.Class{
+		trustdb.IssuedByNonPublicDB, trustdb.IssuedByPublicDB, trustdb.IssuedByPublicDB,
+	})
+	g.AddChain(certmodel.Chain{leaf2, interA, root}, []trustdb.Class{
+		trustdb.IssuedByNonPublicDB, trustdb.IssuedByPublicDB, trustdb.IssuedByPublicDB,
+	})
+	dist := g.DegreeDistribution()
+	// leaves degree 1 (x2), interA degree 3, root degree 1.
+	if dist[1] != 3 || dist[3] != 1 {
+		t.Errorf("degree distribution = %v", dist)
+	}
+	pub, npub := g.ClassCounts()
+	if pub != 2 || npub != 2 {
+		t.Errorf("class counts = %d public, %d non-public", pub, npub)
+	}
+	l, i, r := g.RoleCounts()
+	if l != 2 || i != 1 || r != 1 {
+		t.Errorf("role counts = %d/%d/%d", l, i, r)
+	}
+}
+
+func TestWithoutLeaves(t *testing.T) {
+	g := New()
+	root, interA, _, leaf1, _, _ := buildPKI()
+	g.AddChain(certmodel.Chain{leaf1, interA, root}, nil)
+	ng := g.WithoutLeaves()
+	if ng.NodeCount() != 2 {
+		t.Errorf("nodes without leaves = %d, want 2", ng.NodeCount())
+	}
+	if ng.EdgeCount() != 1 {
+		t.Errorf("edges without leaves = %d, want 1", ng.EdgeCount())
+	}
+	if _, ok := ng.Node(leaf1.FP); ok {
+		t.Error("leaf must be removed")
+	}
+	// Original untouched.
+	if g.NodeCount() != 3 {
+		t.Error("original graph must be unchanged")
+	}
+	if n, _ := ng.Node(interA.FP); n.Degree != 1 {
+		t.Errorf("recomputed degree = %d, want 1", n.Degree)
+	}
+}
+
+func TestNodesSortedDeterministic(t *testing.T) {
+	g := New()
+	root, interA, interB, leaf1, leaf2, leaf3 := buildPKI()
+	g.AddChain(certmodel.Chain{leaf1, interA, root}, nil)
+	g.AddChain(certmodel.Chain{leaf3, interB, root}, nil)
+	g.AddChain(certmodel.Chain{leaf2, interA, root}, nil)
+	ns := g.Nodes()
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1].FP >= ns[i].FP {
+			t.Fatal("Nodes must be sorted by fingerprint")
+		}
+	}
+	if len(ns) != 6 {
+		t.Errorf("nodes = %d", len(ns))
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := New()
+	s := meta("CN=self", "CN=self")
+	g.AddChain(certmodel.Chain{s, s}, nil)
+	if g.EdgeCount() != 0 {
+		t.Error("self loops must be ignored")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	root, interA, _, leaf1, _, _ := buildPKI()
+	g.AddChain(certmodel.Chain{leaf1, interA, root}, []trustdb.Class{
+		trustdb.IssuedByNonPublicDB, trustdb.IssuedByPublicDB, trustdb.IssuedByPublicDB,
+	})
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, DOTOptions{Name: "fig5"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`graph "fig5"`, "steelblue", "indianred", " -- ", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Each undirected edge appears exactly once.
+	if n := strings.Count(out, " -- "); n != 2 {
+		t.Errorf("edges rendered %d times, want 2", n)
+	}
+}
+
+func TestWriteDOTOmitLeavesAndTruncate(t *testing.T) {
+	g := New()
+	root, interA, _, leaf1, leaf2, _ := buildPKI()
+	g.AddChain(certmodel.Chain{leaf1, interA, root}, nil)
+	g.AddChain(certmodel.Chain{leaf2, interA, root}, nil)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, DOTOptions{OmitLeaves: true, MaxNodes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "l1.example.com") {
+		t.Error("leaves must be omitted")
+	}
+	// MaxNodes=1 keeps a single node and hence no edges.
+	if strings.Contains(out, " -- ") {
+		t.Error("truncated graph must drop edges to removed nodes")
+	}
+}

@@ -1,0 +1,63 @@
+package intercept
+
+// Port fingerprints: Appendix C observes that interception traffic
+// concentrates on vendor-specific non-standard ports — 8013 is Fortinet's
+// interception port, and 4437/14430 recur across middlebox deployments.
+// The hints supplement the CT cross-reference: they cannot confirm
+// interception on their own (the paper's method remains authoritative) but
+// they prioritize candidates when no SNI is available for a CT query.
+
+// PortHint grades how strongly a destination port suggests middlebox
+// interception.
+type PortHint int
+
+const (
+	// PortNeutral carries no signal (443 and other common TLS ports).
+	PortNeutral PortHint = iota
+	// PortUncommon is a non-standard TLS port without a vendor association.
+	PortUncommon
+	// PortVendor is a port with a known middlebox-vendor association.
+	PortVendor
+)
+
+// String implements fmt.Stringer.
+func (p PortHint) String() string {
+	switch p {
+	case PortNeutral:
+		return "neutral"
+	case PortUncommon:
+		return "uncommon"
+	default:
+		return "vendor-associated"
+	}
+}
+
+// vendorPorts maps ports to the vendor the paper (or the vendor's own
+// documentation) associates with interception.
+var vendorPorts = map[int]string{
+	8013:  "Fortinet FortiGate",  // Appendix C: FortiGate's interception port
+	4437:  "middlebox TLS relay", // recurring in the Table 4 interception mix
+	14430: "middlebox TLS relay",
+}
+
+// commonTLSPorts carry no interception signal.
+var commonTLSPorts = map[int]bool{
+	443: true, 8443: true, 993: true, 995: true, 465: true, 636: true,
+}
+
+// HintForPort grades a destination port.
+func HintForPort(port int) PortHint {
+	if _, ok := vendorPorts[port]; ok {
+		return PortVendor
+	}
+	if commonTLSPorts[port] {
+		return PortNeutral
+	}
+	return PortUncommon
+}
+
+// VendorForPort returns the associated vendor label, if any.
+func VendorForPort(port int) (string, bool) {
+	v, ok := vendorPorts[port]
+	return v, ok
+}

@@ -1,0 +1,211 @@
+// Package lint checks individual certificates and delivered chains against
+// the deployment hygiene the paper's findings motivate — a minimal,
+// log-level zlint analog. Each lint corresponds to a concrete observation in
+// the paper:
+//
+//   - basicConstraints omission (§4.3's 55–78%);
+//   - expired leaves served in production (§4.2's >5-year case);
+//   - staging placeholders in production chains (the 14 Fake LE chains);
+//   - roots included in delivery (Figure 1's root-omission norm);
+//   - unnecessary certificates (§4.2's central finding);
+//   - self-signed leaves claiming public domains (Appendix B);
+//   - missing SANs (modern clients ignore the CN);
+//   - excessive validity periods;
+//   - the localhost placeholder subject (Appendix F.3's 100 chains).
+package lint
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/chain"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	// Info findings are observations, not problems.
+	Info Severity = iota
+	// Warn findings degrade interoperability or efficiency.
+	Warn
+	// Error findings are likely to break validation for some clients.
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// Finding is one lint result.
+type Finding struct {
+	// Check is the stable identifier of the lint.
+	Check string
+	// Severity grades the finding.
+	Severity Severity
+	// CertIndex is the offending certificate's position in the chain, or
+	// -1 for chain-level findings.
+	CertIndex int
+	// Message explains the finding.
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s] %s: %s", f.Severity, f.Check, f.Message)
+}
+
+// Config parameterizes the linter.
+type Config struct {
+	// Now is the reference time for validity checks.
+	Now time.Time
+	// MaxLeafValidity flags leaves valid longer than this (default 825
+	// days, the ecosystem's pre-2020 ceiling).
+	MaxLeafValidity time.Duration
+}
+
+// Linter runs the checks; the classifier supplies class and structure
+// context.
+type Linter struct {
+	cfg Config
+	cl  *chain.Classifier
+}
+
+// New builds a linter. A zero Now defaults to the wall clock.
+func New(cl *chain.Classifier, cfg Config) *Linter {
+	if cfg.Now.IsZero() {
+		cfg.Now = time.Now()
+	}
+	if cfg.MaxLeafValidity == 0 {
+		cfg.MaxLeafValidity = 825 * 24 * time.Hour
+	}
+	return &Linter{cfg: cfg, cl: cl}
+}
+
+// Cert lints one certificate in isolation (position -1).
+func (l *Linter) Cert(m *certmodel.Meta) []Finding {
+	return l.lintCert(m, -1, false)
+}
+
+func (l *Linter) lintCert(m *certmodel.Meta, idx int, isLeafPosition bool) []Finding {
+	var out []Finding
+	add := func(check string, sev Severity, format string, args ...any) {
+		out = append(out, Finding{Check: check, Severity: sev, CertIndex: idx,
+			Message: fmt.Sprintf(format, args...)})
+	}
+
+	if m.BC == certmodel.BCAbsent {
+		add("basic-constraints-absent", Warn,
+			"basicConstraints extension missing; RFC 5280 requires an explicit CA boolean")
+	}
+	if m.ExpiredAt(l.cfg.Now) {
+		sev := Warn
+		if isLeafPosition {
+			sev = Error
+		}
+		add("expired", sev, "certificate expired %s", m.NotAfter.Format("2006-01-02"))
+	}
+	if l.cfg.Now.Before(m.NotBefore) {
+		add("not-yet-valid", Error, "certificate not valid before %s", m.NotBefore.Format("2006-01-02"))
+	}
+	if isLeafPosition {
+		if len(m.SAN) == 0 && !m.SelfSigned() {
+			add("missing-san", Warn, "leaf has no subjectAltName; modern clients ignore the CN")
+		}
+		if v := m.NotAfter.Sub(m.NotBefore); v > l.cfg.MaxLeafValidity {
+			add("validity-too-long", Warn, "leaf valid %d days, over the %d-day ceiling",
+				int(v.Hours()/24), int(l.cfg.MaxLeafValidity.Hours()/24))
+		}
+		if m.BC == certmodel.BCTrue {
+			add("ca-leaf", Error, "leaf-position certificate asserts CA=TRUE")
+		}
+	}
+	if isLocalhostPlaceholder(m) {
+		add("localhost-placeholder", Error,
+			"default localhost placeholder subject served in production")
+	}
+	if isStagingPlaceholder(m) {
+		add("staging-placeholder", Error,
+			"CA staging-environment certificate (%q) deployed in production", m.Subject.CommonName())
+	}
+	return out
+}
+
+func isLocalhostPlaceholder(m *certmodel.Meta) bool {
+	return strings.EqualFold(m.Subject.CommonName(), "localhost")
+}
+
+func isStagingPlaceholder(m *certmodel.Meta) bool {
+	cn := m.Subject.CommonName()
+	icn := m.Issuer.CommonName()
+	return strings.HasPrefix(cn, "Fake LE ") || strings.HasPrefix(icn, "Fake LE ") ||
+		strings.Contains(cn, "STAGING") || strings.Contains(icn, "STAGING")
+}
+
+// Chain lints a delivered chain: per-certificate checks plus the structural
+// findings the paper ties to connection failures.
+func (l *Linter) Chain(ch certmodel.Chain) []Finding {
+	var out []Finding
+	a := l.cl.Analyze(ch)
+
+	for i, m := range ch {
+		isLeafPos := i == 0 && len(ch) > 1 && chain.IsLeaf(ch, 0)
+		if len(ch) == 1 {
+			isLeafPos = true
+		}
+		out = append(out, l.lintCert(m, i, isLeafPos)...)
+	}
+
+	addChain := func(check string, sev Severity, format string, args ...any) {
+		out = append(out, Finding{Check: check, Severity: sev, CertIndex: -1,
+			Message: fmt.Sprintf(format, args...)})
+	}
+
+	switch {
+	case a.Verdict == chain.VerdictNoPath:
+		addChain("no-trust-path", Error,
+			"no complete matched path; clients validating the presented chain will fail (establishment drops to ≈57%%)")
+	case a.Verdict == chain.VerdictContainsPath:
+		addChain("unnecessary-certificates", Warn,
+			"%d unnecessary certificate(s); strict validators may reject and every handshake carries dead bytes",
+			len(a.Unnecessary))
+	}
+	if a.Complete != nil && a.Complete.Len() > 1 {
+		top := ch[a.Complete.End]
+		if top.SelfSigned() {
+			addChain("root-included", Info,
+				"self-signed root %q included in delivery; clients already hold their anchors", top.Subject.CommonName())
+		}
+	}
+	for i, link := range a.Links {
+		if link == chain.LinkCrossSign {
+			addChain("cross-signed-link", Info,
+				"pair %d chains through a cross-signing relationship; verify both paths stay valid", i)
+		}
+	}
+	return out
+}
+
+// Summary tallies findings by severity.
+func Summary(findings []Finding) (info, warn, errs int) {
+	for _, f := range findings {
+		switch f.Severity {
+		case Info:
+			info++
+		case Warn:
+			warn++
+		default:
+			errs++
+		}
+	}
+	return
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/chain"
+	"certchains/internal/dn"
+	"certchains/internal/trustdb"
+)
+
+var now = time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func mk(issuer, subject string, bc certmodel.BasicConstraints, sans ...string) *certmodel.Meta {
+	iss := dn.MustParse(issuer)
+	sub := dn.MustParse(subject)
+	return &certmodel.Meta{
+		FP:        certmodel.SyntheticFingerprint(iss, sub, "01", now.AddDate(-1, 0, 0), now.AddDate(1, 0, 0)),
+		Issuer:    iss,
+		Subject:   sub,
+		NotBefore: now.AddDate(-1, 0, 0),
+		NotAfter:  now.AddDate(1, 0, 0),
+		BC:        bc,
+		SAN:       sans,
+	}
+}
+
+func testLinter(t *testing.T) *Linter {
+	t.Helper()
+	db := trustdb.New()
+	root := mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue)
+	db.AddRoot(trustdb.StoreMozilla, root)
+	return New(chain.NewClassifier(db), Config{Now: now})
+}
+
+func checks(fs []Finding) map[string]int {
+	out := make(map[string]int)
+	for _, f := range fs {
+		out[f.Check]++
+	}
+	return out
+}
+
+func TestLintCleanChain(t *testing.T) {
+	l := testLinter(t)
+	ch := certmodel.Chain{
+		mk("CN=LRoot", "CN=good.example.com", certmodel.BCFalse, "good.example.com"),
+		mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue),
+	}
+	fs := l.Chain(ch)
+	cs := checks(fs)
+	// Only the informational root-included finding is expected.
+	if cs["root-included"] != 1 {
+		t.Errorf("root-included = %d", cs["root-included"])
+	}
+	_, warn, errs := Summary(fs)
+	if warn != 0 || errs != 0 {
+		t.Errorf("clean chain: %d warns %d errors: %v", warn, errs, fs)
+	}
+}
+
+func TestLintBasicConstraintsAbsent(t *testing.T) {
+	l := testLinter(t)
+	fs := l.Cert(mk("CN=x", "CN=y", certmodel.BCAbsent))
+	if checks(fs)["basic-constraints-absent"] != 1 {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestLintExpiredLeafIsError(t *testing.T) {
+	l := testLinter(t)
+	leaf := mk("CN=LRoot", "CN=old.example.com", certmodel.BCFalse, "old.example.com")
+	leaf.NotAfter = now.AddDate(-1, 0, 0)
+	ch := certmodel.Chain{leaf, mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue)}
+	fs := l.Chain(ch)
+	found := false
+	for _, f := range fs {
+		if f.Check == "expired" && f.Severity == Error && f.CertIndex == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expired leaf not flagged as error: %v", fs)
+	}
+}
+
+func TestLintNotYetValid(t *testing.T) {
+	l := testLinter(t)
+	c := mk("CN=x", "CN=future.example.com", certmodel.BCFalse)
+	c.NotBefore = now.AddDate(1, 0, 0)
+	if checks(l.Cert(c))["not-yet-valid"] != 1 {
+		t.Error("future cert not flagged")
+	}
+}
+
+func TestLintMissingSANAndLongValidity(t *testing.T) {
+	l := testLinter(t)
+	leaf := mk("CN=LRoot", "CN=nosan.example.com", certmodel.BCFalse) // no SANs
+	leaf.NotAfter = leaf.NotBefore.AddDate(10, 0, 0)
+	ch := certmodel.Chain{leaf, mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue)}
+	cs := checks(l.Chain(ch))
+	if cs["missing-san"] != 1 {
+		t.Error("missing SAN not flagged")
+	}
+	if cs["validity-too-long"] != 1 {
+		t.Error("long validity not flagged")
+	}
+	// Expired check must not double-fire (NotAfter far future is fine).
+	if cs["expired"] != 0 {
+		t.Error("unexpired cert flagged expired")
+	}
+}
+
+func TestLintCALeaf(t *testing.T) {
+	l := testLinter(t)
+	// Single-certificate chain whose cert asserts CA=TRUE: leaf position.
+	fs := l.Chain(certmodel.Chain{mk("CN=a", "CN=b.example.com", certmodel.BCTrue, "b.example.com")})
+	if checks(fs)["ca-leaf"] != 1 {
+		t.Errorf("CA leaf not flagged: %v", fs)
+	}
+}
+
+func TestLintLocalhostPlaceholder(t *testing.T) {
+	l := testLinter(t)
+	d := "EMAILADDRESS=webmaster@localhost,CN=localhost,OU=none,O=none,L=Sometown,ST=Someprovince,C=US"
+	fs := l.Cert(mk(d, d, certmodel.BCAbsent))
+	if checks(fs)["localhost-placeholder"] != 1 {
+		t.Errorf("localhost placeholder not flagged: %v", fs)
+	}
+}
+
+func TestLintStagingPlaceholder(t *testing.T) {
+	l := testLinter(t)
+	fake := mk("CN=Fake LE Root X1", "CN=Fake LE Intermediate X1", certmodel.BCTrue)
+	if checks(l.Cert(fake))["staging-placeholder"] != 1 {
+		t.Error("Fake LE cert not flagged")
+	}
+	staging := mk("CN=(STAGING) Pretend Pear X1", "CN=(STAGING) Wannabe Watercress R11", certmodel.BCTrue)
+	if checks(l.Cert(staging))["staging-placeholder"] != 1 {
+		t.Error("STAGING cert not flagged")
+	}
+}
+
+func TestLintUnnecessaryCertificates(t *testing.T) {
+	l := testLinter(t)
+	ch := certmodel.Chain{
+		mk("CN=LRoot", "CN=extra.example.com", certmodel.BCFalse, "extra.example.com"),
+		mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue),
+		mk("CN=tester", "CN=tester", certmodel.BCFalse),
+	}
+	cs := checks(l.Chain(ch))
+	if cs["unnecessary-certificates"] != 1 {
+		t.Errorf("unnecessary certs not flagged: %v", cs)
+	}
+}
+
+func TestLintNoTrustPath(t *testing.T) {
+	l := testLinter(t)
+	ch := certmodel.Chain{
+		mk("CN=A", "CN=a.example.com", certmodel.BCFalse, "a.example.com"),
+		mk("CN=B", "CN=bee", certmodel.BCTrue),
+	}
+	fs := l.Chain(ch)
+	found := false
+	for _, f := range fs {
+		if f.Check == "no-trust-path" && f.Severity == Error && f.CertIndex == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no-trust-path not flagged: %v", fs)
+	}
+}
+
+func TestLintCrossSignInfo(t *testing.T) {
+	db := trustdb.New()
+	db.AddRoot(trustdb.StoreMozilla, mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue))
+	cl := chain.NewClassifier(db)
+	cl.CrossSigns.Add(dn.MustParse("CN=Variant CA"), dn.MustParse("CN=LRoot"))
+	l := New(cl, Config{Now: now})
+	ch := certmodel.Chain{
+		mk("CN=Variant CA", "CN=x.example.com", certmodel.BCFalse, "x.example.com"),
+		mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue),
+	}
+	if checks(l.Chain(ch))["cross-signed-link"] != 1 {
+		t.Error("cross-signed link not reported")
+	}
+}
+
+func TestSummaryAndStrings(t *testing.T) {
+	fs := []Finding{
+		{Check: "a", Severity: Info},
+		{Check: "b", Severity: Warn},
+		{Check: "c", Severity: Warn},
+		{Check: "d", Severity: Error},
+	}
+	i, w, e := Summary(fs)
+	if i != 1 || w != 2 || e != 1 {
+		t.Errorf("summary = %d/%d/%d", i, w, e)
+	}
+	if Info.String() != "info" || Warn.String() != "warn" || Error.String() != "error" {
+		t.Error("severity strings")
+	}
+	if !strings.Contains(fs[3].String(), "[error] d") {
+		t.Errorf("finding string = %q", fs[3].String())
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	db := trustdb.New()
+	l := New(chain.NewClassifier(db), Config{})
+	if l.cfg.Now.IsZero() || l.cfg.MaxLeafValidity == 0 {
+		t.Error("defaults not applied")
+	}
+}

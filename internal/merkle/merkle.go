@@ -1,0 +1,304 @@
+// Package merkle implements the RFC 6962 Merkle hash tree used by
+// Certificate Transparency logs: leaf/node hashing with domain separation,
+// root computation, audit (inclusion) proofs, and consistency proofs between
+// tree sizes, together with their verifiers.
+//
+// The tree is append-only and stores leaf hashes; interior hashes are
+// computed on demand with memoization of full subtrees so that appending N
+// leaves and answering proofs is O(N log N) overall.
+package merkle
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// HashSize is the size of tree hashes in bytes (SHA-256).
+const HashSize = sha256.Size
+
+// Hash is a node or root hash.
+type Hash [HashSize]byte
+
+// Domain-separation prefixes per RFC 6962 §2.1.
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+// LeafHash computes the RFC 6962 leaf hash: SHA-256(0x00 || data).
+func LeafHash(data []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(data)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// NodeHash computes the RFC 6962 interior hash: SHA-256(0x01 || left || right).
+func NodeHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// EmptyRoot is the root of the empty tree: SHA-256 of the empty string.
+func EmptyRoot() Hash {
+	return sha256.Sum256(nil)
+}
+
+// Tree is an append-only Merkle tree over opaque leaf data.
+// The zero value is an empty tree ready to use.
+type Tree struct {
+	leaves []Hash
+	// roots caches the hash of the full subtree covering leaves
+	// [i*2^k, (i+1)*2^k) keyed by (k, i); only full subtrees are cached
+	// because they are immutable once complete.
+	cache map[cacheKey]Hash
+}
+
+type cacheKey struct {
+	level uint
+	index uint64
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{cache: make(map[cacheKey]Hash)}
+}
+
+// Size returns the number of leaves.
+func (t *Tree) Size() uint64 {
+	return uint64(len(t.leaves))
+}
+
+// Append adds a leaf (by its data) and returns its index.
+func (t *Tree) Append(data []byte) uint64 {
+	return t.AppendHash(LeafHash(data))
+}
+
+// AppendHash adds a precomputed leaf hash and returns its index.
+func (t *Tree) AppendHash(h Hash) uint64 {
+	if t.cache == nil {
+		t.cache = make(map[cacheKey]Hash)
+	}
+	idx := uint64(len(t.leaves))
+	t.leaves = append(t.leaves, h)
+	return idx
+}
+
+// LeafHashAt returns the stored hash of leaf i.
+func (t *Tree) LeafHashAt(i uint64) (Hash, error) {
+	if i >= t.Size() {
+		return Hash{}, fmt.Errorf("merkle: leaf index %d out of range (size %d)", i, t.Size())
+	}
+	return t.leaves[i], nil
+}
+
+// Root returns the current tree head (MTH of all leaves).
+func (t *Tree) Root() Hash {
+	return t.RootAt(t.Size())
+}
+
+// RootAt returns the tree head over the first n leaves. It panics if
+// n exceeds the current size (programming error in callers that track size).
+func (t *Tree) RootAt(n uint64) Hash {
+	if n > t.Size() {
+		panic(fmt.Sprintf("merkle: RootAt(%d) beyond size %d", n, t.Size()))
+	}
+	if n == 0 {
+		return EmptyRoot()
+	}
+	return t.subtreeHash(0, n)
+}
+
+// subtreeHash computes MTH over leaves [lo, hi) per RFC 6962 §2.1:
+// split at the largest power of two strictly less than the range size.
+func (t *Tree) subtreeHash(lo, hi uint64) Hash {
+	n := hi - lo
+	if n == 1 {
+		return t.leaves[lo]
+	}
+	// Full, aligned subtrees are immutable: cache them.
+	var key cacheKey
+	cacheable := false
+	if n&(n-1) == 0 && lo%n == 0 {
+		key = cacheKey{level: log2(n), index: lo / n}
+		if h, ok := t.cache[key]; ok {
+			return h
+		}
+		cacheable = true
+	}
+	k := largestPowerOfTwoBelow(n)
+	h := NodeHash(t.subtreeHash(lo, lo+k), t.subtreeHash(lo+k, hi))
+	if cacheable {
+		t.cache[key] = h
+	}
+	return h
+}
+
+func largestPowerOfTwoBelow(n uint64) uint64 {
+	k := uint64(1)
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+func log2(n uint64) uint {
+	var l uint
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// Errors returned by proof construction.
+var (
+	ErrIndexOutOfRange = errors.New("merkle: index out of range")
+	ErrBadTreeSize     = errors.New("merkle: invalid tree size")
+)
+
+// InclusionProof returns the audit path for leaf index i in the tree of the
+// first n leaves (RFC 6962 §2.1.1).
+func (t *Tree) InclusionProof(i, n uint64) ([]Hash, error) {
+	if n > t.Size() {
+		return nil, fmt.Errorf("%w: tree size %d > size %d", ErrBadTreeSize, n, t.Size())
+	}
+	if i >= n {
+		return nil, fmt.Errorf("%w: leaf %d, tree size %d", ErrIndexOutOfRange, i, n)
+	}
+	return t.path(i, 0, n), nil
+}
+
+func (t *Tree) path(i, lo, hi uint64) []Hash {
+	n := hi - lo
+	if n == 1 {
+		return nil
+	}
+	k := largestPowerOfTwoBelow(n)
+	if i-lo < k {
+		p := t.path(i, lo, lo+k)
+		return append(p, t.subtreeHash(lo+k, hi))
+	}
+	p := t.path(i, lo+k, hi)
+	return append(p, t.subtreeHash(lo, lo+k))
+}
+
+// VerifyInclusion checks an audit path: that leaf (with hash leafHash) at
+// index i is included in the tree of size n with head root. The algorithm
+// follows RFC 9162 §2.1.3.2.
+func VerifyInclusion(leafHash Hash, i, n uint64, proof []Hash, root Hash) bool {
+	if i >= n {
+		return false
+	}
+	fn, sn := i, n-1
+	r := leafHash
+	for _, p := range proof {
+		if sn == 0 {
+			return false // proof longer than the path
+		}
+		if fn&1 == 1 || fn == sn {
+			r = NodeHash(p, r)
+			if fn&1 == 0 {
+				// Right-border node: climb until fn is odd or exhausted.
+				for fn&1 == 0 && fn != 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			r = NodeHash(r, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && r == root
+}
+
+// ConsistencyProof returns the RFC 6962 §2.1.2 consistency proof between the
+// tree of the first m leaves and the tree of the first n leaves (m <= n).
+func (t *Tree) ConsistencyProof(m, n uint64) ([]Hash, error) {
+	if n > t.Size() {
+		return nil, fmt.Errorf("%w: tree size %d > size %d", ErrBadTreeSize, n, t.Size())
+	}
+	if m > n {
+		return nil, fmt.Errorf("%w: old size %d > new size %d", ErrBadTreeSize, m, n)
+	}
+	if m == 0 || m == n {
+		return nil, nil
+	}
+	return t.subproof(m, 0, n, true), nil
+}
+
+func (t *Tree) subproof(m, lo, hi uint64, completeSubtree bool) []Hash {
+	n := hi - lo
+	if m == n {
+		if completeSubtree {
+			return nil
+		}
+		return []Hash{t.subtreeHash(lo, hi)}
+	}
+	k := largestPowerOfTwoBelow(n)
+	if m <= k {
+		p := t.subproof(m, lo, lo+k, completeSubtree)
+		return append(p, t.subtreeHash(lo+k, hi))
+	}
+	p := t.subproof(m-k, lo+k, hi, false)
+	return append(p, t.subtreeHash(lo, lo+k))
+}
+
+// VerifyConsistency checks that the tree with head root2 at size n is an
+// append-only extension of the tree with head root1 at size m.
+func VerifyConsistency(m, n uint64, root1, root2 Hash, proof []Hash) bool {
+	switch {
+	case m > n:
+		return false
+	case m == n:
+		return len(proof) == 0 && root1 == root2
+	case m == 0:
+		// Any tree is consistent with the empty tree; RFC requires an
+		// empty proof.
+		return len(proof) == 0
+	}
+	// Implementation follows RFC 9162 §2.1.4.2 verification algorithm.
+	if len(proof) == 0 {
+		return false
+	}
+	node, last := m-1, n-1
+	for node%2 == 1 {
+		node /= 2
+		last /= 2
+	}
+	p := proof
+	var fr, sr Hash
+	if node > 0 {
+		fr, sr = p[0], p[0]
+		p = p[1:]
+	} else {
+		fr, sr = root1, root1
+	}
+	for ; node > 0 || last > 0; node, last = node/2, last/2 {
+		if node%2 == 1 {
+			if len(p) == 0 {
+				return false
+			}
+			fr = NodeHash(p[0], fr)
+			sr = NodeHash(p[0], sr)
+			p = p[1:]
+		} else if node < last {
+			if len(p) == 0 {
+				return false
+			}
+			sr = NodeHash(sr, p[0])
+			p = p[1:]
+		}
+	}
+	return fr == root1 && sr == root2 && len(p) == 0
+}

@@ -1,0 +1,318 @@
+package merkle
+
+import (
+	"encoding/hex"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 6962 §2.1.3 test vectors: the example tree over the 7 leaves below.
+var rfcLeaves = [][]byte{
+	{},
+	{0x00},
+	{0x10},
+	{0x20, 0x21},
+	{0x30, 0x31},
+	{0x40, 0x41, 0x42, 0x43},
+	{0x50, 0x51, 0x52, 0x53, 0x54, 0x55, 0x56, 0x57},
+	{0x60, 0x61, 0x62, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x6b, 0x6c, 0x6d, 0x6e, 0x6f},
+}
+
+// Known roots for prefixes of the RFC test leaves (from RFC 9162 §2.1.5 /
+// certificate-transparency-go test data).
+var rfcRoots = map[int]string{
+	1: "6e340b9cffb37a989ca544e6bb780a2c78901d3fb33738768511a30617afa01d",
+	2: "fac54203e7cc696cf0dfcb42c92a1d9dbaf70ad9e621f4bd8d98662f00e3c125",
+	3: "aeb6bcfe274b70a14fb067a5e5578264db0fa9b51af5e0ba159158f329e06e77",
+	4: "d37ee418976dd95753c1c73862b9398fa2a2cf9b4ff0fdfe8b30cd95209614b7",
+	5: "4e3bbb1f7b478dcfe71fb631631519a3bca12c9aefca1612bfce4c13a86264d4",
+	6: "76e67dadbcdf1e10e1b74ddc608abd2f98dfb16fbce75277b5232a127f2087ef",
+	7: "ddb89be403809e325750d3d263cd78929c2942b7942a34b77e122c9594a74c8c",
+	8: "5dc9da79a70659a9ad559cb701ded9a2ab9d823aad2f4960cfe370eff4604328",
+}
+
+func TestEmptyRoot(t *testing.T) {
+	want := "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+	if got := hexRoot(New().Root()); got != want {
+		t.Errorf("empty root = %s, want %s", got, want)
+	}
+}
+
+func TestRFCVectors(t *testing.T) {
+	tr := New()
+	for i, leaf := range rfcLeaves {
+		tr.Append(leaf)
+		want, ok := rfcRoots[i+1]
+		if !ok {
+			continue
+		}
+		if got := hexRoot(tr.Root()); got != want {
+			t.Errorf("root at size %d = %s, want %s", i+1, got, want)
+		}
+	}
+}
+
+func TestRootAtHistorical(t *testing.T) {
+	tr := New()
+	for _, leaf := range rfcLeaves {
+		tr.Append(leaf)
+	}
+	// Historical roots must still match after later appends.
+	for n, want := range rfcRoots {
+		if got := hexRoot(tr.RootAt(uint64(n))); got != want {
+			t.Errorf("RootAt(%d) = %s, want %s", n, got, want)
+		}
+	}
+}
+
+func TestRootAtPanicsBeyondSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RootAt beyond size should panic")
+		}
+	}()
+	New().RootAt(1)
+}
+
+func TestInclusionProofsAllSizes(t *testing.T) {
+	tr := New()
+	const N = 130
+	for i := 0; i < N; i++ {
+		tr.Append([]byte(fmt.Sprintf("leaf-%d", i)))
+	}
+	for n := uint64(1); n <= N; n += 7 {
+		root := tr.RootAt(n)
+		for i := uint64(0); i < n; i += 3 {
+			proof, err := tr.InclusionProof(i, n)
+			if err != nil {
+				t.Fatalf("InclusionProof(%d,%d): %v", i, n, err)
+			}
+			lh, _ := tr.LeafHashAt(i)
+			if !VerifyInclusion(lh, i, n, proof, root) {
+				t.Fatalf("inclusion proof failed for leaf %d in tree %d", i, n)
+			}
+		}
+	}
+}
+
+func TestInclusionProofRejectsTampering(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Append([]byte{byte(i)})
+	}
+	root := tr.Root()
+	proof, _ := tr.InclusionProof(3, 10)
+	lh, _ := tr.LeafHashAt(3)
+
+	// Wrong leaf hash.
+	if VerifyInclusion(LeafHash([]byte{99}), 3, 10, proof, root) {
+		t.Error("verification must fail for a different leaf")
+	}
+	// Wrong index.
+	if VerifyInclusion(lh, 4, 10, proof, root) {
+		t.Error("verification must fail for the wrong index")
+	}
+	// Corrupted proof element.
+	if len(proof) > 0 {
+		bad := append([]Hash(nil), proof...)
+		bad[0][0] ^= 0xff
+		if VerifyInclusion(lh, 3, 10, bad, root) {
+			t.Error("verification must fail for a corrupted proof")
+		}
+	}
+	// Truncated proof.
+	if VerifyInclusion(lh, 3, 10, proof[:len(proof)-1], root) {
+		t.Error("verification must fail for a truncated proof")
+	}
+	// Extended proof.
+	if VerifyInclusion(lh, 3, 10, append(append([]Hash(nil), proof...), Hash{}), root) {
+		t.Error("verification must fail for an over-long proof")
+	}
+	// Index >= size.
+	if VerifyInclusion(lh, 10, 10, proof, root) {
+		t.Error("verification must fail for index == size")
+	}
+}
+
+func TestInclusionProofErrors(t *testing.T) {
+	tr := New()
+	tr.Append([]byte("a"))
+	if _, err := tr.InclusionProof(0, 5); err == nil {
+		t.Error("proof for tree size beyond current size should fail")
+	}
+	if _, err := tr.InclusionProof(1, 1); err == nil {
+		t.Error("proof for leaf index >= size should fail")
+	}
+	if _, err := tr.LeafHashAt(3); err == nil {
+		t.Error("LeafHashAt out of range should fail")
+	}
+}
+
+func TestConsistencyProofs(t *testing.T) {
+	tr := New()
+	const N = 100
+	for i := 0; i < N; i++ {
+		tr.Append([]byte(fmt.Sprintf("entry %d", i)))
+	}
+	for m := uint64(0); m <= N; m += 5 {
+		for n := m; n <= N; n += 9 {
+			proof, err := tr.ConsistencyProof(m, n)
+			if err != nil {
+				t.Fatalf("ConsistencyProof(%d,%d): %v", m, n, err)
+			}
+			if !VerifyConsistency(m, n, tr.RootAt(m), tr.RootAt(n), proof) {
+				t.Fatalf("consistency proof failed for %d -> %d", m, n)
+			}
+		}
+	}
+}
+
+func TestConsistencyRejectsForgery(t *testing.T) {
+	tr := New()
+	for i := 0; i < 20; i++ {
+		tr.Append([]byte{byte(i)})
+	}
+	proof, _ := tr.ConsistencyProof(7, 20)
+	r7, r20 := tr.RootAt(7), tr.RootAt(20)
+
+	other := New()
+	for i := 0; i < 7; i++ {
+		other.Append([]byte{byte(100 + i)})
+	}
+	if VerifyConsistency(7, 20, other.Root(), r20, proof) {
+		t.Error("consistency must fail for a different old root")
+	}
+	if VerifyConsistency(7, 20, r7, other.Root(), proof) {
+		t.Error("consistency must fail for a different new root")
+	}
+	if len(proof) > 1 && VerifyConsistency(7, 20, r7, r20, proof[:1]) {
+		t.Error("consistency must fail for a truncated proof")
+	}
+	if VerifyConsistency(21, 20, r7, r20, proof) {
+		t.Error("consistency must fail when m > n")
+	}
+	if !VerifyConsistency(0, 20, Hash{}, r20, nil) {
+		t.Error("empty tree is consistent with anything given an empty proof")
+	}
+	if VerifyConsistency(0, 20, Hash{}, r20, proof) {
+		t.Error("m == 0 with a non-empty proof must fail")
+	}
+	if !VerifyConsistency(20, 20, r20, r20, nil) {
+		t.Error("m == n with equal roots and empty proof must verify")
+	}
+}
+
+func TestConsistencyProofErrors(t *testing.T) {
+	tr := New()
+	tr.Append([]byte("x"))
+	if _, err := tr.ConsistencyProof(0, 9); err == nil {
+		t.Error("consistency proof beyond size should fail")
+	}
+	if _, err := tr.ConsistencyProof(2, 1); err == nil {
+		t.Error("consistency proof with m > n should fail")
+	}
+}
+
+func TestZeroValueTreeUsable(t *testing.T) {
+	var tr Tree
+	tr.Append([]byte("a"))
+	tr.Append([]byte("b"))
+	if tr.Size() != 2 {
+		t.Errorf("Size = %d, want 2", tr.Size())
+	}
+	proof, err := tr.InclusionProof(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh, _ := tr.LeafHashAt(0)
+	if !VerifyInclusion(lh, 0, 2, proof, tr.Root()) {
+		t.Error("zero-value tree proofs must verify")
+	}
+}
+
+// Property: for random tree sizes and indices, generated inclusion proofs
+// always verify and a flipped leaf never does.
+func TestQuickInclusion(t *testing.T) {
+	tr := New()
+	const N = 64
+	for i := 0; i < N; i++ {
+		tr.Append([]byte{byte(i), byte(i >> 4)})
+	}
+	f := func(iRaw, nRaw uint16) bool {
+		n := uint64(nRaw)%N + 1
+		i := uint64(iRaw) % n
+		proof, err := tr.InclusionProof(i, n)
+		if err != nil {
+			return false
+		}
+		lh, _ := tr.LeafHashAt(i)
+		if !VerifyInclusion(lh, i, n, proof, tr.RootAt(n)) {
+			return false
+		}
+		bad := lh
+		bad[5] ^= 1
+		return !VerifyInclusion(bad, i, n, proof, tr.RootAt(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: consistency proofs between random (m, n) pairs verify.
+func TestQuickConsistency(t *testing.T) {
+	tr := New()
+	const N = 64
+	for i := 0; i < N; i++ {
+		tr.Append([]byte{byte(i * 3)})
+	}
+	f := func(mRaw, nRaw uint16) bool {
+		n := uint64(nRaw)%N + 1
+		m := uint64(mRaw) % (n + 1)
+		proof, err := tr.ConsistencyProof(m, n)
+		if err != nil {
+			return false
+		}
+		return VerifyConsistency(m, n, tr.RootAt(m), tr.RootAt(n), proof)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	tr := New()
+	data := []byte("benchmark leaf entry data")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Append(data)
+	}
+}
+
+func BenchmarkRoot1024(b *testing.B) {
+	tr := New()
+	for i := 0; i < 1024; i++ {
+		tr.Append([]byte{byte(i), byte(i >> 8)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Root()
+	}
+}
+
+func BenchmarkInclusionProof(b *testing.B) {
+	tr := New()
+	for i := 0; i < 4096; i++ {
+		tr.Append([]byte{byte(i), byte(i >> 8)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.InclusionProof(uint64(i)%4096, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func hexRoot(h Hash) string { return hex.EncodeToString(h[:]) }

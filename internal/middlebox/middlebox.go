@@ -1,0 +1,178 @@
+// Package middlebox implements a working TLS interception proxy — the
+// device class behind the paper's TLS-interception chain category (§3.2.1,
+// Appendix B, Table 1). It terminates the client's TLS session with a
+// certificate minted on the fly by its inspection CA for whatever SNI the
+// client requested, then opens its own TLS session to the origin and relays
+// bytes — exactly the ssl-tls-deep-inspection behaviour of the Fortinet/
+// Zscaler class of appliances.
+//
+// It exists so the detection pipeline can be demonstrated against a real
+// interceptor over real sockets: a scanner pointed at the proxy observes
+// the forged chain, and the CT cross-reference flags the issuer mismatch.
+package middlebox
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"certchains/internal/pki"
+)
+
+// Proxy is a running interception middlebox.
+type Proxy struct {
+	// Addr is the listener address clients connect to.
+	Addr string
+
+	ca       *pki.CA
+	upstream string
+	ln       net.Listener
+
+	mu     sync.Mutex
+	minted map[string]*tls.Certificate
+	closed bool
+	wg     sync.WaitGroup
+
+	// DialUpstream overrides upstream dialing (tests inject failures);
+	// nil means a plain TCP dial.
+	DialUpstream func(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// New starts a proxy that intercepts TLS for clients and forwards to the
+// upstream TLS server at upstreamAddr. The inspection CA signs the forged
+// leaves; in deployments its root is force-installed on client machines,
+// which is why campus traffic shows these chains at all.
+func New(ca *pki.CA, upstreamAddr string) (*Proxy, error) {
+	p := &Proxy{
+		ca:       ca,
+		upstream: upstreamAddr,
+		minted:   make(map[string]*tls.Certificate),
+	}
+	cfg := &tls.Config{
+		GetCertificate: p.getCertificate,
+		MinVersion:     tls.VersionTLS12,
+		MaxVersion:     tls.VersionTLS12,
+	}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", cfg)
+	if err != nil {
+		return nil, fmt.Errorf("middlebox: listen: %w", err)
+	}
+	p.ln = ln
+	p.Addr = ln.Addr().String()
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// getCertificate forges a certificate for the requested server name, signed
+// by the inspection CA, caching per SNI like real appliances do.
+func (p *Proxy) getCertificate(hello *tls.ClientHelloInfo) (*tls.Certificate, error) {
+	name := hello.ServerName
+	if name == "" {
+		name = "unknown.intercepted.invalid"
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cert, ok := p.minted[name]; ok {
+		return cert, nil
+	}
+	leaf, err := p.ca.IssueLeaf(pki.Name(name), pki.WithSANs(name))
+	if err != nil {
+		return nil, fmt.Errorf("middlebox: forge leaf for %q: %w", name, err)
+	}
+	cert := &tls.Certificate{
+		Certificate: [][]byte{leaf.Raw, p.ca.Cert.Raw},
+		PrivateKey:  leaf.Key,
+		Leaf:        leaf.X509,
+	}
+	p.minted[name] = cert
+	return cert, nil
+}
+
+// MintedFor returns how many distinct SNIs the proxy has forged leaves for.
+func (p *Proxy) MintedFor() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.minted)
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func(c net.Conn) {
+			defer p.wg.Done()
+			defer c.Close()
+			p.handle(c)
+		}(conn)
+	}
+}
+
+// handle completes the client-side handshake (delivering the forged chain),
+// opens the upstream TLS session, and relays bytes until either side closes.
+func (p *Proxy) handle(clientConn net.Conn) {
+	tc, ok := clientConn.(*tls.Conn)
+	if !ok {
+		return
+	}
+	if err := tc.HandshakeContext(context.Background()); err != nil {
+		return
+	}
+
+	dial := p.DialUpstream
+	if dial == nil {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	raw, err := dial(context.Background(), p.upstream)
+	if err != nil {
+		return // client handshake already succeeded; connection just drops
+	}
+	defer raw.Close()
+	upstream := tls.Client(raw, &tls.Config{
+		ServerName:         tc.ConnectionState().ServerName,
+		InsecureSkipVerify: true, // middleboxes re-validate out of band, if at all
+		MinVersion:         tls.VersionTLS12,
+	})
+	if err := upstream.HandshakeContext(context.Background()); err != nil {
+		return
+	}
+	defer upstream.Close()
+
+	// Bidirectional relay: the "deep inspection" point where appliances
+	// scan plaintext.
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(upstream, tc)
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(tc, upstream)
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// Close stops the proxy and waits for in-flight connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errors.New("middlebox: already closed")
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}

@@ -1,0 +1,246 @@
+package middlebox
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/ctlog"
+	"certchains/internal/intercept"
+	"certchains/internal/pki"
+	"certchains/internal/scanner"
+	"certchains/internal/serverfarm"
+	"certchains/internal/trustdb"
+)
+
+// env stands up the full interception scenario: an honest origin server
+// whose certificate is CT-logged, and a middlebox in front of it.
+type env struct {
+	origin  *serverfarm.Server
+	farm    *serverfarm.Farm
+	proxy   *Proxy
+	honest  *pki.CA
+	inspect *pki.CA
+	ct      *ctlog.Log
+	db      *trustdb.DB
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	mint := pki.NewMint(7001, time.Now())
+
+	honest, err := mint.NewRoot(pki.Name("Honest Root CA", "Honest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	originLeaf, err := honest.IssueLeaf(pki.Name("www.bank.test"), pki.WithSANs("www.bank.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm := serverfarm.New()
+	t.Cleanup(farm.Close)
+	origin, err := farm.Add("www.bank.test", pki.Chain(originLeaf, honest.Cert))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inspect, err := mint.NewRoot(pki.Name("Corp SSL Inspection CA", "Corp Security"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := New(inspect, origin.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+
+	ct, err := ctlog.New("mb-test", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The honest certificate is CT-logged, as public issuance is.
+	if _, err := ct.AddChain(certmodel.Chain{originLeaf.Meta, honest.Cert.Meta}, time.Now().Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	db := trustdb.New()
+	db.AddRoot(trustdb.StoreMozilla, honest.Cert.Meta)
+	return &env{origin: origin, farm: farm, proxy: proxy, honest: honest, inspect: inspect, ct: ct, db: db}
+}
+
+func TestProxyForgesChainPerSNI(t *testing.T) {
+	e := newEnv(t)
+	sc := scanner.New(5 * time.Second)
+
+	// Scanning the origin directly shows the honest chain.
+	direct := sc.Scan(context.Background(), e.origin.Addr, "www.bank.test")
+	if direct.Err != nil {
+		t.Fatal(direct.Err)
+	}
+	if direct.Chain[0].Issuer.CommonName() != "Honest Root CA" {
+		t.Errorf("direct issuer = %q", direct.Chain[0].Issuer.CommonName())
+	}
+
+	// Scanning through the middlebox shows the forged chain.
+	intercepted := sc.Scan(context.Background(), e.proxy.Addr, "www.bank.test")
+	if intercepted.Err != nil {
+		t.Fatal(intercepted.Err)
+	}
+	if got := intercepted.Chain[0].Issuer.CommonName(); got != "Corp SSL Inspection CA" {
+		t.Errorf("intercepted issuer = %q, want the inspection CA", got)
+	}
+	if len(intercepted.Chain) != 2 {
+		t.Errorf("intercepted chain length = %d, want 2 (forged leaf + inspection CA)", len(intercepted.Chain))
+	}
+	// Same subject, different issuer: the §3.2.1 signal.
+	if intercepted.Chain[0].Subject.CommonName() != "www.bank.test" {
+		t.Errorf("forged subject = %q", intercepted.Chain[0].Subject.CommonName())
+	}
+	if e.proxy.MintedFor() != 1 {
+		t.Errorf("minted for %d SNIs, want 1", e.proxy.MintedFor())
+	}
+	// Re-scan reuses the cached forgery.
+	again := sc.Scan(context.Background(), e.proxy.Addr, "www.bank.test")
+	if again.Err != nil || e.proxy.MintedFor() != 1 {
+		t.Errorf("forgery not cached: minted=%d err=%v", e.proxy.MintedFor(), again.Err)
+	}
+}
+
+func TestDetectorFlagsTheProxy(t *testing.T) {
+	e := newEnv(t)
+	sc := scanner.New(5 * time.Second)
+	res := sc.Scan(context.Background(), e.proxy.Addr, "www.bank.test")
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	det := intercept.NewDetector(e.db, e.ct)
+	if v := det.Examine(res.Chain[0], "www.bank.test", time.Now()); v != intercept.IssuerMismatch {
+		t.Errorf("detector verdict = %v, want issuer-mismatch", v)
+	}
+	// The honest chain is not flagged.
+	direct := sc.Scan(context.Background(), e.origin.Addr, "www.bank.test")
+	if direct.Err != nil {
+		t.Fatal(direct.Err)
+	}
+	if v := det.Examine(direct.Chain[0], "www.bank.test", time.Now()); v != intercept.NotCandidate {
+		t.Errorf("honest verdict = %v, want not-candidate", v)
+	}
+}
+
+func TestProxyRelaysBytes(t *testing.T) {
+	// An origin that echoes one line back, behind the proxy.
+	mint := pki.NewMint(7002, time.Now())
+	ca, err := mint.NewRoot(pki.Name("Echo Root"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.IssueLeaf(pki.Name("echo.test"), pki.WithSANs("echo.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{{Certificate: [][]byte{leaf.Raw, ca.Cert.Raw}, PrivateKey: leaf.Key}},
+		MinVersion:   tls.VersionTLS12,
+	}
+	originLn, err := tls.Listen("tcp", "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer originLn.Close()
+	go func() {
+		for {
+			c, err := originLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 64)
+				n, err := c.Read(buf)
+				if err != nil {
+					return
+				}
+				c.Write(buf[:n])
+			}(c)
+		}
+	}()
+
+	inspect, err := mint.NewRoot(pki.Name("Relay Inspection CA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := New(inspect, originLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	conn, err := tls.Dial("tcp", proxy.Addr, &tls.Config{ServerName: "echo.test", InsecureSkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello through the middlebox\n")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if string(buf) != string(msg) {
+		t.Errorf("echoed %q, want %q", buf, msg)
+	}
+	// The client sees the inspection CA's chain, not the origin's.
+	if got := conn.ConnectionState().PeerCertificates[0].Issuer.CommonName; got != "Relay Inspection CA" {
+		t.Errorf("relay chain issuer = %q", got)
+	}
+}
+
+func TestProxyUpstreamFailure(t *testing.T) {
+	mint := pki.NewMint(7003, time.Now())
+	inspect, err := mint.NewRoot(pki.Name("Fail Inspection CA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := New(inspect, "127.0.0.1:1") // nothing listens there
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	proxy.DialUpstream = func(ctx context.Context, addr string) (net.Conn, error) {
+		return nil, errors.New("injected upstream failure")
+	}
+	// The client handshake still succeeds (the forged chain is delivered);
+	// the connection then just ends — matching appliance behaviour when
+	// the origin is unreachable.
+	conn, err := tls.Dial("tcp", proxy.Addr, &tls.Config{ServerName: "x.test", InsecureSkipVerify: true})
+	if err != nil {
+		t.Fatalf("handshake should succeed: %v", err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("read should fail after upstream dial failure")
+	}
+}
+
+func TestProxyCloseIdempotent(t *testing.T) {
+	mint := pki.NewMint(7004, time.Now())
+	inspect, _ := mint.NewRoot(pki.Name("C"))
+	proxy, err := New(inspect, "127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Close(); err != nil {
+		t.Errorf("first close: %v", err)
+	}
+	if err := proxy.Close(); err == nil {
+		t.Error("second close should report already closed")
+	}
+}

@@ -1,0 +1,44 @@
+package pki
+
+import (
+	"crypto/x509"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// CRL bundles a signed certificate revocation list with its parsed form.
+type CRL struct {
+	Raw    []byte
+	List   *x509.RevocationList
+	Issuer *Certificate
+}
+
+// SignCRL issues a CRL over the given revoked serial numbers, signed by this
+// CA. Chain validation per RFC 5280 — the background §2 of the paper —
+// checks revocation status alongside signatures and validity windows;
+// internal/validate consumes these lists.
+func (ca *CA) SignCRL(revokedSerials []*big.Int, thisUpdate, nextUpdate time.Time) (*CRL, error) {
+	entries := make([]x509.RevocationListEntry, 0, len(revokedSerials))
+	for _, s := range revokedSerials {
+		entries = append(entries, x509.RevocationListEntry{
+			SerialNumber:   s,
+			RevocationTime: thisUpdate,
+		})
+	}
+	tmpl := &x509.RevocationList{
+		RevokedCertificateEntries: entries,
+		Number:                    big.NewInt(ca.mint.serial + 1),
+		ThisUpdate:                thisUpdate,
+		NextUpdate:                nextUpdate,
+	}
+	der, err := x509.CreateRevocationList(ca.mint.rand, tmpl, ca.signingCert, ca.key)
+	if err != nil {
+		return nil, fmt.Errorf("pki: create CRL for %q: %w", ca.Cert.X509.Subject.CommonName, err)
+	}
+	parsed, err := x509.ParseRevocationList(der)
+	if err != nil {
+		return nil, fmt.Errorf("pki: reparse CRL: %w", err)
+	}
+	return &CRL{Raw: der, List: parsed, Issuer: ca.Cert}, nil
+}

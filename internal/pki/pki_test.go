@@ -1,0 +1,344 @@
+package pki
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/x509"
+	"io"
+	"testing"
+	"time"
+
+	"certchains/internal/certmodel"
+)
+
+var anchor = time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func newMint(t *testing.T) *Mint {
+	t.Helper()
+	return NewMint(42, anchor)
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a := NewDeterministicRand(7)
+	b := NewDeterministicRand(7)
+	ba := make([]byte, 100)
+	bb := make([]byte, 100)
+	if _, err := io.ReadFull(a, ba); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(b, bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba, bb) {
+		t.Error("same seed must produce the same stream")
+	}
+	c := NewDeterministicRand(8)
+	bc := make([]byte, 100)
+	io.ReadFull(c, bc)
+	if bytes.Equal(ba, bc) {
+		t.Error("different seeds must produce different streams")
+	}
+	// Odd-sized reads must continue the same stream.
+	d := NewDeterministicRand(7)
+	part := make([]byte, 100)
+	io.ReadFull(d, part[:33])
+	io.ReadFull(d, part[33:90])
+	io.ReadFull(d, part[90:])
+	if !bytes.Equal(ba, part) {
+		t.Error("chunked reads must reproduce the contiguous stream")
+	}
+}
+
+func TestMintDeterministicCerts(t *testing.T) {
+	// Go 1.24 hedges ECDSA signatures with process-local randomness, so the
+	// raw DER cannot be byte-identical across runs; the deterministic
+	// guarantee covers keys and certificate contents.
+	mk := func() (*CA, string) {
+		m := NewMint(99, anchor)
+		root, err := m.NewRoot(Name("Det Root", "DetOrg", "US"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return root, root.Cert.X509.PublicKey.(*ecdsa.PublicKey).X.Text(16)
+	}
+	a, ka := mk()
+	b, kb := mk()
+	if ka != kb {
+		t.Error("same seed must derive the same keys")
+	}
+	if a.Cert.Meta.SerialHex != b.Cert.Meta.SerialHex ||
+		!a.Cert.Meta.Subject.Equal(b.Cert.Meta.Subject) ||
+		!a.Cert.Meta.NotBefore.Equal(b.Cert.Meta.NotBefore) {
+		t.Error("same seed must mint identical certificate contents")
+	}
+}
+
+func TestHierarchyChains(t *testing.T) {
+	m := newMint(t)
+	root, err := m.NewRoot(Name("Example Root CA", "Example Trust", "US"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := root.NewIntermediate(Name("Example Issuing CA 1", "Example Trust", "US"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := inter.IssueLeaf(Name("www.example.edu"), WithSANs("www.example.edu", "example.edu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The real x509 machinery must accept the chain.
+	roots := x509.NewCertPool()
+	roots.AddCert(root.Cert.X509)
+	inters := x509.NewCertPool()
+	inters.AddCert(inter.Cert.X509)
+	_, err = leaf.X509.Verify(x509.VerifyOptions{
+		Roots:         roots,
+		Intermediates: inters,
+		DNSName:       "example.edu",
+		CurrentTime:   anchor,
+	})
+	if err != nil {
+		t.Fatalf("chain does not verify: %v", err)
+	}
+
+	// And the Meta projection must chain by issuer–subject.
+	if !leaf.Meta.Issuer.Equal(inter.Cert.Meta.Subject) {
+		t.Error("leaf issuer must equal intermediate subject")
+	}
+	if !inter.Cert.Meta.Issuer.Equal(root.Cert.Meta.Subject) {
+		t.Error("intermediate issuer must equal root subject")
+	}
+	if !root.Cert.Meta.SelfSigned() {
+		t.Error("root must be self-signed")
+	}
+	if leaf.Meta.SelfSigned() {
+		t.Error("leaf must not be self-signed")
+	}
+	if root.Cert.Meta.BC != certmodel.BCTrue {
+		t.Errorf("root BC = %v, want CA=TRUE", root.Cert.Meta.BC)
+	}
+	if leaf.Meta.BC != certmodel.BCFalse {
+		t.Errorf("leaf BC = %v, want CA=FALSE", leaf.Meta.BC)
+	}
+}
+
+func TestOmitBasicConstraints(t *testing.T) {
+	m := newMint(t)
+	root, _ := m.NewRoot(Name("BC Root"))
+	leaf, err := root.IssueLeaf(Name("device.local"), WithOmitBasicConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Meta.BC != certmodel.BCAbsent {
+		t.Errorf("BC = %v, want absent", leaf.Meta.BC)
+	}
+}
+
+func TestValidityOptions(t *testing.T) {
+	m := newMint(t)
+	root, _ := m.NewRoot(Name("V Root"))
+
+	leaf, err := root.IssueLeaf(Name("short.local"), WithValidityDays(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := leaf.Meta.ValidityDays(); d != 4 {
+		t.Errorf("ValidityDays = %d, want 4", d)
+	}
+
+	exp, err := root.IssueLeaf(Name("old.local"), WithExpired(5*365*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Meta.ExpiredAt(anchor) {
+		t.Error("WithExpired cert should be expired at the anchor")
+	}
+	if anchor.Sub(exp.Meta.NotAfter) < 4*365*24*time.Hour {
+		t.Error("expiry should be years in the past")
+	}
+
+	nb := anchor.AddDate(0, 1, 0)
+	na := anchor.AddDate(0, 2, 0)
+	win, err := root.IssueLeaf(Name("win.local"), WithValidity(nb, na))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !win.Meta.NotBefore.Equal(nb) || !win.Meta.NotAfter.Equal(na) {
+		t.Error("WithValidity not honored")
+	}
+}
+
+func TestCrossSign(t *testing.T) {
+	m := newMint(t)
+	rootA, _ := m.NewRoot(Name("Root A", "Org A"))
+	rootB, _ := m.NewRoot(Name("Root B", "Org B"))
+	interB, _ := rootB.NewIntermediate(Name("Issuing B1", "Org B"))
+
+	xs, err := rootA.CrossSign(interB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same subject and key as interB, but issued by rootA.
+	if !xs.Meta.Subject.Equal(interB.Cert.Meta.Subject) {
+		t.Error("cross-signed subject must match the original CA subject")
+	}
+	if !xs.Meta.Issuer.Equal(rootA.Cert.Meta.Subject) {
+		t.Error("cross-signed issuer must be the signing root")
+	}
+	if xs.Meta.FP == interB.Cert.Meta.FP {
+		t.Error("cross-signed certificate must be a distinct certificate")
+	}
+	// A leaf issued by interB must verify through the cross-signed cert
+	// against rootA.
+	leaf, _ := interB.IssueLeaf(Name("svc.orgb.com"), WithSANs("svc.orgb.com"))
+	roots := x509.NewCertPool()
+	roots.AddCert(rootA.Cert.X509)
+	inters := x509.NewCertPool()
+	inters.AddCert(mustParse(t, xs.Raw))
+	if _, err := leaf.X509.Verify(x509.VerifyOptions{
+		Roots: roots, Intermediates: inters, CurrentTime: anchor, DNSName: "svc.orgb.com",
+	}); err != nil {
+		t.Fatalf("cross-signed path does not verify: %v", err)
+	}
+}
+
+func mustParse(t *testing.T, der []byte) *x509.Certificate {
+	t.Helper()
+	c, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSelfSigned(t *testing.T) {
+	m := newMint(t)
+	c, err := m.SelfSigned(Name("printer.campus.edu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Meta.SelfSigned() {
+		t.Error("SelfSigned cert must have issuer == subject")
+	}
+	if c.Key == nil {
+		t.Error("SelfSigned must retain its private key")
+	}
+}
+
+func TestSelfIssuedDistinctNames(t *testing.T) {
+	m := newMint(t)
+	c, err := m.SelfIssued(Name("www.kqzvplw.com"), Name("www.xjrtnqa.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Meta.SelfSigned() {
+		t.Error("SelfIssued with distinct names must not be self-signed in the model")
+	}
+	if c.Meta.Issuer.CommonName() != "www.kqzvplw.com" {
+		t.Errorf("issuer CN = %q", c.Meta.Issuer.CommonName())
+	}
+	if c.Meta.Subject.CommonName() != "www.xjrtnqa.com" {
+		t.Errorf("subject CN = %q", c.Meta.Subject.CommonName())
+	}
+	// Signature must verify with its own key (self-issued).
+	if err := c.X509.CheckSignatureFrom(c.X509); err == nil {
+		// CheckSignatureFrom requires issuer/subject match, so this should
+		// actually fail on name chaining; verify the raw signature instead.
+		t.Log("unexpected: CheckSignatureFrom accepted self-issued cert")
+	}
+	if err := c.X509.CheckSignature(c.X509.SignatureAlgorithm, c.X509.RawTBSCertificate, c.X509.Signature); err != nil {
+		t.Errorf("self-issued signature must verify with its own key: %v", err)
+	}
+}
+
+func TestSelfSignedEd25519(t *testing.T) {
+	m := newMint(t)
+	c, err := m.SelfSignedEd25519(Name("exotic.local"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Meta.KeyAlg != certmodel.KeyEd25519 {
+		t.Errorf("key alg = %q, want ed25519", c.Meta.KeyAlg)
+	}
+}
+
+func TestMalformed(t *testing.T) {
+	m := newMint(t)
+	good, _ := m.SelfSigned(Name("ok.local"))
+	bad := Malformed(good)
+	if _, err := x509.ParseCertificate(bad.Raw); err == nil {
+		t.Error("malformed DER must not parse")
+	}
+	if bad.X509 != nil {
+		t.Error("malformed certificate must carry no parsed form")
+	}
+	if bad.Meta != good.Meta {
+		t.Error("malformed certificate must keep the lenient Meta")
+	}
+	if bytes.Equal(bad.Raw, good.Raw) {
+		t.Error("malformed Raw must differ from the original")
+	}
+}
+
+func TestPEM(t *testing.T) {
+	m := newMint(t)
+	c, _ := m.SelfSigned(Name("pem.local"))
+	p := c.PEM()
+	if !bytes.Contains(p, []byte("BEGIN CERTIFICATE")) {
+		t.Error("PEM output missing header")
+	}
+}
+
+func TestMetasProjection(t *testing.T) {
+	m := newMint(t)
+	root, _ := m.NewRoot(Name("R"))
+	leaf, _ := root.IssueLeaf(Name("l.local"))
+	ch := Metas(Chain(leaf, root.Cert))
+	if len(ch) != 2 {
+		t.Fatalf("chain length = %d", len(ch))
+	}
+	if ch[0].Subject.CommonName() != "l.local" {
+		t.Error("chain order must be preserved")
+	}
+}
+
+func TestSerialMonotonic(t *testing.T) {
+	m := newMint(t)
+	a, _ := m.SelfSigned(Name("a"))
+	b, _ := m.SelfSigned(Name("b"))
+	if a.Meta.SerialHex == b.Meta.SerialHex {
+		t.Error("serials must not repeat")
+	}
+}
+
+func TestClock(t *testing.T) {
+	m := newMint(t)
+	if !m.Clock().Equal(anchor) {
+		t.Error("clock must start at the anchor")
+	}
+	m.AdvanceClock(48 * time.Hour)
+	if got := m.Clock(); !got.Equal(anchor.Add(48 * time.Hour)) {
+		t.Errorf("clock after advance = %v", got)
+	}
+	c, _ := m.SelfSigned(Name("later.local"))
+	if c.Meta.NotBefore.Before(anchor) {
+		t.Error("certs minted after advancing must start later")
+	}
+}
+
+func BenchmarkIssueLeaf(b *testing.B) {
+	m := NewMint(1, anchor)
+	root, err := m.NewRoot(Name("Bench Root"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := root.IssueLeaf(Name("bench.local")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

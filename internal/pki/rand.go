@@ -1,0 +1,48 @@
+package pki
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+)
+
+// drbg is a minimal deterministic random bit generator: SHA-256 in counter
+// mode over a seed. It exists so that key generation and certificate signing
+// are reproducible for a given scenario seed — the repository's determinism
+// guarantee (DESIGN.md §7) — while remaining an io.Reader acceptable to
+// crypto/ecdsa and crypto/x509.
+//
+// It is NOT a cryptographically vetted DRBG and must never be used outside
+// the simulator.
+type drbg struct {
+	seed    [32]byte
+	counter uint64
+	buf     []byte
+}
+
+// NewDeterministicRand returns an io.Reader producing a reproducible byte
+// stream for the given seed.
+func NewDeterministicRand(seed int64) io.Reader {
+	var s [32]byte
+	binary.BigEndian.PutUint64(s[:8], uint64(seed))
+	sum := sha256.Sum256(s[:])
+	return &drbg{seed: sum}
+}
+
+func (d *drbg) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if len(d.buf) == 0 {
+			var block [40]byte
+			copy(block[:32], d.seed[:])
+			binary.BigEndian.PutUint64(block[32:], d.counter)
+			d.counter++
+			sum := sha256.Sum256(block[:])
+			d.buf = sum[:]
+		}
+		m := copy(p, d.buf)
+		d.buf = d.buf[m:]
+		p = p[m:]
+	}
+	return n, nil
+}

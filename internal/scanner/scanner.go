@@ -1,0 +1,166 @@
+// Package scanner implements the retrospective TLS scan of §5: a real TLS
+// client (the `openssl s_client -showcerts` analog) that connects to
+// servers, records the exact certificate chain each presents, and feeds the
+// result back through the structure analyzer for the then-vs-now
+// comparison.
+package scanner
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"net"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/chain"
+)
+
+// Result is one scanned endpoint.
+type Result struct {
+	// Addr is the endpoint scanned.
+	Addr string
+	// SNI is the server name sent in the handshake.
+	SNI string
+	// Chain is the presented chain in delivery order (leaf first), as the
+	// log-level model the analyzer consumes.
+	Chain certmodel.Chain
+	// Raw holds the presented DER certificates.
+	Raw [][]byte
+	// Err is the connection or handshake error, nil on success.
+	Err error
+	// Duration is the wall time of the scan.
+	Duration time.Duration
+}
+
+// Reachable reports whether the scan obtained a chain.
+func (r *Result) Reachable() bool {
+	return r.Err == nil && len(r.Chain) > 0
+}
+
+// Scanner dials endpoints and captures presented chains.
+type Scanner struct {
+	// Timeout bounds each connection attempt.
+	Timeout time.Duration
+	// Dialer overrides the network dialer (tests inject failures).
+	Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+}
+
+// New returns a scanner with the given per-connection timeout.
+func New(timeout time.Duration) *Scanner {
+	return &Scanner{Timeout: timeout}
+}
+
+// Scan connects to addr, completes a TLS handshake offering sni, and
+// records the presented chain. Certificate verification is disabled — the
+// point is to observe what the server sends, not to judge it (judging is
+// the analyzer's job).
+func (s *Scanner) Scan(ctx context.Context, addr, sni string) *Result {
+	start := time.Now()
+	res := &Result{Addr: addr, SNI: sni}
+
+	dialCtx := ctx
+	if s.Timeout > 0 {
+		var cancel context.CancelFunc
+		dialCtx, cancel = context.WithTimeout(ctx, s.Timeout)
+		defer cancel()
+	}
+	dial := s.Dialer
+	if dial == nil {
+		var d net.Dialer
+		dial = d.DialContext
+	}
+	conn, err := dial(dialCtx, "tcp", addr)
+	if err != nil {
+		res.Err = fmt.Errorf("scanner: dial %s: %w", addr, err)
+		res.Duration = time.Since(start)
+		return res
+	}
+	defer conn.Close()
+
+	tc := tls.Client(conn, &tls.Config{
+		ServerName:         sni,
+		InsecureSkipVerify: true, // observation, not validation
+		MinVersion:         tls.VersionTLS12,
+	})
+	if err := tc.HandshakeContext(dialCtx); err != nil {
+		res.Err = fmt.Errorf("scanner: handshake %s: %w", addr, err)
+		res.Duration = time.Since(start)
+		return res
+	}
+	for _, cert := range tc.ConnectionState().PeerCertificates {
+		res.Raw = append(res.Raw, cert.Raw)
+		res.Chain = append(res.Chain, certmodel.FromX509(cert))
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// Target pairs an endpoint with the SNI to offer.
+type Target struct {
+	Addr string
+	SNI  string
+}
+
+// ScanAll scans targets with bounded concurrency, preserving input order in
+// the result slice.
+func (s *Scanner) ScanAll(ctx context.Context, targets []Target, parallelism int) []*Result {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	results := make([]*Result, len(targets))
+	sem := make(chan struct{}, parallelism)
+	done := make(chan int)
+	for i, t := range targets {
+		go func(i int, t Target) {
+			sem <- struct{}{}
+			results[i] = s.Scan(ctx, t.Addr, t.SNI)
+			<-sem
+			done <- i
+		}(i, t)
+	}
+	for range targets {
+		<-done
+	}
+	return results
+}
+
+// Comparison is the then-vs-now verdict for one server (§5).
+type Comparison struct {
+	Addr string
+	// OldCategory / NewCategory are the §3.2.2 categories then and now.
+	OldCategory chain.Category
+	NewCategory chain.Category
+	// OldLen / NewLen are the chain lengths.
+	OldLen, NewLen int
+	// NewVerdict is the structural verdict of the scanned chain.
+	NewVerdict chain.Verdict
+}
+
+// Compare analyzes a scanned chain against its historical observation.
+func Compare(cl *chain.Classifier, addr string, oldChain, newChain certmodel.Chain) *Comparison {
+	oldA := cl.Analyze(oldChain)
+	newA := cl.Analyze(newChain)
+	return &Comparison{
+		Addr:        addr,
+		OldCategory: oldA.Category,
+		NewCategory: newA.Category,
+		OldLen:      len(oldChain),
+		NewLen:      len(newChain),
+		NewVerdict:  newA.Verdict,
+	}
+}
+
+// RootsFromDER parses trusted roots for verification-enabled scans.
+func RootsFromDER(ders ...[]byte) (*x509.CertPool, error) {
+	pool := x509.NewCertPool()
+	for _, der := range ders {
+		c, err := x509.ParseCertificate(der)
+		if err != nil {
+			return nil, fmt.Errorf("scanner: parse root: %w", err)
+		}
+		pool.AddCert(c)
+	}
+	return pool, nil
+}

@@ -1,0 +1,144 @@
+// Package serverfarm runs real TLS servers on loopback, each configured to
+// present an arbitrary certificate chain — including the misconfigured
+// chains the paper observes in the wild (unnecessary certificates appended,
+// leaves replaced, roots included). It is the server side of the §5
+// retrospective scan: internal/scanner connects with a real TLS client and
+// records exactly what each server presents.
+package serverfarm
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"certchains/internal/pki"
+)
+
+// Server is one running TLS endpoint.
+type Server struct {
+	// Domain is the name the server answers for (informational; the farm
+	// does not require SNI to match).
+	Domain string
+	// Addr is the listener address (127.0.0.1:port).
+	Addr string
+	// Chain is the exact certificate sequence presented.
+	Chain []*pki.Certificate
+
+	ln net.Listener
+}
+
+// Farm manages a set of servers.
+type Farm struct {
+	mu      sync.Mutex
+	servers []*Server
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// New returns an empty farm.
+func New() *Farm {
+	return &Farm{}
+}
+
+// ErrNoLeafKey is returned when the first chain certificate has no private
+// key to serve with.
+var ErrNoLeafKey = errors.New("serverfarm: leaf certificate has no private key")
+
+// Add starts a TLS server presenting the chain verbatim. The leaf (index 0)
+// must carry its private key. The server accepts connections, completes the
+// handshake, and closes; it exists to be scanned.
+func (f *Farm) Add(domain string, chain []*pki.Certificate) (*Server, error) {
+	if len(chain) == 0 {
+		return nil, errors.New("serverfarm: empty chain")
+	}
+	if chain[0].Key == nil {
+		return nil, ErrNoLeafKey
+	}
+	raw := make([][]byte, len(chain))
+	for i, c := range chain {
+		raw[i] = c.Raw
+	}
+	cert := tls.Certificate{
+		Certificate: raw,
+		PrivateKey:  chain[0].Key,
+		Leaf:        chain[0].X509,
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS12,
+		// TLS 1.2 ceiling: the paper's passive vantage cannot observe
+		// TLS 1.3 certificates (§6.3), and the scanner mirrors an
+		// OpenSSL-era client.
+		MaxVersion: tls.VersionTLS12,
+	}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serverfarm: listen: %w", err)
+	}
+	s := &Server{Domain: domain, Addr: ln.Addr().String(), Chain: chain, ln: ln}
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("serverfarm: farm is closed")
+	}
+	f.servers = append(f.servers, s)
+	f.mu.Unlock()
+
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			f.wg.Add(1)
+			go func(c net.Conn) {
+				defer f.wg.Done()
+				defer c.Close()
+				if tc, ok := c.(*tls.Conn); ok {
+					// Complete the handshake so the client receives the
+					// chain even if it never writes.
+					_ = tc.HandshakeContext(context.Background())
+				}
+			}(conn)
+		}
+	}()
+	return s, nil
+}
+
+// Servers returns the running servers.
+func (f *Farm) Servers() []*Server {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Server(nil), f.servers...)
+}
+
+// Lookup returns the server for a domain, if any.
+func (f *Farm) Lookup(domain string) (*Server, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range f.servers {
+		if s.Domain == domain {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Close stops every server and waits for handlers to finish.
+func (f *Farm) Close() {
+	f.mu.Lock()
+	f.closed = true
+	servers := append([]*Server(nil), f.servers...)
+	f.mu.Unlock()
+	for _, s := range servers {
+		s.ln.Close()
+	}
+	f.wg.Wait()
+}

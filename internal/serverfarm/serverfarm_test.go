@@ -1,0 +1,110 @@
+package serverfarm
+
+import (
+	"crypto/tls"
+	"sync"
+	"testing"
+	"time"
+
+	"certchains/internal/pki"
+)
+
+func mintChain(t *testing.T, cn string) []*pki.Certificate {
+	t.Helper()
+	m := pki.NewMint(time.Now().UnixNano(), time.Now())
+	root, err := m.NewRoot(pki.Name("SF Root"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := root.IssueLeaf(pki.Name(cn), pki.WithSANs(cn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pki.Chain(leaf, root.Cert)
+}
+
+func TestAddAndHandshake(t *testing.T) {
+	f := New()
+	defer f.Close()
+	srv, err := f.Add("hs.example.test", mintChain(t, "hs.example.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := tls.Dial("tcp", srv.Addr, &tls.Config{
+		ServerName:         "hs.example.test",
+		InsecureSkipVerify: true,
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	state := conn.ConnectionState()
+	if len(state.PeerCertificates) != 2 {
+		t.Errorf("presented %d certs, want 2", len(state.PeerCertificates))
+	}
+	if state.Version != tls.VersionTLS12 {
+		t.Errorf("negotiated version %x, want TLS 1.2 (the passive-vantage ceiling)", state.Version)
+	}
+}
+
+func TestConcurrentHandshakes(t *testing.T) {
+	f := New()
+	defer f.Close()
+	srv, err := f.Add("conc.example.test", mintChain(t, "conc.example.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := tls.Dial("tcp", srv.Addr, &tls.Config{InsecureSkipVerify: true})
+			if err != nil {
+				errs <- err
+				return
+			}
+			conn.Close()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent handshake: %v", err)
+	}
+}
+
+func TestAddAfterClose(t *testing.T) {
+	f := New()
+	f.Close()
+	if _, err := f.Add("late.example.test", mintChain(t, "late.example.test")); err == nil {
+		t.Error("Add after Close must fail")
+	}
+}
+
+func TestCloseIdempotentAndStopsServers(t *testing.T) {
+	f := New()
+	srv, err := f.Add("stop.example.test", mintChain(t, "stop.example.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f.Close() // second close is a no-op
+	if _, err := tls.Dial("tcp", srv.Addr, &tls.Config{InsecureSkipVerify: true}); err == nil {
+		t.Error("server must be unreachable after Close")
+	}
+}
+
+func TestServersSnapshotIsolated(t *testing.T) {
+	f := New()
+	defer f.Close()
+	if _, err := f.Add("a.example.test", mintChain(t, "a.example.test")); err != nil {
+		t.Fatal(err)
+	}
+	snap := f.Servers()
+	snap[0] = nil
+	if f.Servers()[0] == nil {
+		t.Error("Servers must return a copy")
+	}
+}

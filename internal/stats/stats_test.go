@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDF(t *testing.T) {
+	c := NewCDF()
+	c.Add(1, 80)
+	c.Add(2, 15)
+	c.Add(3, 5)
+	c.Add(9, 0)  // no-op
+	c.Add(9, -3) // no-op
+	if c.Total() != 100 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if got := c.At(1); got != 0.80 {
+		t.Errorf("At(1) = %v", got)
+	}
+	if got := c.At(2); got != 0.95 {
+		t.Errorf("At(2) = %v", got)
+	}
+	if got := c.At(100); got != 1.0 {
+		t.Errorf("At(100) = %v", got)
+	}
+	if got := c.Share(2); got != 0.15 {
+		t.Errorf("Share(2) = %v", got)
+	}
+	if got := c.Share(7); got != 0 {
+		t.Errorf("Share(7) = %v", got)
+	}
+	if vals := c.Values(); len(vals) != 3 || vals[0] != 1 || vals[2] != 3 {
+		t.Errorf("Values = %v", vals)
+	}
+	if q := c.Quantile(0.5); q != 1 {
+		t.Errorf("median = %d, want 1", q)
+	}
+	if q := c.Quantile(0.99); q != 3 {
+		t.Errorf("p99 = %d, want 3", q)
+	}
+	pts := c.Points()
+	if len(pts) != 3 || pts[2].Y != 1.0 {
+		t.Errorf("Points = %v", pts)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF()
+	if c.At(5) != 0 || c.Share(5) != 0 || c.Quantile(0.5) != 0 {
+		t.Error("empty CDF must return zeros")
+	}
+	if len(c.Points()) != 0 {
+		t.Error("empty CDF has no points")
+	}
+}
+
+// Property: CDF is monotone nondecreasing over its observed values.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		c := NewCDF()
+		for _, v := range raw {
+			c.Add(int(v%20), 1)
+		}
+		prev := -1.0
+		for _, p := range c.Points() {
+			if p.Y < prev {
+				return false
+			}
+			prev = p.Y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	for _, v := range []float64{0.05, 0.15, 0.55, 0.95, 0.5} {
+		h.Add(v)
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Bins[0] != 1 || h.Bins[1] != 1 || h.Bins[5] != 2 || h.Bins[9] != 1 {
+		t.Errorf("Bins = %v", h.Bins)
+	}
+	if got := h.ShareAbove(0.5); math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("ShareAbove(0.5) = %v, want 0.6", got)
+	}
+	// Clamping.
+	h.Add(-5)
+	h.Add(99)
+	if h.Bins[0] != 2 || h.Bins[9] != 2 {
+		t.Errorf("clamped Bins = %v", h.Bins)
+	}
+	if !strings.Contains(h.BinLabel(0), "0.00") {
+		t.Errorf("BinLabel = %q", h.BinLabel(0))
+	}
+	empty := NewHistogram(0, 1, 4)
+	if empty.ShareAbove(0.5) != 0 {
+		t.Error("empty histogram share must be 0")
+	}
+}
+
+func TestPctAndRatio(t *testing.T) {
+	if Pct(0.9769) != "97.69%" {
+		t.Errorf("Pct = %q", Pct(0.9769))
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio must guard division by zero")
+	}
+	if Ratio(1, 4) != 0.25 {
+		t.Error("Ratio wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "Table X: demo", Headers: []string{"Category", "#"}}
+	tb.AddRow("Security & Network", "31")
+	tb.AddRow("Other", "3")
+	out := tb.String()
+	for _, want := range []string{"Table X: demo", "Category", "Security & Network  31", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Errorf("table has %d lines, want 5", len(lines))
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[int64]string{
+		0:         "0",
+		12:        "12",
+		123:       "123",
+		1234:      "1,234",
+		123456:    "123,456",
+		1234567:   "1,234,567",
+		259300000: "259,300,000",
+	}
+	for in, want := range cases {
+		if got := FormatCount(in); got != want {
+			t.Errorf("FormatCount(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package trustdb
+
+import (
+	"crypto/x509"
+	"encoding/csv"
+	"encoding/pem"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/dn"
+)
+
+// LoadPEMBundle reads a PEM certificate bundle (the format of
+// /etc/ssl/certs/ca-certificates.crt and the published Mozilla/Apple/
+// Microsoft root dumps) and adds every certificate as a trust anchor of the
+// named store. It returns the number of certificates added and skips
+// non-certificate PEM blocks; a block that fails to parse aborts with an
+// error identifying its position.
+func (db *DB) LoadPEMBundle(store string, r io.Reader) (int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("trustdb: read bundle: %w", err)
+	}
+	added := 0
+	for len(data) > 0 {
+		var block *pem.Block
+		block, data = pem.Decode(data)
+		if block == nil {
+			break
+		}
+		if block.Type != "CERTIFICATE" {
+			continue
+		}
+		cert, err := x509.ParseCertificate(block.Bytes)
+		if err != nil {
+			return added, fmt.Errorf("trustdb: certificate %d in bundle: %w", added, err)
+		}
+		db.AddRoot(store, certmodel.FromX509(cert))
+		added++
+	}
+	return added, nil
+}
+
+// CCADB CSV column names this loader understands (a subset of the real
+// AllCertificateRecords report).
+const (
+	ccadbColSubject   = "Certificate Subject"
+	ccadbColIssuer    = "Certificate Issuer"
+	ccadbColSerial    = "Certificate Serial Number"
+	ccadbColNotBefore = "Valid From"
+	ccadbColNotAfter  = "Valid To"
+	ccadbColType      = "Certificate Record Type"
+)
+
+// LoadCCADBCSV reads a CCADB-style CSV export of disclosed certificates.
+// Rows typed "Root Certificate" become trust anchors of the CCADB store;
+// rows typed "Intermediate Certificate" are added as CCADB intermediates
+// (and must chain to a known subject, per the inclusion rule). Returns
+// (roots, intermediates) added.
+func (db *DB) LoadCCADBCSV(r io.Reader) (int, int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return 0, 0, fmt.Errorf("trustdb: read CCADB header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[strings.TrimSpace(h)] = i
+	}
+	for _, required := range []string{ccadbColSubject, ccadbColIssuer, ccadbColType} {
+		if _, ok := col[required]; !ok {
+			return 0, 0, fmt.Errorf("trustdb: CCADB CSV missing column %q", required)
+		}
+	}
+	field := func(row []string, name string) string {
+		i, ok := col[name]
+		if !ok || i >= len(row) {
+			return ""
+		}
+		return strings.TrimSpace(row[i])
+	}
+
+	var roots, inters int
+	// Two passes so intermediates can chain to roots that appear later in
+	// the file: collect first, then add roots, then intermediates.
+	type rec struct {
+		meta  *certmodel.Meta
+		isInt bool
+		line  int
+	}
+	var records []rec
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return roots, inters, fmt.Errorf("trustdb: CCADB row %d: %w", line, err)
+		}
+		subject, err := dn.Parse(field(row, ccadbColSubject))
+		if err != nil {
+			return roots, inters, fmt.Errorf("trustdb: CCADB row %d subject: %w", line, err)
+		}
+		issuer, err := dn.Parse(field(row, ccadbColIssuer))
+		if err != nil {
+			return roots, inters, fmt.Errorf("trustdb: CCADB row %d issuer: %w", line, err)
+		}
+		nb := parseCCADBTime(field(row, ccadbColNotBefore))
+		na := parseCCADBTime(field(row, ccadbColNotAfter))
+		m := &certmodel.Meta{
+			FP:        certmodel.SyntheticFingerprint(issuer, subject, field(row, ccadbColSerial), nb, na),
+			Issuer:    issuer,
+			Subject:   subject,
+			SerialHex: strings.ToLower(field(row, ccadbColSerial)),
+			NotBefore: nb,
+			NotAfter:  na,
+			BC:        certmodel.BCTrue,
+		}
+		records = append(records, rec{
+			meta:  m,
+			isInt: strings.EqualFold(field(row, ccadbColType), "Intermediate Certificate"),
+			line:  line,
+		})
+	}
+	for _, rc := range records {
+		if !rc.isInt {
+			db.AddRoot(StoreCCADB, rc.meta)
+			roots++
+		}
+	}
+	for _, rc := range records {
+		if rc.isInt {
+			if err := db.AddCCADBIntermediate(rc.meta); err != nil {
+				return roots, inters, fmt.Errorf("trustdb: CCADB row %d: %w", rc.line, err)
+			}
+			inters++
+		}
+	}
+	return roots, inters, nil
+}
+
+// parseCCADBTime accepts the timestamp renderings CCADB exports use.
+func parseCCADBTime(s string) time.Time {
+	for _, layout := range []string{"2006.01.02", "2006-01-02", time.RFC3339, "Jan 2, 2006"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t
+		}
+	}
+	return time.Time{}
+}

@@ -1,0 +1,188 @@
+// Package trustdb models the public certificate databases the paper
+// classifies against: the major Web PKI root stores (Mozilla NSS, Apple,
+// Microsoft) and the Common CA Database (CCADB) of disclosed root and
+// intermediate certificates.
+//
+// Classification follows §3.2.1 of the paper exactly: a certificate is
+// "issued by a public-DB issuer" when its issuer — an intermediate or root —
+// is listed in at least one root store or in CCADB; otherwise it is issued by
+// a non-public-DB issuer, a definition that sweeps in self-signed
+// certificates absent from every store.
+//
+// Because the campus pipeline sees only log fields, lookups are by
+// distinguished name; fingerprint lookups are also supported for the parts of
+// the system that hold full certificates.
+package trustdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/dn"
+)
+
+// Store names for the root programs the paper consults.
+const (
+	StoreMozilla   = "mozilla"
+	StoreApple     = "apple"
+	StoreMicrosoft = "microsoft"
+	StoreCCADB     = "ccadb"
+)
+
+// Class is the §3.2.1 certificate classification.
+type Class int
+
+const (
+	// IssuedByPublicDB means the certificate's issuer appears in at least
+	// one public database.
+	IssuedByPublicDB Class = iota
+	// IssuedByNonPublicDB means the issuer appears in no public database.
+	IssuedByNonPublicDB
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case IssuedByPublicDB:
+		return "public-DB"
+	case IssuedByNonPublicDB:
+		return "non-public-DB"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Entry is one database record.
+type Entry struct {
+	Meta *certmodel.Meta
+	// Stores lists which databases contain the certificate.
+	Stores []string
+	// Intermediate marks CCADB intermediate records (vs trust anchors).
+	Intermediate bool
+}
+
+// DB is the merged view over all configured stores. It is safe for
+// concurrent use after population, and the methods lock for the rare case of
+// concurrent mutation.
+type DB struct {
+	mu sync.RWMutex
+	// bySubject indexes entries by normalized subject DN: the issuer-field
+	// lookup the classifier performs.
+	bySubject map[string][]*Entry
+	byFP      map[certmodel.Fingerprint]*Entry
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		bySubject: make(map[string][]*Entry),
+		byFP:      make(map[certmodel.Fingerprint]*Entry),
+	}
+}
+
+// AddRoot records a trust anchor as present in the named store. Adding the
+// same certificate to several stores merges the store lists.
+func (db *DB) AddRoot(store string, m *certmodel.Meta) {
+	db.add(store, m, false)
+}
+
+// AddCCADBIntermediate records a disclosed intermediate. Per the CCADB
+// inclusion rule the paper cites, the intermediate must chain to a
+// participating root: the call returns an error when the intermediate's
+// issuer is unknown to the database.
+func (db *DB) AddCCADBIntermediate(m *certmodel.Meta) error {
+	db.mu.RLock()
+	_, ok := db.bySubject[m.Issuer.Normalized()]
+	db.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("trustdb: CCADB intermediate %q does not chain to a participating root", m.Subject.String())
+	}
+	db.add(StoreCCADB, m, true)
+	return nil
+}
+
+func (db *DB) add(store string, m *certmodel.Meta, intermediate bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if e, ok := db.byFP[m.FP]; ok {
+		for _, s := range e.Stores {
+			if s == store {
+				return
+			}
+		}
+		e.Stores = append(e.Stores, store)
+		sort.Strings(e.Stores)
+		return
+	}
+	e := &Entry{Meta: m, Stores: []string{store}, Intermediate: intermediate}
+	db.byFP[m.FP] = e
+	key := m.Subject.Normalized()
+	db.bySubject[key] = append(db.bySubject[key], e)
+}
+
+// ContainsSubject reports whether any database entry has the given subject
+// DN — i.e. whether a certificate naming this DN as issuer was issued by a
+// public-DB issuer.
+func (db *DB) ContainsSubject(d dn.DN) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.bySubject[d.Normalized()]) > 0
+}
+
+// ContainsFP reports whether the exact certificate is in any database.
+func (db *DB) ContainsFP(fp certmodel.Fingerprint) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.byFP[fp]
+	return ok
+}
+
+// LookupSubject returns all entries whose subject matches d.
+func (db *DB) LookupSubject(d dn.DN) []*Entry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]*Entry(nil), db.bySubject[d.Normalized()]...)
+}
+
+// Classify applies the §3.2.1 rule to one certificate.
+func (db *DB) Classify(m *certmodel.Meta) Class {
+	if db.ContainsSubject(m.Issuer) {
+		return IssuedByPublicDB
+	}
+	return IssuedByNonPublicDB
+}
+
+// IsTrustAnchorSubject reports whether d names a root (non-intermediate)
+// entry in at least one root store — the "anchored to a public trust root"
+// test of §4.2.
+func (db *DB) IsTrustAnchorSubject(d dn.DN) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, e := range db.bySubject[d.Normalized()] {
+		if !e.Intermediate {
+			return true
+		}
+	}
+	return false
+}
+
+// Stores returns the sorted store names an exact certificate appears in, or
+// nil when absent.
+func (db *DB) Stores(fp certmodel.Fingerprint) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.byFP[fp]
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), e.Stores...)
+}
+
+// Size returns the number of distinct certificates across all stores.
+func (db *DB) Size() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.byFP)
+}

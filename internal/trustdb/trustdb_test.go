@@ -1,0 +1,171 @@
+package trustdb
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/dn"
+)
+
+func meta(issuer, subject string) *certmodel.Meta {
+	iss := dn.MustParse(issuer)
+	sub := dn.MustParse(subject)
+	nb := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	na := nb.AddDate(10, 0, 0)
+	return &certmodel.Meta{
+		FP:        certmodel.SyntheticFingerprint(iss, sub, "01", nb, na),
+		Issuer:    iss,
+		Subject:   sub,
+		NotBefore: nb,
+		NotAfter:  na,
+		BC:        certmodel.BCTrue,
+	}
+}
+
+func TestClassify(t *testing.T) {
+	db := New()
+	root := meta("CN=Public Root,O=Trust Co", "CN=Public Root,O=Trust Co")
+	db.AddRoot(StoreMozilla, root)
+
+	leafFromPublic := meta("CN=Public Root,O=Trust Co", "CN=site.example.com")
+	if c := db.Classify(leafFromPublic); c != IssuedByPublicDB {
+		t.Errorf("leaf with public issuer classified %v", c)
+	}
+	leafFromPrivate := meta("CN=Corp Internal CA", "CN=internal.corp")
+	if c := db.Classify(leafFromPrivate); c != IssuedByNonPublicDB {
+		t.Errorf("leaf with private issuer classified %v", c)
+	}
+	// A root in the store is self-signed; its issuer (itself) is in the DB.
+	if c := db.Classify(root); c != IssuedByPublicDB {
+		t.Errorf("stored root classified %v", c)
+	}
+	// Self-signed cert absent from every store is non-public (paper §3.2.1).
+	selfSigned := meta("CN=printer.campus.edu", "CN=printer.campus.edu")
+	if c := db.Classify(selfSigned); c != IssuedByNonPublicDB {
+		t.Errorf("unlisted self-signed classified %v", c)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if IssuedByPublicDB.String() != "public-DB" || IssuedByNonPublicDB.String() != "non-public-DB" {
+		t.Error("unexpected Class strings")
+	}
+	if Class(9).String() == "" {
+		t.Error("out-of-range class should render")
+	}
+}
+
+func TestMultiStoreMerge(t *testing.T) {
+	db := New()
+	root := meta("CN=R", "CN=R")
+	db.AddRoot(StoreMozilla, root)
+	db.AddRoot(StoreApple, root)
+	db.AddRoot(StoreApple, root) // duplicate add is idempotent
+	stores := db.Stores(root.FP)
+	if len(stores) != 2 || stores[0] != StoreApple || stores[1] != StoreMozilla {
+		t.Errorf("Stores = %v, want [apple mozilla]", stores)
+	}
+	if db.Size() != 1 {
+		t.Errorf("Size = %d, want 1", db.Size())
+	}
+	if db.Stores("missing") != nil {
+		t.Error("Stores for unknown FP should be nil")
+	}
+}
+
+func TestCCADBIntermediateRequiresRoot(t *testing.T) {
+	db := New()
+	inter := meta("CN=Unknown Root", "CN=Orphan Issuing CA")
+	if err := db.AddCCADBIntermediate(inter); err == nil {
+		t.Error("intermediate without participating root must be rejected")
+	}
+	root := meta("CN=Known Root", "CN=Known Root")
+	db.AddRoot(StoreMicrosoft, root)
+	inter2 := meta("CN=Known Root", "CN=Proper Issuing CA")
+	if err := db.AddCCADBIntermediate(inter2); err != nil {
+		t.Errorf("valid intermediate rejected: %v", err)
+	}
+	// A leaf from the CCADB intermediate is now public-DB issued.
+	leaf := meta("CN=Proper Issuing CA", "CN=x.example.com")
+	if db.Classify(leaf) != IssuedByPublicDB {
+		t.Error("leaf from CCADB intermediate must classify public")
+	}
+}
+
+func TestIsTrustAnchorSubject(t *testing.T) {
+	db := New()
+	root := meta("CN=Anchor Root", "CN=Anchor Root")
+	db.AddRoot(StoreMozilla, root)
+	inter := meta("CN=Anchor Root", "CN=Mid CA")
+	if err := db.AddCCADBIntermediate(inter); err != nil {
+		t.Fatal(err)
+	}
+	if !db.IsTrustAnchorSubject(dn.MustParse("CN=Anchor Root")) {
+		t.Error("root subject must be a trust anchor")
+	}
+	if db.IsTrustAnchorSubject(dn.MustParse("CN=Mid CA")) {
+		t.Error("CCADB intermediate must not count as a trust anchor")
+	}
+	if db.IsTrustAnchorSubject(dn.MustParse("CN=Nobody")) {
+		t.Error("unknown subject must not be a trust anchor")
+	}
+}
+
+func TestLookupSubjectIsolation(t *testing.T) {
+	db := New()
+	root := meta("CN=R2", "CN=R2")
+	db.AddRoot(StoreApple, root)
+	got := db.LookupSubject(dn.MustParse("CN=R2"))
+	if len(got) != 1 {
+		t.Fatalf("LookupSubject returned %d entries", len(got))
+	}
+	// Mutating the returned slice must not corrupt the DB.
+	got[0] = nil
+	if len(db.LookupSubject(dn.MustParse("CN=R2"))) != 1 || db.LookupSubject(dn.MustParse("CN=R2"))[0] == nil {
+		t.Error("LookupSubject must return a copy")
+	}
+}
+
+func TestContainsSubjectNormalization(t *testing.T) {
+	db := New()
+	db.AddRoot(StoreMozilla, meta("CN=Norm Root, O=Org", "CN=Norm Root, O=Org"))
+	if !db.ContainsSubject(dn.MustParse("commonName=Norm Root,organizationName=Org")) {
+		t.Error("lookup must apply DN normalization")
+	}
+}
+
+func TestContainsFP(t *testing.T) {
+	db := New()
+	root := meta("CN=F", "CN=F")
+	db.AddRoot(StoreMozilla, root)
+	if !db.ContainsFP(root.FP) {
+		t.Error("ContainsFP must find stored cert")
+	}
+	if db.ContainsFP("nope") {
+		t.Error("ContainsFP must miss unknown cert")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				m := meta("CN=R", "CN=R")
+				db.AddRoot(StoreMozilla, m)
+				db.ContainsSubject(m.Subject)
+				db.Classify(m)
+				db.Size()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if db.Size() != 1 {
+		t.Errorf("Size = %d, want 1 (same synthetic FP)", db.Size())
+	}
+}

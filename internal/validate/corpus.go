@@ -1,0 +1,158 @@
+package validate
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"certchains/internal/chain"
+	"certchains/internal/pki"
+)
+
+// Table 5 corpus shape: the November-2024 validation dataset of 12,676
+// directly collected chains.
+const (
+	paperCorpusSingle       = 2568
+	paperCorpusValid        = 9822 // valid under both methods
+	paperCorpusBroken       = 283
+	corpusUnrecognizedKeys  = 3 // absolute: the interesting rare cases
+	corpusParseErrors       = 1
+	corpusCrossSignedChains = 8 // cross-signed chains needing the registry
+)
+
+// Corpus is the Appendix D validation dataset: full-certificate chains with
+// real keys and signatures, including the rare pathologies.
+type Corpus struct {
+	Chains [][]*pki.Certificate
+	// Registry carries the cross-signing exemptions the issuer–subject
+	// method needs to avoid false mismatches.
+	Registry *chain.CrossSignRegistry
+	// ExpectedSingle/Valid/Broken record the generated composition.
+	ExpectedSingle, ExpectedValid, ExpectedBroken int
+}
+
+// BuildCorpus mints a Table 5-shaped corpus at the given scale (1.0 =
+// 12,676 chains). The three unrecognized-key chains and the one
+// parse-error chain are always present regardless of scale.
+func BuildCorpus(seed int64, scale float64) (*Corpus, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("validate: scale must be positive, got %v", scale)
+	}
+	clock := time.Date(2024, 11, 15, 0, 0, 0, 0, time.UTC)
+	m := pki.NewMint(seed, clock)
+	rng := rand.New(rand.NewPCG(uint64(seed), 0xc0ffee))
+	c := &Corpus{Registry: chain.NewCrossSignRegistry()}
+
+	scaled := func(n int) int {
+		v := int(float64(n)*scale + 0.5)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+
+	// Shared CA pool for the valid chains.
+	var roots []*pki.CA
+	var inters []*pki.CA
+	for i := 0; i < 4; i++ {
+		root, err := m.NewRoot(pki.Name(fmt.Sprintf("Corpus Root %d", i), "Corpus"))
+		if err != nil {
+			return nil, err
+		}
+		inter, err := root.NewIntermediate(pki.Name(fmt.Sprintf("Corpus Issuing CA %d", i), "Corpus"))
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, root)
+		inters = append(inters, inter)
+	}
+
+	// --- single-certificate chains ---------------------------------------
+	c.ExpectedSingle = scaled(paperCorpusSingle)
+	for i := 0; i < c.ExpectedSingle; i++ {
+		ss, err := m.SelfSigned(pki.Name(fmt.Sprintf("single%d.example", i)))
+		if err != nil {
+			return nil, err
+		}
+		c.Chains = append(c.Chains, pki.Chain(ss))
+	}
+
+	// --- valid multi-certificate chains -----------------------------------
+	nValid := scaled(paperCorpusValid)
+	c.ExpectedValid = nValid
+	for i := 0; i < nValid; i++ {
+		k := rng.IntN(len(inters))
+		leaf, err := inters[k].IssueLeaf(pki.Name(fmt.Sprintf("host%d.example", i)))
+		if err != nil {
+			return nil, err
+		}
+		ch := pki.Chain(leaf, inters[k].Cert)
+		if rng.Float64() < 0.4 {
+			ch = append(ch, roots[k].Cert)
+		}
+		c.Chains = append(c.Chains, ch)
+	}
+
+	// --- cross-signed chains (valid, but only with the registry) ----------
+	// The issuing CA's key also operates under a rebranded name; servers
+	// deliver the rebranded certificate, so the leaf's issuer DN does not
+	// textually match the delivered parent's subject DN even though the
+	// signature verifies. The registry exempts the pair (Appendix D.1).
+	{
+		target := inters[1]
+		variantName := pki.Name("Corpus Legacy Services CA", "Corpus Legacy")
+		variant, err := roots[0].CrossSignAs(target, variantName)
+		if err != nil {
+			return nil, err
+		}
+		c.Registry.Add(target.Cert.Meta.Subject, variant.Meta.Subject)
+		for i := 0; i < corpusCrossSignedChains; i++ {
+			leaf, err := target.IssueLeaf(pki.Name(fmt.Sprintf("xsigned%d.example", i)))
+			if err != nil {
+				return nil, err
+			}
+			c.Chains = append(c.Chains, pki.Chain(leaf, variant))
+			c.ExpectedValid++
+		}
+	}
+
+	// --- broken chains ------------------------------------------------------
+	nBroken := scaled(paperCorpusBroken)
+	c.ExpectedBroken = nBroken
+	for i := 0; i < nBroken; i++ {
+		k := rng.IntN(len(inters))
+		leaf, err := inters[k].IssueLeaf(pki.Name(fmt.Sprintf("broken%d.example", i)))
+		if err != nil {
+			return nil, err
+		}
+		// Pair the leaf with the wrong CA: names and signatures both fail
+		// at pair 0.
+		wrong := inters[(k+1)%len(inters)]
+		c.Chains = append(c.Chains, pki.Chain(leaf, wrong.Cert))
+	}
+
+	// --- unrecognized-key chains (always 3) --------------------------------
+	for i := 0; i < corpusUnrecognizedKeys; i++ {
+		edRoot, err := m.NewRootEd25519(pki.Name(fmt.Sprintf("Exotic Root %d", i), "Exotic"))
+		if err != nil {
+			return nil, err
+		}
+		leaf, err := edRoot.IssueLeaf(pki.Name(fmt.Sprintf("exotic%d.example", i)))
+		if err != nil {
+			return nil, err
+		}
+		c.Chains = append(c.Chains, pki.Chain(leaf, edRoot.Cert))
+		c.ExpectedValid++ // issuer–subject counts these as valid
+	}
+
+	// --- the parse-error chain (always 1) ----------------------------------
+	{
+		leaf, err := inters[0].IssueLeaf(pki.Name("mangled.example"))
+		if err != nil {
+			return nil, err
+		}
+		c.Chains = append(c.Chains, pki.Chain(leaf, pki.Malformed(inters[0].Cert)))
+		c.ExpectedValid++ // issuer–subject accepts it; key–signature errors
+	}
+	return c, nil
+}

@@ -1,0 +1,297 @@
+package validate
+
+import (
+	"testing"
+	"time"
+
+	"certchains/internal/chain"
+	"certchains/internal/pki"
+)
+
+var clock = time.Date(2024, 11, 15, 0, 0, 0, 0, time.UTC)
+
+// env mints a small PKI shared by tests.
+type env struct {
+	mint  *pki.Mint
+	root  *pki.CA
+	inter *pki.CA
+	leaf  *pki.Certificate
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	m := pki.NewMint(7, clock)
+	root, err := m.NewRoot(pki.Name("V Root", "VOrg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := root.NewIntermediate(pki.Name("V Issuing CA", "VOrg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := inter.IssueLeaf(pki.Name("site.example.com"), pki.WithSANs("site.example.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{mint: m, root: root, inter: inter, leaf: leaf}
+}
+
+func TestIssuerSubjectOutcomes(t *testing.T) {
+	e := newEnv(t)
+	if r := IssuerSubject(pki.Chain(e.leaf), nil); r.Outcome != OutcomeSingle {
+		t.Errorf("single = %v", r.Outcome)
+	}
+	if r := IssuerSubject(pki.Chain(e.leaf, e.inter.Cert, e.root.Cert), nil); r.Outcome != OutcomeValid {
+		t.Errorf("valid chain = %v", r.Outcome)
+	}
+	// Broken: leaf paired with the root directly.
+	r := IssuerSubject(pki.Chain(e.leaf, e.root.Cert), nil)
+	if r.Outcome != OutcomeBroken || r.FailIndex != 0 {
+		t.Errorf("broken = %v at %d", r.Outcome, r.FailIndex)
+	}
+}
+
+func TestKeySignatureOutcomes(t *testing.T) {
+	e := newEnv(t)
+	if r := KeySignature(pki.Chain(e.leaf)); r.Outcome != OutcomeSingle {
+		t.Errorf("single = %v", r.Outcome)
+	}
+	if r := KeySignature(pki.Chain(e.leaf, e.inter.Cert, e.root.Cert)); r.Outcome != OutcomeValid {
+		t.Errorf("valid = %v", r.Outcome)
+	}
+	r := KeySignature(pki.Chain(e.leaf, e.root.Cert))
+	if r.Outcome != OutcomeBroken || r.FailIndex != 0 {
+		t.Errorf("broken = %v at %d", r.Outcome, r.FailIndex)
+	}
+}
+
+func TestKeySignatureParseError(t *testing.T) {
+	e := newEnv(t)
+	bad := pki.Malformed(e.inter.Cert)
+	r := KeySignature(pki.Chain(e.leaf, bad))
+	if r.Outcome != OutcomeParseError {
+		t.Errorf("parse error = %v", r.Outcome)
+	}
+	// The issuer–subject method accepts the same chain (the Appendix D
+	// disagreement).
+	if r := IssuerSubject(pki.Chain(e.leaf, bad), nil); r.Outcome != OutcomeValid {
+		t.Errorf("issuer-subject on malformed = %v", r.Outcome)
+	}
+}
+
+func TestKeySignatureUnrecognizedKey(t *testing.T) {
+	m := pki.NewMint(9, clock)
+	edRoot, err := m.NewRootEd25519(pki.Name("Ed Root"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := edRoot.IssueLeaf(pki.Name("ed.example.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := KeySignature(pki.Chain(leaf, edRoot.Cert))
+	if r.Outcome != OutcomeUnrecognizedKey {
+		t.Errorf("outcome = %v, want unrecognized-key", r.Outcome)
+	}
+	if r := IssuerSubject(pki.Chain(leaf, edRoot.Cert), nil); r.Outcome != OutcomeValid {
+		t.Errorf("issuer-subject = %v, want valid", r.Outcome)
+	}
+}
+
+func TestCrossSignExemption(t *testing.T) {
+	m := pki.NewMint(11, clock)
+	rootA, _ := m.NewRoot(pki.Name("Root A", "A"))
+	rootB, _ := m.NewRoot(pki.Name("Root B", "B"))
+	interB, _ := rootB.NewIntermediate(pki.Name("Issuing B", "B"))
+	variant, err := rootA.CrossSignAs(interB, pki.Name("Issuing B Legacy", "B Legacy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, _ := interB.IssueLeaf(pki.Name("x.example.com"))
+	ch := pki.Chain(leaf, variant)
+
+	// Key–signature: valid (same key under the variant name).
+	if r := KeySignature(ch); r.Outcome != OutcomeValid {
+		t.Fatalf("key-signature = %v", r.Outcome)
+	}
+	// Issuer–subject without registry: broken (textual mismatch).
+	if r := IssuerSubject(ch, nil); r.Outcome != OutcomeBroken {
+		t.Fatalf("issuer-subject without registry = %v", r.Outcome)
+	}
+	// With the registry: valid.
+	reg := chain.NewCrossSignRegistry()
+	reg.Add(interB.Cert.Meta.Subject, variant.Meta.Subject)
+	if r := IssuerSubject(ch, reg); r.Outcome != OutcomeValid {
+		t.Errorf("issuer-subject with registry = %v", r.Outcome)
+	}
+}
+
+func TestCompareTable5Shape(t *testing.T) {
+	corpus, err := BuildCorpus(21, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := Compare(corpus.Chains, corpus.Registry)
+	if cmp.Total != len(corpus.Chains) {
+		t.Errorf("total = %d", cmp.Total)
+	}
+	// Singles agree exactly between methods.
+	if cmp.IssuerSubject[OutcomeSingle] != corpus.ExpectedSingle ||
+		cmp.KeySignature[OutcomeSingle] != corpus.ExpectedSingle {
+		t.Errorf("singles: is=%d ks=%d want %d",
+			cmp.IssuerSubject[OutcomeSingle], cmp.KeySignature[OutcomeSingle], corpus.ExpectedSingle)
+	}
+	// Issuer–subject valid = key-signature valid + 3 unrecognized + 1 parse.
+	if cmp.IssuerSubject[OutcomeValid] != corpus.ExpectedValid {
+		t.Errorf("is valid = %d, want %d", cmp.IssuerSubject[OutcomeValid], corpus.ExpectedValid)
+	}
+	if got := cmp.KeySignature[OutcomeValid]; got != corpus.ExpectedValid-corpusUnrecognizedKeys-corpusParseErrors {
+		t.Errorf("ks valid = %d, want %d", got, corpus.ExpectedValid-4)
+	}
+	if cmp.KeySignature[OutcomeUnrecognizedKey] != 3 {
+		t.Errorf("unrecognized keys = %d, want 3", cmp.KeySignature[OutcomeUnrecognizedKey])
+	}
+	if cmp.KeySignature[OutcomeParseError] != 1 {
+		t.Errorf("parse errors = %d, want 1", cmp.KeySignature[OutcomeParseError])
+	}
+	// Broken counts agree, and at identical positions.
+	if cmp.IssuerSubject[OutcomeBroken] != corpus.ExpectedBroken ||
+		cmp.KeySignature[OutcomeBroken] != corpus.ExpectedBroken {
+		t.Errorf("broken: is=%d ks=%d want %d",
+			cmp.IssuerSubject[OutcomeBroken], cmp.KeySignature[OutcomeBroken], corpus.ExpectedBroken)
+	}
+	if cmp.PositionMismatches != 0 {
+		t.Errorf("position mismatches = %d, want 0", cmp.PositionMismatches)
+	}
+	// Exactly the 4 expected disagreements (3 unrecognized + 1 parse).
+	if len(cmp.Disagreements) != 4 {
+		t.Errorf("disagreements = %d, want 4", len(cmp.Disagreements))
+	}
+}
+
+func TestBuildCorpusRejectsBadScale(t *testing.T) {
+	if _, err := BuildCorpus(1, 0); err == nil {
+		t.Error("zero scale must be rejected")
+	}
+}
+
+func TestPolicyDivergence(t *testing.T) {
+	e := newEnv(t)
+	// The §5 case: a complete matched path anchored to a trusted root plus
+	// an unnecessary trailing certificate.
+	stray, err := e.mint.SelfSigned(pki.Name("tester"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presented := pki.Chain(e.leaf, e.inter.Cert, stray)
+
+	browser := NewClient(PolicyBrowser, e.root.Cert.X509)
+	strict := NewClient(PolicyStrictPresented, e.root.Cert.X509)
+
+	if err := browser.Validate(presented, "site.example.com", clock); err != nil {
+		t.Errorf("browser policy rejected chain with unnecessary cert: %v", err)
+	}
+	if err := strict.Validate(presented, "site.example.com", clock); err == nil {
+		t.Error("strict policy accepted chain with unnecessary cert")
+	}
+
+	// Both accept the clean chain.
+	clean := pki.Chain(e.leaf, e.inter.Cert)
+	if err := browser.Validate(clean, "site.example.com", clock); err != nil {
+		t.Errorf("browser rejected clean chain: %v", err)
+	}
+	if err := strict.Validate(clean, "site.example.com", clock); err != nil {
+		t.Errorf("strict rejected clean chain: %v", err)
+	}
+}
+
+func TestStrictPolicyChecks(t *testing.T) {
+	e := newEnv(t)
+	strict := NewClient(PolicyStrictPresented, e.root.Cert.X509)
+
+	// Wrong hostname.
+	if err := strict.Validate(pki.Chain(e.leaf, e.inter.Cert), "other.example.com", clock); err == nil {
+		t.Error("strict accepted wrong hostname")
+	}
+	// Expired at validation time.
+	if err := strict.Validate(pki.Chain(e.leaf, e.inter.Cert), "site.example.com", clock.AddDate(5, 0, 0)); err == nil {
+		t.Error("strict accepted expired chain")
+	}
+	// Untrusted root.
+	other, _ := e.mint.NewRoot(pki.Name("Other Root"))
+	strictOther := NewClient(PolicyStrictPresented, other.Cert.X509)
+	if err := strictOther.Validate(pki.Chain(e.leaf, e.inter.Cert), "site.example.com", clock); err == nil {
+		t.Error("strict accepted chain with no path to its roots")
+	}
+	// Empty chain.
+	if err := strict.Validate(nil, "", clock); err == nil {
+		t.Error("empty chain must fail")
+	}
+	// Malformed member.
+	if err := strict.Validate(pki.Chain(e.leaf, pki.Malformed(e.inter.Cert)), "site.example.com", clock); err == nil {
+		t.Error("malformed member must fail")
+	}
+	// Root included in the presented chain is accepted.
+	if err := strict.Validate(pki.Chain(e.leaf, e.inter.Cert, e.root.Cert), "site.example.com", clock); err != nil {
+		t.Errorf("strict rejected chain including its root: %v", err)
+	}
+}
+
+func TestBrowserPolicyFailsWithoutPath(t *testing.T) {
+	e := newEnv(t)
+	browser := NewClient(PolicyBrowser, e.root.Cert.X509)
+	// Leaf alone, intermediate missing: browser cannot build a path (no
+	// AIA fetching in this model).
+	if err := browser.Validate(pki.Chain(e.leaf), "site.example.com", clock); err == nil {
+		t.Error("browser accepted leaf without intermediate")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for _, o := range []Outcome{OutcomeSingle, OutcomeValid, OutcomeBroken, OutcomeUnrecognizedKey, OutcomeParseError, Outcome(42)} {
+		if o.String() == "" {
+			t.Errorf("Outcome %d empty string", int(o))
+		}
+	}
+	if PolicyBrowser.String() == PolicyStrictPresented.String() {
+		t.Error("policies must render distinctly")
+	}
+}
+
+func TestMetasOf(t *testing.T) {
+	e := newEnv(t)
+	ms := MetasOf(pki.Chain(e.leaf, e.inter.Cert))
+	if len(ms) != 2 || ms[0].Subject.CommonName() != "site.example.com" {
+		t.Errorf("MetasOf = %v", ms)
+	}
+}
+
+func BenchmarkIssuerSubject(b *testing.B) {
+	m := pki.NewMint(3, clock)
+	root, _ := m.NewRoot(pki.Name("B Root"))
+	inter, _ := root.NewIntermediate(pki.Name("B CA"))
+	leaf, _ := inter.IssueLeaf(pki.Name("b.example.com"))
+	ch := pki.Chain(leaf, inter.Cert, root.Cert)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := IssuerSubject(ch, nil); r.Outcome != OutcomeValid {
+			b.Fatal(r.Outcome)
+		}
+	}
+}
+
+func BenchmarkKeySignature(b *testing.B) {
+	m := pki.NewMint(3, clock)
+	root, _ := m.NewRoot(pki.Name("B Root"))
+	inter, _ := root.NewIntermediate(pki.Name("B CA"))
+	leaf, _ := inter.IssueLeaf(pki.Name("b.example.com"))
+	ch := pki.Chain(leaf, inter.Cert, root.Cert)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := KeySignature(ch); r.Outcome != OutcomeValid {
+			b.Fatal(r.Outcome)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package zeek implements the Zeek network-monitor log format and the two
+// log streams the paper's pipeline consumes: ssl.log (TLS connection
+// records) and x509.log (certificate records), cross-referenced through
+// file-unique certificate identifiers exactly as Zeek emits them.
+//
+// The on-disk format is Zeek's tab-separated-value layout: a header block of
+// '#'-prefixed directives (#separator, #fields, #types, ...) followed by one
+// record per line, with '-' for unset fields, '(empty)' for empty values,
+// and ',' separating vector elements.
+package zeek
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Field separators and sentinels of the standard Zeek ASCII writer.
+const (
+	Separator    = "\t"
+	SetSeparator = ","
+	EmptyField   = "(empty)"
+	UnsetField   = "-"
+)
+
+// Header describes one log stream.
+type Header struct {
+	Path   string
+	Fields []string
+	Types  []string
+	Open   time.Time
+}
+
+// Writer emits records for a single log stream in Zeek ASCII format.
+type Writer struct {
+	w      *bufio.Writer
+	header Header
+	opened bool
+	nrec   int
+}
+
+// NewWriter creates a writer for the given stream header.
+func NewWriter(w io.Writer, h Header) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), header: h}
+}
+
+func (w *Writer) writeHeader() error {
+	h := w.header
+	if len(h.Fields) != len(h.Types) {
+		return fmt.Errorf("zeek: header fields/types mismatch: %d vs %d", len(h.Fields), len(h.Types))
+	}
+	lines := []string{
+		"#separator \\x09",
+		"#set_separator\t" + SetSeparator,
+		"#empty_field\t" + EmptyField,
+		"#unset_field\t" + UnsetField,
+		"#path\t" + h.Path,
+		"#open\t" + h.Open.Format("2006-01-02-15-04-05"),
+		"#fields\t" + strings.Join(h.Fields, Separator),
+		"#types\t" + strings.Join(h.Types, Separator),
+	}
+	for _, l := range lines {
+		if _, err := w.w.WriteString(l + "\n"); err != nil {
+			return fmt.Errorf("zeek: write header: %w", err)
+		}
+	}
+	w.opened = true
+	return nil
+}
+
+// WriteRecord writes one record; values must align with the header fields.
+// Nil/empty strings are emitted as the unset sentinel.
+func (w *Writer) WriteRecord(values []string) error {
+	if !w.opened {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	if len(values) != len(w.header.Fields) {
+		return fmt.Errorf("zeek: record has %d values, header has %d fields", len(values), len(w.header.Fields))
+	}
+	for i, v := range values {
+		if i > 0 {
+			if err := w.w.WriteByte('\t'); err != nil {
+				return err
+			}
+		}
+		if v == "" {
+			v = UnsetField
+		}
+		if _, err := w.w.WriteString(escapeField(v)); err != nil {
+			return err
+		}
+	}
+	w.nrec++
+	return w.w.WriteByte('\n')
+}
+
+// Close flushes the stream and writes the #close trailer.
+func (w *Writer) Close(at time.Time) error {
+	if !w.opened {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	if _, err := w.w.WriteString("#close\t" + at.Format("2006-01-02-15-04-05") + "\n"); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Records returns the number of records written so far.
+func (w *Writer) Records() int { return w.nrec }
+
+func escapeField(v string) string {
+	if !strings.ContainsAny(v, "\t\n\\") && !strings.HasPrefix(v, "#") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch {
+		case v[i] == '\t':
+			b.WriteString("\\x09")
+		case v[i] == '\n':
+			b.WriteString("\\x0a")
+		case v[i] == '\\':
+			b.WriteString("\\\\")
+		case v[i] == '#' && i == 0:
+			// A leading '#' would make the data line look like a header
+			// directive to readers.
+			b.WriteString("\\x23")
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+func unescapeField(v string) string {
+	if !strings.Contains(v, "\\") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'x':
+				if i+3 < len(v) {
+					if n, err := strconv.ParseUint(v[i+2:i+4], 16, 8); err == nil {
+						b.WriteByte(byte(n))
+						i += 3
+						continue
+					}
+				}
+			}
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// Record is a parsed log line keyed by field name.
+type Record map[string]string
+
+// Get returns a field value, treating the unset sentinel as absent.
+func (r Record) Get(field string) (string, bool) {
+	v, ok := r[field]
+	if !ok || v == UnsetField {
+		return "", false
+	}
+	if v == EmptyField {
+		return "", true
+	}
+	return v, true
+}
+
+// GetVector splits a vector-typed field on the set separator.
+func (r Record) GetVector(field string) []string {
+	v, ok := r.Get(field)
+	if !ok || v == "" {
+		return nil
+	}
+	return strings.Split(v, SetSeparator)
+}
+
+// GetBool parses a Zeek bool field ("T"/"F").
+func (r Record) GetBool(field string) (value, present bool) {
+	v, ok := r.Get(field)
+	if !ok {
+		return false, false
+	}
+	return v == "T", true
+}
+
+// GetTime parses a Zeek time field (epoch seconds with fraction).
+func (r Record) GetTime(field string) (time.Time, bool) {
+	v, ok := r.Get(field)
+	if !ok {
+		return time.Time{}, false
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return time.Time{}, false
+	}
+	sec := int64(f)
+	nsec := int64((f - float64(sec)) * 1e9)
+	return time.Unix(sec, nsec).UTC(), true
+}
+
+// GetInt parses a count/int field.
+func (r Record) GetInt(field string) (int, bool) {
+	v, ok := r.Get(field)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Reader parses a Zeek ASCII log stream.
+type Reader struct {
+	s      *bufio.Scanner
+	header Header
+	line   int
+}
+
+// NewReader wraps an ASCII log stream. The header block is parsed lazily on
+// the first Read.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	return &Reader{s: s}
+}
+
+// Header returns the parsed header; valid after the first successful Read.
+func (r *Reader) Header() Header { return r.header }
+
+// Read returns the next record or io.EOF.
+func (r *Reader) Read() (Record, error) {
+	for r.s.Scan() {
+		r.line++
+		line := r.s.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := r.parseDirective(line); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if len(r.header.Fields) == 0 {
+			return nil, fmt.Errorf("zeek: line %d: data before #fields header", r.line)
+		}
+		parts := strings.Split(line, Separator)
+		if len(parts) != len(r.header.Fields) {
+			return nil, fmt.Errorf("zeek: line %d: %d values for %d fields", r.line, len(parts), len(r.header.Fields))
+		}
+		rec := make(Record, len(parts))
+		for i, f := range r.header.Fields {
+			rec[f] = unescapeField(parts[i])
+		}
+		return rec, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return nil, fmt.Errorf("zeek: scan: %w", err)
+	}
+	return nil, io.EOF
+}
+
+func (r *Reader) parseDirective(line string) error {
+	parts := strings.SplitN(line, Separator, 2)
+	key := parts[0]
+	rest := ""
+	if len(parts) > 1 {
+		rest = parts[1]
+	}
+	switch key {
+	case "#path":
+		r.header.Path = rest
+	case "#fields":
+		r.header.Fields = strings.Split(rest, Separator)
+	case "#types":
+		r.header.Types = strings.Split(rest, Separator)
+	case "#open":
+		if t, err := time.Parse("2006-01-02-15-04-05", rest); err == nil {
+			r.header.Open = t
+		}
+	}
+	return nil
+}
+
+// ReadAll drains the reader.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// FormatTime renders a Zeek time value (epoch with microsecond precision).
+func FormatTime(t time.Time) string {
+	return strconv.FormatFloat(float64(t.UnixNano())/1e9, 'f', 6, 64)
+}
+
+// FormatBool renders a Zeek bool.
+func FormatBool(b bool) string {
+	if b {
+		return "T"
+	}
+	return "F"
+}

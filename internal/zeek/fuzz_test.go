@@ -1,0 +1,77 @@
+package zeek
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzFieldRoundTrip checks that any value surviving the writer's escaping
+// reads back identically — the property the whole log pipeline rests on.
+func FuzzFieldRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"plain", "tab\there", "newline\nthere", `back\slash`,
+		"CN=x,O=y", "(empty)", "-", "mixed\t\n\\all",
+	} {
+		f.Add(seed)
+	}
+	open := time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC)
+	f.Fuzz(func(t *testing.T, value string) {
+		if strings.ContainsAny(value, "\r\x00") {
+			return // carriage returns and NULs never appear in Zeek fields
+		}
+		if value == "" || value == UnsetField || value == EmptyField {
+			return // sentinel collisions are documented behaviour
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, Header{Path: "fuzz", Fields: []string{"v"}, Types: []string{"string"}, Open: open})
+		if err := w.WriteRecord([]string{value}); err != nil {
+			t.Fatalf("write %q: %v", value, err)
+		}
+		if err := w.Close(open); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := NewReader(&buf).Read()
+		if err != nil {
+			t.Fatalf("read back %q: %v", value, err)
+		}
+		got, ok := rec.Get("v")
+		if !ok || got != value {
+			t.Fatalf("round trip: wrote %q, read %q (ok=%v)", value, got, ok)
+		}
+	})
+}
+
+// FuzzReader feeds arbitrary bytes to the TSV reader: it must never panic
+// and must either yield records or a clean error.
+func FuzzReader(f *testing.F) {
+	f.Add("#fields\ta\tb\n#types\tstring\tstring\nx\ty\n")
+	f.Add("#separator \\x09\n#path\tssl\n")
+	f.Add("junk without header\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		r := NewReader(strings.NewReader(input))
+		for i := 0; i < 1000; i++ {
+			_, err := r.Read()
+			if err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzJSONReader feeds arbitrary bytes to the ND-JSON reader.
+func FuzzJSONReader(f *testing.F) {
+	f.Add(`{"ts":1.5,"uid":"C","cert_chain_fuids":["a","b"]}`)
+	f.Add(`{"nested":{"x":1}}`)
+	f.Add("not json")
+	f.Fuzz(func(t *testing.T, input string) {
+		r := NewJSONReader(strings.NewReader(input))
+		for i := 0; i < 1000; i++ {
+			_, err := r.Read()
+			if err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package zeek
+
+import (
+	"fmt"
+	"io"
+
+	"certchains/internal/certmodel"
+)
+
+// Connection is an ssl.log row joined with its certificate chain, the unit
+// the analysis pipeline consumes.
+type Connection struct {
+	SSL   *SSLRecord
+	Chain certmodel.Chain
+}
+
+// RecordReader yields generic log records; both the TSV Reader and the
+// JSONReader implement it.
+type RecordReader interface {
+	Read() (Record, error)
+}
+
+// Join streams ssl.log and x509.log readers in Zeek's TSV format and
+// produces joined connections. The x509 stream is indexed first
+// (certificates are deduplicated by id, as Zeek reuses the same file id for
+// a certificate seen many times); ssl rows referencing unknown certificate
+// ids yield an error per row via the callback's err argument but do not
+// stop the join — mirroring how real log pipelines tolerate x509 rotation
+// gaps.
+func Join(ssl, x509 io.Reader, fn func(c *Connection, err error) error) error {
+	return JoinRecords(NewReader(ssl), NewReader(x509), fn)
+}
+
+// JoinJSON is Join for Zeek's ND-JSON log format.
+func JoinJSON(ssl, x509 io.Reader, fn func(c *Connection, err error) error) error {
+	return JoinRecords(NewJSONReader(ssl), NewJSONReader(x509), fn)
+}
+
+// JoinRecords joins pre-wrapped record streams.
+func JoinRecords(ssl, x509 RecordReader, fn func(c *Connection, err error) error) error {
+	certs, err := indexX509Records(x509)
+	if err != nil {
+		return err
+	}
+	r := ssl
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		sr, err := ParseSSLRecord(rec)
+		if err != nil {
+			if cbErr := fn(nil, err); cbErr != nil {
+				return cbErr
+			}
+			continue
+		}
+		conn := &Connection{SSL: sr}
+		var joinErr error
+		for _, fuid := range sr.CertChainFUIDs {
+			m, ok := certs[fuid]
+			if !ok {
+				joinErr = fmt.Errorf("zeek: connection %s references unknown certificate %s", sr.UID, fuid)
+				break
+			}
+			conn.Chain = append(conn.Chain, m)
+		}
+		if joinErr != nil {
+			if cbErr := fn(nil, joinErr); cbErr != nil {
+				return cbErr
+			}
+			continue
+		}
+		if cbErr := fn(conn, nil); cbErr != nil {
+			return cbErr
+		}
+	}
+}
+
+// IndexX509 reads a full TSV x509.log stream into a fingerprint-keyed map.
+func IndexX509(x509 io.Reader) (map[string]*certmodel.Meta, error) {
+	return indexX509Records(NewReader(x509))
+}
+
+func indexX509Records(r RecordReader) (map[string]*certmodel.Meta, error) {
+	out := make(map[string]*certmodel.Meta)
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		xr, err := ParseX509Record(rec)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[xr.ID]; dup {
+			continue // Zeek logs a certificate once per observation; first wins
+		}
+		m, err := xr.ToMeta()
+		if err != nil {
+			return nil, err
+		}
+		out[xr.ID] = m
+	}
+}

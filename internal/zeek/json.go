@@ -1,0 +1,234 @@
+package zeek
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Zeek's second on-disk format: newline-delimited JSON, one object per
+// record (LogAscii::use_json=T). Field names match the TSV schema; times are
+// epoch seconds with fractional precision, exactly as Zeek renders them.
+
+// JSONSSLWriter writes ssl.log records as ND-JSON.
+type JSONSSLWriter struct {
+	w    *bufio.Writer
+	nrec int
+}
+
+// NewJSONSSLWriter creates an ND-JSON ssl.log writer.
+func NewJSONSSLWriter(w io.Writer) *JSONSSLWriter {
+	return &JSONSSLWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// jsonSSLRecord is the wire form; pointers express Zeek's unset fields.
+type jsonSSLRecord struct {
+	TS             float64  `json:"ts"`
+	UID            string   `json:"uid"`
+	OrigH          string   `json:"id.orig_h"`
+	OrigP          int      `json:"id.orig_p"`
+	RespH          string   `json:"id.resp_h"`
+	RespP          int      `json:"id.resp_p"`
+	Version        *string  `json:"version,omitempty"`
+	Cipher         *string  `json:"cipher,omitempty"`
+	ServerName     *string  `json:"server_name,omitempty"`
+	Resumed        bool     `json:"resumed"`
+	Established    bool     `json:"established"`
+	CertChainFUIDs []string `json:"cert_chain_fuids,omitempty"`
+}
+
+func optStr(s string) *string {
+	if s == "" {
+		return nil
+	}
+	return &s
+}
+
+func epochOf(t time.Time) float64 {
+	f, _ := strconv.ParseFloat(FormatTime(t), 64)
+	return f
+}
+
+// Write emits one connection record.
+func (w *JSONSSLWriter) Write(r *SSLRecord) error {
+	rec := jsonSSLRecord{
+		TS:             epochOf(r.TS),
+		UID:            r.UID,
+		OrigH:          r.OrigH,
+		OrigP:          r.OrigP,
+		RespH:          r.RespH,
+		RespP:          r.RespP,
+		Version:        optStr(r.Version),
+		Cipher:         optStr(r.Cipher),
+		ServerName:     optStr(r.ServerName),
+		Resumed:        r.Resumed,
+		Established:    r.Established,
+		CertChainFUIDs: r.CertChainFUIDs,
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("zeek: marshal json ssl record: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return err
+	}
+	w.nrec++
+	return w.w.WriteByte('\n')
+}
+
+// Close flushes the stream.
+func (w *JSONSSLWriter) Close() error { return w.w.Flush() }
+
+// Records returns the number of records written.
+func (w *JSONSSLWriter) Records() int { return w.nrec }
+
+// JSONX509Writer writes x509.log records as ND-JSON.
+type JSONX509Writer struct {
+	w    *bufio.Writer
+	nrec int
+}
+
+// NewJSONX509Writer creates an ND-JSON x509.log writer.
+func NewJSONX509Writer(w io.Writer) *JSONX509Writer {
+	return &JSONX509Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+type jsonX509Record struct {
+	TS             float64  `json:"ts"`
+	ID             string   `json:"id"`
+	Version        int      `json:"certificate.version"`
+	Serial         string   `json:"certificate.serial"`
+	Subject        string   `json:"certificate.subject"`
+	Issuer         string   `json:"certificate.issuer"`
+	NotValidBefore float64  `json:"certificate.not_valid_before"`
+	NotValidAfter  float64  `json:"certificate.not_valid_after"`
+	KeyAlg         *string  `json:"certificate.key_alg,omitempty"`
+	SigAlg         *string  `json:"certificate.sig_alg,omitempty"`
+	KeyType        *string  `json:"certificate.key_type,omitempty"`
+	KeyLength      int      `json:"certificate.key_length,omitempty"`
+	BasicCA        *bool    `json:"basic_constraints.ca,omitempty"`
+	SANDNS         []string `json:"san.dns,omitempty"`
+}
+
+// Write emits one certificate record.
+func (w *JSONX509Writer) Write(r *X509Record) error {
+	rec := jsonX509Record{
+		TS:             epochOf(r.TS),
+		ID:             r.ID,
+		Version:        r.Version,
+		Serial:         r.Serial,
+		Subject:        r.Subject,
+		Issuer:         r.Issuer,
+		NotValidBefore: epochOf(r.NotValidBefore),
+		NotValidAfter:  epochOf(r.NotValidAfter),
+		KeyAlg:         optStr(r.KeyAlg),
+		SigAlg:         optStr(r.SigAlg),
+		KeyType:        optStr(r.KeyType),
+		KeyLength:      r.KeyLength,
+		BasicCA:        r.BasicConstraintsCA,
+		SANDNS:         r.SANDNS,
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("zeek: marshal json x509 record: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return err
+	}
+	w.nrec++
+	return w.w.WriteByte('\n')
+}
+
+// Close flushes the stream.
+func (w *JSONX509Writer) Close() error { return w.w.Flush() }
+
+// Records returns the number of records written.
+func (w *JSONX509Writer) Records() int { return w.nrec }
+
+// JSONReader parses an ND-JSON Zeek log stream into generic Records so the
+// typed parsers (ParseSSLRecord / ParseX509Record) work on both formats.
+type JSONReader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewJSONReader wraps an ND-JSON log stream.
+func NewJSONReader(r io.Reader) *JSONReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	return &JSONReader{s: s}
+}
+
+// Read returns the next record or io.EOF. JSON values are rendered back to
+// the string forms the typed parsers expect (bools as T/F, vectors joined
+// with the set separator, numbers via strconv).
+func (r *JSONReader) Read() (Record, error) {
+	for r.s.Scan() {
+		r.line++
+		line := r.s.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var raw map[string]any
+		if err := json.Unmarshal(line, &raw); err != nil {
+			return nil, fmt.Errorf("zeek: json line %d: %w", r.line, err)
+		}
+		rec := make(Record, len(raw))
+		for k, v := range raw {
+			rec[k] = jsonValueToField(v)
+		}
+		return rec, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return nil, fmt.Errorf("zeek: json scan: %w", err)
+	}
+	return nil, io.EOF
+}
+
+func jsonValueToField(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return UnsetField
+	case bool:
+		return FormatBool(t)
+	case float64:
+		return strconv.FormatFloat(t, 'f', -1, 64)
+	case string:
+		if t == "" {
+			return EmptyField
+		}
+		return t
+	case []any:
+		out := ""
+		for i, el := range t {
+			if i > 0 {
+				out += SetSeparator
+			}
+			out += jsonValueToField(el)
+		}
+		if out == "" {
+			return EmptyField
+		}
+		return out
+	default:
+		return fmt.Sprint(t)
+	}
+}
+
+// ReadAll drains the reader.
+func (r *JSONReader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

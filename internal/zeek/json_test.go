@@ -1,0 +1,219 @@
+package zeek
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJSONSSLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONSSLWriter(&buf)
+	in := &SSLRecord{
+		TS:             ts0,
+		UID:            "CJ1",
+		OrigH:          "10.9.8.7",
+		OrigP:          40001,
+		RespH:          "203.0.113.9",
+		RespP:          443,
+		Version:        "TLSv12",
+		Cipher:         "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256",
+		ServerName:     "json.example.com",
+		Established:    true,
+		CertChainFUIDs: []string{"Fj1", "Fj2"},
+	}
+	if err := w.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 1 {
+		t.Errorf("Records = %d", w.Records())
+	}
+	if !strings.Contains(buf.String(), `"id.orig_h":"10.9.8.7"`) {
+		t.Errorf("wire format: %s", buf.String())
+	}
+
+	rec, err := NewJSONReader(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseSSLRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.UID != in.UID || out.OrigP != in.OrigP || out.ServerName != in.ServerName ||
+		!out.Established || len(out.CertChainFUIDs) != 2 {
+		t.Errorf("round trip = %+v", out)
+	}
+	if !out.TS.Equal(ts0) {
+		t.Errorf("ts = %v, want %v", out.TS, ts0)
+	}
+}
+
+func TestJSONSSLNoSNI(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONSSLWriter(&buf)
+	w.Write(&SSLRecord{TS: ts0, UID: "CJ2", OrigH: "10.0.0.1", RespH: "1.2.3.4", RespP: 8443})
+	w.Close()
+	// Absent SNI must be omitted on the wire, not rendered as "".
+	if strings.Contains(buf.String(), "server_name") {
+		t.Errorf("unset SNI serialized: %s", buf.String())
+	}
+	rec, _ := NewJSONReader(&buf).Read()
+	out, err := ParseSSLRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ServerName != "" {
+		t.Errorf("SNI = %q", out.ServerName)
+	}
+}
+
+func TestJSONX509RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONX509Writer(&buf)
+	in := &X509Record{
+		TS: ts0, ID: "FJx", Version: 3, Serial: "1A2B",
+		Subject:        "CN=json.example.com,O=J",
+		Issuer:         "CN=JSON CA,O=J",
+		NotValidBefore: ts0.AddDate(0, -1, 0),
+		NotValidAfter:  ts0.AddDate(1, 0, 0),
+		KeyType:        "ecdsa", KeyLength: 256,
+		BasicConstraintsCA: boolPtr(true),
+		SANDNS:             []string{"json.example.com"},
+	}
+	if err := w.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if w.Records() != 1 {
+		t.Errorf("Records = %d", w.Records())
+	}
+	rec, err := NewJSONReader(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseX509Record(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != "FJx" || out.Serial != "1A2B" || out.KeyLength != 256 {
+		t.Errorf("round trip = %+v", out)
+	}
+	if out.BasicConstraintsCA == nil || !*out.BasicConstraintsCA {
+		t.Error("basic constraints lost")
+	}
+	m, err := out.ToMeta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Subject.CommonName() != "json.example.com" {
+		t.Errorf("meta subject = %q", m.Subject.CommonName())
+	}
+	if !m.NotBefore.Equal(in.NotValidBefore) {
+		t.Errorf("notBefore = %v vs %v", m.NotBefore, in.NotValidBefore)
+	}
+}
+
+func TestJSONX509AbsentBC(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONX509Writer(&buf)
+	w.Write(&X509Record{TS: ts0, ID: "F", Subject: "CN=a", Issuer: "CN=b",
+		NotValidBefore: ts0, NotValidAfter: ts0.AddDate(1, 0, 0)})
+	w.Close()
+	if strings.Contains(buf.String(), "basic_constraints") {
+		t.Error("absent BC serialized")
+	}
+	rec, _ := NewJSONReader(&buf).Read()
+	out, err := ParseX509Record(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BasicConstraintsCA != nil {
+		t.Error("absent BC must stay nil")
+	}
+}
+
+func TestJSONReaderErrors(t *testing.T) {
+	r := NewJSONReader(strings.NewReader("not json\n"))
+	if _, err := r.Read(); err == nil {
+		t.Error("bad JSON line must error")
+	}
+	// Empty lines are skipped.
+	r = NewJSONReader(strings.NewReader("\n\n{\"ts\":1.5,\"uid\":\"C\"}\n"))
+	rec, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rec.Get("uid"); v != "C" {
+		t.Errorf("uid = %q", v)
+	}
+}
+
+func TestJSONReadAll(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONSSLWriter(&buf)
+	for i := 0; i < 4; i++ {
+		w.Write(&SSLRecord{TS: ts0.Add(time.Duration(i) * time.Second), UID: "C", OrigH: "10.0.0.1", RespH: "1.1.1.1", RespP: 443})
+	}
+	w.Close()
+	recs, err := NewJSONReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Errorf("ReadAll = %d", len(recs))
+	}
+}
+
+func TestJoinJSON(t *testing.T) {
+	var ssl, x509 bytes.Buffer
+	xw := NewJSONX509Writer(&x509)
+	xw.Write(&X509Record{TS: ts0, ID: "FL", Subject: "CN=www.j.edu", Issuer: "CN=J CA",
+		NotValidBefore: ts0.AddDate(0, -1, 0), NotValidAfter: ts0.AddDate(1, 0, 0)})
+	xw.Write(&X509Record{TS: ts0, ID: "FC", Subject: "CN=J CA", Issuer: "CN=J CA",
+		NotValidBefore: ts0.AddDate(-1, 0, 0), NotValidAfter: ts0.AddDate(5, 0, 0)})
+	xw.Close()
+
+	sw := NewJSONSSLWriter(&ssl)
+	sw.Write(&SSLRecord{TS: ts0, UID: "CJ", OrigH: "10.1.1.1", OrigP: 5000, RespH: "5.5.5.5", RespP: 443,
+		ServerName: "www.j.edu", Established: true, CertChainFUIDs: []string{"FL", "FC"}})
+	sw.Close()
+
+	var joined []*Connection
+	err := JoinJSON(&ssl, &x509, func(c *Connection, err error) error {
+		if err != nil {
+			t.Fatalf("join err: %v", err)
+		}
+		joined = append(joined, c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined) != 1 || len(joined[0].Chain) != 2 {
+		t.Fatalf("joined = %+v", joined)
+	}
+	if !joined[0].Chain[1].SelfSigned() {
+		t.Error("CA cert should be self-signed after JSON round trip")
+	}
+}
+
+func BenchmarkJSONSSLWrite(b *testing.B) {
+	w := NewJSONSSLWriter(discard{})
+	rec := &SSLRecord{TS: ts0, UID: "C", OrigH: "10.0.0.1", OrigP: 1, RespH: "1.1.1.1", RespP: 443,
+		ServerName: "bench.example.com", Established: true, CertChainFUIDs: []string{"Fa", "Fb"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

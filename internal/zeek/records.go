@@ -1,0 +1,268 @@
+package zeek
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/dn"
+)
+
+// SSLRecord is one ssl.log row: a TLS connection observation.
+type SSLRecord struct {
+	TS             time.Time
+	UID            string
+	OrigH          string
+	OrigP          int
+	RespH          string
+	RespP          int
+	Version        string
+	Cipher         string
+	ServerName     string // SNI; empty when the client sent none
+	Resumed        bool
+	Established    bool
+	CertChainFUIDs []string // x509.log ids of the delivered chain, leaf first
+}
+
+// sslFields is the ssl.log schema (the subset of Zeek's ssl.log the paper
+// uses, in Zeek's field order).
+var sslFields = []string{
+	"ts", "uid", "id.orig_h", "id.orig_p", "id.resp_h", "id.resp_p",
+	"version", "cipher", "server_name", "resumed", "established",
+	"cert_chain_fuids",
+}
+
+var sslTypes = []string{
+	"time", "string", "addr", "port", "addr", "port",
+	"string", "string", "string", "bool", "bool",
+	"vector[string]",
+}
+
+// SSLWriter writes ssl.log.
+type SSLWriter struct{ w *Writer }
+
+// NewSSLWriter creates an ssl.log writer opened at the given time.
+func NewSSLWriter(w io.Writer, open time.Time) *SSLWriter {
+	return &SSLWriter{w: NewWriter(w, Header{Path: "ssl", Fields: sslFields, Types: sslTypes, Open: open})}
+}
+
+// Write emits one connection record.
+func (s *SSLWriter) Write(r *SSLRecord) error {
+	vals := []string{
+		FormatTime(r.TS),
+		r.UID,
+		r.OrigH,
+		strconv.Itoa(r.OrigP),
+		r.RespH,
+		strconv.Itoa(r.RespP),
+		r.Version,
+		r.Cipher,
+		r.ServerName,
+		FormatBool(r.Resumed),
+		FormatBool(r.Established),
+		strings.Join(r.CertChainFUIDs, SetSeparator),
+	}
+	return s.w.WriteRecord(vals)
+}
+
+// Close finishes the stream.
+func (s *SSLWriter) Close(at time.Time) error { return s.w.Close(at) }
+
+// Records returns the number of records written.
+func (s *SSLWriter) Records() int { return s.w.Records() }
+
+// ParseSSLRecord converts a generic record from an ssl.log stream.
+func ParseSSLRecord(rec Record) (*SSLRecord, error) {
+	r := &SSLRecord{}
+	var ok bool
+	if r.TS, ok = rec.GetTime("ts"); !ok {
+		return nil, fmt.Errorf("zeek: ssl record missing ts")
+	}
+	r.UID, _ = rec.Get("uid")
+	if r.UID == "" {
+		return nil, fmt.Errorf("zeek: ssl record missing uid")
+	}
+	r.OrigH, _ = rec.Get("id.orig_h")
+	r.OrigP, _ = rec.GetInt("id.orig_p")
+	r.RespH, _ = rec.Get("id.resp_h")
+	r.RespP, _ = rec.GetInt("id.resp_p")
+	r.Version, _ = rec.Get("version")
+	r.Cipher, _ = rec.Get("cipher")
+	r.ServerName, _ = rec.Get("server_name")
+	r.Resumed, _ = rec.GetBool("resumed")
+	r.Established, _ = rec.GetBool("established")
+	r.CertChainFUIDs = rec.GetVector("cert_chain_fuids")
+	return r, nil
+}
+
+// X509Record is one x509.log row: a certificate observation.
+type X509Record struct {
+	TS             time.Time
+	ID             string // file-unique id referenced by ssl.log
+	Version        int
+	Serial         string
+	Subject        string
+	Issuer         string
+	NotValidBefore time.Time
+	NotValidAfter  time.Time
+	KeyAlg         string
+	SigAlg         string
+	KeyType        string
+	KeyLength      int
+	// BasicConstraintsCA mirrors Zeek's basic_constraints.ca: nil when the
+	// extension is absent (logged as '-'), otherwise the CA boolean.
+	BasicConstraintsCA *bool
+	SANDNS             []string
+}
+
+var x509Fields = []string{
+	"ts", "id", "certificate.version", "certificate.serial",
+	"certificate.subject", "certificate.issuer",
+	"certificate.not_valid_before", "certificate.not_valid_after",
+	"certificate.key_alg", "certificate.sig_alg",
+	"certificate.key_type", "certificate.key_length",
+	"basic_constraints.ca", "san.dns",
+}
+
+var x509Types = []string{
+	"time", "string", "count", "string",
+	"string", "string",
+	"time", "time",
+	"string", "string",
+	"string", "count",
+	"bool", "vector[string]",
+}
+
+// X509Writer writes x509.log.
+type X509Writer struct{ w *Writer }
+
+// NewX509Writer creates an x509.log writer opened at the given time.
+func NewX509Writer(w io.Writer, open time.Time) *X509Writer {
+	return &X509Writer{w: NewWriter(w, Header{Path: "x509", Fields: x509Fields, Types: x509Types, Open: open})}
+}
+
+// Write emits one certificate record.
+func (x *X509Writer) Write(r *X509Record) error {
+	bc := ""
+	if r.BasicConstraintsCA != nil {
+		bc = FormatBool(*r.BasicConstraintsCA)
+	}
+	vals := []string{
+		FormatTime(r.TS),
+		r.ID,
+		strconv.Itoa(r.Version),
+		r.Serial,
+		r.Subject,
+		r.Issuer,
+		FormatTime(r.NotValidBefore),
+		FormatTime(r.NotValidAfter),
+		r.KeyAlg,
+		r.SigAlg,
+		r.KeyType,
+		strconv.Itoa(r.KeyLength),
+		bc,
+		strings.Join(r.SANDNS, SetSeparator),
+	}
+	return x.w.WriteRecord(vals)
+}
+
+// Close finishes the stream.
+func (x *X509Writer) Close(at time.Time) error { return x.w.Close(at) }
+
+// Records returns the number of records written.
+func (x *X509Writer) Records() int { return x.w.Records() }
+
+// ParseX509Record converts a generic record from an x509.log stream.
+func ParseX509Record(rec Record) (*X509Record, error) {
+	r := &X509Record{}
+	var ok bool
+	if r.TS, ok = rec.GetTime("ts"); !ok {
+		return nil, fmt.Errorf("zeek: x509 record missing ts")
+	}
+	r.ID, _ = rec.Get("id")
+	if r.ID == "" {
+		return nil, fmt.Errorf("zeek: x509 record missing id")
+	}
+	r.Version, _ = rec.GetInt("certificate.version")
+	r.Serial, _ = rec.Get("certificate.serial")
+	r.Subject, _ = rec.Get("certificate.subject")
+	r.Issuer, _ = rec.Get("certificate.issuer")
+	r.NotValidBefore, _ = rec.GetTime("certificate.not_valid_before")
+	r.NotValidAfter, _ = rec.GetTime("certificate.not_valid_after")
+	r.KeyAlg, _ = rec.Get("certificate.key_alg")
+	r.SigAlg, _ = rec.Get("certificate.sig_alg")
+	r.KeyType, _ = rec.Get("certificate.key_type")
+	r.KeyLength, _ = rec.GetInt("certificate.key_length")
+	if v, present := rec.GetBool("basic_constraints.ca"); present {
+		b := v
+		r.BasicConstraintsCA = &b
+	}
+	r.SANDNS = rec.GetVector("san.dns")
+	return r, nil
+}
+
+// ToMeta converts an x509.log record to the pipeline certificate model. The
+// record ID becomes the fingerprint, exactly how the paper cross-references
+// certificates without raw DER.
+func (r *X509Record) ToMeta() (*certmodel.Meta, error) {
+	issuer, err := dn.Parse(r.Issuer)
+	if err != nil {
+		return nil, fmt.Errorf("zeek: x509 %s: bad issuer: %w", r.ID, err)
+	}
+	subject, err := dn.Parse(r.Subject)
+	if err != nil {
+		return nil, fmt.Errorf("zeek: x509 %s: bad subject: %w", r.ID, err)
+	}
+	m := &certmodel.Meta{
+		FP:        certmodel.Fingerprint(r.ID),
+		Issuer:    issuer,
+		Subject:   subject,
+		SerialHex: strings.ToLower(r.Serial),
+		NotBefore: r.NotValidBefore,
+		NotAfter:  r.NotValidAfter,
+		KeyAlg:    certmodel.KeyAlgorithm(r.KeyType),
+		KeyBits:   r.KeyLength,
+		SAN:       r.SANDNS,
+	}
+	switch {
+	case r.BasicConstraintsCA == nil:
+		m.BC = certmodel.BCAbsent
+	case *r.BasicConstraintsCA:
+		m.BC = certmodel.BCTrue
+	default:
+		m.BC = certmodel.BCFalse
+	}
+	return m, nil
+}
+
+// FromMeta renders a certificate model as an x509.log record with the given
+// observation time.
+func FromMeta(m *certmodel.Meta, ts time.Time) *X509Record {
+	r := &X509Record{
+		TS:             ts,
+		ID:             string(m.FP),
+		Version:        3,
+		Serial:         strings.ToUpper(m.SerialHex),
+		Subject:        m.Subject.String(),
+		Issuer:         m.Issuer.String(),
+		NotValidBefore: m.NotBefore,
+		NotValidAfter:  m.NotAfter,
+		KeyAlg:         string(m.KeyAlg),
+		SigAlg:         string(m.KeyAlg) + "-sha256",
+		KeyType:        string(m.KeyAlg),
+		KeyLength:      m.KeyBits,
+		SANDNS:         m.SAN,
+	}
+	switch m.BC {
+	case certmodel.BCTrue:
+		b := true
+		r.BasicConstraintsCA = &b
+	case certmodel.BCFalse:
+		b := false
+		r.BasicConstraintsCA = &b
+	}
+	return r
+}
