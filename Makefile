@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench fuzz report experiments clean
+.PHONY: all build vet test race bench fuzz report experiments clean
 
 all: build vet test
 
@@ -15,16 +15,23 @@ vet:
 test:
 	$(GO) test ./...
 
+# Full suite under the race detector — exercises the sharded pipeline, the
+# classifier/registry locks, and the detector's verdict cache concurrently.
+race:
+	$(GO) test -race ./...
+
 # One benchmark per paper table/figure plus ablations (bench_test.go).
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Short fuzz pass over the parsers (longer runs: increase -fuzztime).
+# Short fuzz pass over the parsers and the shard-merge property (longer
+# runs: increase -fuzztime).
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/dn/
 	$(GO) test -fuzz FuzzFieldRoundTrip -fuzztime 20s ./internal/zeek/
 	$(GO) test -fuzz FuzzReader -fuzztime 20s ./internal/zeek/
 	$(GO) test -fuzz FuzzJSONReader -fuzztime 20s ./internal/zeek/
+	$(GO) test -fuzz FuzzShardMerge -fuzztime 30s ./internal/analysis/
 
 # The full paper report with paper-vs-measured verification.
 report:

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -103,6 +104,50 @@ func BenchmarkTable2_ChainStats(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(s.Observations)), "chains")
+}
+
+// observationBytes approximates the input volume one observation carries
+// into the pipeline (fingerprints, DNs, endpoint strings), so the parallel
+// benchmark can report throughput via b.SetBytes.
+func observationBytes(o *campus.Observation) int64 {
+	n := int64(len(o.ServerIP) + len(o.Domain) + 16)
+	for _, ip := range o.ClientIPs {
+		n += int64(len(ip))
+	}
+	for _, m := range o.Chain {
+		n += int64(len(m.FP) + len(m.SerialHex))
+		n += int64(len(m.Issuer.Normalized()) + len(m.Subject.Normalized()))
+	}
+	return n
+}
+
+// BenchmarkPipelineParallel sweeps the worker pool width over the Table 2
+// workload: the same full-report run BenchmarkTable2_ChainStats measures
+// sequentially, at each shard count. Compare ns/op across sub-benchmarks for
+// the scaling curve; every width asserts the same headline shape, so the
+// sweep also re-checks determinism under load.
+func BenchmarkPipelineParallel(b *testing.B) {
+	s, _ := benchSetup(b)
+	p := analysis.FromScenario(s)
+	var inputBytes int64
+	for _, o := range s.Observations {
+		inputBytes += observationBytes(o)
+	}
+	widths := []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(inputBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := p.RunParallel(s.Observations, w)
+				if r.Table2.PerCategory[chain.Hybrid].Chains != 321 {
+					b.Fatal("hybrid chain count drifted")
+				}
+			}
+			b.ReportMetric(float64(len(s.Observations)), "chains")
+		})
+	}
 }
 
 // --- Table 3: hybrid taxonomy -------------------------------------------------

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"certchains/internal/analysis"
 	"certchains/internal/campus"
@@ -43,6 +44,7 @@ func run() error {
 		format  = flag.String("format", "tsv", "log format for -ssl/-x509: tsv or json")
 		dotDir  = flag.String("dot", "", "also write figure5/7/8 Graphviz files into this directory")
 		verify  = flag.Bool("verify", false, "check every measured value against the paper's reported targets")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker count; any value produces an identical report")
 	)
 	flag.Parse()
 
@@ -54,7 +56,11 @@ func run() error {
 		return err
 	}
 
+	pipeline := analysis.FromScenario(scenario)
+	pipeline.Workers = *workers
+
 	observations := scenario.Observations
+	var report *analysis.Report
 	if *sslPath != "" || *x5Path != "" {
 		if *sslPath == "" || *x5Path == "" {
 			return fmt.Errorf("log-file mode needs both -ssl and -x509")
@@ -77,15 +83,31 @@ func run() error {
 		default:
 			return fmt.Errorf("unknown format %q (tsv or json)", *format)
 		}
-		observations, err = analysis.LoadFormat(f, sslF, x5F)
-		if err != nil {
+		// Stream the Zeek join straight into the sharded pipeline; the
+		// observation slice is only retained when -dot needs a second pass.
+		obsCh := make(chan *campus.Observation, 256)
+		loadErr := make(chan error, 1)
+		loaded := 0
+		observations = nil
+		go func() {
+			defer close(obsCh)
+			loadErr <- analysis.LoadFormatFunc(f, sslF, x5F, func(o *campus.Observation) error {
+				loaded++
+				if *dotDir != "" {
+					observations = append(observations, o)
+				}
+				obsCh <- o
+				return nil
+			})
+		}()
+		report = pipeline.RunStream(obsCh, *workers)
+		if err := <-loadErr; err != nil {
 			return err
 		}
-		fmt.Printf("loaded %d chain observations from logs\n\n", len(observations))
+		fmt.Printf("loaded %d chain observations from logs\n\n", loaded)
+	} else {
+		report = pipeline.Run(observations)
 	}
-
-	pipeline := analysis.FromScenario(scenario)
-	report := pipeline.Run(observations)
 	if *asJSON {
 		data, err := report.JSON()
 		if err != nil {

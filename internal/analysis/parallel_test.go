@@ -1,0 +1,210 @@
+// Equivalence suite for the sharded pipeline: any worker count — and the
+// streaming entry point — must reproduce the sequential report byte for
+// byte, and the paper verification must keep passing at every width.
+//
+// The suite lives in an external test package so it can drive the pipeline
+// through the same surface the CLI uses (analysis + paper), which an
+// in-package test could not import without a cycle.
+package analysis_test
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"certchains/internal/analysis"
+	"certchains/internal/campus"
+	"certchains/internal/paper"
+)
+
+// equivScale matches the bench/test scale that preserves every structural
+// absolute of the paper (321 hybrids, 80 interception issuers, ...).
+const equivScale = 0.002
+
+// generate builds the scenario for one seed at the shared scale.
+func generate(tb testing.TB, seed int64) *campus.Scenario {
+	tb.Helper()
+	cfg := campus.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Scale = equivScale
+	s, err := campus.Generate(cfg)
+	if err != nil {
+		tb.Fatalf("seed %d: %v", seed, err)
+	}
+	return s
+}
+
+// workerCounts is the sweep the issue prescribes. GOMAXPROCS may coincide
+// with an explicit entry; the duplicate run is harmless.
+func workerCounts() []int {
+	return []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)}
+}
+
+// renderings captures every externally visible form of a report.
+func renderings(tb testing.TB, r *analysis.Report) (text string, js []byte) {
+	tb.Helper()
+	js, err := r.JSON()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r.Render(), js
+}
+
+// TestParallelEquivalence is the core determinism guarantee: for several
+// seeds, every worker count yields a report whose rendered text and JSON
+// export are byte-identical to the sequential (workers=1) run, and the
+// paper-vs-measured verification passes at every width.
+func TestParallelEquivalence(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			s := generate(t, seed)
+			p := analysis.FromScenario(s)
+
+			baseline := p.RunParallel(s.Observations, 1)
+			baseText, baseJSON := renderings(t, baseline)
+
+			rr := analysis.AnalyzeRevisit(s.Classifier, s.Revisit, "Lets Encrypt")
+			for _, c := range paper.VerifyRevisit(rr) {
+				if !c.Pass {
+					t.Errorf("seed %d revisit check failed: %v", seed, c)
+				}
+			}
+
+			for _, w := range workerCounts() {
+				r := p.RunParallel(s.Observations, w)
+				text, js := renderings(t, r)
+				if text != baseText {
+					t.Errorf("seed %d workers=%d: rendered report differs from sequential (len %d vs %d)",
+						seed, w, len(text), len(baseText))
+				}
+				if !bytes.Equal(js, baseJSON) {
+					t.Errorf("seed %d workers=%d: JSON export differs from sequential", seed, w)
+				}
+				failed := 0
+				for _, c := range paper.Verify(r) {
+					if !c.Pass {
+						failed++
+						t.Errorf("seed %d workers=%d: paper check failed: %v", seed, w, c)
+					}
+				}
+				if failed == 0 && testing.Verbose() {
+					t.Logf("seed %d workers=%d: report identical, all paper checks pass", seed, w)
+				}
+			}
+		})
+	}
+}
+
+// TestRunStreamEquivalence feeds the same observations through the streaming
+// producer path and checks it matches the in-memory run at several widths.
+func TestRunStreamEquivalence(t *testing.T) {
+	s := generate(t, 1)
+	p := analysis.FromScenario(s)
+	baseline := p.RunParallel(s.Observations, 1)
+	baseText, baseJSON := renderings(t, baseline)
+
+	counts := workerCounts()
+	if testing.Short() {
+		counts = []int{runtime.GOMAXPROCS(0)}
+	}
+	for _, w := range counts {
+		ch := make(chan *campus.Observation, 64)
+		go func() {
+			for _, o := range s.Observations {
+				ch <- o
+			}
+			close(ch)
+		}()
+		r := p.RunStream(ch, w)
+		text, js := renderings(t, r)
+		if text != baseText {
+			t.Errorf("RunStream workers=%d: rendered report differs from sequential", w)
+		}
+		if !bytes.Equal(js, baseJSON) {
+			t.Errorf("RunStream workers=%d: JSON export differs from sequential", w)
+		}
+	}
+}
+
+// TestZeekStreamEquivalence round-trips a scenario through the Zeek log
+// writer and back via the streaming loader into RunStream — the exact CLI
+// log-file path — and checks the report matches the in-memory sequential run
+// over the loader's observation order.
+func TestZeekStreamEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zeek round-trip is not short-mode work")
+	}
+	s := generate(t, 2)
+	p := analysis.FromScenario(s)
+
+	var ssl, x509 bytes.Buffer
+	if err := analysis.Write(s.Observations, &ssl, &x509, analysis.WriteOptions{MaxConnsPerObservation: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential baseline over the loader's own order: materialize once.
+	loaded, err := analysis.Load(bytes.NewReader(ssl.Bytes()), bytes.NewReader(x509.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := p.RunParallel(loaded, 1)
+	baseText, baseJSON := renderings(t, baseline)
+
+	ch := make(chan *campus.Observation, 64)
+	loadErr := make(chan error, 1)
+	go func() {
+		defer close(ch)
+		loadErr <- analysis.LoadFormatFunc(analysis.FormatTSV,
+			bytes.NewReader(ssl.Bytes()), bytes.NewReader(x509.Bytes()),
+			func(o *campus.Observation) error {
+				ch <- o
+				return nil
+			})
+	}()
+	r := p.RunStream(ch, runtime.GOMAXPROCS(0))
+	if err := <-loadErr; err != nil {
+		t.Fatal(err)
+	}
+	text, js := renderings(t, r)
+	if text != baseText {
+		t.Error("streamed Zeek report differs from sequential load")
+	}
+	if !bytes.Equal(js, baseJSON) {
+		t.Error("streamed Zeek JSON differs from sequential load")
+	}
+}
+
+// TestConcurrentPipelineSmoke is the short-mode race smoke test: several
+// full parallel pipeline runs execute at once over a shared scenario
+// (shared trust DB, CT log, classifier, and interception registry), which
+// exercises every concurrently-read structure under the race detector.
+func TestConcurrentPipelineSmoke(t *testing.T) {
+	s := generate(t, 1)
+	p := analysis.FromScenario(s)
+	want, _ := renderings(t, p.RunParallel(s.Observations, 1))
+
+	const runs = 4
+	var wg sync.WaitGroup
+	texts := make([]string, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := p.RunParallel(s.Observations, runtime.GOMAXPROCS(0))
+			texts[i] = r.Render()
+		}(i)
+	}
+	wg.Wait()
+	for i, text := range texts {
+		if text != want {
+			t.Errorf("concurrent run %d produced a different report", i)
+		}
+	}
+}

@@ -1,13 +1,14 @@
 package analysis
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"certchains/internal/campus"
 	"certchains/internal/certmodel"
 	"certchains/internal/chain"
 	"certchains/internal/ctlog"
-	"certchains/internal/dga"
 	"certchains/internal/graph"
 	"certchains/internal/intercept"
 	"certchains/internal/stats"
@@ -15,11 +16,20 @@ import (
 )
 
 // Pipeline wires the enrichment components of Figure 2.
+//
+// Enrichment is sharded: observations are partitioned across a pool of
+// workers, each accumulating into a private partialReport; the partials are
+// then merged deterministically and finalized. Any worker count produces a
+// byte-identical report (see partialReport for why), so Workers is purely a
+// throughput knob.
 type Pipeline struct {
 	DB         *trustdb.DB
 	CT         *ctlog.Log
 	Classifier *chain.Classifier
 	Registry   *intercept.Registry
+	// Workers is the shard/worker count Run uses; 0 or negative selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 // NewPipeline builds a pipeline from a generated scenario's components.
@@ -36,208 +46,121 @@ func FromScenario(s *campus.Scenario) *Pipeline {
 // chain as a misconfiguration outlier.
 const pathologicalLength = 30
 
-// Run executes the full analysis over the observations.
+// Run executes the full analysis over the observations with p.Workers
+// workers.
 func (p *Pipeline) Run(observations []*campus.Observation) *Report {
-	r := &Report{}
-	r.Table2.PerCategory = make(map[chain.Category]*CategoryStats)
-	r.Table3.Counts = make(map[chain.HybridCategory]int)
-	r.Table7.Counts = make(map[chain.NoPathCategory]int)
-	r.Figure1.CDF = make(map[chain.Category]*stats.CDF)
-	r.Figure6.Hist = stats.NewHistogram(0, 1, 10)
-
-	ipSets := make(map[chain.Category]map[string]bool)
-	estByVerdict := make(map[chain.Verdict][2]int64) // established, total
-	hybridGraph := graph.New()
-	nonPubGraph := graph.New()
-	interceptGraph := graph.New()
-	detector := intercept.NewDetector(p.DB, p.CT)
-	detected := make(map[string]bool)
-	sectorConns := make(map[intercept.Category]int64)
-	sectorIPs := make(map[intercept.Category]map[string]bool)
-	sectorIssuers := make(map[intercept.Category]map[string]bool)
-	portHist := map[string]map[int]int64{
-		"hybrid": {}, "nonpub-single": {}, "nonpub-multi": {}, "interception": {},
-	}
-	hybridServerChains := make(map[string]map[string]bool)
-	missingIssuerIPs := make(map[string]bool)
-	dgaStats := dga.NewClusterStats()
-	// basicConstraints rates count distinct certificates per delivery
-	// position, as §4.3 does.
-	bcSeen := map[string]map[certmodel.Fingerprint]bool{"first": {}, "sub": {}}
-	var bcFirst, bcFirstAbsent, bcSub, bcSubAbsent int64
-	var singleConns, singleNoSNI int64
-
-	// Cache analyses per unique chain; many observations share chains.
-	analyses := make(map[string]*chain.Analysis)
-	analyze := func(ch certmodel.Chain) *chain.Analysis {
-		k := ch.Key()
-		if a, ok := analyses[k]; ok {
-			return a
-		}
-		a := p.Classifier.Analyze(ch)
-		analyses[k] = a
-		return a
-	}
-
-	for _, o := range observations {
-		if o.TLS13 || len(o.Chain) == 0 {
-			// §6.3: TLS 1.3 handshakes hide certificates from the passive
-			// vantage — counted, never categorized.
-			r.Sec63.TLS13Conns += o.Conns
-			continue
-		}
-		r.Sec63.VisibleConns += o.Conns
-		a := analyze(o.Chain)
-		cat := a.Category
-
-		// ---- Table 2 ----------------------------------------------------
-		cs := r.Table2.PerCategory[cat]
-		if cs == nil {
-			cs = &CategoryStats{}
-			r.Table2.PerCategory[cat] = cs
-		}
-		cs.Chains++
-		cs.Conns += o.Conns
-		cs.Established += o.Established
-		set := ipSets[cat]
-		if set == nil {
-			set = make(map[string]bool)
-			ipSets[cat] = set
-		}
-		for _, ip := range o.ClientIPs {
-			set[ip] = true
-		}
-
-		// ---- Figure 1 ---------------------------------------------------
-		if len(o.Chain) > pathologicalLength {
-			r.Figure1.Excluded = append(r.Figure1.Excluded, len(o.Chain))
-		} else {
-			cdf := r.Figure1.CDF[cat]
-			if cdf == nil {
-				cdf = stats.NewCDF()
-				r.Figure1.CDF[cat] = cdf
-			}
-			cdf.Add(len(o.Chain), 1)
-		}
-
-		switch cat {
-		case chain.Hybrid:
-			p.accumulateHybrid(r, o, a, estByVerdict, hybridGraph, portHist["hybrid"], hybridServerChains, missingIssuerIPs)
-		case chain.NonPublicDBOnly:
-			p.accumulateNonPub(r, o, a, nonPubGraph, portHist, dgaStats, bcSeen,
-				&bcFirst, &bcFirstAbsent, &bcSub, &bcSubAbsent, &singleConns, &singleNoSNI)
-		case chain.Interception:
-			p.accumulateInterception(r, o, a, interceptGraph, portHist["interception"],
-				detector, detected, sectorConns, sectorIPs, sectorIssuers)
-		}
-	}
-
-	// ---- finishing passes ------------------------------------------------
-	for cat, set := range ipSets {
-		r.Table2.PerCategory[cat].ClientIPs = len(set)
-	}
-	for _, cs := range r.Table2.PerCategory {
-		r.Table2.TotalChains += cs.Chains
-	}
-
-	r.Table3.EstablishRate = make(map[chain.Verdict]float64)
-	for v, et := range estByVerdict {
-		r.Table3.EstablishRate[v] = stats.Ratio(et[0], et[1])
-	}
-	for _, n := range r.Table3.Counts {
-		r.Table3.Total += n
-	}
-	for _, n := range r.Table7.Counts {
-		r.Table7.Total += n
-	}
-	for srv, chains := range hybridServerChains {
-		if len(chains) > 1 {
-			r.Sec42.MultiChainServers++
-		}
-		_ = srv
-	}
-	r.Sec42.MissingIssuerClientIPs = len(missingIssuerIPs)
-
-	r.Table1 = p.buildTable1(sectorConns, sectorIPs, sectorIssuers, detected)
-	r.Table4 = buildTable4(portHist)
-	r.Figure4 = p.buildFigure4(analyses)
-	r.Figure5 = summarizeGraph(hybridGraph)
-	r.Figure6.ShareAtOrAbove05 = r.Figure6.Hist.ShareAbove(0.5)
-	r.Figure7 = summarizeGraph(nonPubGraph)
-	r.Figure8 = summarizeGraph(interceptGraph.WithoutLeaves())
-
-	r.Sec43.BCAbsentFirst = stats.Ratio(bcFirstAbsent, bcFirst)
-	r.Sec43.BCAbsentSubsequent = stats.Ratio(bcSubAbsent, bcSub)
-	r.Sec43.BCFirstN = int(bcFirst)
-	r.Sec43.BCSubsequentN = int(bcSub)
-	r.Sec43.NoSNIShare = stats.Ratio(singleNoSNI, singleConns)
-	r.Sec43.DGACerts = dgaStats.Certificates
-	r.Sec43.DGAConns = int64(dgaStats.Connections)
-	r.Sec43.DGAClients = len(dgaStats.ClientIPs)
-	if dgaStats.Certificates > 0 {
-		r.Sec43.DGAMinDays = dgaStats.MinValidity
-		r.Sec43.DGAMaxDays = dgaStats.MaxValidity
-	}
-	return r
+	return p.RunParallel(observations, p.Workers)
 }
 
-func (p *Pipeline) accumulateHybrid(r *Report, o *campus.Observation, a *chain.Analysis,
-	estByVerdict map[chain.Verdict][2]int64, g *graph.Graph, ports map[int]int64,
-	serverChains map[string]map[string]bool, missingIssuerIPs map[string]bool) {
-
-	hc := chain.ClassifyHybrid(a)
-	r.Table3.Counts[hc]++
-
-	et := estByVerdict[a.Verdict]
-	et[0] += o.Established
-	et[1] += o.Conns
-	estByVerdict[a.Verdict] = et
-
-	g.AddChain(o.Chain, a.Classes)
-	ports[o.Port] += o.Conns
-
-	key := o.ServerIP + "|" + o.Domain
-	if serverChains[key] == nil {
-		serverChains[key] = make(map[string]bool)
+// RunParallel executes the full analysis with an explicit worker count.
+// Observations are split into contiguous shards, one per worker; partials
+// merge in shard order, so the result is byte-identical for every worker
+// count (workers=1 is the plain sequential pass).
+func (p *Pipeline) RunParallel(observations []*campus.Observation, workers int) *Report {
+	workers = normalizeWorkers(workers, len(observations))
+	det := intercept.NewDetector(p.DB, p.CT)
+	if workers == 1 {
+		pr := p.newPartial(det)
+		for i, o := range observations {
+			pr.observe(i, o)
+		}
+		return pr.finalize()
 	}
-	serverChains[key][o.Chain.Key()] = true
 
-	switch hc {
-	case chain.HybridCompleteNonPubToPub:
-		r.Sec42.AnchoredLeaves++
-		if p.CT.Contains(o.Chain[0].FP) {
-			r.Sec42.CTLoggedAnchoredLeaves++
-		}
-		if a.HasExpiredLeaf(o.Last) {
-			r.Sec42.ExpiredLeafChains++
-		}
-		// Table 6: the signing CA's organization attribute distinguishes
-		// government PKIs from corporate deployments.
-		if o.Chain[0].Issuer.Organization() == "Government" {
-			r.Table6.Government++
-		} else {
-			r.Table6.Corporate++
-		}
-	case chain.HybridContainsComplete:
-		if containsFakeLE(o.Chain) {
-			r.Sec42.FakeLEChains++
-		}
-		p.classifyContains(r, a)
-	case chain.HybridNoComplete:
-		r.Table7.Counts[chain.ClassifyNoPath(a)]++
-		r.Figure6.Hist.Add(a.MismatchRatio)
-		if missingIssuer(a) {
-			r.Sec42.MissingIssuerChains++
-			r.Sec42.MissingIssuerConns += o.Conns
-			r.Sec42.MissingIssuerEstablished += o.Established
-			for _, ip := range o.ClientIPs {
-				missingIssuerIPs[ip] = true
+	partials := make([]*partialReport, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := shardRange(len(observations), workers, w)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			pr := p.newPartial(det)
+			for i := lo; i < hi; i++ {
+				pr.observe(i, observations[i])
 			}
-			if chain.StoreCompletable(p.DB, a) {
-				r.Sec42.MissingIssuerStoreCompletable++
-			}
-		}
+			partials[w] = pr
+		}(w, lo, hi)
 	}
+	wg.Wait()
+	return mergePartials(partials)
+}
+
+// RunStream executes the full analysis over a producer channel without ever
+// materializing the observation slice: a dispatcher tags each observation
+// with its arrival sequence number and the worker pool consumes them as they
+// come. The merge is order-independent (and outliers are sequence-sorted),
+// so the report is byte-identical to Run over the same observations in the
+// same producer order.
+func (p *Pipeline) RunStream(observations <-chan *campus.Observation, workers int) *Report {
+	workers = normalizeWorkers(workers, -1)
+	det := intercept.NewDetector(p.DB, p.CT)
+
+	type seqObs struct {
+		seq int
+		o   *campus.Observation
+	}
+	work := make(chan seqObs, 4*workers)
+	go func() {
+		seq := 0
+		for o := range observations {
+			work <- seqObs{seq: seq, o: o}
+			seq++
+		}
+		close(work)
+	}()
+
+	partials := make([]*partialReport, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pr := p.newPartial(det)
+			for so := range work {
+				pr.observe(so.seq, so.o)
+			}
+			partials[w] = pr
+		}(w)
+	}
+	wg.Wait()
+	return mergePartials(partials)
+}
+
+// normalizeWorkers clamps a worker count: non-positive selects GOMAXPROCS,
+// and a known observation count bounds the pool (n >= 0; -1 means unknown).
+func normalizeWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n >= 0 && workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// shardRange returns the half-open observation range [lo, hi) of shard w out
+// of `workers` contiguous, near-equal shards over n observations.
+func shardRange(n, workers, w int) (lo, hi int) {
+	base, rem := n/workers, n%workers
+	lo = w*base + min(w, rem)
+	hi = lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// mergePartials folds shard accumulators together (in shard order, though
+// any order yields the same report) and finalizes.
+func mergePartials(partials []*partialReport) *Report {
+	merged := partials[0]
+	for _, pr := range partials[1:] {
+		merged.merge(pr)
+	}
+	return merged.finalize()
 }
 
 // classifyContains assigns the Appendix F.2 misconfiguration pattern of a
@@ -323,113 +246,6 @@ func containsFakeLE(ch certmodel.Chain) bool {
 		}
 	}
 	return false
-}
-
-func (p *Pipeline) accumulateNonPub(r *Report, o *campus.Observation, a *chain.Analysis,
-	g *graph.Graph, portHist map[string]map[int]int64, dgaStats *dga.ClusterStats,
-	bcSeen map[string]map[certmodel.Fingerprint]bool,
-	bcFirst, bcFirstAbsent, bcSub, bcSubAbsent, singleConns, singleNoSNI *int64) {
-
-	if len(o.Chain) > pathologicalLength {
-		// The oversized misconfiguration outliers are excluded from the
-		// structural statistics, as in Figure 1.
-		return
-	}
-	g.AddChain(o.Chain, a.Classes)
-
-	// basicConstraints omission rates over distinct non-public
-	// certificates, by delivery position (§4.3).
-	for i, m := range o.Chain {
-		pos := "sub"
-		if i == 0 {
-			pos = "first"
-		}
-		if bcSeen[pos][m.FP] {
-			continue
-		}
-		bcSeen[pos][m.FP] = true
-		if i == 0 {
-			*bcFirst++
-			if m.BC == certmodel.BCAbsent {
-				*bcFirstAbsent++
-			}
-		} else {
-			*bcSub++
-			if m.BC == certmodel.BCAbsent {
-				*bcSubAbsent++
-			}
-		}
-	}
-
-	if len(o.Chain) == 1 {
-		r.Sec43.SingleStats.Add(a)
-		portHist["nonpub-single"][o.Port] += o.Conns
-		*singleConns += o.Conns
-		*singleNoSNI += o.NoSNI
-		if dga.IsDGACertificate(o.Chain[0]) {
-			dgaStats.Add(o.Chain[0], int(o.Conns), o.ClientIPs)
-		}
-		return
-	}
-	portHist["nonpub-multi"][o.Port] += o.Conns
-	switch a.MatchedVerdict {
-	case chain.VerdictCompletePath:
-		r.Table8.NonPub.IsMatched++
-	case chain.VerdictContainsPath:
-		r.Table8.NonPub.ContainsMatch++
-	default:
-		r.Table8.NonPub.NoMatch++
-	}
-	r.Table8.NonPub.MultiChains++
-}
-
-func (p *Pipeline) accumulateInterception(r *Report, o *campus.Observation, a *chain.Analysis,
-	g *graph.Graph, ports map[int]int64, detector *intercept.Detector, detected map[string]bool,
-	sectorConns map[intercept.Category]int64, sectorIPs map[intercept.Category]map[string]bool,
-	sectorIssuers map[intercept.Category]map[string]bool) {
-
-	g.AddChain(o.Chain, a.Classes)
-	ports[o.Port] += o.Conns
-
-	if len(o.Chain) == 1 {
-		r.Sec43.InterceptSingle.Add(a)
-	} else if len(o.Chain) <= pathologicalLength {
-		switch a.MatchedVerdict {
-		case chain.VerdictCompletePath:
-			r.Table8.Interception.IsMatched++
-		case chain.VerdictContainsPath:
-			r.Table8.Interception.ContainsMatch++
-		default:
-			r.Table8.Interception.NoMatch++
-		}
-		r.Table8.Interception.MultiChains++
-	}
-
-	// Independent CT cross-reference detection (§3.2.1).
-	if o.Domain != "" {
-		if detector.Examine(o.Chain[0], o.Domain, o.First) == intercept.IssuerMismatch {
-			detected[o.Chain[0].Issuer.Normalized()] = true
-		}
-	}
-
-	// Attribute to a curated entity for Table 1: match the leaf issuer or
-	// any chain member's issuer against the registry.
-	for _, m := range o.Chain {
-		if iss, ok := p.Registry.Lookup(m.Issuer); ok {
-			sectorConns[iss.Category] += o.Conns
-			if sectorIPs[iss.Category] == nil {
-				sectorIPs[iss.Category] = make(map[string]bool)
-			}
-			for _, ip := range o.ClientIPs {
-				sectorIPs[iss.Category][ip] = true
-			}
-			if sectorIssuers[iss.Category] == nil {
-				sectorIssuers[iss.Category] = make(map[string]bool)
-			}
-			sectorIssuers[iss.Category][iss.DN.Normalized()] = true
-			break
-		}
-	}
 }
 
 func (p *Pipeline) buildTable1(sectorConns map[intercept.Category]int64,

@@ -54,12 +54,30 @@ func maybeGunzip(r io.Reader) (io.Reader, error) {
 // LoadFormat is Load with an explicit log format. Gzip-compressed streams
 // are detected and decompressed transparently.
 func LoadFormat(format Format, ssl, x509 io.Reader) ([]*campus.Observation, error) {
-	var err error
-	if ssl, err = maybeGunzip(ssl); err != nil {
+	var out []*campus.Observation
+	err := LoadFormatFunc(format, ssl, x509, func(o *campus.Observation) error {
+		out = append(out, o)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// LoadFormatFunc is the streaming form of LoadFormat: instead of
+// materializing one giant observation slice, it hands each aggregated
+// observation to emit, in first-seen (chain, server endpoint) order — the
+// producer side of Pipeline.RunStream. Aggregation still requires the full
+// join pass (an observation's counters close only at end of stream), but the
+// observations themselves flow straight into the consumer.
+func LoadFormatFunc(format Format, ssl, x509 io.Reader, emit func(*campus.Observation) error) error {
+	var err error
+	if ssl, err = maybeGunzip(ssl); err != nil {
+		return err
+	}
 	if x509, err = maybeGunzip(x509); err != nil {
-		return nil, err
+		return err
 	}
 	type agg struct {
 		o   *campus.Observation
@@ -116,10 +134,9 @@ func LoadFormat(format Format, ssl, x509 io.Reader) ([]*campus.Observation, erro
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 
-	out := make([]*campus.Observation, 0, len(order))
 	for _, key := range order {
 		a := byKey[key]
 		ips := make([]string, 0, len(a.ips))
@@ -128,9 +145,11 @@ func LoadFormat(format Format, ssl, x509 io.Reader) ([]*campus.Observation, erro
 		}
 		sort.Strings(ips)
 		a.o.ClientIPs = ips
-		out = append(out, a.o)
+		if err := emit(a.o); err != nil {
+			return err
+		}
 	}
-	return out, nil
+	return nil
 }
 
 // WriteOptions controls how observations expand into Zeek log records.

@@ -19,6 +19,7 @@ package chain
 
 import (
 	"fmt"
+	"sync"
 
 	"certchains/internal/certmodel"
 	"certchains/internal/dn"
@@ -63,6 +64,9 @@ func (c Category) String() string {
 // cross-signing registry.
 type Classifier struct {
 	DB *trustdb.DB
+	// mu guards interceptIssuers: the interception detector registers
+	// issuers while pipeline workers classify chains concurrently.
+	mu sync.RWMutex
 	// interceptIssuers holds normalized issuer DNs identified as TLS
 	// interception entities (§3.2.1, Table 1).
 	interceptIssuers map[string]bool
@@ -82,18 +86,26 @@ func NewClassifier(db *trustdb.DB) *Classifier {
 
 // AddInterceptionIssuer registers an issuer DN as a TLS interception entity.
 func (c *Classifier) AddInterceptionIssuer(d dn.DN) {
-	c.interceptIssuers[d.Normalized()] = true
+	key := d.Normalized()
+	c.mu.Lock()
+	c.interceptIssuers[key] = true
+	c.mu.Unlock()
 }
 
 // IsInterceptionIssuer reports whether the DN is a registered interception
 // entity.
 func (c *Classifier) IsInterceptionIssuer(d dn.DN) bool {
-	return c.interceptIssuers[d.Normalized()]
+	key := d.Normalized()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.interceptIssuers[key]
 }
 
 // InterceptionIssuerCount returns the number of registered interception
 // issuers (the paper identifies 80).
 func (c *Classifier) InterceptionIssuerCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.interceptIssuers)
 }
 
@@ -110,6 +122,8 @@ func (c *Classifier) Categorize(ch certmodel.Chain) Category {
 		return NonPublicDBOnly
 	}
 	anyPublic, anyPrivate := false, false
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for _, m := range ch {
 		if c.interceptIssuers[m.Issuer.Normalized()] || c.interceptIssuers[m.Subject.Normalized()] {
 			return Interception
@@ -137,6 +151,7 @@ func (c *Classifier) Categorize(ch certmodel.Chain) Category {
 // The paper builds this set from Zeek validation output and CA cross-signing
 // disclosures (Appendix D.1); scenarios populate it directly.
 type CrossSignRegistry struct {
+	mu    sync.RWMutex
 	pairs map[[2]string]bool
 }
 
@@ -148,7 +163,10 @@ func NewCrossSignRegistry() *CrossSignRegistry {
 // Add registers that certificates with issuer childIssuer may chain to
 // certificates with subject parentSubject. The relation is directional.
 func (r *CrossSignRegistry) Add(childIssuer, parentSubject dn.DN) {
-	r.pairs[[2]string{childIssuer.Normalized(), parentSubject.Normalized()}] = true
+	key := [2]string{childIssuer.Normalized(), parentSubject.Normalized()}
+	r.mu.Lock()
+	r.pairs[key] = true
+	r.mu.Unlock()
 }
 
 // Exempt reports whether the (issuer, subject) pair is a registered
@@ -157,8 +175,15 @@ func (r *CrossSignRegistry) Exempt(childIssuer, parentSubject dn.DN) bool {
 	if r == nil {
 		return false
 	}
-	return r.pairs[[2]string{childIssuer.Normalized(), parentSubject.Normalized()}]
+	key := [2]string{childIssuer.Normalized(), parentSubject.Normalized()}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.pairs[key]
 }
 
 // Len returns the number of registered pairs.
-func (r *CrossSignRegistry) Len() int { return len(r.pairs) }
+func (r *CrossSignRegistry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.pairs)
+}

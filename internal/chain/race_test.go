@@ -1,0 +1,102 @@
+// Regression tests for the data race the sharded pipeline exposed: the
+// interception detector registers issuers on the classifier while pipeline
+// workers categorize chains. Run with -race; before the classifier grew its
+// RWMutex these tests failed the detector.
+package chain
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/dn"
+)
+
+// interceptionChain builds a chain issued by the Zscaler DN testEnv
+// registers as an interception entity.
+func interceptionChain() certmodel.Chain {
+	return certmodel.Chain{
+		cert("CN=Zscaler Intermediate CA,O=Zscaler Inc.", "CN=www.bank.com", certmodel.BCFalse),
+		cert("CN=Zscaler Root CA,O=Zscaler Inc.", "CN=Zscaler Intermediate CA,O=Zscaler Inc.", certmodel.BCTrue),
+	}
+}
+
+// TestClassifierConcurrentInterception hammers AddInterceptionIssuer against
+// IsInterceptionIssuer, InterceptionIssuerCount and Categorize from many
+// goroutines at once.
+func TestClassifierConcurrentInterception(t *testing.T) {
+	_, cl := testEnv(t)
+	ch := interceptionChain() // issued by the Zscaler DN testEnv registers
+	pub := publicChain()
+
+	const writers, readers, rounds = 4, 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				cl.AddInterceptionIssuer(dn.MustParse(fmt.Sprintf("CN=Proxy CA %d-%d,O=MITM Corp", w, i)))
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if !cl.IsInterceptionIssuer(dn.MustParse("CN=Zscaler Intermediate CA,O=Zscaler Inc.")) {
+					t.Error("registered interception issuer not found")
+					return
+				}
+				if got := cl.Categorize(ch); got != Interception {
+					t.Errorf("Categorize(interception chain) = %v during writes", got)
+					return
+				}
+				if got := cl.Categorize(pub); got != PublicDBOnly {
+					t.Errorf("Categorize(public chain) = %v during writes", got)
+					return
+				}
+				_ = cl.InterceptionIssuerCount()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := cl.InterceptionIssuerCount(), 1+writers*rounds; got != want {
+		t.Errorf("interception issuer count = %d, want %d", got, want)
+	}
+}
+
+// TestCrossSignRegistryConcurrent covers the same pattern on the
+// cross-signing registry: Add racing Exempt and Len.
+func TestCrossSignRegistryConcurrent(t *testing.T) {
+	reg := NewCrossSignRegistry()
+	child := dn.MustParse("CN=ISRG Root X1,O=Internet Security Research Group")
+	parent := dn.MustParse("CN=DST Root CA X3,O=Digital Signature Trust Co.")
+	reg.Add(child, parent)
+
+	const workers, rounds = 6, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if w%2 == 0 {
+					reg.Add(dn.MustParse(fmt.Sprintf("CN=Cross %d-%d", w, i)), parent)
+				} else {
+					if !reg.Exempt(child, parent) {
+						t.Error("registered cross-sign pair not exempt")
+						return
+					}
+					_ = reg.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !reg.Exempt(child, parent) {
+		t.Error("pair lost after concurrent adds")
+	}
+}

@@ -148,6 +148,25 @@ func NewClusterStats() *ClusterStats {
 	return &ClusterStats{ClientIPs: make(map[string]bool), MinValidity: 1 << 30}
 }
 
+// Merge folds another accumulator into this one (sharded pipelines combine
+// per-shard cluster stats; every field is commutative).
+func (s *ClusterStats) Merge(o *ClusterStats) {
+	if o == nil {
+		return
+	}
+	s.Certificates += o.Certificates
+	s.Connections += o.Connections
+	for ip := range o.ClientIPs {
+		s.ClientIPs[ip] = true
+	}
+	if o.MinValidity < s.MinValidity {
+		s.MinValidity = o.MinValidity
+	}
+	if o.MaxValidity > s.MaxValidity {
+		s.MaxValidity = o.MaxValidity
+	}
+}
+
 // Add accounts one DGA certificate observation.
 func (s *ClusterStats) Add(m *certmodel.Meta, connections int, clientIPs []string) {
 	s.Certificates++

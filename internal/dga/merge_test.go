@@ -1,0 +1,54 @@
+package dga
+
+import "testing"
+
+// TestClusterStatsMerge checks sharded accumulation equals a single pass:
+// counts add, client IPs union, validity bounds take min/max.
+func TestClusterStatsMerge(t *testing.T) {
+	type obs struct {
+		days  int
+		conns int
+		ips   []string
+	}
+	samples := []obs{
+		{30, 5, []string{"10.0.0.1", "10.0.0.2"}},
+		{90, 2, []string{"10.0.0.2"}},
+		{7, 11, []string{"10.0.0.3"}},
+		{365, 1, []string{"10.0.0.1"}},
+	}
+
+	whole := NewClusterStats()
+	a, b := NewClusterStats(), NewClusterStats()
+	for i, s := range samples {
+		m := certWithCNs("qzxkvjwp", "xkcdqzwv", s.days)
+		whole.Add(m, s.conns, s.ips)
+		if i%2 == 0 {
+			a.Add(m, s.conns, s.ips)
+		} else {
+			b.Add(m, s.conns, s.ips)
+		}
+	}
+
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Certificates != whole.Certificates {
+		t.Errorf("certificates = %d, want %d", a.Certificates, whole.Certificates)
+	}
+	if a.Connections != whole.Connections {
+		t.Errorf("connections = %d, want %d", a.Connections, whole.Connections)
+	}
+	if len(a.ClientIPs) != len(whole.ClientIPs) {
+		t.Errorf("client IPs = %d, want %d", len(a.ClientIPs), len(whole.ClientIPs))
+	}
+	if a.MinValidity != whole.MinValidity || a.MaxValidity != whole.MaxValidity {
+		t.Errorf("validity = [%d, %d], want [%d, %d]",
+			a.MinValidity, a.MaxValidity, whole.MinValidity, whole.MaxValidity)
+	}
+
+	// Merging an empty accumulator is an identity (its sentinel MinValidity
+	// must not clobber real bounds).
+	a.Merge(NewClusterStats())
+	if a.MinValidity != whole.MinValidity || a.MaxValidity != whole.MaxValidity {
+		t.Error("empty merge changed validity bounds")
+	}
+}

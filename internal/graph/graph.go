@@ -122,6 +122,38 @@ func (g *Graph) addEdge(a, b certmodel.Fingerprint) {
 	}
 }
 
+// Merge folds another graph into this one: nodes are unioned, roles are
+// upgraded (a node any shard saw issuing is an intermediate), and edges are
+// re-added so degrees stay consistent. Because role upgrades and edge
+// insertion are monotonic and idempotent, merging shard-local graphs in any
+// order reproduces the graph a single sequential pass over all chains builds.
+func (g *Graph) Merge(o *Graph) {
+	if o == nil {
+		return
+	}
+	for fp, on := range o.nodes {
+		n, ok := g.nodes[fp]
+		if !ok {
+			cp := *on
+			cp.Degree = 0
+			g.nodes[fp] = &cp
+			g.adj[fp] = make(map[certmodel.Fingerprint]bool)
+			continue
+		}
+		// RoleRoot is decided from the certificate itself at insertion, so it
+		// agrees across shards; the only cross-shard upgrade is leaf →
+		// intermediate when the other shard observed the node issuing.
+		if n.Role == RoleLeaf && on.Role == RoleIntermediate {
+			n.Role = RoleIntermediate
+		}
+	}
+	for a, nbs := range o.adj {
+		for b := range nbs {
+			g.addEdge(a, b)
+		}
+	}
+}
+
 // NodeCount returns the number of nodes.
 func (g *Graph) NodeCount() int { return len(g.nodes) }
 

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"testing"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/trustdb"
+)
+
+func npub(n int) []trustdb.Class {
+	cls := make([]trustdb.Class, n)
+	for i := range cls {
+		cls[i] = trustdb.IssuedByNonPublicDB
+	}
+	return cls
+}
+
+// TestGraphMerge checks that two shard graphs merge into the same structure
+// a single graph would have accumulated, including the leaf→intermediate
+// role upgrade when only one shard saw a certificate issuing.
+func TestGraphMerge(t *testing.T) {
+	root, interA, interB, leaf1, leaf2, leaf3 := buildPKI()
+
+	chains := []certmodel.Chain{
+		{leaf1, interA, root},
+		{leaf2, interA, root},
+		{leaf3, interB, root},
+		// interA delivered as the chain head: in a shard that only sees
+		// this chain, interA looks like a leaf.
+		{interA, root},
+	}
+
+	whole := New()
+	for _, ch := range chains {
+		whole.AddChain(ch, npub(len(ch)))
+	}
+
+	// Shard split chosen so shard B classifies interA as a leaf.
+	shardA, shardB := New(), New()
+	for i, ch := range chains {
+		g := shardA
+		if i >= 3 {
+			g = shardB
+		}
+		g.AddChain(ch, npub(len(ch)))
+	}
+	if n, _ := shardB.Node(interA.FP); n.Role != RoleLeaf {
+		t.Fatalf("precondition: shard B should see interA as leaf, got %v", n.Role)
+	}
+
+	for _, merged := range []*Graph{mergeInto(New(), shardA, shardB), mergeInto(New(), shardB, shardA)} {
+		if merged.NodeCount() != whole.NodeCount() {
+			t.Errorf("merged nodes = %d, want %d", merged.NodeCount(), whole.NodeCount())
+		}
+		if merged.EdgeCount() != whole.EdgeCount() {
+			t.Errorf("merged edges = %d, want %d", merged.EdgeCount(), whole.EdgeCount())
+		}
+		for _, n := range whole.Nodes() {
+			m, ok := merged.Node(n.FP)
+			if !ok {
+				t.Errorf("merged graph missing node %s", n.Meta.Subject)
+				continue
+			}
+			if m.Role != n.Role {
+				t.Errorf("node %s role = %v, want %v", n.Meta.Subject, m.Role, n.Role)
+			}
+			if m.Degree != n.Degree {
+				t.Errorf("node %s degree = %d, want %d", n.Meta.Subject, m.Degree, n.Degree)
+			}
+		}
+		l, i, r := merged.RoleCounts()
+		wl, wi, wr := whole.RoleCounts()
+		if l != wl || i != wi || r != wr {
+			t.Errorf("merged roles = %d/%d/%d, want %d/%d/%d", l, i, r, wl, wi, wr)
+		}
+		if got, want := len(merged.Components()), len(whole.Components()); got != want {
+			t.Errorf("merged components = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestGraphMergeIdempotent merges the same graph twice; duplicate edges and
+// nodes must collapse.
+func TestGraphMergeIdempotent(t *testing.T) {
+	root, interA, _, leaf1, _, _ := buildPKI()
+	g := New()
+	g.AddChain(certmodel.Chain{leaf1, interA, root}, npub(3))
+
+	m := New()
+	m.Merge(g)
+	m.Merge(g)
+	if m.NodeCount() != g.NodeCount() || m.EdgeCount() != g.EdgeCount() {
+		t.Errorf("double merge: nodes=%d edges=%d, want %d/%d",
+			m.NodeCount(), m.EdgeCount(), g.NodeCount(), g.EdgeCount())
+	}
+	n, _ := m.Node(interA.FP)
+	w, _ := g.Node(interA.FP)
+	if n.Degree != w.Degree {
+		t.Errorf("double merge degree = %d, want %d", n.Degree, w.Degree)
+	}
+}
+
+func mergeInto(dst *Graph, srcs ...*Graph) *Graph {
+	for _, s := range srcs {
+		dst.Merge(s)
+	}
+	return dst
+}

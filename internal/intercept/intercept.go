@@ -9,6 +9,8 @@ package intercept
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 	"time"
 
 	"certchains/internal/certmodel"
@@ -52,7 +54,10 @@ type Issuer struct {
 
 // Registry is the curated set of identified interception issuers — the
 // outcome of the paper's manual investigation of CT mismatches (80 issuers).
+// It is safe for concurrent use: the detection pass registers issuers while
+// pipeline workers attribute observations.
 type Registry struct {
+	mu   sync.RWMutex
 	byDN map[string]*Issuer
 }
 
@@ -63,20 +68,32 @@ func NewRegistry() *Registry {
 
 // Add registers an issuer. Re-adding the same DN overwrites the entry.
 func (r *Registry) Add(iss *Issuer) {
-	r.byDN[iss.DN.Normalized()] = iss
+	key := iss.DN.Normalized()
+	r.mu.Lock()
+	r.byDN[key] = iss
+	r.mu.Unlock()
 }
 
 // Lookup returns the issuer entry for a DN.
 func (r *Registry) Lookup(d dn.DN) (*Issuer, bool) {
-	i, ok := r.byDN[d.Normalized()]
+	key := d.Normalized()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i, ok := r.byDN[key]
 	return i, ok
 }
 
 // Len returns the number of registered issuers.
-func (r *Registry) Len() int { return len(r.byDN) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byDN)
+}
 
 // All returns the registered issuers in unspecified order.
 func (r *Registry) All() []*Issuer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]*Issuer, 0, len(r.byDN))
 	for _, i := range r.byDN {
 		out = append(out, i)
@@ -124,20 +141,44 @@ func (v Verdict) String() string {
 	}
 }
 
-// Detector performs the CT cross-reference.
+// Detector performs the CT cross-reference. A single detector may be shared
+// by concurrent pipeline workers: the verdict cache is lock-protected, and
+// Examine is a pure function of its inputs over the immutable trust database
+// and CT log, so cached and freshly computed verdicts never diverge.
 type Detector struct {
 	DB *trustdb.DB
 	CT *ctlog.Log
+
+	// mu guards cache. Repeated observations of the same (leaf, SNI, time)
+	// triple — common once observations are aggregated per chain — skip the
+	// CT queries entirely.
+	mu    sync.RWMutex
+	cache map[string]Verdict
 }
 
 // NewDetector builds a detector over the trust database and CT log.
 func NewDetector(db *trustdb.DB, ct *ctlog.Log) *Detector {
-	return &Detector{DB: db, CT: ct}
+	return &Detector{DB: db, CT: ct, cache: make(map[string]Verdict)}
 }
 
 // Examine applies the §3.2.1 procedure to one observation: the delivered
 // leaf certificate, the connection SNI, and the observation time.
 func (d *Detector) Examine(leaf *certmodel.Meta, sni string, at time.Time) Verdict {
+	key := string(leaf.FP) + "|" + sni + "|" + strconv.FormatInt(at.UnixNano(), 36)
+	d.mu.RLock()
+	v, ok := d.cache[key]
+	d.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = d.examine(leaf, sni, at)
+	d.mu.Lock()
+	d.cache[key] = v
+	d.mu.Unlock()
+	return v
+}
+
+func (d *Detector) examine(leaf *certmodel.Meta, sni string, at time.Time) Verdict {
 	if d.DB.Classify(leaf) == trustdb.IssuedByPublicDB {
 		return NotCandidate
 	}

@@ -34,6 +34,19 @@ func (c *CDF) Add(v int, n int64) {
 // Total returns the number of observations.
 func (c *CDF) Total() int64 { return c.total }
 
+// Merge folds another distribution into this one. Addition over per-value
+// counts is commutative and associative, so sharded accumulation followed by
+// any merge order equals a single sequential pass.
+func (c *CDF) Merge(o *CDF) {
+	if o == nil {
+		return
+	}
+	for v, n := range o.counts {
+		c.counts[v] += n
+	}
+	c.total += o.total
+}
+
 // At returns P(X <= v).
 func (c *CDF) At(v int) float64 {
 	if c.total == 0 {
@@ -130,6 +143,21 @@ func (h *Histogram) Add(v float64) {
 
 // Total returns the number of observations.
 func (h *Histogram) Total() int64 { return h.total }
+
+// Merge folds another histogram into this one. The two must share bounds and
+// bin count; mismatched shapes indicate a programming error and panic.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Bins) != len(o.Bins) {
+		panic("stats: merging histograms with different shapes")
+	}
+	for i, n := range o.Bins {
+		h.Bins[i] += n
+	}
+	h.total += o.total
+}
 
 // ShareAbove returns the fraction of observations with value >= threshold,
 // computed from bin boundaries (threshold should align with a boundary).
