@@ -2,15 +2,33 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz report experiments clean
+.PHONY: all build vet lint test race bench fuzz report experiments clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet, the repo's own determinism analyzer (flags
+# wall-clock reads, unseeded randomness, and map-iteration-ordered output in
+# deterministic packages), and — when installed — staticcheck and govulncheck.
+# The external tools are gated on `command -v` so offline checkouts still
+# lint; CI installs both.
+lint: vet
+	$(GO) run ./cmd/determinism-lint .
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo govulncheck ./...; govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -32,6 +50,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReader -fuzztime 20s ./internal/zeek/
 	$(GO) test -fuzz FuzzJSONReader -fuzztime 20s ./internal/zeek/
 	$(GO) test -fuzz FuzzShardMerge -fuzztime 30s ./internal/analysis/
+	$(GO) test -fuzz FuzzLintChain -fuzztime 30s ./internal/lint/
 
 # The full paper report with paper-vs-measured verification.
 report:

@@ -218,6 +218,23 @@ func LoadZeekLogs(ssl, x509 io.Reader) ([]*Observation, error) {
 	return analysis.Load(ssl, x509)
 }
 
+// PipelineFromScenario wires a pipeline from a generated scenario's
+// components.
+var PipelineFromScenario = analysis.FromScenario
+
+// ZeekFormat selects the on-disk Zeek log format.
+type ZeekFormat = analysis.Format
+
+// Zeek log formats.
+const (
+	ZeekFormatTSV  = analysis.FormatTSV
+	ZeekFormatJSON = analysis.FormatJSON
+)
+
+// StreamZeekLogs re-aggregates Zeek log streams, invoking emit once per
+// observation without materializing the whole corpus.
+var StreamZeekLogs = analysis.LoadFormatFunc
+
 // --- real-certificate tier ----------------------------------------------------
 
 // Mint creates real X.509 certificates (ECDSA / Ed25519) deterministically.
@@ -310,6 +327,47 @@ var NewLinter = lint.New
 
 // LintSummary tallies findings by severity.
 var LintSummary = lint.Summary
+
+// LintCheck is one self-describing lint check: stable ID, severity, scope,
+// paper citation, and applicability predicate.
+type LintCheck = lint.Check
+
+// LintRegistry holds lint checks keyed by stable ID.
+type LintRegistry = lint.Registry
+
+// NewLintRegistry returns an empty lint registry for custom check sets.
+func NewLintRegistry() *LintRegistry { return lint.NewRegistry() }
+
+// DefaultLintRegistry returns a fresh registry with every builtin check.
+var DefaultLintRegistry = lint.DefaultRegistry
+
+// NewLinterWithRegistry builds a linter over a custom registry.
+var NewLinterWithRegistry = lint.NewWithRegistry
+
+// Lint profiles: paper reproduces the paper's findings; strict adds the
+// full hygiene set; all enables every registered check.
+const (
+	LintProfilePaper  = lint.ProfilePaper
+	LintProfileStrict = lint.ProfileStrict
+	LintProfileAll    = lint.ProfileAll
+)
+
+// LintCorpusReport accumulates lint findings over a whole observation
+// corpus with a commutative Merge (shardable like the pipeline).
+type LintCorpusReport = lint.CorpusReport
+
+// NewLintCorpusReport creates an empty corpus accumulator for a linter.
+var NewLintCorpusReport = lint.NewCorpusReport
+
+// LintCorpusSummary is the finalized corpus lint prevalence table.
+type LintCorpusSummary = lint.CorpusSummary
+
+// WriteLintJSON emits findings as a stable JSON document.
+var WriteLintJSON = lint.WriteJSON
+
+// WriteLintSARIF emits findings as a SARIF 2.1.0 log with the enabled
+// checks as the rule set.
+var WriteLintSARIF = lint.WriteSARIF
 
 // BuildStorePath completes a trust path for a leaf from the public
 // databases, the way store-completing clients (Chrome) do (§6.1).

@@ -119,6 +119,50 @@ func TestCLILintPEM(t *testing.T) {
 			t.Errorf("lint output missing %q:\n%s", want, out)
 		}
 	}
+
+	jsonOut := runCmd(t, "./cmd/certchain-lint", "-pem", path, "-json")
+	for _, want := range []string{`"findings"`, `"unnecessary-certificates"`, `"summary"`} {
+		if !strings.Contains(jsonOut, want) {
+			t.Errorf("lint -json output missing %q:\n%s", want, jsonOut)
+		}
+	}
+
+	sarifOut := runCmd(t, "./cmd/certchain-lint", "-pem", path, "-sarif")
+	for _, want := range []string{"sarif-2.1.0", `"certchain-lint"`, "unnecessary-certificates", path} {
+		if !strings.Contains(sarifOut, want) {
+			t.Errorf("lint -sarif output missing %q:\n%s", want, sarifOut)
+		}
+	}
+
+	listOut := runCmd(t, "./cmd/certchain-lint", "-list-checks", "-profile", "paper")
+	for _, want := range []string{`profile "paper"`, "unnecessary-certificates", "cite:"} {
+		if !strings.Contains(listOut, want) {
+			t.Errorf("lint -list-checks output missing %q:\n%s", want, listOut)
+		}
+	}
+}
+
+func TestCLILintCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI e2e in -short mode")
+	}
+	dir := t.TempDir()
+	runCmd(t, "./cmd/certchain-gen", "-seed", "5", "-scale", "0.001", "-out", dir)
+	args := []string{"./cmd/certchain-lint", "-corpus",
+		"-ssl", filepath.Join(dir, "ssl.log"), "-x509", filepath.Join(dir, "x509.log"),
+		"-seed", "5", "-scale", "0.001", "-profile", "strict"}
+	out := runCmd(t, args...)
+	for _, want := range []string{`Corpus lint (profile "strict")`, "basic-constraints-absent", "serial-reuse clusters"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("corpus lint output missing %q:\n%s", want, out)
+		}
+	}
+	// The prevalence table must not depend on the worker count.
+	one := runCmd(t, append(args[:len(args):len(args)], "-workers", "1")...)
+	six := runCmd(t, append(args[:len(args):len(args)], "-workers", "6")...)
+	if one != six {
+		t.Errorf("corpus lint output differs between 1 and 6 workers:\n%s\n---\n%s", one, six)
+	}
 }
 
 func TestExamplesRun(t *testing.T) {

@@ -18,11 +18,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 
 	"certchains/internal/analysis"
 	"certchains/internal/campus"
 	"certchains/internal/chain"
 	"certchains/internal/graph"
+	"certchains/internal/lint"
 	"certchains/internal/paper"
 )
 
@@ -45,6 +47,7 @@ func run() error {
 		dotDir  = flag.String("dot", "", "also write figure5/7/8 Graphviz files into this directory")
 		verify  = flag.Bool("verify", false, "check every measured value against the paper's reported targets")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker count; any value produces an identical report")
+		lintPro = flag.String("lint", "", "lint every chain and append a corpus prevalence table; value is the check profile (paper, strict, all)")
 	)
 	flag.Parse()
 
@@ -58,6 +61,14 @@ func run() error {
 
 	pipeline := analysis.FromScenario(scenario)
 	pipeline.Workers = *workers
+	if *lintPro != "" {
+		// The scenario's collection end is the deterministic reference time:
+		// the same inputs always produce the same lint prevalence table.
+		pipeline.Linter = lint.New(scenario.Classifier, lint.Config{
+			Now:     scenario.End(),
+			Profile: *lintPro,
+		})
+	}
 
 	observations := scenario.Observations
 	var report *analysis.Report
@@ -164,7 +175,13 @@ func writeDOTFigures(scenario *campus.Scenario, observations []*campus.Observati
 		"figure7.dot": {chain.NonPublicDBOnly, graph.DOTOptions{Name: "figure7_nonpub", MaxNodes: 800}},
 		"figure8.dot": {chain.Interception, graph.DOTOptions{Name: "figure8_interception", OmitLeaves: true, MaxNodes: 800}},
 	}
-	for name, spec := range graphs {
+	names := make([]string, 0, len(graphs))
+	for name := range graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		spec := graphs[name]
 		g := graph.New()
 		for _, o := range observations {
 			if len(o.Chain) > 30 {

@@ -1,0 +1,59 @@
+// Command determinism-lint runs the project's determinism analyzer over the
+// source tree: report-producing code must not read the wall clock, draw from
+// the shared math/rand source, or emit output while ranging over a map (see
+// internal/analyzers/determinism). It exits non-zero when any finding
+// remains, so `make lint` and CI gate on it.
+//
+// Usage:
+//
+//	determinism-lint [-allow cmd/,examples/] [-tests] [root]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"certchains/internal/analyzers/determinism"
+)
+
+// defaultAllowlist exempts the code where wall-clock time is the feature,
+// not a bug: CLIs and examples (user-facing clocks), the live TLS scanner
+// (handshake timing), the CT log's HTTP front end (tree-head timestamps),
+// and the lint engine's own wall-clock default for interactive use.
+const defaultAllowlist = "cmd/,examples/,internal/scanner/,internal/ctlog/http.go,internal/lint/lint.go"
+
+func main() {
+	var (
+		allow = flag.String("allow", defaultAllowlist,
+			"comma-separated path fragments to skip")
+		tests = flag.Bool("tests", false, "analyze _test.go files too")
+	)
+	flag.Parse()
+
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+
+	cfg := determinism.Config{IncludeTests: *tests}
+	for _, frag := range strings.Split(*allow, ",") {
+		if frag = strings.TrimSpace(frag); frag != "" {
+			cfg.Allowlist = append(cfg.Allowlist, frag)
+		}
+	}
+
+	findings, err := determinism.AnalyzeDir(root, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "determinism-lint:", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "determinism-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

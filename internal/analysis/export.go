@@ -27,6 +27,7 @@ type Export struct {
 	Fig8   GraphSummary           `json:"figure8_interception_graph"`
 	Sec42  ExportSec42            `json:"sec42"`
 	Sec43  ExportSec43            `json:"sec43"`
+	Lint   *ExportLint            `json:"lint,omitempty"`
 }
 
 // ExportSector is one Table 1 row.
@@ -93,6 +94,26 @@ type ExportSec43 struct {
 	DGACerts             int     `json:"dga_certs"`
 	DGAConns             int64   `json:"dga_conns"`
 	DGAClients           int     `json:"dga_clients"`
+}
+
+// ExportLintCheck is one corpus lint prevalence row.
+type ExportLintCheck struct {
+	ID         string  `json:"id"`
+	Severity   string  `json:"severity"`
+	Chains     int     `json:"chains"`
+	ChainShare float64 `json:"chain_share"`
+	Findings   int64   `json:"findings"`
+	Conns      int64   `json:"conns"`
+}
+
+// ExportLint is the corpus lint summary.
+type ExportLint struct {
+	Profile             string            `json:"profile"`
+	Chains              int               `json:"chains"`
+	Observations        int64             `json:"observations"`
+	Conns               int64             `json:"conns"`
+	SerialReuseClusters int               `json:"serial_reuse_clusters"`
+	Checks              []ExportLintCheck `json:"checks"`
 }
 
 // Export converts the report to its machine-readable form.
@@ -182,6 +203,23 @@ func (r *Report) Export() *Export {
 	e.Fig6 = ExportHistogram{
 		Bins:             r.Figure6.Hist.Bins,
 		ShareAtOrAbove05: r.Figure6.ShareAtOrAbove05,
+	}
+	if r.Lint != nil {
+		el := &ExportLint{
+			Profile:             r.Lint.Profile,
+			Chains:              r.Lint.Chains,
+			Observations:        r.Lint.Observations,
+			Conns:               r.Lint.Conns,
+			SerialReuseClusters: r.Lint.SerialReuseClusters,
+		}
+		for _, c := range r.Lint.Checks {
+			el.Checks = append(el.Checks, ExportLintCheck{
+				ID: c.ID, Severity: c.Severity.String(),
+				Chains: c.Chains, ChainShare: c.ChainShare,
+				Findings: c.Findings, Conns: c.Conns,
+			})
+		}
+		e.Lint = el
 	}
 	return e
 }

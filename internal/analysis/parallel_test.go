@@ -16,6 +16,7 @@ import (
 
 	"certchains/internal/analysis"
 	"certchains/internal/campus"
+	"certchains/internal/lint"
 	"certchains/internal/paper"
 )
 
@@ -34,6 +35,15 @@ func generate(tb testing.TB, seed int64) *campus.Scenario {
 		tb.Fatalf("seed %d: %v", seed, err)
 	}
 	return s
+}
+
+// lintingPipeline builds the scenario pipeline with corpus linting enabled
+// at the scenario's collection end, so the equivalence assertions below also
+// cover the lint accumulator's merge contract.
+func lintingPipeline(s *campus.Scenario) *analysis.Pipeline {
+	p := analysis.FromScenario(s)
+	p.Linter = lint.New(s.Classifier, lint.Config{Now: s.End(), Profile: lint.ProfileAll})
+	return p
 }
 
 // workerCounts is the sweep the issue prescribes. GOMAXPROCS may coincide
@@ -65,7 +75,7 @@ func TestParallelEquivalence(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			s := generate(t, seed)
-			p := analysis.FromScenario(s)
+			p := lintingPipeline(s)
 
 			baseline := p.RunParallel(s.Observations, 1)
 			baseText, baseJSON := renderings(t, baseline)
@@ -106,7 +116,7 @@ func TestParallelEquivalence(t *testing.T) {
 // producer path and checks it matches the in-memory run at several widths.
 func TestRunStreamEquivalence(t *testing.T) {
 	s := generate(t, 1)
-	p := analysis.FromScenario(s)
+	p := lintingPipeline(s)
 	baseline := p.RunParallel(s.Observations, 1)
 	baseText, baseJSON := renderings(t, baseline)
 
@@ -142,7 +152,7 @@ func TestZeekStreamEquivalence(t *testing.T) {
 		t.Skip("zeek round-trip is not short-mode work")
 	}
 	s := generate(t, 2)
-	p := analysis.FromScenario(s)
+	p := lintingPipeline(s)
 
 	var ssl, x509 bytes.Buffer
 	if err := analysis.Write(s.Observations, &ssl, &x509, analysis.WriteOptions{MaxConnsPerObservation: 4}); err != nil {
@@ -187,7 +197,7 @@ func TestZeekStreamEquivalence(t *testing.T) {
 // exercises every concurrently-read structure under the race detector.
 func TestConcurrentPipelineSmoke(t *testing.T) {
 	s := generate(t, 1)
-	p := analysis.FromScenario(s)
+	p := lintingPipeline(s)
 	want, _ := renderings(t, p.RunParallel(s.Observations, 1))
 
 	const runs = 4

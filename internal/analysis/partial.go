@@ -9,6 +9,7 @@ import (
 	"certchains/internal/dga"
 	"certchains/internal/graph"
 	"certchains/internal/intercept"
+	"certchains/internal/lint"
 	"certchains/internal/stats"
 )
 
@@ -50,6 +51,9 @@ type partialReport struct {
 	excluded []excludedLength
 	// analyses caches structure analyses per unique chain key.
 	analyses map[string]*chain.Analysis
+	// lintReport accumulates corpus lint findings; nil when the pipeline has
+	// no linter.
+	lintReport *lint.CorpusReport
 }
 
 // excludedLength is one Figure 1 outlier tagged with its observation index.
@@ -61,6 +65,10 @@ type excludedLength struct {
 // newPartial creates an empty shard accumulator sharing the pipeline's
 // read-only components and the (concurrency-safe) CT-mismatch detector.
 func (p *Pipeline) newPartial(det *intercept.Detector) *partialReport {
+	var lintReport *lint.CorpusReport
+	if p.Linter != nil {
+		lintReport = lint.NewCorpusReport(p.Linter)
+	}
 	r := &Report{}
 	r.Table2.PerCategory = make(map[chain.Category]*CategoryStats)
 	r.Table3.Counts = make(map[chain.HybridCategory]int)
@@ -89,6 +97,7 @@ func (p *Pipeline) newPartial(det *intercept.Detector) *partialReport {
 		bcSeen:             map[string]map[certmodel.Fingerprint]bool{"first": {}, "sub": {}},
 		bcAbsent:           map[string]map[certmodel.Fingerprint]bool{"first": {}, "sub": {}},
 		analyses:           make(map[string]*chain.Analysis),
+		lintReport:         lintReport,
 	}
 }
 
@@ -118,6 +127,9 @@ func (pr *partialReport) observe(seq int, o *campus.Observation) {
 	r.Sec63.VisibleConns += o.Conns
 	a := pr.analyze(o.Chain)
 	cat := a.Category
+	if pr.lintReport != nil {
+		pr.lintReport.ObserveAnalyzed(o.Chain, a, o.Conns)
+	}
 
 	// ---- Table 2 ----------------------------------------------------
 	cs := r.Table2.PerCategory[cat]
@@ -432,6 +444,10 @@ func (pr *partialReport) merge(o *partialReport) {
 			pr.analyses[k] = a
 		}
 	}
+
+	if pr.lintReport != nil {
+		pr.lintReport.Merge(o.lintReport)
+	}
 }
 
 func mergeMultiCert(dst, src *MultiCertStats) {
@@ -520,6 +536,9 @@ func (pr *partialReport) finalize() *Report {
 	if pr.dgaStats.Certificates > 0 {
 		r.Sec43.DGAMinDays = pr.dgaStats.MinValidity
 		r.Sec43.DGAMaxDays = pr.dgaStats.MaxValidity
+	}
+	if pr.lintReport != nil {
+		r.Lint = pr.lintReport.Summarize()
 	}
 	return r
 }

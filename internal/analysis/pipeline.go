@@ -11,6 +11,7 @@ import (
 	"certchains/internal/ctlog"
 	"certchains/internal/graph"
 	"certchains/internal/intercept"
+	"certchains/internal/lint"
 	"certchains/internal/stats"
 	"certchains/internal/trustdb"
 )
@@ -30,6 +31,11 @@ type Pipeline struct {
 	// Workers is the shard/worker count Run uses; 0 or negative selects
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// Linter, when set, lints every visible chain during the observation
+	// pass and adds a corpus prevalence summary to the report (Report.Lint).
+	// Linting shares the per-shard analysis cache and merges like every
+	// other accumulator, so worker count still never changes output.
+	Linter *lint.Linter
 }
 
 // NewPipeline builds a pipeline from a generated scenario's components.

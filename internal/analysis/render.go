@@ -196,6 +196,12 @@ func (r *Report) Render() string {
 	w("Figure 5 (hybrid co-occurrence graph): %s\n", summaryLine(r.Figure5))
 	w("Figure 7 (non-public-DB-only graph):   %s\n", summaryLine(r.Figure7))
 	w("Figure 8 (interception graph, no leaves): %s\n", summaryLine(r.Figure8))
+
+	// ---- Corpus lint -------------------------------------------------------
+	if r.Lint != nil {
+		b.WriteByte('\n')
+		b.WriteString(r.Lint.Render())
+	}
 	return b.String()
 }
 

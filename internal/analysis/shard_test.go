@@ -13,6 +13,7 @@ import (
 
 	"certchains/internal/campus"
 	"certchains/internal/intercept"
+	"certchains/internal/lint"
 )
 
 func TestShardRange(t *testing.T) {
@@ -79,6 +80,9 @@ func shardSetup(tb testing.TB) (*campus.Scenario, *Pipeline) {
 		}
 		shardScen = s
 		shardPipe = FromScenario(s)
+		// Lint during the partition property tests too: the fuzz target then
+		// exercises the corpus lint accumulator's merge contract as well.
+		shardPipe.Linter = lint.New(s.Classifier, lint.Config{Now: s.End(), Profile: lint.ProfileAll})
 		base := shardPipe.RunParallel(s.Observations, 1)
 		shardText = base.Render()
 		shardJSON, err = base.JSON()

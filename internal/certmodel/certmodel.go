@@ -12,6 +12,9 @@
 package certmodel
 
 import (
+	"crypto/ecdsa"
+	"crypto/ed25519"
+	"crypto/rsa"
 	"crypto/sha256"
 	"crypto/x509"
 	"encoding/hex"
@@ -91,6 +94,21 @@ type Meta struct {
 	BC BasicConstraints
 	// SAN holds dNSName subject alternative names when logged.
 	SAN []string
+	// SigAlg is the signature algorithm as Zeek logs it (e.g.
+	// "sha256WithRSAEncryption"); empty when unknown.
+	SigAlg string
+	// HasPathLen reports whether basicConstraints carries a pathLenConstraint;
+	// PathLen is its value (meaningful only when HasPathLen is true).
+	HasPathLen bool
+	PathLen    int
+	// EKU lists extended key usages by short name ("serverAuth", ...); empty
+	// when the extension is absent or the data source does not log it.
+	EKU []string
+	// OCSPServers and CAIssuerURLs carry the Authority Information Access
+	// endpoints when full certificates are available; log-level sources leave
+	// them empty.
+	OCSPServers  []string
+	CAIssuerURLs []string
 }
 
 // SelfSigned reports whether issuer and subject are identical — the paper's
@@ -158,7 +176,16 @@ func FromX509(c *x509.Certificate) *Meta {
 		NotBefore: c.NotBefore,
 		NotAfter:  c.NotAfter,
 		SAN:       append([]string(nil), c.DNSNames...),
+		SigAlg:    strings.ToLower(c.SignatureAlgorithm.String()),
+		EKU:       ekuNames(c.ExtKeyUsage),
 	}
+	m.OCSPServers = append(m.OCSPServers, c.OCSPServer...)
+	m.CAIssuerURLs = append(m.CAIssuerURLs, c.IssuingCertificateURL...)
+	if c.BasicConstraintsValid && c.IsCA && (c.MaxPathLen > 0 || c.MaxPathLenZero) {
+		m.HasPathLen = true
+		m.PathLen = c.MaxPathLen
+	}
+	m.KeyBits = publicKeyBits(c)
 	switch c.PublicKeyAlgorithm {
 	case x509.RSA:
 		m.KeyAlg = KeyRSA
@@ -181,6 +208,48 @@ func FromX509(c *x509.Certificate) *Meta {
 		m.BC = BCAbsent
 	}
 	return m
+}
+
+// ekuNames maps the parsed extended key usages to the short names Zeek-style
+// tooling reports.
+func ekuNames(ekus []x509.ExtKeyUsage) []string {
+	var out []string
+	for _, e := range ekus {
+		switch e {
+		case x509.ExtKeyUsageAny:
+			out = append(out, "any")
+		case x509.ExtKeyUsageServerAuth:
+			out = append(out, "serverAuth")
+		case x509.ExtKeyUsageClientAuth:
+			out = append(out, "clientAuth")
+		case x509.ExtKeyUsageCodeSigning:
+			out = append(out, "codeSigning")
+		case x509.ExtKeyUsageEmailProtection:
+			out = append(out, "emailProtection")
+		case x509.ExtKeyUsageTimeStamping:
+			out = append(out, "timeStamping")
+		case x509.ExtKeyUsageOCSPSigning:
+			out = append(out, "OCSPSigning")
+		default:
+			out = append(out, fmt.Sprintf("eku(%d)", int(e)))
+		}
+	}
+	return out
+}
+
+// publicKeyBits derives the key size from the parsed public key.
+func publicKeyBits(c *x509.Certificate) int {
+	switch k := c.PublicKey.(type) {
+	case *rsa.PublicKey:
+		return k.N.BitLen()
+	case *ecdsa.PublicKey:
+		return k.Curve.Params().BitSize
+	case ed25519.PublicKey:
+		return 256
+	default:
+		// DSA (deprecated) and unknown key types report no size.
+		return 0
+	}
 }
 
 func fromPkixName(s string) dn.DN {

@@ -289,6 +289,63 @@ func TestIsLeaf(t *testing.T) {
 	}
 }
 
+func TestIsLeafPosition(t *testing.T) {
+	leafFirst := certmodel.Chain{
+		cert("CN=CA", "CN=leaf.com", certmodel.BCFalse),
+		cert("CN=Root", "CN=CA", certmodel.BCTrue),
+	}
+	if !IsLeafPosition(leafFirst, 0) {
+		t.Error("position 0 of a leaf-first delivery is the leaf position")
+	}
+	if IsLeafPosition(leafFirst, 1) {
+		t.Error("position 1 is never the leaf position")
+	}
+
+	// Root-first misdelivery: the first certificate issues another member,
+	// so no position is treated as the leaf.
+	rootFirst := certmodel.Chain{
+		cert("CN=Root", "CN=CA", certmodel.BCTrue),
+		cert("CN=CA", "CN=leaf.com", certmodel.BCFalse),
+	}
+	if IsLeafPosition(rootFirst, 0) {
+		t.Error("issuing first certificate must not count as leaf position")
+	}
+	if IsLeafPosition(rootFirst, 1) {
+		t.Error("non-zero positions are never the leaf position")
+	}
+
+	// Single-certificate deliveries always serve position 0 as the leaf,
+	// even when self-signed or asserting CA=TRUE (that is what lints flag).
+	if !IsLeafPosition(certmodel.Chain{cert("CN=self", "CN=self", certmodel.BCTrue)}, 0) {
+		t.Error("single self-signed delivery occupies the leaf position")
+	}
+
+	// A self-signed first certificate in a longer chain discounts its own
+	// issuer slot: it stays the leaf position unless something *else* names
+	// it as issuer.
+	selfFirst := certmodel.Chain{
+		cert("CN=standalone.corp", "CN=standalone.corp", certmodel.BCAbsent),
+		cert("CN=Other Root", "CN=Other CA", certmodel.BCTrue),
+	}
+	if !IsLeafPosition(selfFirst, 0) {
+		t.Error("self-signed first cert issuing nothing else is the leaf position")
+	}
+	issuedElsewhere := certmodel.Chain{
+		cert("CN=Corp CA", "CN=Corp CA", certmodel.BCAbsent),
+		cert("CN=Corp CA", "CN=device.corp", certmodel.BCFalse),
+	}
+	if IsLeafPosition(issuedElsewhere, 0) {
+		t.Error("self-signed first cert that issues a later member is root-first")
+	}
+
+	if IsLeafPosition(nil, 0) {
+		t.Error("empty chain has no leaf position")
+	}
+	if IsLeafPosition(leafFirst, -1) {
+		t.Error("negative positions are never the leaf position")
+	}
+}
+
 func TestAnchoredToPublicRoot(t *testing.T) {
 	db, cl := testEnv(t)
 

@@ -177,6 +177,30 @@ func IsLeaf(ch certmodel.Chain, i int) bool {
 	return keysOf(ch).isLeaf(ch, i)
 }
 
+// IsLeafPosition reports whether chain[i] occupies the delivered leaf
+// position. TLS servers send the end-entity certificate first (RFC 8446
+// §4.4.2), so the leaf position is index 0 — for every chain length —
+// unless the first certificate demonstrably acts as an issuer of another
+// delivered member (a root-first delivery), in which case no position is
+// treated as the leaf. Unlike IsLeaf, the predicate deliberately ignores
+// basicConstraints: a first-position certificate asserting CA=TRUE is still
+// in the leaf position (that contradiction is exactly what lints flag).
+func IsLeafPosition(ch certmodel.Chain, i int) bool {
+	if i != 0 || len(ch) == 0 {
+		return false
+	}
+	if len(ch) == 1 {
+		return true
+	}
+	k := keysOf(ch)
+	issued := k.issuerCount[k.subject[0]]
+	if k.issuer[0] == k.subject[0] {
+		// Self-signed first certificate: discount its own issuer slot.
+		issued--
+	}
+	return issued == 0
+}
+
 // Analyze runs the full structural analysis for one delivered chain.
 func (c *Classifier) Analyze(ch certmodel.Chain) *Analysis {
 	a := &Analysis{

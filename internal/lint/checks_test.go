@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"testing"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/chain"
+	"certchains/internal/dn"
+	"certchains/internal/trustdb"
+)
+
+// strictLinter mirrors testLinter but under the strict profile (the default
+// "all" covers strict too; the explicit profile documents what is under test).
+func strictLinter(t *testing.T) *Linter {
+	t.Helper()
+	db := trustdb.New()
+	db.AddRoot(trustdb.StoreMozilla, mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue))
+	return New(chain.NewClassifier(db), Config{Now: now, Profile: ProfileStrict})
+}
+
+func TestLintValidityNesting(t *testing.T) {
+	l := strictLinter(t)
+	leaf := mk("CN=LRoot", "CN=nested.example.com", certmodel.BCFalse, "nested.example.com")
+	root := mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue)
+	// Child outlives its issuer by a year.
+	leaf.NotAfter = root.NotAfter.AddDate(1, 0, 0)
+	cs := checks(l.Chain(certmodel.Chain{leaf, root}))
+	if cs["validity-nesting"] != 1 {
+		t.Errorf("validity-nesting = %d", cs["validity-nesting"])
+	}
+	// Equal windows nest fine.
+	ok := certmodel.Chain{
+		mk("CN=LRoot", "CN=fine.example.com", certmodel.BCFalse, "fine.example.com"),
+		mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue),
+	}
+	if cs := checks(l.Chain(ok)); cs["validity-nesting"] != 0 {
+		t.Errorf("equal windows flagged: %v", cs)
+	}
+}
+
+func TestLintWeakKey(t *testing.T) {
+	l := strictLinter(t)
+	cases := []struct {
+		alg  certmodel.KeyAlgorithm
+		bits int
+		want Severity
+		hits int
+	}{
+		{certmodel.KeyRSA, 512, Error, 1},
+		{certmodel.KeyRSA, 1024, Warn, 1},
+		{certmodel.KeyRSA, 2048, 0, 0},
+		{certmodel.KeyRSA, 0, 0, 0}, // unknown size: skip
+		{certmodel.KeyECDSA, 192, Warn, 1},
+		{certmodel.KeyECDSA, 256, 0, 0},
+		{certmodel.KeyDSA, 1024, Warn, 1},
+		{certmodel.KeyEd25519, 256, 0, 0},
+	}
+	for _, tc := range cases {
+		m := mk("CN=x", "CN=k.example.com", certmodel.BCFalse)
+		m.KeyAlg = tc.alg
+		m.KeyBits = tc.bits
+		var got []Finding
+		for _, f := range l.Cert(m) {
+			if f.Check == "weak-key" {
+				got = append(got, f)
+			}
+		}
+		if len(got) != tc.hits {
+			t.Errorf("%s/%d: %d findings, want %d", tc.alg, tc.bits, len(got), tc.hits)
+			continue
+		}
+		if tc.hits > 0 && got[0].Severity != tc.want {
+			t.Errorf("%s/%d: severity %s, want %s", tc.alg, tc.bits, got[0].Severity, tc.want)
+		}
+	}
+}
+
+func TestLintDeprecatedSigAlg(t *testing.T) {
+	l := strictLinter(t)
+	cases := []struct {
+		alg  string
+		want Severity
+		hits int
+	}{
+		{"md5-rsa", Error, 1},
+		{"sha1-rsa", Warn, 1},
+		{"SHA1WithRSA", Warn, 1},
+		{"sha256-rsa", 0, 0},
+		{"", 0, 0}, // log sources may not record it
+	}
+	for _, tc := range cases {
+		m := mk("CN=x", "CN=s.example.com", certmodel.BCFalse)
+		m.SigAlg = tc.alg
+		var got []Finding
+		for _, f := range l.Cert(m) {
+			if f.Check == "deprecated-sig-alg" {
+				got = append(got, f)
+			}
+		}
+		if len(got) != tc.hits {
+			t.Errorf("%q: %d findings, want %d", tc.alg, len(got), tc.hits)
+			continue
+		}
+		if tc.hits > 0 && got[0].Severity != tc.want {
+			t.Errorf("%q: severity %s, want %s", tc.alg, got[0].Severity, tc.want)
+		}
+	}
+}
+
+func TestLintDuplicateInChain(t *testing.T) {
+	l := strictLinter(t)
+	leaf := mk("CN=LRoot", "CN=dup.example.com", certmodel.BCFalse, "dup.example.com")
+	ch := certmodel.Chain{leaf, mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue), leaf}
+	fs := l.Chain(ch)
+	found := false
+	for _, f := range fs {
+		if f.Check == "duplicate-in-chain" && f.CertIndex == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("duplicate not flagged at position 2: %v", fs)
+	}
+}
+
+func TestLintChainOutOfOrder(t *testing.T) {
+	l := strictLinter(t)
+	leaf := mk("CN=Mid", "CN=ooo.example.com", certmodel.BCFalse, "ooo.example.com")
+	mid := mk("CN=LRoot", "CN=Mid", certmodel.BCTrue)
+	root := mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue)
+	// Root delivered between leaf and its intermediate: adjacent links break,
+	// but reordering (leaf, mid, root) matches fully.
+	cs := checks(l.Chain(certmodel.Chain{leaf, root, mid}))
+	if cs["chain-out-of-order"] != 1 {
+		t.Errorf("out-of-order not flagged: %v", cs)
+	}
+	// Correctly ordered delivery must not fire.
+	if cs := checks(l.Chain(certmodel.Chain{leaf, mid, root})); cs["chain-out-of-order"] != 0 {
+		t.Errorf("ordered chain flagged: %v", cs)
+	}
+	// A genuinely unrelated certificate cannot be fixed by reordering.
+	stray := mk("CN=Other", "CN=unrelated.example.com", certmodel.BCFalse)
+	if cs := checks(l.Chain(certmodel.Chain{leaf, stray})); cs["chain-out-of-order"] != 0 {
+		t.Errorf("unfixable chain flagged as reorderable: %v", cs)
+	}
+}
+
+func TestLintPathLenViolation(t *testing.T) {
+	l := strictLinter(t)
+	leaf := mk("CN=Mid", "CN=deep.example.com", certmodel.BCFalse, "deep.example.com")
+	mid := mk("CN=LRoot", "CN=Mid", certmodel.BCTrue)
+	root := mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue)
+	// The root allows zero intermediates below it, but the matched path has
+	// one (the mid).
+	root.HasPathLen = true
+	root.PathLen = 0
+	fs := l.Chain(certmodel.Chain{leaf, mid, root})
+	found := false
+	for _, f := range fs {
+		if f.Check == "pathlen-violation" && f.CertIndex == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pathLen violation not flagged: %v", fs)
+	}
+	// pathLen 1 admits the mid.
+	root.PathLen = 1
+	if cs := checks(l.Chain(certmodel.Chain{leaf, mid, root})); cs["pathlen-violation"] != 0 {
+		t.Errorf("compliant path flagged: %v", cs)
+	}
+}
+
+func TestLintEKUChecks(t *testing.T) {
+	l := strictLinter(t)
+	base := func() certmodel.Chain {
+		return certmodel.Chain{
+			mk("CN=LRoot", "CN=eku.example.com", certmodel.BCFalse, "eku.example.com"),
+			mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue),
+		}
+	}
+	ch := base()
+	if cs := checks(l.Chain(ch)); cs["eku-absent"] != 1 || cs["eku-mismatch"] != 0 {
+		t.Errorf("no-EKU leaf: %v", checks(l.Chain(ch)))
+	}
+	ch = base()
+	ch[0].EKU = []string{"clientAuth"}
+	if cs := checks(l.Chain(ch)); cs["eku-mismatch"] != 1 || cs["eku-absent"] != 0 {
+		t.Errorf("clientAuth-only leaf: %v", cs)
+	}
+	ch = base()
+	ch[0].EKU = []string{"serverAuth", "clientAuth"}
+	if cs := checks(l.Chain(ch)); cs["eku-mismatch"] != 0 || cs["eku-absent"] != 0 {
+		t.Errorf("serverAuth leaf flagged: %v", cs)
+	}
+}
+
+func TestLintSANCNMismatch(t *testing.T) {
+	l := strictLinter(t)
+	mkLeaf := func(cn string, sans ...string) certmodel.Chain {
+		return certmodel.Chain{
+			mk("CN=LRoot", "CN="+cn, certmodel.BCFalse, sans...),
+			mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue),
+		}
+	}
+	cases := []struct {
+		cn   string
+		sans []string
+		want int
+	}{
+		{"covered.example.com", []string{"covered.example.com"}, 0},
+		{"www.example.com", []string{"*.example.com"}, 0},      // wildcard covers
+		{"a.b.example.com", []string{"*.example.com"}, 1},      // wildcards are single-label
+		{"other.example.org", []string{"site.example.com"}, 1}, // plainly uncovered
+		{"Internal Device CA", []string{"dev.example.com"}, 0}, // CN not DNS-shaped
+		{"nosan.example.com", nil, 0},                          // missing-san territory, not mismatch
+	}
+	for _, tc := range cases {
+		cs := checks(l.Chain(mkLeaf(tc.cn, tc.sans...)))
+		if cs["san-cn-mismatch"] != tc.want {
+			t.Errorf("cn=%q sans=%v: san-cn-mismatch = %d, want %d", tc.cn, tc.sans, cs["san-cn-mismatch"], tc.want)
+		}
+	}
+}
+
+func TestLintSerialReuse(t *testing.T) {
+	l := strictLinter(t)
+	a := mk("CN=Issuer", "CN=one.example.com", certmodel.BCFalse, "one.example.com")
+	b := mk("CN=Issuer", "CN=two.example.com", certmodel.BCFalse, "two.example.com")
+	a.SerialHex, b.SerialHex = "2a", "2a"
+	cs := checks(l.Chain(certmodel.Chain{a, b}))
+	if cs["serial-reuse"] != 1 {
+		t.Errorf("serial reuse not flagged: %v", cs)
+	}
+	// Different issuers may share serials freely.
+	c := mk("CN=Another", "CN=three.example.com", certmodel.BCFalse, "three.example.com")
+	c.SerialHex = "2a"
+	if cs := checks(l.Chain(certmodel.Chain{a, c})); cs["serial-reuse"] != 0 {
+		t.Errorf("cross-issuer serial flagged: %v", cs)
+	}
+	// Empty serials (unrecorded by the log source) never fire.
+	d := mk("CN=Issuer", "CN=four.example.com", certmodel.BCFalse)
+	e := mk("CN=Issuer", "CN=five.example.com", certmodel.BCFalse)
+	if cs := checks(l.Chain(certmodel.Chain{d, e})); cs["serial-reuse"] != 0 {
+		t.Errorf("empty serials flagged: %v", cs)
+	}
+}
+
+func TestLintNearExpiry(t *testing.T) {
+	l := strictLinter(t)
+	m := mk("CN=x", "CN=soon.example.com", certmodel.BCFalse)
+	m.NotAfter = now.Add(10 * 24 * time.Hour)
+	if cs := checks(l.Cert(m)); cs["near-expiry"] != 1 {
+		t.Errorf("near-expiry missed: %v", cs)
+	}
+	// Already expired certificates are the expired check's business.
+	m.NotAfter = now.Add(-time.Hour)
+	cs := checks(l.Cert(m))
+	if cs["near-expiry"] != 0 || cs["expired"] != 1 {
+		t.Errorf("expired cert: %v", cs)
+	}
+}
+
+func TestLintEmptyDN(t *testing.T) {
+	l := strictLinter(t)
+	m := mk("CN=x", "CN=y", certmodel.BCFalse)
+	m.Subject = dn.DN{}
+	m.Issuer = dn.DN{}
+	cs := checks(l.Cert(m))
+	if cs["empty-dn"] != 2 {
+		t.Errorf("empty-dn = %d, want 2 (subject and issuer)", cs["empty-dn"])
+	}
+}
+
+func TestLintSelfIssuedIntermediate(t *testing.T) {
+	l := strictLinter(t)
+	ch := certmodel.Chain{
+		mk("CN=LRoot", "CN=sii.example.com", certmodel.BCFalse, "sii.example.com"),
+		mk("CN=Island", "CN=Island", certmodel.BCTrue), // interior self-signed CA
+		mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue),
+	}
+	fs := l.Chain(ch)
+	found := false
+	for _, f := range fs {
+		if f.Check == "self-issued-intermediate" && f.CertIndex == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("interior self-issued CA not flagged: %v", fs)
+	}
+}
+
+func TestLintWildcardApexOverlap(t *testing.T) {
+	l := strictLinter(t)
+	m := mk("CN=x", "CN=w.example.com", certmodel.BCFalse, "*.example.com", "example.com")
+	if cs := checks(l.Cert(m)); cs["wildcard-apex-overlap"] != 1 {
+		t.Errorf("overlap missed: %v", cs)
+	}
+	m2 := mk("CN=x", "CN=w.example.com", certmodel.BCFalse, "*.example.com", "other.org")
+	if cs := checks(l.Cert(m2)); cs["wildcard-apex-overlap"] != 0 {
+		t.Errorf("non-overlap flagged: %v", cs)
+	}
+}
+
+func TestLintCrossSignDivergence(t *testing.T) {
+	db := trustdb.New()
+	db.AddRoot(trustdb.StoreMozilla, mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue))
+	cl := chain.NewClassifier(db)
+	cl.CrossSigns.Add(dn.MustParse("CN=Variant CA"), dn.MustParse("CN=LRoot"))
+	l := New(cl, Config{Now: now, Profile: ProfileStrict})
+	ch := certmodel.Chain{
+		mk("CN=Variant CA", "CN=d.example.com", certmodel.BCFalse, "d.example.com"),
+		mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue),
+		// The textual issuer is also delivered, away from the matched slot.
+		mk("CN=Some Root", "CN=Variant CA", certmodel.BCTrue),
+	}
+	cs := checks(l.Chain(ch))
+	if cs["cross-sign-divergence"] != 1 {
+		t.Errorf("divergence not flagged: %v", cs)
+	}
+}
+
+func TestSanCoversHelper(t *testing.T) {
+	cases := []struct {
+		sans []string
+		name string
+		want bool
+	}{
+		{[]string{"a.example.com"}, "A.EXAMPLE.COM", true},
+		{[]string{"*.example.com"}, "x.example.com", true},
+		{[]string{"*.example.com"}, "example.com", false},
+		{[]string{"*.example.com"}, "a.b.example.com", false},
+		{nil, "a.example.com", false},
+	}
+	for _, tc := range cases {
+		if got := sanCovers(tc.sans, tc.name); got != tc.want {
+			t.Errorf("sanCovers(%v, %q) = %v, want %v", tc.sans, tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// emitFinding is the stable JSON form of one finding.
+type emitFinding struct {
+	Check     string `json:"check"`
+	Severity  string `json:"severity"`
+	CertIndex int    `json:"cert_index"`
+	Message   string `json:"message"`
+}
+
+// emitDocument is the JSON emitter's top-level shape.
+type emitDocument struct {
+	Findings []emitFinding `json:"findings"`
+	Summary  emitSummary   `json:"summary"`
+}
+
+type emitSummary struct {
+	Info  int `json:"info"`
+	Warn  int `json:"warn"`
+	Error int `json:"error"`
+}
+
+// WriteJSON emits findings as an indented JSON document with stable field
+// names, for downstream tooling. Findings keep their (already deterministic)
+// order.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	doc := emitDocument{Findings: []emitFinding{}}
+	for _, f := range findings {
+		doc.Findings = append(doc.Findings, emitFinding{
+			Check:     f.Check,
+			Severity:  f.Severity.String(),
+			CertIndex: f.CertIndex,
+			Message:   f.Message,
+		})
+	}
+	doc.Summary.Info, doc.Summary.Warn, doc.Summary.Error = Summary(findings)
+	return writeIndented(w, doc, "json")
+}
+
+// SARIF 2.1.0 structures — only the subset the emitter populates.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// sarifLevel maps a severity to the SARIF result level vocabulary.
+func sarifLevel(s Severity) string {
+	switch s {
+	case Info:
+		return "note"
+	case Warn:
+		return "warning"
+	default:
+		return "error"
+	}
+}
+
+// WriteSARIF emits findings as a SARIF 2.1.0 log. The linter's enabled
+// checks become the tool's rule set (one rule per check, with description
+// and citation), and each finding becomes a result located at the offending
+// certificate position within the named artifact (line = position + 1;
+// chain-level findings carry no region).
+func WriteSARIF(w io.Writer, l *Linter, artifact string, findings []Finding) error {
+	if artifact == "" {
+		artifact = "chain"
+	}
+	driver := sarifDriver{Name: "certchain-lint", Rules: []sarifRule{}}
+	for _, c := range l.EnabledChecks() {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               c.ID,
+			ShortDescription: sarifMessage{Text: c.Description},
+			FullDescription:  sarifMessage{Text: c.Description + " (" + c.Citation + ")"},
+		})
+	}
+	results := []sarifResult{}
+	for _, f := range findings {
+		res := sarifResult{
+			RuleID:  f.Check,
+			Level:   sarifLevel(f.Severity),
+			Message: sarifMessage{Text: f.Message},
+		}
+		phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: artifact}}
+		if f.CertIndex >= 0 {
+			phys.Region = &sarifRegion{StartLine: f.CertIndex + 1}
+		}
+		res.Locations = []sarifLocation{{PhysicalLocation: phys}}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	return writeIndented(w, log, "sarif")
+}
+
+func writeIndented(w io.Writer, v any, kind string) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lint: marshal %s: %w", kind, err)
+	}
+	out = append(out, '\n')
+	if _, err := w.Write(out); err != nil {
+		return fmt.Errorf("lint: write %s: %w", kind, err)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/chain"
+	"certchains/internal/trustdb"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// emitFixture lints a fixed chain with a fixed clock so the emitted bytes
+// are fully deterministic.
+func emitFixture(t *testing.T) (*Linter, []Finding) {
+	t.Helper()
+	r := NewRegistry()
+	registerPaperChecks(r)
+	db := trustdb.New()
+	db.AddRoot(trustdb.StoreMozilla, mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue))
+	l := NewWithRegistry(chain.NewClassifier(db), r, Config{Now: now, Profile: ProfilePaper})
+
+	expired := mk("CN=LRoot", "CN=old.example.com", certmodel.BCFalse, "old.example.com")
+	expired.NotAfter = now.AddDate(-1, 0, 0)
+	ch := certmodel.Chain{
+		expired,
+		mk("CN=LRoot", "CN=LRoot", certmodel.BCTrue),
+		mk("CN=stray", "CN=stray", certmodel.BCAbsent),
+	}
+	return l, l.Chain(ch)
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file (run with -update to regenerate):\n%s", name, got)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	_, findings := emitFixture(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "findings.json", buf.Bytes())
+
+	// The document must round-trip as valid JSON with the expected shape.
+	var doc struct {
+		Findings []map[string]any `json:"findings"`
+		Summary  map[string]int   `json:"summary"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Findings) == 0 {
+		t.Error("no findings emitted")
+	}
+	if doc.Summary["info"]+doc.Summary["warn"]+doc.Summary["error"] != len(doc.Findings) {
+		t.Errorf("summary %v does not tally %d findings", doc.Summary, len(doc.Findings))
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Empty findings emit an empty array, not null.
+	if !bytes.Contains(buf.Bytes(), []byte(`"findings": []`)) {
+		t.Errorf("empty findings: %s", buf.Bytes())
+	}
+}
+
+func TestWriteSARIFGolden(t *testing.T) {
+	l, findings := emitFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, l, "fixture.pem", findings); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "findings.sarif", buf.Bytes())
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string           `json:"name"`
+					Rules []map[string]any `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						Region *struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("log shape: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "certchain-lint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(l.EnabledChecks()) {
+		t.Errorf("%d rules for %d enabled checks", len(run.Tool.Driver.Rules), len(l.EnabledChecks()))
+	}
+	for _, res := range run.Results {
+		if len(res.Locations) != 1 {
+			t.Errorf("result %q has %d locations", res.RuleID, len(res.Locations))
+		}
+	}
+	// Chain-level findings carry no region; positioned ones start at line 1.
+	sawRegion, sawChainLevel := false, false
+	for _, res := range run.Results {
+		region := res.Locations[0].PhysicalLocation.Region
+		if region == nil {
+			sawChainLevel = true
+		} else if region.StartLine >= 1 {
+			sawRegion = true
+		}
+	}
+	if !sawRegion || !sawChainLevel {
+		t.Errorf("fixture should produce both positioned and chain-level results (region=%v chain=%v)",
+			sawRegion, sawChainLevel)
+	}
+}
+
+func TestWriteSARIFDefaultArtifact(t *testing.T) {
+	l, findings := emitFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, l, "", findings); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"uri": "chain"`)) {
+		t.Error("empty artifact did not default to \"chain\"")
+	}
+}

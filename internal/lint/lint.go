@@ -1,22 +1,22 @@
 // Package lint checks individual certificates and delivered chains against
-// the deployment hygiene the paper's findings motivate — a minimal,
-// log-level zlint analog. Each lint corresponds to a concrete observation in
-// the paper:
+// the deployment hygiene the paper's findings motivate — a log-level zlint
+// analog (certificate linting is the standard Web-PKI measurement
+// methodology, arXiv:2401.18053).
 //
-//   - basicConstraints omission (§4.3's 55–78%);
-//   - expired leaves served in production (§4.2's >5-year case);
-//   - staging placeholders in production chains (the 14 Fake LE chains);
-//   - roots included in delivery (Figure 1's root-omission norm);
-//   - unnecessary certificates (§4.2's central finding);
-//   - self-signed leaves claiming public domains (Appendix B);
-//   - missing SANs (modern clients ignore the CN);
-//   - excessive validity periods;
-//   - the localhost placeholder subject (Appendix F.3's 100 chains).
+// The engine is a pluggable registry: every check is a self-describing
+// Check value carrying a stable ID, a default severity, the paper citation
+// that motivates it, its scope (certificate- or chain-level), and an
+// optional applicability predicate. Profiles ("paper", "strict", "all")
+// select which registered checks a Linter runs. Beyond single-chain
+// linting, CorpusReport accumulates findings over every distinct chain of a
+// whole observation corpus with a commutative Merge, so the sharded
+// analysis pipeline can lint at corpus scale and reproduce the §4.3
+// prevalence percentages as lint output.
 package lint
 
 import (
 	"fmt"
-	"strings"
+	"sort"
 	"time"
 
 	"certchains/internal/certmodel"
@@ -71,128 +71,149 @@ type Config struct {
 	// MaxLeafValidity flags leaves valid longer than this (default 825
 	// days, the ecosystem's pre-2020 ceiling).
 	MaxLeafValidity time.Duration
+	// NearExpiry flags unexpired certificates within this much of NotAfter
+	// (default 30 days).
+	NearExpiry time.Duration
+	// Profile selects the enabled check set: ProfilePaper, ProfileStrict,
+	// or ProfileAll. Empty selects ProfileAll.
+	Profile string
 }
 
-// Linter runs the checks; the classifier supplies class and structure
-// context.
+// Context carries everything a check implementation may consult.
+type Context struct {
+	// Cfg is the linter configuration (reference time, thresholds).
+	Cfg Config
+	// Classifier supplies class and structure context (trust DB,
+	// cross-signing registry).
+	Classifier *chain.Classifier
+	// Chain is the delivered chain under lint; nil when linting one
+	// certificate in isolation.
+	Chain certmodel.Chain
+	// Analysis is the structural analysis of Chain; nil for isolated
+	// certificates.
+	Analysis *chain.Analysis
+}
+
+// LeafPosition reports whether pos is the delivered leaf position of the
+// chain under lint. Isolated certificates (pos -1) are never leaf-position.
+func (ctx *Context) LeafPosition(pos int) bool {
+	if ctx.Chain == nil || pos < 0 {
+		return false
+	}
+	return chain.IsLeafPosition(ctx.Chain, pos)
+}
+
+// Linter runs the enabled checks of a registry; the classifier supplies
+// class and structure context.
 type Linter struct {
-	cfg Config
-	cl  *chain.Classifier
+	cfg     Config
+	cl      *chain.Classifier
+	reg     *Registry
+	enabled []*Check
 }
 
-// New builds a linter. A zero Now defaults to the wall clock.
+// New builds a linter over the default registry. A zero Now defaults to the
+// wall clock.
 func New(cl *chain.Classifier, cfg Config) *Linter {
+	return NewWithRegistry(cl, DefaultRegistry(), cfg)
+}
+
+// NewWithRegistry builds a linter that runs the registry's checks enabled by
+// cfg.Profile.
+func NewWithRegistry(cl *chain.Classifier, reg *Registry, cfg Config) *Linter {
 	if cfg.Now.IsZero() {
 		cfg.Now = time.Now()
 	}
 	if cfg.MaxLeafValidity == 0 {
 		cfg.MaxLeafValidity = 825 * 24 * time.Hour
 	}
-	return &Linter{cfg: cfg, cl: cl}
+	if cfg.NearExpiry == 0 {
+		cfg.NearExpiry = 30 * 24 * time.Hour
+	}
+	if cfg.Profile == "" {
+		cfg.Profile = ProfileAll
+	}
+	return &Linter{cfg: cfg, cl: cl, reg: reg, enabled: reg.ProfileChecks(cfg.Profile)}
 }
 
-// Cert lints one certificate in isolation (position -1).
+// Registry returns the registry backing this linter.
+func (l *Linter) Registry() *Registry { return l.reg }
+
+// EnabledChecks returns the checks the configured profile enables, sorted by
+// ID.
+func (l *Linter) EnabledChecks() []*Check {
+	return append([]*Check(nil), l.enabled...)
+}
+
+// Config returns the effective (defaulted) configuration.
+func (l *Linter) Config() Config { return l.cfg }
+
+// Cert lints one certificate in isolation (position -1). Only
+// certificate-scope checks run; chain structure is not consulted.
 func (l *Linter) Cert(m *certmodel.Meta) []Finding {
-	return l.lintCert(m, -1, false)
-}
-
-func (l *Linter) lintCert(m *certmodel.Meta, idx int, isLeafPosition bool) []Finding {
+	ctx := &Context{Cfg: l.cfg, Classifier: l.cl}
 	var out []Finding
-	add := func(check string, sev Severity, format string, args ...any) {
-		out = append(out, Finding{Check: check, Severity: sev, CertIndex: idx,
-			Message: fmt.Sprintf(format, args...)})
-	}
-
-	if m.BC == certmodel.BCAbsent {
-		add("basic-constraints-absent", Warn,
-			"basicConstraints extension missing; RFC 5280 requires an explicit CA boolean")
-	}
-	if m.ExpiredAt(l.cfg.Now) {
-		sev := Warn
-		if isLeafPosition {
-			sev = Error
+	for _, c := range l.enabled {
+		if c.Scope != ScopeCert {
+			continue
 		}
-		add("expired", sev, "certificate expired %s", m.NotAfter.Format("2006-01-02"))
-	}
-	if l.cfg.Now.Before(m.NotBefore) {
-		add("not-yet-valid", Error, "certificate not valid before %s", m.NotBefore.Format("2006-01-02"))
-	}
-	if isLeafPosition {
-		if len(m.SAN) == 0 && !m.SelfSigned() {
-			add("missing-san", Warn, "leaf has no subjectAltName; modern clients ignore the CN")
+		if c.Applies != nil && !c.Applies(ctx, -1) {
+			continue
 		}
-		if v := m.NotAfter.Sub(m.NotBefore); v > l.cfg.MaxLeafValidity {
-			add("validity-too-long", Warn, "leaf valid %d days, over the %d-day ceiling",
-				int(v.Hours()/24), int(l.cfg.MaxLeafValidity.Hours()/24))
-		}
-		if m.BC == certmodel.BCTrue {
-			add("ca-leaf", Error, "leaf-position certificate asserts CA=TRUE")
-		}
+		co := &Collector{check: c}
+		c.CertFn(ctx, co, m, -1)
+		out = append(out, co.out...)
 	}
-	if isLocalhostPlaceholder(m) {
-		add("localhost-placeholder", Error,
-			"default localhost placeholder subject served in production")
-	}
-	if isStagingPlaceholder(m) {
-		add("staging-placeholder", Error,
-			"CA staging-environment certificate (%q) deployed in production", m.Subject.CommonName())
-	}
+	sortFindings(out)
 	return out
 }
 
-func isLocalhostPlaceholder(m *certmodel.Meta) bool {
-	return strings.EqualFold(m.Subject.CommonName(), "localhost")
-}
-
-func isStagingPlaceholder(m *certmodel.Meta) bool {
-	cn := m.Subject.CommonName()
-	icn := m.Issuer.CommonName()
-	return strings.HasPrefix(cn, "Fake LE ") || strings.HasPrefix(icn, "Fake LE ") ||
-		strings.Contains(cn, "STAGING") || strings.Contains(icn, "STAGING")
-}
-
-// Chain lints a delivered chain: per-certificate checks plus the structural
-// findings the paper ties to connection failures.
+// Chain lints a delivered chain: per-certificate checks at every position
+// plus the structural chain-level checks.
 func (l *Linter) Chain(ch certmodel.Chain) []Finding {
+	return l.ChainAnalyzed(ch, l.cl.Analyze(ch))
+}
+
+// ChainAnalyzed is Chain with a precomputed structural analysis — the corpus
+// pass caches analyses per distinct chain and must not redo them.
+func (l *Linter) ChainAnalyzed(ch certmodel.Chain, a *chain.Analysis) []Finding {
+	ctx := &Context{Cfg: l.cfg, Classifier: l.cl, Chain: ch, Analysis: a}
 	var out []Finding
-	a := l.cl.Analyze(ch)
-
-	for i, m := range ch {
-		isLeafPos := i == 0 && len(ch) > 1 && chain.IsLeaf(ch, 0)
-		if len(ch) == 1 {
-			isLeafPos = true
+	for _, c := range l.enabled {
+		co := &Collector{check: c}
+		switch c.Scope {
+		case ScopeCert:
+			for i, m := range ch {
+				if c.Applies != nil && !c.Applies(ctx, i) {
+					continue
+				}
+				c.CertFn(ctx, co, m, i)
+			}
+		case ScopeChain:
+			if c.Applies != nil && !c.Applies(ctx, -1) {
+				continue
+			}
+			c.ChainFn(ctx, co)
 		}
-		out = append(out, l.lintCert(m, i, isLeafPos)...)
+		out = append(out, co.out...)
 	}
-
-	addChain := func(check string, sev Severity, format string, args ...any) {
-		out = append(out, Finding{Check: check, Severity: sev, CertIndex: -1,
-			Message: fmt.Sprintf(format, args...)})
-	}
-
-	switch {
-	case a.Verdict == chain.VerdictNoPath:
-		addChain("no-trust-path", Error,
-			"no complete matched path; clients validating the presented chain will fail (establishment drops to ≈57%%)")
-	case a.Verdict == chain.VerdictContainsPath:
-		addChain("unnecessary-certificates", Warn,
-			"%d unnecessary certificate(s); strict validators may reject and every handshake carries dead bytes",
-			len(a.Unnecessary))
-	}
-	if a.Complete != nil && a.Complete.Len() > 1 {
-		top := ch[a.Complete.End]
-		if top.SelfSigned() {
-			addChain("root-included", Info,
-				"self-signed root %q included in delivery; clients already hold their anchors", top.Subject.CommonName())
-		}
-	}
-	for i, link := range a.Links {
-		if link == chain.LinkCrossSign {
-			addChain("cross-signed-link", Info,
-				"pair %d chains through a cross-signing relationship; verify both paths stay valid", i)
-		}
-	}
+	sortFindings(out)
 	return out
+}
+
+// sortFindings orders findings deterministically — by certificate position
+// (chain-level findings first), then check ID, then message — so output is
+// stable regardless of check registration order.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].CertIndex != fs[j].CertIndex {
+			return fs[i].CertIndex < fs[j].CertIndex
+		}
+		if fs[i].Check != fs[j].Check {
+			return fs[i].Check < fs[j].Check
+		}
+		return fs[i].Message < fs[j].Message
+	})
 }
 
 // Summary tallies findings by severity.

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/chain"
+	"certchains/internal/trustdb"
+)
+
+func certNop(ctx *Context, co *Collector, m *certmodel.Meta, pos int) {}
+func chainNop(ctx *Context, co *Collector)                            {}
+
+func TestRegisterValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *Check
+		want string
+	}{
+		{"no-id", &Check{Description: "d", Citation: "c", CertFn: certNop}, "without ID"},
+		{"no-description", &Check{ID: "x", Citation: "c", CertFn: certNop}, "without description"},
+		{"no-citation", &Check{ID: "x", Description: "d", CertFn: certNop}, "without paper citation"},
+		{"cert-scope-missing-fn", &Check{ID: "x", Description: "d", Citation: "c"}, "must set CertFn only"},
+		{"cert-scope-both-fns", &Check{ID: "x", Description: "d", Citation: "c", CertFn: certNop, ChainFn: chainNop}, "must set CertFn only"},
+		{"chain-scope-wrong-fn", &Check{ID: "x", Description: "d", Citation: "c", Scope: ScopeChain, CertFn: certNop}, "must set ChainFn only"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			err := r.Register(tc.c)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Register = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRegisterDuplicateID(t *testing.T) {
+	r := NewRegistry()
+	c := &Check{ID: "dup", Description: "d", Citation: "c", CertFn: certNop}
+	if err := r.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Register(&Check{ID: "dup", Description: "d2", Citation: "c2", CertFn: certNop})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate Register = %v", err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d after rejected duplicate", r.Len())
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister did not panic on invalid check")
+		}
+	}()
+	NewRegistry().MustRegister(&Check{ID: "bad"})
+}
+
+func TestLookupAndChecksSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, id := range []string{"zeta", "alpha", "mid"} {
+		r.MustRegister(&Check{ID: id, Description: "d", Citation: "c", CertFn: certNop})
+	}
+	if _, ok := r.Lookup("alpha"); !ok {
+		t.Error("Lookup(alpha) missed")
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Error("Lookup(nope) hit")
+	}
+	var ids []string
+	for _, c := range r.Checks() {
+		ids = append(ids, c.ID)
+	}
+	if strings.Join(ids, ",") != "alpha,mid,zeta" {
+		t.Errorf("Checks order = %v", ids)
+	}
+}
+
+// TestProfilesNest verifies paper ⊂ strict ⊂ all on the default registry.
+func TestProfilesNest(t *testing.T) {
+	r := DefaultRegistry()
+	paper := r.ProfileChecks(ProfilePaper)
+	strict := r.ProfileChecks(ProfileStrict)
+	all := r.ProfileChecks(ProfileAll)
+	if len(paper) == 0 || len(paper) >= len(strict) || len(strict) > len(all) {
+		t.Fatalf("profile sizes paper=%d strict=%d all=%d, want paper < strict <= all",
+			len(paper), len(strict), len(all))
+	}
+	if len(all) != r.Len() {
+		t.Errorf("ProfileAll enables %d of %d checks", len(all), r.Len())
+	}
+	inStrict := make(map[string]bool)
+	for _, c := range strict {
+		inStrict[c.ID] = true
+	}
+	for _, c := range paper {
+		if !inStrict[c.ID] {
+			t.Errorf("paper check %q not in strict profile", c.ID)
+		}
+	}
+}
+
+func TestDefaultRegistryMetadata(t *testing.T) {
+	for _, c := range DefaultRegistry().Checks() {
+		if c.Citation == "" || c.Description == "" {
+			t.Errorf("check %q missing metadata", c.ID)
+		}
+		if strings.ToLower(c.ID) != c.ID || strings.ContainsAny(c.ID, " _") {
+			t.Errorf("check ID %q is not kebab-case", c.ID)
+		}
+	}
+}
+
+func TestRegistryProfiles(t *testing.T) {
+	got := DefaultRegistry().Profiles()
+	want := []string{ProfileAll, ProfilePaper, ProfileStrict}
+	if len(got) != len(want) {
+		t.Fatalf("Profiles = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Profiles = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestProfileSelectsCheckSet(t *testing.T) {
+	db := trustdb.New()
+	cl := chain.NewClassifier(db)
+	paper := NewWithRegistry(cl, DefaultRegistry(), Config{Now: now, Profile: ProfilePaper})
+	// weak-key is a strict-only check; a paper-profile linter must not run it.
+	weak := mk("CN=x", "CN=weak.example.com", certmodel.BCFalse, "weak.example.com")
+	weak.KeyAlg = "rsa"
+	weak.KeyBits = 512
+	if cs := checks(paper.Cert(weak)); cs["weak-key"] != 0 {
+		t.Errorf("paper profile ran weak-key: %v", cs)
+	}
+	strict := NewWithRegistry(cl, DefaultRegistry(), Config{Now: now, Profile: ProfileStrict})
+	if cs := checks(strict.Cert(weak)); cs["weak-key"] != 1 {
+		t.Errorf("strict profile missed weak-key: %v", cs)
+	}
+}
+
+// TestFindingsOrderIndependentOfRegistration registers the same checks in
+// opposite orders and asserts identical output — the deterministic findings
+// sort, not registration order, decides it.
+func TestFindingsOrderIndependentOfRegistration(t *testing.T) {
+	a := &Check{ID: "aaa-flag", Description: "d", Citation: "c", Severity: Warn,
+		CertFn: func(ctx *Context, co *Collector, m *certmodel.Meta, pos int) { co.Add(pos, "a fired") }}
+	b := &Check{ID: "zzz-flag", Description: "d", Citation: "c", Severity: Warn,
+		CertFn: func(ctx *Context, co *Collector, m *certmodel.Meta, pos int) { co.Add(pos, "z fired") }}
+
+	mkLinter := func(order ...*Check) *Linter {
+		r := NewRegistry()
+		for _, c := range order {
+			cc := *c
+			r.MustRegister(&cc)
+		}
+		return NewWithRegistry(chain.NewClassifier(trustdb.New()), r, Config{Now: now})
+	}
+	ch := certmodel.Chain{mk("CN=i", "CN=s.example.com", certmodel.BCFalse, "s.example.com")}
+	fwd := mkLinter(a, b).Chain(ch)
+	rev := mkLinter(b, a).Chain(ch)
+	if len(fwd) != 2 || len(rev) != 2 {
+		t.Fatalf("finding counts %d/%d", len(fwd), len(rev))
+	}
+	for i := range fwd {
+		if fwd[i] != rev[i] {
+			t.Errorf("position %d differs: %v vs %v", i, fwd[i], rev[i])
+		}
+	}
+	if fwd[0].Check != "aaa-flag" || fwd[1].Check != "zzz-flag" {
+		t.Errorf("sort order: %v", fwd)
+	}
+}
+
+// TestSortFindingsRegression pins the full ordering contract: chain-level
+// findings (-1) first, then by position, then check ID, then message.
+func TestSortFindingsRegression(t *testing.T) {
+	fs := []Finding{
+		{Check: "b", CertIndex: 1, Message: "m"},
+		{Check: "a", CertIndex: 1, Message: "m"},
+		{Check: "c", CertIndex: -1, Message: "m"},
+		{Check: "a", CertIndex: 0, Message: "m2"},
+		{Check: "a", CertIndex: 0, Message: "m1"},
+	}
+	sortFindings(fs)
+	want := []Finding{
+		{Check: "c", CertIndex: -1, Message: "m"},
+		{Check: "a", CertIndex: 0, Message: "m1"},
+		{Check: "a", CertIndex: 0, Message: "m2"},
+		{Check: "a", CertIndex: 1, Message: "m"},
+		{Check: "b", CertIndex: 1, Message: "m"},
+	}
+	for i := range want {
+		if fs[i] != want[i] {
+			t.Errorf("position %d = %v, want %v", i, fs[i], want[i])
+		}
+	}
+}
+
+func TestCustomRegistryWithApplies(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(&Check{
+		ID: "leaf-only-probe", Description: "d", Citation: "c", Severity: Info,
+		Applies: func(ctx *Context, pos int) bool { return ctx.LeafPosition(pos) },
+		CertFn:  func(ctx *Context, co *Collector, m *certmodel.Meta, pos int) { co.Add(pos, "at leaf") },
+	})
+	l := NewWithRegistry(chain.NewClassifier(trustdb.New()), r, Config{Now: now})
+	ch := certmodel.Chain{
+		mk("CN=i", "CN=leaf.example.com", certmodel.BCFalse, "leaf.example.com"),
+		mk("CN=r", "CN=i", certmodel.BCTrue),
+	}
+	fs := l.Chain(ch)
+	if len(fs) != 1 || fs[0].CertIndex != 0 {
+		t.Errorf("applies gating: %v", fs)
+	}
+	// Isolated certificates are never leaf-position, so the probe must skip.
+	if fs := l.Cert(ch[0]); len(fs) != 0 {
+		t.Errorf("isolated cert hit leaf-gated check: %v", fs)
+	}
+}

@@ -225,6 +225,7 @@ func (r *X509Record) ToMeta() (*certmodel.Meta, error) {
 		NotAfter:  r.NotValidAfter,
 		KeyAlg:    certmodel.KeyAlgorithm(r.KeyType),
 		KeyBits:   r.KeyLength,
+		SigAlg:    r.SigAlg,
 		SAN:       r.SANDNS,
 	}
 	switch {
@@ -241,6 +242,10 @@ func (r *X509Record) ToMeta() (*certmodel.Meta, error) {
 // FromMeta renders a certificate model as an x509.log record with the given
 // observation time.
 func FromMeta(m *certmodel.Meta, ts time.Time) *X509Record {
+	sigAlg := m.SigAlg
+	if sigAlg == "" {
+		sigAlg = string(m.KeyAlg) + "-sha256"
+	}
 	r := &X509Record{
 		TS:             ts,
 		ID:             string(m.FP),
@@ -251,7 +256,7 @@ func FromMeta(m *certmodel.Meta, ts time.Time) *X509Record {
 		NotValidBefore: m.NotBefore,
 		NotValidAfter:  m.NotAfter,
 		KeyAlg:         string(m.KeyAlg),
-		SigAlg:         string(m.KeyAlg) + "-sha256",
+		SigAlg:         sigAlg,
 		KeyType:        string(m.KeyAlg),
 		KeyLength:      m.KeyBits,
 		SANDNS:         m.SAN,
