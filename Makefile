@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz report experiments clean
+.PHONY: all build vet lint test race bench fuzz report experiments ingest-smoke clean
 
 all: build vet lint test
 
@@ -37,6 +37,14 @@ test:
 # classifier/registry locks, and the detector's verdict cache concurrently.
 race:
 	$(GO) test -race ./...
+
+# End-to-end smoke over the streaming ingest daemon: the batch-equivalence
+# suite, the in-process daemon lifecycle, and the process-level SIGINT tests
+# (real binaries, real signals, final snapshot on disk).
+ingest-smoke:
+	$(GO) test -count=1 -run 'TestIngestorMatchesBatch|TestDaemonGracefulShutdown' ./internal/ingest/
+	$(GO) test -count=1 -run 'TestSignalShutdownWritesSnapshot' ./cmd/certchain-ingestd/
+	$(GO) test -count=1 -run 'TestServeShutsDownOnInterrupt' ./cmd/ctlog/
 
 # One benchmark per paper table/figure plus ablations (bench_test.go).
 bench:

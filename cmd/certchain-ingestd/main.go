@@ -1,0 +1,199 @@
+// Command certchain-ingestd is the streaming counterpart of
+// certchain-analyze: a long-running daemon that tails live Zeek
+// ssl.log/x509.log files, joins the two streams incrementally, folds closed
+// time windows into an analysis ring, and serves windowed reports plus
+// operational metrics over HTTP.
+//
+//	certchain-ingestd -ssl /var/zeek/ssl.log -x509 /var/zeek/x509.log \
+//	    -seed 1 -snapshot /var/lib/certchain/ingest.snapshot
+//
+// The seed/scale pair rebuilds the same trust stores, CT log, and
+// interception registry the logs were generated against, exactly as
+// certchain-analyze's log-file mode does. With -snapshot the daemon persists
+// its full state (tail offsets, join buffer, open windows, analysis ring)
+// periodically and on shutdown, and resumes from it on restart without
+// re-reading history.
+//
+// Admin surface (see internal/ingest):
+//
+//	GET /report?window=1h|24h|all&format=text|json
+//	GET /healthz
+//	GET /metrics
+//	GET /debug/pprof/...
+//
+// -demo replays a generated campus capture into the tailed files at -speed×
+// log time, so the whole loop can be watched live without a Zeek install:
+//
+//	certchain-ingestd -demo -addr 127.0.0.1:8844
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"certchains/internal/analysis"
+	"certchains/internal/campus"
+	"certchains/internal/ingest"
+	"certchains/internal/lint"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "certchain-ingestd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		sslPath    = flag.String("ssl", "", "path to the live ssl.log")
+		x5Path     = flag.String("x509", "", "path to the live x509.log")
+		format     = flag.String("format", "tsv", "log format: tsv or json")
+		addr       = flag.String("addr", "127.0.0.1:8844", "admin listen address")
+		seed       = flag.Int64("seed", 1, "scenario seed for the enrichment stores")
+		scale      = flag.Float64("scale", 0.01, "fraction of paper-scale volume")
+		window     = flag.Duration("window", analysis.DefaultWindowInterval, "analysis window interval")
+		buckets    = flag.Int("buckets", analysis.DefaultWindowBuckets, "live windows kept before spilling to the all-time aggregate")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "fold worker count; any value produces identical reports")
+		certCap    = flag.Int("cert-cap", 0, "join certificate index cap (0 = default, negative = unbounded)")
+		pendingCap = flag.Int("pending-cap", 0, "join pending-connection cap (0 = default, negative = unbounded)")
+		snapshot   = flag.String("snapshot", "", "state snapshot path (enables resume across restarts)")
+		snapEvery  = flag.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval (negative disables)")
+		poll       = flag.Duration("poll", 500*time.Millisecond, "tail poll interval")
+		lintPro    = flag.String("lint", "", "lint every chain; value is the check profile (paper, strict, all)")
+		demo       = flag.Bool("demo", false, "replay a generated capture into the tailed files")
+		speed      = flag.Float64("speed", 500000, "demo replay speed: log seconds per wall second")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "certchain-ingestd: ", log.LstdFlags)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := campus.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	scenario, err := campus.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	pipeline := analysis.FromScenario(scenario)
+	if *lintPro != "" {
+		pipeline.Linter = lint.New(scenario.Classifier, lint.Config{
+			Now:     scenario.End(),
+			Profile: *lintPro,
+		})
+	}
+
+	isJSON := false
+	switch *format {
+	case "tsv":
+	case "json":
+		isJSON = true
+	default:
+		return fmt.Errorf("unknown format %q (tsv or json)", *format)
+	}
+
+	if *demo {
+		if *sslPath == "" || *x5Path == "" {
+			dir, err := os.MkdirTemp("", "certchain-ingestd-demo-")
+			if err != nil {
+				return err
+			}
+			*sslPath = filepath.Join(dir, "ssl.log")
+			*x5Path = filepath.Join(dir, "x509.log")
+			logger.Printf("demo logs in %s", dir)
+		}
+		go func() {
+			if err := runDemo(ctx, logger, scenario, *sslPath, *x5Path, isJSON, *speed); err != nil && ctx.Err() == nil {
+				logger.Printf("demo replay: %v", err)
+			}
+		}()
+	}
+	if *sslPath == "" || *x5Path == "" {
+		return fmt.Errorf("need both -ssl and -x509 (or -demo)")
+	}
+
+	ing, resumed, err := ingest.RestoreOrNew(pipeline, ingest.Config{
+		SSLPath:      *sslPath,
+		X509Path:     *x5Path,
+		JSON:         isJSON,
+		Window:       analysis.WindowConfig{Interval: *window, Buckets: *buckets, Workers: *workers},
+		CertCap:      *certCap,
+		PendingCap:   *pendingCap,
+		SnapshotPath: *snapshot,
+	})
+	if err != nil {
+		return err
+	}
+	if resumed {
+		logger.Printf("resumed from snapshot %s (%d observations folded)", *snapshot, ing.Stats().Observations)
+	}
+
+	d := ingest.NewDaemon(ing, ingest.DaemonConfig{
+		Addr:          *addr,
+		Poll:          *poll,
+		SnapshotEvery: *snapEvery,
+		Logf:          logger.Printf,
+	})
+	return d.Run(ctx)
+}
+
+// runDemo replays the scenario into the tailed log files, pacing records so
+// that `speed` log seconds pass per wall second. The writers flush in small
+// batches, so the daemon sees the capture arrive live.
+func runDemo(ctx context.Context, logger *log.Logger, s *campus.Scenario, sslPath, x5Path string, isJSON bool, speed float64) error {
+	if speed <= 0 {
+		return fmt.Errorf("demo speed must be positive")
+	}
+	sslF, err := os.Create(sslPath)
+	if err != nil {
+		return err
+	}
+	defer sslF.Close()
+	x5F, err := os.Create(x5Path)
+	if err != nil {
+		return err
+	}
+	defer x5F.Close()
+
+	var wallStart, logStart time.Time
+	pace := func(ts time.Time) error {
+		if logStart.IsZero() {
+			logStart, wallStart = ts, time.Now()
+			return nil
+		}
+		due := wallStart.Add(time.Duration(float64(ts.Sub(logStart)) / speed))
+		wait := time.Until(due)
+		if wait <= 0 {
+			return ctx.Err()
+		}
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	}
+	logger.Printf("demo: replaying %d observations at %.0fx", len(s.Observations), speed)
+	err = campus.Replay(s.Observations, sslF, x5F, campus.ReplayOptions{
+		MaxConnsPerObservation: 4,
+		JSON:                   isJSON,
+		BatchRecords:           16,
+		Pace:                   pace,
+	})
+	if err == nil {
+		logger.Printf("demo: capture complete")
+	}
+	return err
+}

@@ -1,0 +1,105 @@
+// Process-level e2e: build the real binary, run it in demo mode, interrupt
+// it, and require a clean exit with a final snapshot — the shutdown path an
+// operator actually exercises.
+package main_test
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSignalShutdownWritesSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "certchain-ingestd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "ingest.snapshot")
+	cmd := exec.Command(bin,
+		"-demo",
+		"-addr", "127.0.0.1:0",
+		"-scale", "0.002",
+		"-speed", "1e9",
+		"-window", "168h",
+		"-poll", "50ms",
+		"-snapshot", snap,
+		"-snapshot-every", "-1s",
+		"-ssl", filepath.Join(dir, "ssl.log"),
+		"-x509", filepath.Join(dir, "x509.log"),
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Follow the daemon's log: wait for the capture to finish replaying,
+	// then interrupt it.
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	waitFor := func(marker string) {
+		t.Helper()
+		deadline := time.After(60 * time.Second)
+		for {
+			select {
+			case line, ok := <-lines:
+				if !ok {
+					t.Fatalf("daemon exited before logging %q", marker)
+				}
+				t.Log(line)
+				if strings.Contains(line, marker) {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("timed out waiting for %q", marker)
+			}
+		}
+	}
+	waitFor("admin surface on")
+	waitFor("capture complete")
+	// Give the poll loop a few ticks to drain the tail.
+	time.Sleep(500 * time.Millisecond)
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("final snapshot written")
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGINT")
+	}
+
+	st, err := os.Stat(snap)
+	if err != nil {
+		t.Fatalf("final snapshot missing: %v", err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("final snapshot is empty")
+	}
+}

@@ -10,11 +10,15 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"certchains/internal/campus"
@@ -75,13 +79,32 @@ func run() error {
 	}
 
 	if *serve != "" {
-		fmt.Printf("\nserving CT API on http://%s/ct/v1/ (get-sth, get-entries, get-proof, get-consistency, query, add-chain)\n", *serve)
 		server := &http.Server{
 			Addr:              *serve,
 			Handler:           log.Handler(),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
-		return server.ListenAndServe()
+		// Serve until interrupted, then drain in-flight requests before
+		// exiting so monitors mid-download are not cut off. The handler is
+		// registered before the announcement so an interrupt arriving right
+		// after the line appears is never fatal.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		fmt.Printf("\nserving CT API on http://%s/ct/v1/ (get-sth, get-entries, get-proof, get-consistency, query, add-chain)\n", *serve)
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- server.ListenAndServe() }()
+		select {
+		case err := <-serveErr:
+			return err
+		case <-ctx.Done():
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+			fmt.Println("ctlog: shut down cleanly")
+			return nil
+		}
 	}
 	return nil
 }

@@ -1,0 +1,65 @@
+// Process-level e2e for -serve: the CT API server must exit cleanly on
+// SIGINT (draining in-flight requests) instead of dying mid-response.
+package main_test
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeShutsDownOnInterrupt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "ctlog")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-scale", "0.002", "-serve", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	serving := make(chan bool, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Log(line)
+			if strings.Contains(line, "serving CT API") {
+				serving <- true
+			}
+		}
+	}()
+	select {
+	case <-serving:
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never announced itself")
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited uncleanly on SIGINT: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGINT")
+	}
+}

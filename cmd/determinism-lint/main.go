@@ -21,8 +21,10 @@ import (
 // defaultAllowlist exempts the code where wall-clock time is the feature,
 // not a bug: CLIs and examples (user-facing clocks), the live TLS scanner
 // (handshake timing), the CT log's HTTP front end (tree-head timestamps),
-// and the lint engine's own wall-clock default for interactive use.
-const defaultAllowlist = "cmd/,examples/,internal/scanner/,internal/ctlog/http.go,internal/lint/lint.go"
+// the lint engine's own wall-clock default for interactive use, and the
+// ingest daemon (poll pacing and snapshot age are operational clocks — the
+// analysis it feeds stays keyed by log time).
+const defaultAllowlist = "cmd/,examples/,internal/scanner/,internal/ctlog/http.go,internal/lint/lint.go,internal/ingest/"
 
 func main() {
 	var (

@@ -1,0 +1,175 @@
+// Live monitor: the whole streaming loop in one process. A generated campus
+// capture is replayed into a pair of Zeek log files at high speed while an
+// ingest daemon tails them, joins ssl↔x509 incrementally, folds closed time
+// windows, and serves reports over HTTP. The example polls the daemon's own
+// admin surface — exactly what an operator's curl or Prometheus scrape would
+// see — then interrupts it and restarts from the snapshot to show that no
+// history is re-read.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"certchains/internal/analysis"
+	"certchains/internal/campus"
+	"certchains/internal/ingest"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "live-monitor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "live-monitor-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	sslPath := filepath.Join(dir, "ssl.log")
+	x509Path := filepath.Join(dir, "x509.log")
+	snapPath := filepath.Join(dir, "ingest.snapshot")
+
+	cfg := campus.DefaultConfig()
+	cfg.Scale = 0.002
+	scenario, err := campus.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("capture: %d observations across the collection period\n", len(scenario.Observations))
+
+	// Replay the capture into the log files in the background, paced so the
+	// three-month collection passes in a few wall seconds.
+	replayDone := make(chan error, 1)
+	go func() { replayDone <- replay(scenario, sslPath, x509Path) }()
+
+	ingCfg := ingest.Config{
+		SSLPath:      sslPath,
+		X509Path:     x509Path,
+		Window:       analysis.WindowConfig{Interval: 7 * 24 * time.Hour},
+		SnapshotPath: snapPath,
+	}
+	daemonErr := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d := ingest.NewDaemon(ingest.New(analysis.FromScenario(scenario), ingCfg), ingest.DaemonConfig{
+		Addr: "127.0.0.1:0",
+		Poll: 50 * time.Millisecond,
+	})
+	go func() { daemonErr <- d.Run(ctx) }()
+	<-d.Started()
+	base := "http://" + d.Addr()
+	fmt.Printf("daemon:  %s\n\n", base)
+
+	// Watch the stream arrive through the admin surface.
+	for i := 0; i < 3; i++ {
+		time.Sleep(2 * time.Second)
+		var health struct {
+			Observations int `json:"observations"`
+			Joiner       struct {
+				Joined int64 `json:"joined"`
+			} `json:"joiner"`
+			FoldedWindows int64  `json:"folded_windows"`
+			Watermark     string `json:"watermark"`
+		}
+		if err := getJSON(base+"/healthz", &health); err != nil {
+			return err
+		}
+		fmt.Printf("t+%-2ds  joined=%-6d folded windows=%-3d observations=%-5d watermark=%s\n",
+			2*(i+1), health.Joiner.Joined, health.FoldedWindows, health.Observations, health.Watermark)
+	}
+	if err := <-replayDone; err != nil {
+		return err
+	}
+
+	// Interrupt the daemon: it drains the HTTP server and persists a final
+	// snapshot.
+	cancel()
+	if err := <-daemonErr; err != nil {
+		return err
+	}
+	st, err := os.Stat(snapPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ninterrupted: final snapshot %d KiB\n", st.Size()/1024)
+
+	// Restart from the snapshot. Nothing is re-read: the restored tail
+	// offsets already point at the end of both logs.
+	ing, resumed, err := ingest.RestoreOrNew(analysis.FromScenario(scenario), ingCfg)
+	if err != nil {
+		return err
+	}
+	defer ing.Close()
+	fmt.Printf("restarted: resumed=%v, %d observations already folded\n", resumed, ing.Stats().Observations)
+	if err := ing.Finish(); err != nil {
+		return err
+	}
+
+	fmt.Println("\nall-time report after resume (first lines):")
+	fmt.Println(firstLines(ing.Report(0).Render(), 8))
+	return nil
+}
+
+func replay(s *campus.Scenario, sslPath, x509Path string) error {
+	sslF, err := os.Create(sslPath)
+	if err != nil {
+		return err
+	}
+	defer sslF.Close()
+	x509F, err := os.Create(x509Path)
+	if err != nil {
+		return err
+	}
+	defer x509F.Close()
+	var wallStart, logStart time.Time
+	const speed = 2e6 // log seconds per wall second
+	return campus.Replay(s.Observations, sslF, x509F, campus.ReplayOptions{
+		MaxConnsPerObservation: 4,
+		BatchRecords:           16,
+		Pace: func(ts time.Time) error {
+			if logStart.IsZero() {
+				logStart, wallStart = ts, time.Now()
+				return nil
+			}
+			due := wallStart.Add(time.Duration(float64(ts.Sub(logStart)) / speed))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+			return nil
+		},
+	})
+}
+
+func getJSON(url string, into any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, into)
+}
+
+func firstLines(s string, n int) string {
+	end := 0
+	for i := 0; i < len(s) && n > 0; i++ {
+		if s[i] == '\n' {
+			n--
+			end = i
+		}
+	}
+	return s[:end]
+}

@@ -1,0 +1,387 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"certchains/internal/campus"
+	"certchains/internal/certmodel"
+	"certchains/internal/chain"
+	"certchains/internal/intercept"
+)
+
+// WindowRing folds observations incrementally into a ring of per-interval
+// accumulators, giving the ingest daemon on-demand reports over trailing
+// windows ("last hour", "last day") as well as all time, without re-running
+// analysis over history.
+//
+// Buckets are keyed by simulated time — the observation's own timestamp,
+// never the wall clock — so the report for any window is a pure function of
+// the observations ingested, independent of when the daemon processed them.
+// Each live bucket holds one accumulator shard per worker; a window report
+// merges the relevant shards into a throwaway accumulator and finalizes it.
+// Because partialReport.merge is commutative and reads its source without
+// mutation, reporting never perturbs live state, and any partition of
+// observations across buckets, shards, and daemon restarts finalizes
+// byte-identically to one sequential pass (the equivalence suite enforces
+// this).
+//
+// When the ring exceeds its configured depth, the oldest bucket is folded
+// into the spill accumulator: all-time reports stay exact while live memory
+// is bounded by Buckets x Workers accumulators.
+type WindowRing struct {
+	p   *Pipeline
+	det *intercept.Detector
+	cfg WindowConfig
+
+	buckets map[int64]*windowBucket
+	order   []int64 // live bucket indexes, ascending
+	spill   *partialReport
+
+	seq   int
+	wm    time.Time
+	wmSet bool
+}
+
+// WindowConfig sizes a WindowRing.
+type WindowConfig struct {
+	// Interval is the bucket width in simulated time; 0 selects
+	// DefaultWindowInterval.
+	Interval time.Duration
+	// Buckets is the maximum number of live buckets before the oldest spills;
+	// 0 selects DefaultWindowBuckets.
+	Buckets int
+	// Workers is the fold parallelism per ObserveBatch; 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// DefaultWindowInterval is one paper-style reporting hour.
+const DefaultWindowInterval = time.Hour
+
+// DefaultWindowBuckets keeps two days of hourly buckets live.
+const DefaultWindowBuckets = 48
+
+type windowBucket struct {
+	// base holds history restored from a snapshot (the bucket's pre-crash
+	// observations, collapsed); nil on buckets born live.
+	base *partialReport
+	// shards are per-worker accumulators, created lazily.
+	shards []*partialReport
+}
+
+// NewWindowRing creates an empty ring over the pipeline's components.
+func NewWindowRing(p *Pipeline, cfg WindowConfig) *WindowRing {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultWindowInterval
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = DefaultWindowBuckets
+	}
+	cfg.Workers = normalizeWorkers(cfg.Workers, -1)
+	det := intercept.NewDetector(p.DB, p.CT)
+	return &WindowRing{
+		p:       p,
+		det:     det,
+		cfg:     cfg,
+		buckets: make(map[int64]*windowBucket),
+		spill:   p.newPartial(det),
+	}
+}
+
+// Config returns the normalized configuration.
+func (w *WindowRing) Config() WindowConfig { return w.cfg }
+
+func (w *WindowRing) bucketIdx(t time.Time) int64 {
+	return floorDiv(t.UnixNano(), int64(w.cfg.Interval))
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// bucket returns the live bucket for idx, creating it in order.
+func (w *WindowRing) bucket(idx int64) *windowBucket {
+	if b, ok := w.buckets[idx]; ok {
+		return b
+	}
+	b := &windowBucket{shards: make([]*partialReport, w.cfg.Workers)}
+	w.buckets[idx] = b
+	pos := sort.Search(len(w.order), func(i int) bool { return w.order[i] >= idx })
+	w.order = append(w.order, 0)
+	copy(w.order[pos+1:], w.order[pos:])
+	w.order[pos] = idx
+	return b
+}
+
+// ObserveBatch folds a batch of observations into their buckets, sharded
+// across the configured workers. Observations are bucketed by their Last
+// timestamp (the daemon's aggregator emits one observation per window, so
+// First and Last fall in the same bucket). Not safe for concurrent use.
+func (w *WindowRing) ObserveBatch(obs []*campus.Observation) {
+	if len(obs) == 0 {
+		return
+	}
+	type item struct {
+		seq int
+		o   *campus.Observation
+		b   *windowBucket
+	}
+	items := make([]item, 0, len(obs))
+	for _, o := range obs {
+		b := w.bucket(w.bucketIdx(o.Last))
+		items = append(items, item{seq: w.seq, o: o, b: b})
+		w.seq++
+		if !w.wmSet || o.Last.After(w.wm) {
+			w.wm, w.wmSet = o.Last, true
+		}
+	}
+	workers := w.cfg.Workers
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for i := wk; i < len(items); i += workers {
+				it := items[i]
+				pr := it.b.shards[wk]
+				if pr == nil {
+					pr = w.p.newPartial(w.det)
+					it.b.shards[wk] = pr
+				}
+				pr.observe(it.seq, it.o)
+			}
+		}(wk)
+	}
+	wg.Wait()
+	w.evict()
+}
+
+// evict folds the oldest buckets into the spill accumulator until the ring
+// is back within its configured depth.
+func (w *WindowRing) evict() {
+	for len(w.order) > w.cfg.Buckets {
+		idx := w.order[0]
+		w.order = w.order[1:]
+		b := w.buckets[idx]
+		delete(w.buckets, idx)
+		w.foldInto(w.spill, b)
+	}
+}
+
+func (w *WindowRing) foldInto(dst *partialReport, b *windowBucket) {
+	if b.base != nil {
+		dst.merge(b.base)
+	}
+	for _, pr := range b.shards {
+		if pr != nil {
+			dst.merge(pr)
+		}
+	}
+}
+
+// Report finalizes a report over the trailing window ending at the
+// watermark (the latest observation timestamp). window <= 0 means all time,
+// including spilled history. A window wider than the live ring silently
+// reports over what is still live; use all time for exact totals.
+func (w *WindowRing) Report(window time.Duration) *Report {
+	return w.ReportWith(nil, window)
+}
+
+// ReportWith is Report extended with provisional observations that have not
+// been folded into the ring — the ingest daemon's still-open per-window
+// aggregates — so a live report includes the current, partially observed
+// interval. The extras are observed into the throwaway accumulator with
+// sequence numbers continuing after the ring's, and live state is never
+// touched.
+func (w *WindowRing) ReportWith(extra []*campus.Observation, window time.Duration) *Report {
+	out := w.p.newPartial(w.det)
+	all := window <= 0
+	if all {
+		out.merge(w.spill)
+	}
+	wm, wmSet := w.wm, w.wmSet
+	for _, o := range extra {
+		if !wmSet || o.Last.After(wm) {
+			wm, wmSet = o.Last, true
+		}
+	}
+	if !all && !wmSet {
+		return out.finalize()
+	}
+	minIdx := int64(0)
+	if !all {
+		n := int64((window + w.cfg.Interval - 1) / w.cfg.Interval)
+		minIdx = floorDiv(wm.UnixNano(), int64(w.cfg.Interval)) - n + 1
+	}
+	for _, idx := range w.order {
+		if !all && idx < minIdx {
+			continue
+		}
+		w.foldInto(out, w.buckets[idx])
+	}
+	seq := w.seq
+	for _, o := range extra {
+		if all || w.bucketIdx(o.Last) >= minIdx {
+			out.observe(seq, o)
+		}
+		seq++
+	}
+	return out.finalize()
+}
+
+// Seq is the number of observations folded so far (and the next sequence
+// number).
+func (w *WindowRing) Seq() int { return w.seq }
+
+// Watermark returns the latest observation timestamp seen, if any.
+func (w *WindowRing) Watermark() (time.Time, bool) { return w.wm, w.wmSet }
+
+// LiveBuckets is the current number of live (unspilled) buckets.
+func (w *WindowRing) LiveBuckets() int { return len(w.order) }
+
+// CategoryTotals sums the all-time per-category connection counters across
+// every accumulator without a full merge — cheap enough for a metrics
+// scrape. Chains counts observations (as in Table 2 before finalize), and
+// distinct client IPs are not derivable without a merge, so ClientIPs is
+// zero here.
+func (w *WindowRing) CategoryTotals() map[chain.Category]CategoryStats {
+	out := make(map[chain.Category]CategoryStats)
+	add := func(pr *partialReport) {
+		if pr == nil {
+			return
+		}
+		for cat, cs := range pr.rep.Table2.PerCategory {
+			t := out[cat]
+			t.Chains += cs.Chains
+			t.Conns += cs.Conns
+			t.Established += cs.Established
+			out[cat] = t
+		}
+	}
+	add(w.spill)
+	for _, idx := range w.order {
+		b := w.buckets[idx]
+		add(b.base)
+		for _, pr := range b.shards {
+			add(pr)
+		}
+	}
+	return out
+}
+
+// ConnTotals sums the all-time §6.3 connection counters (TLS 1.3-hidden and
+// certificate-visible) across every accumulator.
+func (w *WindowRing) ConnTotals() (tls13, visible int64) {
+	add := func(pr *partialReport) {
+		if pr == nil {
+			return
+		}
+		tls13 += pr.rep.Sec63.TLS13Conns
+		visible += pr.rep.Sec63.VisibleConns
+	}
+	add(w.spill)
+	for _, idx := range w.order {
+		b := w.buckets[idx]
+		add(b.base)
+		for _, pr := range b.shards {
+			add(pr)
+		}
+	}
+	return tls13, visible
+}
+
+// WindowRingSnapshot is the ring's serializable state. Certificates are
+// deduplicated into one table shared by the spill and every bucket; equal
+// ring states marshal to identical JSON (sorted buckets, sorted
+// certificates, canonical partial encoding).
+type WindowRingSnapshot struct {
+	IntervalNS int64                    `json:"interval_ns"`
+	Seq        int                      `json:"seq"`
+	WM         certmodel.TimeSnapshot   `json:"wm"`
+	WMSet      bool                     `json:"wm_set,omitempty"`
+	Certs      []certmodel.MetaSnapshot `json:"certs,omitempty"`
+	Spill      *partialSnapshot         `json:"spill,omitempty"`
+	Buckets    []windowBucketSnapshot   `json:"buckets,omitempty"`
+}
+
+type windowBucketSnapshot struct {
+	Idx     int64            `json:"idx"`
+	Partial *partialSnapshot `json:"partial"`
+}
+
+// Snapshot serializes the ring without perturbing it: each bucket's shards
+// are collapsed into a throwaway accumulator (merge is non-destructive) and
+// encoded as one partial.
+func (w *WindowRing) Snapshot() *WindowRingSnapshot {
+	certs := make(map[certmodel.Fingerprint]*certmodel.Meta)
+	s := &WindowRingSnapshot{
+		IntervalNS: int64(w.cfg.Interval),
+		Seq:        w.seq,
+		WMSet:      w.wmSet,
+	}
+	if w.wmSet {
+		s.WM = certmodel.SnapTime(w.wm)
+	}
+	s.Spill = w.spill.snapshot(certs)
+	for _, idx := range w.order {
+		collapsed := w.p.newPartial(w.det)
+		w.foldInto(collapsed, w.buckets[idx])
+		s.Buckets = append(s.Buckets, windowBucketSnapshot{Idx: idx, Partial: collapsed.snapshot(certs)})
+	}
+	fps := make([]string, 0, len(certs))
+	for fp := range certs {
+		fps = append(fps, string(fp))
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		s.Certs = append(s.Certs, certs[certmodel.Fingerprint(fp)].Snapshot())
+	}
+	return s
+}
+
+// RestoreWindowRing rebuilds a ring from a snapshot. The snapshot's interval
+// is authoritative (a config mismatch would silently split buckets);
+// Buckets/Workers come from cfg, and a smaller restored depth spills the
+// oldest buckets immediately.
+func RestoreWindowRing(p *Pipeline, cfg WindowConfig, s *WindowRingSnapshot) (*WindowRing, error) {
+	if s == nil {
+		return NewWindowRing(p, cfg), nil
+	}
+	if s.IntervalNS > 0 {
+		cfg.Interval = time.Duration(s.IntervalNS)
+	}
+	w := NewWindowRing(p, cfg)
+	table := make(map[certmodel.Fingerprint]*certmodel.Meta, len(s.Certs))
+	for _, ms := range s.Certs {
+		m := ms.Meta()
+		table[m.FP] = m
+	}
+	resolve := func(fp certmodel.Fingerprint) *certmodel.Meta { return table[fp] }
+	var err error
+	if w.spill, err = p.restorePartial(s.Spill, w.det, resolve); err != nil {
+		return nil, fmt.Errorf("analysis: restore spill: %w", err)
+	}
+	for _, bs := range s.Buckets {
+		base, err := p.restorePartial(bs.Partial, w.det, resolve)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: restore bucket %d: %w", bs.Idx, err)
+		}
+		w.bucket(bs.Idx).base = base
+	}
+	w.seq = s.Seq
+	if s.WMSet {
+		w.wm, w.wmSet = s.WM.Time(), true
+	}
+	w.evict()
+	return w, nil
+}

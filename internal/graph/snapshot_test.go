@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/dn"
+	"certchains/internal/trustdb"
+)
+
+func snapMeta(t *testing.T, subject, issuer string) *certmodel.Meta {
+	t.Helper()
+	s, err := dn.Parse("CN=" + subject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := dn.Parse("CN=" + issuer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &certmodel.Meta{
+		Subject:   s,
+		Issuer:    i,
+		NotBefore: time.Unix(1_600_000_000, 0).UTC(),
+		NotAfter:  time.Unix(1_660_000_000, 0).UTC(),
+	}
+	m.FP = certmodel.SyntheticFingerprint(m.Issuer, m.Subject, "01", m.NotBefore, m.NotAfter)
+	return m
+}
+
+func TestGraphSnapshotRoundTrip(t *testing.T) {
+	leaf := snapMeta(t, "leaf.example", "Inter CA")
+	inter := snapMeta(t, "Inter CA", "Root CA")
+	root := snapMeta(t, "Root CA", "Root CA")
+	other := snapMeta(t, "other.example", "Inter CA")
+
+	g := New()
+	g.AddChain(certmodel.Chain{leaf, inter, root},
+		[]trustdb.Class{trustdb.IssuedByNonPublicDB, trustdb.IssuedByPublicDB, trustdb.IssuedByPublicDB})
+	g.AddChain(certmodel.Chain{other, inter}, nil)
+
+	data, err := json.Marshal(g.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	table := map[certmodel.Fingerprint]*certmodel.Meta{
+		leaf.FP: leaf, inter.FP: inter, root.FP: root, other.FP: other,
+	}
+	r, err := FromSnapshot(&snap, func(fp certmodel.Fingerprint) *certmodel.Meta { return table[fp] })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if r.NodeCount() != g.NodeCount() || r.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("size mismatch: %d/%d nodes, %d/%d edges",
+			r.NodeCount(), g.NodeCount(), r.EdgeCount(), g.EdgeCount())
+	}
+	want, got := g.Nodes(), r.Nodes()
+	for i := range want {
+		if got[i].FP != want[i].FP || got[i].Class != want[i].Class ||
+			got[i].Role != want[i].Role || got[i].Degree != want[i].Degree {
+			t.Fatalf("node %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if !reflect.DeepEqual(r.DegreeDistribution(), g.DegreeDistribution()) {
+		t.Fatal("degree distribution differs after round trip")
+	}
+	if !reflect.DeepEqual(r.Components(), g.Components()) {
+		t.Fatal("components differ after round trip")
+	}
+
+	// A restored graph keeps merging like the original.
+	extra := New()
+	more := snapMeta(t, "more.example", "Inter CA")
+	extra.AddChain(certmodel.Chain{more, inter}, nil)
+	r.Merge(extra)
+	g.Merge(extra)
+	if !reflect.DeepEqual(r.Snapshot(), g.Snapshot()) {
+		t.Fatal("restored graph merges differently")
+	}
+}
+
+func TestGraphSnapshotUnknownRefs(t *testing.T) {
+	none := func(certmodel.Fingerprint) *certmodel.Meta { return nil }
+	if _, err := FromSnapshot(&Snapshot{Nodes: []NodeSnapshot{{FP: "missing"}}}, none); err == nil {
+		t.Fatal("expected error for unresolvable node")
+	}
+	if _, err := FromSnapshot(&Snapshot{Edges: [][2]string{{"a", "b"}}}, none); err == nil {
+		t.Fatal("expected error for edge to unknown node")
+	}
+	g, err := FromSnapshot(nil, none)
+	if err != nil || g.NodeCount() != 0 {
+		t.Fatalf("nil snapshot: %v, %d nodes", err, g.NodeCount())
+	}
+}

@@ -1,0 +1,145 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DaemonConfig sizes the daemon's run loop around an Ingestor.
+type DaemonConfig struct {
+	// Addr is the admin listen address (e.g. "127.0.0.1:8844"; port 0 picks
+	// a free port, readable via Addr once started).
+	Addr string
+	// Poll is the tail poll interval (default 500ms).
+	Poll time.Duration
+	// SnapshotEvery writes periodic snapshots when the Ingestor has a
+	// snapshot path (default 30s; negative disables periodic snapshots).
+	SnapshotEvery time.Duration
+	// ShutdownGrace bounds the HTTP drain on shutdown (default 5s).
+	ShutdownGrace time.Duration
+	// Logf, when set, receives progress lines (e.g. log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Daemon runs an Ingestor continuously: polling the logs, serving the admin
+// surface, snapshotting periodically, and shutting down cleanly when its
+// context ends (final snapshot, then http.Server.Shutdown so in-flight
+// requests drain).
+type Daemon struct {
+	ing *Ingestor
+	cfg DaemonConfig
+
+	mu      sync.Mutex
+	addr    string
+	started chan struct{}
+}
+
+// NewDaemon wraps an Ingestor.
+func NewDaemon(ing *Ingestor, cfg DaemonConfig) *Daemon {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 30 * time.Second
+	}
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Daemon{ing: ing, cfg: cfg, started: make(chan struct{})}
+}
+
+// Started is closed once the listener is up; Addr is valid afterwards.
+func (d *Daemon) Started() <-chan struct{} { return d.started }
+
+// Addr is the bound admin address (empty before Started).
+func (d *Daemon) Addr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.addr
+}
+
+// Ingestor exposes the wrapped ingestor.
+func (d *Daemon) Ingestor() *Ingestor { return d.ing }
+
+// Run serves until ctx is done, then drains gracefully: one final poll picks
+// up last writes, a final snapshot persists the resume point, and the HTTP
+// listener closes via Shutdown. Run returns nil on a clean shutdown.
+func (d *Daemon) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", d.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("ingest: listen %s: %w", d.cfg.Addr, err)
+	}
+	d.mu.Lock()
+	d.addr = ln.Addr().String()
+	d.mu.Unlock()
+	close(d.started)
+
+	srv := &http.Server{Handler: d.ing.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	d.cfg.Logf("ingest: admin surface on http://%s/ (report, healthz, metrics, debug/pprof)", d.addr)
+
+	pollT := time.NewTicker(d.cfg.Poll)
+	defer pollT.Stop()
+	var snapC <-chan time.Time
+	if d.cfg.SnapshotEvery > 0 && d.ing.cfg.SnapshotPath != "" {
+		snapT := time.NewTicker(d.cfg.SnapshotEvery)
+		defer snapT.Stop()
+		snapC = snapT.C
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return d.shutdown(srv)
+		case err := <-serveErr:
+			// The server died underneath us (not via Shutdown).
+			return err
+		case <-pollT.C:
+			if err := d.ing.PollOnce(); err != nil {
+				d.cfg.Logf("ingest: poll: %v", err)
+			}
+		case <-snapC:
+			if err := d.ing.SnapshotToFile(); err != nil {
+				d.cfg.Logf("ingest: snapshot: %v", err)
+			}
+		}
+	}
+}
+
+func (d *Daemon) shutdown(srv *http.Server) error {
+	d.cfg.Logf("ingest: shutting down")
+	// Pick up anything written since the last tick so the final snapshot is
+	// as fresh as the logs.
+	if err := d.ing.PollOnce(); err != nil {
+		d.cfg.Logf("ingest: final poll: %v", err)
+	}
+	var firstErr error
+	if d.ing.cfg.SnapshotPath != "" {
+		if err := d.ing.SnapshotToFile(); err != nil {
+			d.cfg.Logf("ingest: final snapshot: %v", err)
+			firstErr = err
+		} else {
+			d.cfg.Logf("ingest: final snapshot written to %s", d.ing.cfg.SnapshotPath)
+		}
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), d.cfg.ShutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := d.ing.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,91 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// Handler returns the daemon's admin surface:
+//
+//	GET /report?window=1h|24h|all&format=text|json  — windowed analysis report
+//	GET /healthz                                    — liveness + ingest summary
+//	GET /metrics                                    — Prometheus exposition text
+//	GET /debug/pprof/...                            — runtime profiling
+//
+// Everything is stdlib; the mux is private so the daemon controls exactly
+// what is exposed.
+func (ing *Ingestor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/report", ing.handleReport)
+	mux.HandleFunc("/healthz", ing.handleHealthz)
+	mux.HandleFunc("/metrics", ing.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// parseWindow maps the ?window= query to a trailing duration; 0 means all
+// time.
+func parseWindow(q string) (time.Duration, error) {
+	switch strings.ToLower(q) {
+	case "", "all", "alltime", "total":
+		return 0, nil
+	case "hour":
+		return time.Hour, nil
+	case "day":
+		return 24 * time.Hour, nil
+	}
+	d, err := time.ParseDuration(q)
+	if err != nil {
+		return 0, fmt.Errorf("bad window %q: use e.g. 1h, 24h, or all", q)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("bad window %q: must be positive", q)
+	}
+	return d, nil
+}
+
+func (ing *Ingestor) handleReport(w http.ResponseWriter, r *http.Request) {
+	window, err := parseWindow(r.URL.Query().Get("window"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rep := ing.Report(window)
+	switch strings.ToLower(r.URL.Query().Get("format")) {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, rep.Render())
+	case "json":
+		js, err := rep.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(js)
+	default:
+		http.Error(w, "bad format: use text or json", http.StatusBadRequest)
+	}
+}
+
+func (ing *Ingestor) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s := ing.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Status string `json:"status"`
+		Stats
+	}{Status: "ok", Stats: s})
+}
+
+func (ing *Ingestor) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, ing.Stats().PrometheusText())
+}

@@ -1,0 +1,442 @@
+// Equivalence suite for the streaming ingest chain: a daemon tailing the
+// replayed logs must (with a window wider than the capture) reproduce the
+// batch pipeline's report byte for byte, survive a snapshot/restart without
+// changing a single byte of the final report, and keep its admin surface
+// consistent with the state it serves.
+//
+// The suite lives in an external test package so it drives the ingestor
+// through the same surface cmd/certchain-ingestd uses.
+package ingest_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"certchains/internal/analysis"
+	"certchains/internal/campus"
+	"certchains/internal/ingest"
+	"certchains/internal/lint"
+)
+
+// equivScale matches the analysis equivalence suite: small enough to be
+// fast, large enough to preserve every structural absolute of the paper.
+const equivScale = 0.002
+
+// giantInterval is wider than any scenario capture, so every observation
+// lands in one window and the final report is comparable to the batch
+// pipeline (which aggregates over the whole capture).
+const giantInterval = 100 * 365 * 24 * time.Hour
+
+var (
+	scenarioMu    sync.Mutex
+	scenarioCache = map[int64]*campus.Scenario{}
+)
+
+// scenario generates (and caches — generation dominates test time) the
+// campus scenario for one seed.
+func scenario(tb testing.TB, seed int64) *campus.Scenario {
+	tb.Helper()
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if s, ok := scenarioCache[seed]; ok {
+		return s
+	}
+	cfg := campus.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Scale = equivScale
+	s, err := campus.Generate(cfg)
+	if err != nil {
+		tb.Fatalf("seed %d: %v", seed, err)
+	}
+	scenarioCache[seed] = s
+	return s
+}
+
+// newPipeline builds the scenario pipeline with corpus linting enabled, so
+// the ingest equivalence also covers the lint accumulator's streaming path.
+func newPipeline(s *campus.Scenario) *analysis.Pipeline {
+	p := analysis.FromScenario(s)
+	p.Linter = lint.New(s.Classifier, lint.Config{Now: s.End(), Profile: lint.ProfileAll})
+	return p
+}
+
+// replayBytes renders the scenario as a pair of Zeek logs in memory.
+func replayBytes(tb testing.TB, s *campus.Scenario, jsonFormat bool) (ssl, x509 []byte) {
+	tb.Helper()
+	var sslBuf, x509Buf bytes.Buffer
+	err := campus.Replay(s.Observations, &sslBuf, &x509Buf, campus.ReplayOptions{
+		MaxConnsPerObservation: 4,
+		JSON:                   jsonFormat,
+	})
+	if err != nil {
+		tb.Fatalf("replay: %v", err)
+	}
+	return sslBuf.Bytes(), x509Buf.Bytes()
+}
+
+// writeLogs materializes the two logs in a fresh directory.
+func writeLogs(tb testing.TB, dir string, ssl, x509 []byte) (sslPath, x509Path string) {
+	tb.Helper()
+	sslPath = filepath.Join(dir, "ssl.log")
+	x509Path = filepath.Join(dir, "x509.log")
+	if err := os.WriteFile(sslPath, ssl, 0o644); err != nil {
+		tb.Fatal(err)
+	}
+	if err := os.WriteFile(x509Path, x509, 0o644); err != nil {
+		tb.Fatal(err)
+	}
+	return sslPath, x509Path
+}
+
+func appendFile(tb testing.TB, path string, data []byte) {
+	tb.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		tb.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// renderings captures every externally visible form of a report.
+func renderings(tb testing.TB, r *analysis.Report) (text string, js []byte) {
+	tb.Helper()
+	js, err := r.JSON()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r.Render(), js
+}
+
+// batchReport is the oracle: the batch pipeline over analysis.LoadFormat of
+// the very same log bytes the ingestor tails.
+func batchReport(tb testing.TB, p *analysis.Pipeline, format analysis.Format, ssl, x509 []byte) *analysis.Report {
+	tb.Helper()
+	obs, err := analysis.LoadFormat(format, bytes.NewReader(ssl), bytes.NewReader(x509))
+	if err != nil {
+		tb.Fatalf("load: %v", err)
+	}
+	return p.RunParallel(obs, 1)
+}
+
+// span is the capture's log-time extent.
+func span(s *campus.Scenario) time.Duration {
+	first, last := s.Observations[0].First, s.Observations[0].Last
+	for _, o := range s.Observations {
+		if o.First.Before(first) {
+			first = o.First
+		}
+		if o.Last.After(last) {
+			last = o.Last
+		}
+	}
+	return last.Sub(first)
+}
+
+// drain tails both logs to completion and declares the capture ended.
+func drain(tb testing.TB, ing *ingest.Ingestor) {
+	tb.Helper()
+	// Two polls: the second must be a no-op (poll count must not matter).
+	if err := ing.PollOnce(); err != nil {
+		tb.Fatalf("poll: %v", err)
+	}
+	if err := ing.PollOnce(); err != nil {
+		tb.Fatalf("re-poll: %v", err)
+	}
+	if err := ing.Finish(); err != nil {
+		tb.Fatalf("finish: %v", err)
+	}
+}
+
+// TestIngestorMatchesBatch is the core streaming guarantee: tail the
+// replayed logs (both formats, several fold-worker widths), finish, and the
+// all-time report is byte-identical to the batch pipeline over the same
+// bytes.
+func TestIngestorMatchesBatch(t *testing.T) {
+	s := scenario(t, 1)
+	for _, jsonFormat := range []bool{false, true} {
+		name := "tsv"
+		format := analysis.FormatTSV
+		if jsonFormat {
+			name, format = "json", analysis.FormatJSON
+		}
+		t.Run(name, func(t *testing.T) {
+			ssl, x509 := replayBytes(t, s, jsonFormat)
+			wantText, wantJS := renderings(t, batchReport(t, newPipeline(s), format, ssl, x509))
+
+			for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+					sslPath, x509Path := writeLogs(t, t.TempDir(), ssl, x509)
+					ing := ingest.New(newPipeline(s), ingest.Config{
+						SSLPath:  sslPath,
+						X509Path: x509Path,
+						JSON:     jsonFormat,
+						Window:   analysis.WindowConfig{Interval: giantInterval, Buckets: 4, Workers: workers},
+					})
+					defer ing.Close()
+					drain(t, ing)
+
+					gotText, gotJS := renderings(t, ing.Report(0))
+					if gotText != wantText {
+						t.Errorf("streamed report diverges from batch")
+					}
+					if !bytes.Equal(gotJS, wantJS) {
+						t.Errorf("streamed JSON diverges from batch")
+					}
+					// Reporting must not mutate state.
+					againText, _ := renderings(t, ing.Report(0))
+					if againText != gotText {
+						t.Errorf("second report differs from first")
+					}
+
+					st := ing.Stats()
+					if st.Joiner.Orphans != 0 || st.Joiner.Forced != 0 {
+						t.Errorf("lossy join on clean replay: %+v", st.Joiner)
+					}
+					if st.Observations == 0 {
+						t.Errorf("no observations folded")
+					}
+					if st.LateConns != 0 {
+						t.Errorf("late connections on a time-ordered replay: %d", st.LateConns)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestIngestorWindowedFolding runs with an interval much smaller than the
+// capture, so windows close and fold while tailing is still in progress. The
+// per-window observation split changes chain counts (that is the point of
+// windowing) but connection totals are additive and must match the
+// single-window run exactly.
+func TestIngestorWindowedFolding(t *testing.T) {
+	s := scenario(t, 1)
+	ssl, x509 := replayBytes(t, s, false)
+
+	run := func(interval time.Duration) (*ingest.Ingestor, ingest.Stats) {
+		sslPath, x509Path := writeLogs(t, t.TempDir(), ssl, x509)
+		ing := ingest.New(newPipeline(s), ingest.Config{
+			SSLPath:  sslPath,
+			X509Path: x509Path,
+			Window:   analysis.WindowConfig{Interval: interval, Buckets: 4, Workers: 2},
+		})
+		t.Cleanup(func() { ing.Close() })
+		drain(t, ing)
+		return ing, ing.Stats()
+	}
+
+	_, giant := run(giantInterval)
+	windowed, st := run(span(s)/12 + time.Nanosecond)
+
+	if st.FoldedWindows < 2 {
+		t.Fatalf("interval 1/12 of the capture folded only %d windows", st.FoldedWindows)
+	}
+	if st.LiveBuckets > 4 {
+		t.Errorf("ring exceeded its depth: %d live buckets", st.LiveBuckets)
+	}
+	if st.VisibleConns != giant.VisibleConns || st.TLS13Conns != giant.TLS13Conns {
+		t.Errorf("windowed conn totals (%d visible, %d tls13) != single-window (%d, %d)",
+			st.VisibleConns, st.TLS13Conns, giant.VisibleConns, giant.TLS13Conns)
+	}
+	for cat, cs := range giant.Categories {
+		if got := st.Categories[cat]; got.Conns != cs.Conns {
+			t.Errorf("category %v conns: windowed %d != single-window %d", cat, got.Conns, cs.Conns)
+		}
+	}
+	if st.LateConns != 0 {
+		t.Errorf("late connections on a time-ordered replay: %d", st.LateConns)
+	}
+	if text := st.PrometheusText(); !bytes.Contains([]byte(text), []byte("certchain_category_conns_total{category=")) {
+		t.Errorf("metrics missing per-category samples after folding")
+	}
+
+	// Trailing windows render without disturbing the all-time view.
+	allBefore, _ := renderings(t, windowed.Report(0))
+	if trailing := windowed.Report(24 * time.Hour); trailing.Render() == "" {
+		t.Errorf("trailing report rendered empty")
+	}
+	if allAfter, _ := renderings(t, windowed.Report(0)); allAfter != allBefore {
+		t.Errorf("trailing report mutated the all-time view")
+	}
+}
+
+// TestIngestorSnapshotRestartEquivalence is the crash-resume guarantee:
+// ingest a prefix (cut mid-line), snapshot, restore into a fresh process
+// image, append the rest, and the final report is byte-identical to a run
+// that never stopped — across seeds and fold-worker widths.
+func TestIngestorSnapshotRestartEquivalence(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			s := scenario(t, seed)
+			ssl, x509 := replayBytes(t, s, false)
+			window := analysis.WindowConfig{Interval: span(s)/10 + time.Nanosecond, Buckets: 6}
+
+			for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+				t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+					window.Workers = workers
+
+					// Oracle: the uninterrupted run over the same bytes.
+					sslPath, x509Path := writeLogs(t, t.TempDir(), ssl, x509)
+					oracle := ingest.New(newPipeline(s), ingest.Config{
+						SSLPath: sslPath, X509Path: x509Path, Window: window,
+					})
+					defer oracle.Close()
+					drain(t, oracle)
+					wantText, wantJS := renderings(t, oracle.Report(0))
+
+					// Interrupted run: prefixes cut mid-line at different
+					// points per file, so the snapshot catches partial
+					// trailing lines and a half-full join buffer.
+					dir := t.TempDir()
+					sslCut, x509Cut := len(ssl)*55/100, len(x509)*70/100
+					sslPath2, x509Path2 := writeLogs(t, dir, ssl[:sslCut], x509[:x509Cut])
+					cfg := ingest.Config{
+						SSLPath:      sslPath2,
+						X509Path:     x509Path2,
+						Window:       window,
+						SnapshotPath: filepath.Join(dir, "ingest.snapshot"),
+					}
+					first := ingest.New(newPipeline(s), cfg)
+					if err := first.PollOnce(); err != nil {
+						t.Fatal(err)
+					}
+					if err := first.SnapshotToFile(); err != nil {
+						t.Fatal(err)
+					}
+					firstObs := first.Stats().Observations
+					if err := first.Close(); err != nil {
+						t.Fatal(err)
+					}
+
+					// "Restart": restore from the snapshot file, append the
+					// rest of both logs, drain.
+					second, restored, err := ingest.RestoreOrNew(newPipeline(s), cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !restored {
+						t.Fatal("RestoreOrNew ignored the snapshot file")
+					}
+					defer second.Close()
+					if got := second.Stats().Observations; got != firstObs {
+						t.Fatalf("restored %d observations, snapshotted %d", got, firstObs)
+					}
+					appendFile(t, sslPath2, ssl[sslCut:])
+					appendFile(t, x509Path2, x509[x509Cut:])
+					drain(t, second)
+
+					gotText, gotJS := renderings(t, second.Report(0))
+					if gotText != wantText {
+						t.Errorf("restarted report diverges from uninterrupted run")
+					}
+					if !bytes.Equal(gotJS, wantJS) {
+						t.Errorf("restarted JSON diverges from uninterrupted run")
+					}
+					if got, want := second.Stats().Observations, oracle.Stats().Observations; got != want {
+						t.Errorf("restarted run folded %d observations, uninterrupted %d", got, want)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestHandlerEndpoints exercises the admin mux against a live (unfinished)
+// ingestor, including the provisional-report path for still-open windows.
+func TestHandlerEndpoints(t *testing.T) {
+	s := scenario(t, 1)
+	ssl, x509 := replayBytes(t, s, false)
+	sslPath, x509Path := writeLogs(t, t.TempDir(), ssl, x509)
+	ing := ingest.New(newPipeline(s), ingest.Config{
+		SSLPath:  sslPath,
+		X509Path: x509Path,
+		Window:   analysis.WindowConfig{Interval: giantInterval, Buckets: 4, Workers: 2},
+	})
+	defer ing.Close()
+	if err := ing.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	h := ing.Handler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := get("/report"); rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Errorf("/report: code %d, %d bytes", rec.Code, rec.Body.Len())
+	}
+	if rec := get("/report?window=hour&format=json"); rec.Code != http.StatusOK || !json.Valid(rec.Body.Bytes()) {
+		t.Errorf("/report json: code %d, valid=%v", rec.Code, json.Valid(rec.Body.Bytes()))
+	}
+	if rec := get("/report?window=36h"); rec.Code != http.StatusOK {
+		t.Errorf("/report?window=36h: code %d", rec.Code)
+	}
+	for _, bad := range []string{"/report?window=bogus", "/report?window=-5m", "/report?format=xml"} {
+		if rec := get(bad); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", bad, rec.Code)
+		}
+	}
+
+	rec := get("/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz: code %d", rec.Code)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Joiner struct {
+			Joined int64 `json:"joined"`
+		} `json:"joiner"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("/healthz: %v", err)
+	}
+	if health.Status != "ok" || health.Joiner.Joined == 0 {
+		t.Errorf("/healthz: status %q, joined %d", health.Status, health.Joiner.Joined)
+	}
+
+	rec = get("/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: code %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, series := range []string{
+		"certchain_observations_total",
+		"certchain_join_joined_total",
+		`certchain_tail_lag_bytes{log="ssl"}`,
+		`certchain_tail_parse_errors_total{log="x509"}`,
+		// Nothing has folded yet (giant window, no Finish), so the category
+		// series has its header but no samples.
+		"# TYPE certchain_category_conns_total counter",
+		"certchain_snapshot_age_seconds -1",
+	} {
+		if !bytes.Contains([]byte(body), []byte(series)) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+
+	if rec := get("/debug/pprof/cmdline"); rec.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: code %d", rec.Code)
+	}
+}

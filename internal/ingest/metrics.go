@@ -1,0 +1,153 @@
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"certchains/internal/analysis"
+	"certchains/internal/chain"
+	"certchains/internal/zeek"
+)
+
+// TailStats is one tailer's observable state.
+type TailStats struct {
+	Offset    int64 `json:"offset"`
+	LagBytes  int64 `json:"lag_bytes"`
+	Rotations int64 `json:"rotations"`
+	ParseErrs int64 `json:"parse_errs"`
+	Closed    bool  `json:"closed"`
+}
+
+// Stats is a consistent point-in-time view of the whole ingest chain, taken
+// under one lock acquisition — the source for /metrics and /healthz.
+type Stats struct {
+	Observations  int                                       `json:"observations"`
+	TLS13Conns    int64                                     `json:"tls13_conns"`
+	VisibleConns  int64                                     `json:"visible_conns"`
+	Categories    map[chain.Category]analysis.CategoryStats `json:"-"`
+	Joiner        zeek.JoinerStats                          `json:"joiner"`
+	JoinPending   int                                       `json:"join_pending"`
+	CertIndex     int                                       `json:"cert_index"`
+	SSLTail       TailStats                                 `json:"ssl_tail"`
+	X509Tail      TailStats                                 `json:"x509_tail"`
+	OpenAggs      int                                       `json:"open_aggregates"`
+	LiveBuckets   int                                       `json:"live_buckets"`
+	FoldedWindows int64                                     `json:"folded_windows"`
+	LateConns     int64                                     `json:"late_conns"`
+	RecordErrs    int64                                     `json:"record_errs"`
+	Snapshots     int64                                     `json:"snapshots"`
+	// SnapshotAge is seconds since the last snapshot write; -1 before the
+	// first one.
+	SnapshotAge float64 `json:"snapshot_age_seconds"`
+	Uptime      float64 `json:"uptime_seconds"`
+	Closed      bool    `json:"closed"`
+	Watermark   string  `json:"watermark,omitempty"`
+}
+
+func tailStats(t *zeek.Tailer) TailStats {
+	return TailStats{
+		Offset:    t.Offset(),
+		LagBytes:  t.LagBytes(),
+		Rotations: t.Rotations(),
+		ParseErrs: t.ParseErrors(),
+		Closed:    t.Closed(),
+	}
+}
+
+// Stats captures the current counters.
+func (ing *Ingestor) Stats() Stats {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	tls13, visible := ing.ring.ConnTotals()
+	s := Stats{
+		Observations:  ing.ring.Seq(),
+		TLS13Conns:    tls13,
+		VisibleConns:  visible,
+		Categories:    ing.ring.CategoryTotals(),
+		Joiner:        ing.joiner.Stats(),
+		JoinPending:   ing.joiner.PendingDepth(),
+		CertIndex:     ing.joiner.CertIndexSize(),
+		SSLTail:       tailStats(ing.sslTail),
+		X509Tail:      tailStats(ing.x509Tail),
+		OpenAggs:      ing.agg.openCount(),
+		LiveBuckets:   ing.ring.LiveBuckets(),
+		FoldedWindows: ing.foldedWindows,
+		LateConns:     ing.agg.lateConns,
+		RecordErrs:    ing.recordErrs,
+		Snapshots:     ing.snapshots,
+		SnapshotAge:   -1,
+		Uptime:        time.Since(ing.startedAt).Seconds(),
+		Closed:        ing.sslTail.Closed() && ing.x509Tail.Closed(),
+	}
+	if !ing.lastSnapshot.IsZero() {
+		s.SnapshotAge = time.Since(ing.lastSnapshot).Seconds()
+	}
+	if ing.wmSet {
+		s.Watermark = ing.wm.UTC().Format(time.RFC3339Nano)
+	}
+	return s
+}
+
+// PrometheusText renders the stats in Prometheus exposition format,
+// hand-rolled (no client library — the repository is stdlib-only). Series
+// are emitted in a fixed order so scrapes diff cleanly.
+func (s Stats) PrometheusText() string {
+	var b strings.Builder
+	g := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	c := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+
+	c("certchain_observations_total", "Observations folded into the analysis ring.", s.Observations)
+	c("certchain_conns_visible_total", "Connections with an observable certificate chain.", s.VisibleConns)
+	c("certchain_conns_tls13_total", "Connections whose certificates TLS 1.3 hides.", s.TLS13Conns)
+
+	cats := make([]int, 0, len(s.Categories))
+	for cat := range s.Categories {
+		cats = append(cats, int(cat))
+	}
+	sort.Ints(cats)
+	fmt.Fprintf(&b, "# HELP certchain_category_conns_total Connections per chain category.\n# TYPE certchain_category_conns_total counter\n")
+	for _, cat := range cats {
+		fmt.Fprintf(&b, "certchain_category_conns_total{category=%q} %d\n", chain.Category(cat).String(), s.Categories[chain.Category(cat)].Conns)
+	}
+	fmt.Fprintf(&b, "# HELP certchain_category_chains_total Observations per chain category.\n# TYPE certchain_category_chains_total counter\n")
+	for _, cat := range cats {
+		fmt.Fprintf(&b, "certchain_category_chains_total{category=%q} %d\n", chain.Category(cat).String(), s.Categories[chain.Category(cat)].Chains)
+	}
+
+	c("certchain_join_ssl_records_total", "ssl.log records consumed by the joiner.", s.Joiner.SSLRecords)
+	c("certchain_join_x509_records_total", "x509.log records consumed by the joiner.", s.Joiner.X509Records)
+	c("certchain_join_joined_total", "Connections joined with their full chain.", s.Joiner.Joined)
+	c("certchain_join_orphans_total", "Connections dropped: a referenced certificate never arrived.", s.Joiner.Orphans)
+	c("certchain_join_evictions_total", "Certificates evicted from the bounded join index.", s.Joiner.Evictions)
+	c("certchain_join_dup_certs_total", "Re-logged certificate ids (first record wins).", s.Joiner.DupCerts)
+	c("certchain_join_forced_total", "Connections drained early by the pending-queue cap.", s.Joiner.Forced)
+	g("certchain_join_pending_depth", "Connections held for the x509 watermark.", s.JoinPending)
+	g("certchain_join_cert_index_size", "Certificates resident in the join index.", s.CertIndex)
+
+	tail := func(log string, t TailStats) {
+		fmt.Fprintf(&b, "certchain_tail_lag_bytes{log=%q} %d\n", log, t.LagBytes)
+		fmt.Fprintf(&b, "certchain_tail_rotations_total{log=%q} %d\n", log, t.Rotations)
+		fmt.Fprintf(&b, "certchain_tail_parse_errors_total{log=%q} %d\n", log, t.ParseErrs)
+	}
+	fmt.Fprintf(&b, "# HELP certchain_tail_lag_bytes Bytes appended but not yet processed.\n# TYPE certchain_tail_lag_bytes gauge\n")
+	fmt.Fprintf(&b, "# HELP certchain_tail_rotations_total Detected rotations and truncations.\n# TYPE certchain_tail_rotations_total counter\n")
+	fmt.Fprintf(&b, "# HELP certchain_tail_parse_errors_total Malformed lines dropped.\n# TYPE certchain_tail_parse_errors_total counter\n")
+	tail("ssl", s.SSLTail)
+	tail("x509", s.X509Tail)
+
+	g("certchain_open_aggregates", "Aggregates in still-open windows.", s.OpenAggs)
+	g("certchain_live_buckets", "Live (unspilled) ring buckets.", s.LiveBuckets)
+	c("certchain_folded_windows_total", "Windows folded into the ring.", s.FoldedWindows)
+	c("certchain_late_conns_total", "Connections landing in already-folded windows.", s.LateConns)
+	c("certchain_record_errors_total", "Records rejected by the join layer.", s.RecordErrs)
+	c("certchain_snapshots_total", "State snapshots written.", s.Snapshots)
+	g("certchain_snapshot_age_seconds", "Seconds since the last snapshot (-1 before the first).", s.SnapshotAge)
+	g("certchain_uptime_seconds", "Seconds since the daemon started.", s.Uptime)
+	return b.String()
+}

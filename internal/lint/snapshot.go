@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"certchains/internal/certmodel"
+	"certchains/internal/stats"
+)
+
+// CorpusSnapshot is the serialized form of a CorpusReport. Per-chain finding
+// maps are carried verbatim (linting is deterministic per chain, so restored
+// entries are exactly what a re-lint would compute, and ObserveAnalyzed's
+// chain-key cache keeps them from being recomputed after restore). The
+// linter itself is not serialized — the restoring side must supply one with
+// the same configuration.
+type CorpusSnapshot struct {
+	Observations     int64                     `json:"observations"`
+	Conns            int64                     `json:"conns"`
+	FindingsPerChain map[string]map[string]int `json:"findings_per_chain,omitempty"`
+	ConnsPerCheck    map[string]int64          `json:"conns_per_check,omitempty"`
+	SerialCerts      map[string][]string       `json:"serial_certs,omitempty"`
+}
+
+// Snapshot serializes the accumulator.
+func (c *CorpusReport) Snapshot() *CorpusSnapshot {
+	s := &CorpusSnapshot{
+		Observations:     c.observations,
+		Conns:            c.conns,
+		FindingsPerChain: make(map[string]map[string]int, len(c.findingsPerChain)),
+		ConnsPerCheck:    make(map[string]int64, len(c.connsPerCheck)),
+		SerialCerts:      make(map[string][]string, len(c.serialCerts)),
+	}
+	for k, perCheck := range c.findingsPerChain {
+		cp := make(map[string]int, len(perCheck))
+		for id, n := range perCheck {
+			cp[id] = n
+		}
+		s.FindingsPerChain[k] = cp
+	}
+	for id, n := range c.connsPerCheck {
+		s.ConnsPerCheck[id] = n
+	}
+	for sk, set := range c.serialCerts {
+		fps := make(map[string]bool, len(set))
+		for fp := range set {
+			fps[string(fp)] = true
+		}
+		s.SerialCerts[sk] = stats.SortedSet(fps)
+	}
+	return s
+}
+
+// CorpusFromSnapshot rebuilds an accumulator linting with l, which must be
+// configured identically to the linter the snapshot was taken under.
+func CorpusFromSnapshot(l *Linter, s *CorpusSnapshot) *CorpusReport {
+	c := NewCorpusReport(l)
+	if s == nil {
+		return c
+	}
+	c.observations = s.Observations
+	c.conns = s.Conns
+	for k, perCheck := range s.FindingsPerChain {
+		cp := make(map[string]int, len(perCheck))
+		for id, n := range perCheck {
+			cp[id] = n
+		}
+		c.findingsPerChain[k] = cp
+	}
+	for id, n := range s.ConnsPerCheck {
+		c.connsPerCheck[id] = n
+	}
+	for sk, fps := range s.SerialCerts {
+		set := make(map[certmodel.Fingerprint]bool, len(fps))
+		for _, fp := range fps {
+			set[certmodel.Fingerprint(fp)] = true
+		}
+		c.serialCerts[sk] = set
+	}
+	return c
+}

@@ -1,0 +1,83 @@
+package stats
+
+import "sort"
+
+// Snapshot support: the ingest daemon persists accumulator state across
+// restarts, so the mergeable structures need a stable, JSON-friendly
+// serialized form whose round trip reproduces the accumulator exactly.
+// Restored accumulators must keep merging and rendering byte-identically to
+// never-snapshotted ones — the window-ring equivalence suite enforces this.
+
+// CDFSnapshot is the serialized form of a CDF: parallel value/count slices
+// sorted by value, so the encoding is deterministic.
+type CDFSnapshot struct {
+	Values []int   `json:"values,omitempty"`
+	Counts []int64 `json:"counts,omitempty"`
+}
+
+// Snapshot serializes the distribution.
+func (c *CDF) Snapshot() CDFSnapshot {
+	values := c.Values()
+	counts := make([]int64, len(values))
+	for i, v := range values {
+		counts[i] = c.counts[v]
+	}
+	return CDFSnapshot{Values: values, Counts: counts}
+}
+
+// CDFFromSnapshot rebuilds a distribution from its serialized form.
+func CDFFromSnapshot(s CDFSnapshot) *CDF {
+	c := NewCDF()
+	for i, v := range s.Values {
+		if i < len(s.Counts) {
+			c.Add(v, s.Counts[i])
+		}
+	}
+	return c
+}
+
+// HistogramSnapshot is the serialized form of a Histogram. The total is
+// recomputed from the bins on restore (Add and Merge keep them consistent).
+type HistogramSnapshot struct {
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+	Bins []int64 `json:"bins"`
+}
+
+// Snapshot serializes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{Lo: h.Lo, Hi: h.Hi, Bins: append([]int64(nil), h.Bins...)}
+}
+
+// HistogramFromSnapshot rebuilds a histogram from its serialized form.
+func HistogramFromSnapshot(s HistogramSnapshot) *Histogram {
+	h := NewHistogram(s.Lo, s.Hi, len(s.Bins))
+	copy(h.Bins, s.Bins)
+	for _, n := range s.Bins {
+		h.total += n
+	}
+	return h
+}
+
+// SortedSet renders a string set as a sorted slice — the canonical set form
+// used throughout the snapshot codecs.
+func SortedSet(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetFromSlice rebuilds a string set from its sorted-slice form.
+func SetFromSlice(keys []string) map[string]bool {
+	out := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		out[k] = true
+	}
+	return out
+}

@@ -112,6 +112,18 @@ func (w *Writer) Close(at time.Time) error {
 	return w.w.Flush()
 }
 
+// Flush pushes buffered records to the underlying writer without closing the
+// stream — what a live Zeek worker does between rotations, and what the
+// replay emitter needs so a tailer sees records as they are written.
+func (w *Writer) Flush() error {
+	if !w.opened {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}
+
 // Records returns the number of records written so far.
 func (w *Writer) Records() int { return w.nrec }
 
@@ -228,18 +240,24 @@ func (r Record) GetInt(field string) (int, bool) {
 }
 
 // Reader parses a Zeek ASCII log stream.
+//
+// The reader tolerates what a log consumer sees on a file that is still being
+// written (or was cut off mid-write): a missing #close footer, a final data
+// line without a trailing newline (parsed normally when its field count is
+// right), and a final line truncated mid-record (dropped silently). Only
+// newline-terminated malformed lines — corruption rather than an in-progress
+// write — surface as errors.
 type Reader struct {
-	s      *bufio.Scanner
+	br     *bufio.Reader
 	header Header
 	line   int
+	eof    bool
 }
 
 // NewReader wraps an ASCII log stream. The header block is parsed lazily on
 // the first Read.
 func NewReader(r io.Reader) *Reader {
-	s := bufio.NewScanner(r)
-	s.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	return &Reader{s: s}
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
 }
 
 // Header returns the parsed header; valid after the first successful Read.
@@ -247,16 +265,27 @@ func (r *Reader) Header() Header { return r.header }
 
 // Read returns the next record or io.EOF.
 func (r *Reader) Read() (Record, error) {
-	for r.s.Scan() {
-		r.line++
-		line := r.s.Text()
+	for !r.eof {
+		line, rerr := r.br.ReadString('\n')
+		if rerr != nil {
+			if rerr != io.EOF {
+				return nil, fmt.Errorf("zeek: read: %w", rerr)
+			}
+			r.eof = true
+		}
+		terminated := strings.HasSuffix(line, "\n")
+		line = strings.TrimSuffix(line, "\n")
+		line = strings.TrimSuffix(line, "\r")
 		if line == "" {
 			continue
 		}
+		r.line++
 		if strings.HasPrefix(line, "#") {
-			if err := r.parseDirective(line); err != nil {
-				return nil, err
+			if !terminated {
+				// A directive fragment cut mid-write: not yet a directive.
+				continue
 			}
+			parseDirective(&r.header, line)
 			continue
 		}
 		if len(r.header.Fields) == 0 {
@@ -264,6 +293,10 @@ func (r *Reader) Read() (Record, error) {
 		}
 		parts := strings.Split(line, Separator)
 		if len(parts) != len(r.header.Fields) {
+			if !terminated {
+				// The writer is mid-record; the fragment is not data yet.
+				continue
+			}
 			return nil, fmt.Errorf("zeek: line %d: %d values for %d fields", r.line, len(parts), len(r.header.Fields))
 		}
 		rec := make(Record, len(parts))
@@ -272,13 +305,12 @@ func (r *Reader) Read() (Record, error) {
 		}
 		return rec, nil
 	}
-	if err := r.s.Err(); err != nil {
-		return nil, fmt.Errorf("zeek: scan: %w", err)
-	}
 	return nil, io.EOF
 }
 
-func (r *Reader) parseDirective(line string) error {
+// parseDirective folds one '#'-prefixed header line into h. Unknown
+// directives (#separator, #close, ...) are ignored.
+func parseDirective(h *Header, line string) {
 	parts := strings.SplitN(line, Separator, 2)
 	key := parts[0]
 	rest := ""
@@ -287,17 +319,16 @@ func (r *Reader) parseDirective(line string) error {
 	}
 	switch key {
 	case "#path":
-		r.header.Path = rest
+		h.Path = rest
 	case "#fields":
-		r.header.Fields = strings.Split(rest, Separator)
+		h.Fields = strings.Split(rest, Separator)
 	case "#types":
-		r.header.Types = strings.Split(rest, Separator)
+		h.Types = strings.Split(rest, Separator)
 	case "#open":
 		if t, err := time.Parse("2006-01-02-15-04-05", rest); err == nil {
-			r.header.Open = t
+			h.Open = t
 		}
 	}
-	return nil
 }
 
 // ReadAll drains the reader.

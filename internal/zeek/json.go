@@ -82,6 +82,9 @@ func (w *JSONSSLWriter) Write(r *SSLRecord) error {
 // Close flushes the stream.
 func (w *JSONSSLWriter) Close() error { return w.w.Flush() }
 
+// Flush pushes buffered records without closing the stream.
+func (w *JSONSSLWriter) Flush() error { return w.w.Flush() }
+
 // Records returns the number of records written.
 func (w *JSONSSLWriter) Records() int { return w.nrec }
 
@@ -144,6 +147,9 @@ func (w *JSONX509Writer) Write(r *X509Record) error {
 
 // Close flushes the stream.
 func (w *JSONX509Writer) Close() error { return w.w.Flush() }
+
+// Flush pushes buffered records without closing the stream.
+func (w *JSONX509Writer) Flush() error { return w.w.Flush() }
 
 // Records returns the number of records written.
 func (w *JSONX509Writer) Records() int { return w.nrec }

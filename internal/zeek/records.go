@@ -71,6 +71,9 @@ func (s *SSLWriter) Write(r *SSLRecord) error {
 // Close finishes the stream.
 func (s *SSLWriter) Close(at time.Time) error { return s.w.Close(at) }
 
+// Flush pushes buffered records without closing the stream.
+func (s *SSLWriter) Flush() error { return s.w.Flush() }
+
 // Records returns the number of records written.
 func (s *SSLWriter) Records() int { return s.w.Records() }
 
@@ -171,6 +174,9 @@ func (x *X509Writer) Write(r *X509Record) error {
 
 // Close finishes the stream.
 func (x *X509Writer) Close(at time.Time) error { return x.w.Close(at) }
+
+// Flush pushes buffered records without closing the stream.
+func (x *X509Writer) Flush() error { return x.w.Flush() }
 
 // Records returns the number of records written.
 func (x *X509Writer) Records() int { return x.w.Records() }

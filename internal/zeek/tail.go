@@ -1,0 +1,356 @@
+package zeek
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"strings"
+)
+
+// This file implements live log tailing: following a Zeek log file as the
+// worker writes it, surviving partial trailing lines, in-place truncation,
+// and rename-based rotation (Zeek's default ASCII writer renames ssl.log to
+// ssl-<timestamp>.log and starts a fresh file each rotation interval).
+//
+// The tailer is deliberately poll-based (no inotify): polling is portable,
+// trivially testable, and a daemon polling every few hundred milliseconds is
+// indistinguishable from event-driven tailing at Zeek's log rates. Crucially
+// the downstream join is poll-independent (see incjoin.go), so the poll
+// cadence never changes analysis results.
+
+// LineDecoder turns raw log lines into generic Records. Implementations keep
+// whatever per-file state the format needs (the TSV header block); the tailer
+// resets the decoder on rotation, when the new file carries a new header.
+type LineDecoder interface {
+	// Decode parses one complete line. A nil record with nil error means the
+	// line carried no data (blank line, header directive, #close footer).
+	Decode(line string) (Record, error)
+	// Closed reports whether the stream has announced its end (#close for
+	// TSV; ND-JSON streams never do).
+	Closed() bool
+}
+
+// TSVDecoder decodes Zeek ASCII (TSV) log lines.
+type TSVDecoder struct {
+	header Header
+	closed bool
+	line   int
+}
+
+// NewTSVDecoder returns a decoder with no header state; the header block is
+// folded in as directive lines arrive.
+func NewTSVDecoder() *TSVDecoder { return &TSVDecoder{} }
+
+// Decode implements LineDecoder.
+func (d *TSVDecoder) Decode(line string) (Record, error) {
+	if line == "" {
+		return nil, nil
+	}
+	d.line++
+	if strings.HasPrefix(line, "#") {
+		if strings.HasPrefix(line, "#close") {
+			d.closed = true
+			return nil, nil
+		}
+		if strings.HasPrefix(line, "#open") {
+			// A writer reopening the same file after #close resumes the stream.
+			d.closed = false
+		}
+		parseDirective(&d.header, line)
+		return nil, nil
+	}
+	if len(d.header.Fields) == 0 {
+		return nil, fmt.Errorf("zeek: tail line %d: data before #fields header", d.line)
+	}
+	parts := strings.Split(line, Separator)
+	if len(parts) != len(d.header.Fields) {
+		return nil, fmt.Errorf("zeek: tail line %d: %d values for %d fields", d.line, len(parts), len(d.header.Fields))
+	}
+	rec := make(Record, len(parts))
+	for i, f := range d.header.Fields {
+		rec[f] = unescapeField(parts[i])
+	}
+	return rec, nil
+}
+
+// Closed implements LineDecoder.
+func (d *TSVDecoder) Closed() bool { return d.closed }
+
+// Header returns the header parsed so far.
+func (d *TSVDecoder) Header() Header { return d.header }
+
+// restore reinstates header state from a snapshot, so a tailer resuming
+// mid-file does not need to re-read the header block.
+func (d *TSVDecoder) restore(fields []string, closed bool) {
+	if len(fields) > 0 {
+		d.header.Fields = fields
+	}
+	d.closed = closed
+}
+
+// JSONDecoder decodes ND-JSON log lines. It is stateless: every line is a
+// self-contained object.
+type JSONDecoder struct {
+	line int
+}
+
+// NewJSONDecoder returns an ND-JSON line decoder.
+func NewJSONDecoder() *JSONDecoder { return &JSONDecoder{} }
+
+// Decode implements LineDecoder.
+func (d *JSONDecoder) Decode(line string) (Record, error) {
+	if line == "" {
+		return nil, nil
+	}
+	d.line++
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(line), &raw); err != nil {
+		return nil, fmt.Errorf("zeek: tail json line %d: %w", d.line, err)
+	}
+	rec := make(Record, len(raw))
+	for k, v := range raw {
+		rec[k] = jsonValueToField(v)
+	}
+	return rec, nil
+}
+
+// Closed implements LineDecoder.
+func (d *JSONDecoder) Closed() bool { return false }
+
+// TailState is the serializable position of a tailer, persisted in daemon
+// snapshots so a restart resumes tailing where it left off. Offset always
+// points at a line boundary (partial reads are re-read after restore), so no
+// buffered bytes need to be persisted.
+type TailState struct {
+	Offset    int64    `json:"offset"`
+	Rotations int64    `json:"rotations,omitempty"`
+	ParseErrs int64    `json:"parse_errs,omitempty"`
+	TSVFields []string `json:"tsv_fields,omitempty"`
+	Closed    bool     `json:"closed,omitempty"`
+}
+
+// Tailer follows one growing log file.
+type Tailer struct {
+	path   string
+	newDec func() LineDecoder
+	dec    LineDecoder
+
+	f      *os.File
+	offset int64  // bytes of fully processed lines in the current file
+	carry  []byte // bytes after offset still waiting for their newline
+	size   int64  // file size at the last poll, for lag reporting
+
+	rotations int64
+	parseErrs int64
+
+	resume TailState // pending seek target from Restore, applied on open
+}
+
+// NewTailer follows path, decoding lines with decoders from newDec. The file
+// does not need to exist yet; polls before it appears are no-ops.
+func NewTailer(path string, newDec func() LineDecoder) *Tailer {
+	return &Tailer{path: path, newDec: newDec, dec: newDec()}
+}
+
+// Restore positions the tailer from a snapshot. Must be called before the
+// first Poll. If the file has been rotated or truncated below the saved
+// offset while the daemon was down, tailing restarts from the top of the
+// current file (the rotated-away history is gone either way).
+func (t *Tailer) Restore(s TailState) {
+	t.resume = s
+	t.rotations = s.Rotations
+	t.parseErrs = s.ParseErrs
+	if d, ok := t.dec.(*TSVDecoder); ok {
+		d.restore(s.TSVFields, s.Closed)
+	}
+}
+
+// State returns the serializable tailer position.
+func (t *Tailer) State() TailState {
+	s := TailState{Offset: t.offset, Rotations: t.rotations, ParseErrs: t.parseErrs}
+	if d, ok := t.dec.(*TSVDecoder); ok {
+		s.TSVFields = d.header.Fields
+		s.Closed = d.closed
+	}
+	return s
+}
+
+// Poll reads everything appended since the last poll and emits each complete
+// data line's record. It detects truncation (file shrank below our offset)
+// and rename rotation (path now names a different file): the remainder of a
+// rotated-away file is drained before switching to its replacement.
+func (t *Tailer) Poll(emit func(Record) error) error {
+	if t.f == nil {
+		if err := t.open(); err != nil || t.f == nil {
+			return err
+		}
+	}
+	cur, err := t.f.Stat()
+	if err != nil {
+		return fmt.Errorf("zeek: tail %s: %w", t.path, err)
+	}
+	if cur.Size() < t.offset+int64(len(t.carry)) {
+		// Truncated in place: the writer restarted the file under us.
+		if _, err := t.f.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("zeek: tail %s: %w", t.path, err)
+		}
+		t.offset, t.carry = 0, nil
+		t.dec = t.newDec()
+		t.rotations++
+	}
+	named, statErr := os.Stat(t.path)
+	rotated := statErr == nil && !os.SameFile(cur, named)
+	if err := t.consume(emit); err != nil {
+		return err
+	}
+	if !rotated {
+		return nil
+	}
+	// The old file is fully drained; a dangling partial line is the writer's
+	// final (unterminated) record — decode it before moving on.
+	if err := t.flushCarry(emit); err != nil {
+		return err
+	}
+	t.f.Close()
+	t.f = nil
+	t.offset = 0
+	t.dec = t.newDec()
+	t.rotations++
+	if err := t.open(); err != nil || t.f == nil {
+		return err
+	}
+	return t.consume(emit)
+}
+
+// open opens the tailed path, applying any pending restore offset. A missing
+// file is not an error — the writer just has not created it yet.
+func (t *Tailer) open() error {
+	f, err := os.Open(t.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("zeek: tail %s: %w", t.path, err)
+	}
+	t.f = f
+	if t.resume.Offset > 0 {
+		fi, err := f.Stat()
+		if err != nil {
+			return fmt.Errorf("zeek: tail %s: %w", t.path, err)
+		}
+		if fi.Size() >= t.resume.Offset {
+			if _, err := f.Seek(t.resume.Offset, io.SeekStart); err != nil {
+				return fmt.Errorf("zeek: tail %s: %w", t.path, err)
+			}
+			t.offset = t.resume.Offset
+		} else {
+			// Shorter than where we left off: rotated while down.
+			t.dec = t.newDec()
+			t.rotations++
+		}
+		t.resume = TailState{}
+	}
+	return nil
+}
+
+// consume reads to the current EOF, emitting every complete line.
+func (t *Tailer) consume(emit func(Record) error) error {
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := t.f.Read(buf)
+		if n > 0 {
+			t.carry = append(t.carry, buf[:n]...)
+			for {
+				i := bytes.IndexByte(t.carry, '\n')
+				if i < 0 {
+					break
+				}
+				line := string(t.carry[:i])
+				t.carry = t.carry[i+1:]
+				t.offset += int64(i) + 1
+				if err := t.decodeLine(line, emit); err != nil {
+					return err
+				}
+			}
+		}
+		if err == io.EOF {
+			if fi, serr := t.f.Stat(); serr == nil {
+				t.size = fi.Size()
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("zeek: tail %s: %w", t.path, err)
+		}
+	}
+}
+
+func (t *Tailer) decodeLine(line string, emit func(Record) error) error {
+	line = strings.TrimSuffix(line, "\r")
+	rec, err := t.dec.Decode(line)
+	if err != nil {
+		// Malformed lines are counted, not fatal: a daemon must outlive one
+		// corrupt record.
+		t.parseErrs++
+		return nil
+	}
+	if rec == nil {
+		return nil
+	}
+	return emit(rec)
+}
+
+// flushCarry decodes a dangling unterminated final line, used when the file
+// has reached its definite end (rotation or shutdown). Mid-record truncation
+// shows up as a parse error and is counted, matching the Reader's tolerance.
+func (t *Tailer) flushCarry(emit func(Record) error) error {
+	if len(t.carry) == 0 {
+		return nil
+	}
+	line := string(t.carry)
+	t.offset += int64(len(t.carry))
+	t.carry = nil
+	return t.decodeLine(line, emit)
+}
+
+// Finish drains any unterminated final line. Call once when tailing ends for
+// good (daemon shutdown after the writer closed the stream).
+func (t *Tailer) Finish(emit func(Record) error) error {
+	return t.flushCarry(emit)
+}
+
+// Closed reports whether the stream announced its end (#close).
+func (t *Tailer) Closed() bool { return t.dec.Closed() }
+
+// LagBytes is how far the last poll's file end is beyond what has been
+// processed — 0 when fully caught up.
+func (t *Tailer) LagBytes() int64 {
+	lag := t.size - t.offset - int64(len(t.carry))
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
+// Rotations counts detected rotations and truncations.
+func (t *Tailer) Rotations() int64 { return t.rotations }
+
+// ParseErrors counts malformed lines that were dropped.
+func (t *Tailer) ParseErrors() int64 { return t.parseErrs }
+
+// Offset is the byte position of fully processed lines in the current file.
+func (t *Tailer) Offset() int64 { return t.offset }
+
+// Close releases the underlying file handle.
+func (t *Tailer) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}
