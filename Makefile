@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz report experiments ingest-smoke clean
+.PHONY: all build vet lint test race bench fuzz report experiments ingest-smoke obs-smoke clean
 
 all: build vet lint test
 
@@ -46,9 +46,23 @@ ingest-smoke:
 	$(GO) test -count=1 -run 'TestSignalShutdownWritesSnapshot' ./cmd/certchain-ingestd/
 	$(GO) test -count=1 -run 'TestServeShutsDownOnInterrupt' ./cmd/ctlog/
 
-# One benchmark per paper table/figure plus ablations (bench_test.go).
+# Observability smoke: a real certchain-analyze run's -trace and -manifest
+# artifacts validate (one span set per declared stage, manifest schema),
+# the manifest's deterministic subset is byte-identical across seeds ×
+# worker widths, and every serving binary's /metrics passes the
+# exposition-format conformance checker.
+obs-smoke:
+	$(GO) test -count=1 -run 'TestObsArtifactsSmoke' ./cmd/certchain-analyze/
+	$(GO) test -count=1 -run 'TestManifestSubsetEquivalence' ./internal/analysis/
+	$(GO) test -count=1 -run 'TestServeMuxAdminEndpoints' ./cmd/ctlog/
+	$(GO) test -count=1 -run 'TestStatsPrometheusConformance|TestFillEscapesHostileLabels' ./internal/ingest/
+
+# One benchmark per paper table/figure plus ablations (bench_test.go), then
+# the span-driven per-stage pipeline baseline (ns/op and records/sec per
+# stage at workers 1 and GOMAXPROCS).
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) run ./cmd/pipeline-bench -out BENCH_pipeline.json
 
 # Short fuzz pass over the parsers and the shard-merge property (longer
 # runs: increase -fuzztime).
@@ -58,6 +72,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReader -fuzztime 20s ./internal/zeek/
 	$(GO) test -fuzz FuzzJSONReader -fuzztime 20s ./internal/zeek/
 	$(GO) test -fuzz FuzzShardMerge -fuzztime 30s ./internal/analysis/
+	$(GO) test -fuzz FuzzRegistryMerge -fuzztime 20s ./internal/obs/
 	$(GO) test -fuzz FuzzLintChain -fuzztime 30s ./internal/lint/
 
 # The full paper report with paper-vs-measured verification.

@@ -15,9 +15,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"certchains/internal/analysis"
@@ -25,6 +28,7 @@ import (
 	"certchains/internal/chain"
 	"certchains/internal/graph"
 	"certchains/internal/lint"
+	"certchains/internal/obs"
 	"certchains/internal/paper"
 )
 
@@ -48,8 +52,66 @@ func run() error {
 		verify  = flag.Bool("verify", false, "check every measured value against the paper's reported targets")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker count; any value produces an identical report")
 		lintPro = flag.String("lint", "", "lint every chain and append a corpus prevalence table; value is the check profile (paper, strict, all)")
+
+		tracePath    = flag.String("trace", "", "write a Chrome trace-event JSON file of the run's stage spans (view in chrome://tracing or Perfetto)")
+		manifestPath = flag.String("manifest", "", "write a run provenance manifest (seed, flags, input digests, stage costs, build info) to this path")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics (Prometheus text format) on this address for the duration of the run")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this path at exit")
+		logFormat    = flag.String("log-format", "text", "diagnostic log format: text or json")
+		logLevel     = flag.String("log-level", "info", "diagnostic log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				logger.Error("heap profile", "err", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				logger.Error("heap profile", "err", err)
+			}
+		}()
+	}
+
+	tracer := obs.NewTracer()
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, "certchain-analyze")
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() { _ = http.Serve(ln, mux) }()
+		logger.Info("metrics", "addr", fmt.Sprintf("http://%s/metrics", ln.Addr()))
+	}
 
 	cfg := campus.DefaultConfig()
 	cfg.Seed = *seed
@@ -61,6 +123,7 @@ func run() error {
 
 	pipeline := analysis.FromScenario(scenario)
 	pipeline.Workers = *workers
+	pipeline.Tracer = tracer
 	if *lintPro != "" {
 		// The scenario's collection end is the deterministic reference time:
 		// the same inputs always produce the same lint prevalence table.
@@ -72,9 +135,17 @@ func run() error {
 
 	observations := scenario.Observations
 	var report *analysis.Report
+	var inputs []obs.InputDigest
 	if *sslPath != "" || *x5Path != "" {
 		if *sslPath == "" || *x5Path == "" {
 			return fmt.Errorf("log-file mode needs both -ssl and -x509")
+		}
+		for _, path := range []string{*sslPath, *x5Path} {
+			d, err := obs.DigestFile(path)
+			if err != nil {
+				return err
+			}
+			inputs = append(inputs, d)
 		}
 		sslF, err := os.Open(*sslPath)
 		if err != nil {
@@ -100,9 +171,10 @@ func run() error {
 		loadErr := make(chan error, 1)
 		loaded := 0
 		observations = nil
+		loadSpan := tracer.Start("load", "load/zeek")
 		go func() {
 			defer close(obsCh)
-			loadErr <- analysis.LoadFormatFunc(f, sslF, x5F, func(o *campus.Observation) error {
+			err := analysis.LoadFormatFunc(f, sslF, x5F, func(o *campus.Observation) error {
 				loaded++
 				if *dotDir != "" {
 					observations = append(observations, o)
@@ -110,6 +182,9 @@ func run() error {
 				obsCh <- o
 				return nil
 			})
+			loadSpan.SetRecords(int64(loaded))
+			loadSpan.End()
+			loadErr <- err
 		}()
 		report = pipeline.RunStream(obsCh, *workers)
 		if err := <-loadErr; err != nil {
@@ -119,16 +194,55 @@ func run() error {
 	} else {
 		report = pipeline.Run(observations)
 	}
+	var reportBytes []byte
 	if *asJSON {
 		data, err := report.JSON()
 		if err != nil {
 			return err
 		}
-		os.Stdout.Write(data)
-		fmt.Println()
+		reportBytes = data
+	} else {
+		reportBytes = []byte(report.Render())
+	}
+
+	// Artifacts cover both output modes; emit them before the JSON early
+	// return. All pipeline spans have ended by now, so stage aggregates are
+	// final.
+	fillRunMetrics(reg, tracer)
+	emitArtifacts := func() error {
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			logger.Info("wrote trace", "path", *tracePath)
+		}
+		if *manifestPath != "" {
+			man := buildManifest(*seed, *scale, *workers, inputs, tracer, reportBytes)
+			if err := man.WriteFile(*manifestPath); err != nil {
+				return err
+			}
+			logger.Info("wrote manifest", "path", *manifestPath, "report_sha256", man.ReportSHA256)
+		}
 		return nil
 	}
-	fmt.Print(report.Render())
+
+	if *asJSON {
+		os.Stdout.Write(reportBytes)
+		fmt.Println()
+		return emitArtifacts()
+	}
+	os.Stdout.Write(reportBytes)
+	if err := emitArtifacts(); err != nil {
+		return err
+	}
 
 	if *revisit {
 		fmt.Println()
@@ -160,6 +274,44 @@ func run() error {
 		fmt.Printf("\nwrote figure5.dot, figure7.dot, figure8.dot to %s (render with `dot -Tsvg`)\n", *dotDir)
 	}
 	return nil
+}
+
+// buildManifest assembles the run's provenance record. Flags record only
+// what was explicitly set; the deterministic subset additionally drops
+// operational flags (workers, artifact paths), so equivalent runs at any
+// width produce byte-identical subsets.
+func buildManifest(seed int64, scale float64, workers int, inputs []obs.InputDigest, tracer *obs.Tracer, reportBytes []byte) *obs.Manifest {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	flags := make(map[string]string)
+	flag.Visit(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
+	return &obs.Manifest{
+		Tool:         "certchain-analyze",
+		Seed:         seed,
+		Scale:        scale,
+		Workers:      workers,
+		Flags:        flags,
+		Inputs:       inputs,
+		Stages:       tracer.Stages(),
+		ReportSHA256: obs.SHA256Hex(reportBytes),
+		WallNS:       tracer.WallNS(),
+		Build:        obs.Build(),
+	}
+}
+
+// fillRunMetrics publishes the finished run's stage costs to the registry
+// behind -metrics-addr: per-stage record and span totals as gauges and each
+// stage's wall time as a duration histogram observation.
+func fillRunMetrics(reg *obs.Registry, tracer *obs.Tracer) {
+	records := reg.Gauge("certchain_stage_records", "Records processed per pipeline stage.", "stage")
+	spans := reg.Gauge("certchain_stage_spans", "Spans recorded per pipeline stage.", "stage")
+	dur := reg.Histogram("certchain_stage_duration_seconds", "Wall time per pipeline stage.", obs.DefaultDurationBuckets, "stage")
+	for _, st := range tracer.Stages() {
+		records.With(st.Stage).Set(float64(st.Records))
+		spans.With(st.Stage).Set(float64(st.Spans))
+		dur.With(st.Stage).Observe(float64(st.WallNS) / 1e9)
+	}
 }
 
 // writeDOTFigures regenerates Figures 5, 7 and 8 as Graphviz files.

@@ -1,0 +1,49 @@
+// In-process coverage for the -metrics-addr surface: the registry
+// fillRunMetrics populates from a traced run must render a conformant
+// exposition with one stage sample set per traced stage.
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"certchains/internal/obs"
+)
+
+func TestFillRunMetricsConformance(t *testing.T) {
+	clock := func() func() time.Time {
+		t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+		n := 0
+		return func() time.Time { n++; return t0.Add(time.Duration(n) * time.Millisecond) }
+	}()
+	tracer := obs.NewTracerClock(clock)
+	sp := tracer.Start("observe", "observe").SetRecords(100)
+	sh := tracer.Start("observe-shard", "observe/shard0").SetRecords(100)
+	sh.End()
+	sp.End()
+	m := tracer.Start("merge", "merge")
+	m.End()
+
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, "certchain-analyze")
+	fillRunMetrics(reg, tracer)
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if err := obs.ValidateExposition(rec.Body.Bytes()); err != nil {
+		t.Fatalf("/metrics fails conformance: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		`certchain_stage_records{stage="observe"} 100`,
+		`certchain_stage_spans{stage="merge"} 1`,
+		`certchain_stage_duration_seconds_count{stage="observe-shard"} 1`,
+		`certchain_build_info{component="certchain-analyze"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -31,11 +31,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -43,6 +44,7 @@ import (
 	"certchains/internal/campus"
 	"certchains/internal/ingest"
 	"certchains/internal/lint"
+	"certchains/internal/obs"
 )
 
 func main() {
@@ -71,12 +73,49 @@ func run() error {
 		lintPro    = flag.String("lint", "", "lint every chain; value is the check profile (paper, strict, all)")
 		demo       = flag.Bool("demo", false, "replay a generated capture into the tailed files")
 		speed      = flag.Float64("speed", 500000, "demo replay speed: log seconds per wall second")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path (stopped at shutdown)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path at shutdown")
+		logFormat  = flag.String("log-format", "text", "log format: text or json")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "certchain-ingestd: ", log.LstdFlags)
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		return err
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				logger.Error("heap profile", "err", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				logger.Error("heap profile", "err", err)
+			}
+		}()
+	}
 
 	cfg := campus.DefaultConfig()
 	cfg.Seed = *seed
@@ -110,11 +149,11 @@ func run() error {
 			}
 			*sslPath = filepath.Join(dir, "ssl.log")
 			*x5Path = filepath.Join(dir, "x509.log")
-			logger.Printf("demo logs in %s", dir)
+			logger.Info("demo logs", "dir", dir)
 		}
 		go func() {
 			if err := runDemo(ctx, logger, scenario, *sslPath, *x5Path, isJSON, *speed); err != nil && ctx.Err() == nil {
-				logger.Printf("demo replay: %v", err)
+				logger.Error("demo replay", "err", err)
 			}
 		}()
 	}
@@ -135,14 +174,16 @@ func run() error {
 		return err
 	}
 	if resumed {
-		logger.Printf("resumed from snapshot %s (%d observations folded)", *snapshot, ing.Stats().Observations)
+		logger.Info("resumed from snapshot", "path", *snapshot, "observations", ing.Stats().Observations)
 	}
 
 	d := ingest.NewDaemon(ing, ingest.DaemonConfig{
 		Addr:          *addr,
 		Poll:          *poll,
 		SnapshotEvery: *snapEvery,
-		Logf:          logger.Printf,
+		// The daemon speaks printf; fold its lines into the structured
+		// logger's message field.
+		Logf: func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },
 	})
 	return d.Run(ctx)
 }
@@ -150,7 +191,7 @@ func run() error {
 // runDemo replays the scenario into the tailed log files, pacing records so
 // that `speed` log seconds pass per wall second. The writers flush in small
 // batches, so the daemon sees the capture arrive live.
-func runDemo(ctx context.Context, logger *log.Logger, s *campus.Scenario, sslPath, x5Path string, isJSON bool, speed float64) error {
+func runDemo(ctx context.Context, logger *slog.Logger, s *campus.Scenario, sslPath, x5Path string, isJSON bool, speed float64) error {
 	if speed <= 0 {
 		return fmt.Errorf("demo speed must be positive")
 	}
@@ -185,7 +226,7 @@ func runDemo(ctx context.Context, logger *log.Logger, s *campus.Scenario, sslPat
 			return nil
 		}
 	}
-	logger.Printf("demo: replaying %d observations at %.0fx", len(s.Observations), speed)
+	logger.Info("demo: replaying capture", "observations", len(s.Observations), "speed", speed)
 	err = campus.Replay(s.Observations, sslF, x5F, campus.ReplayOptions{
 		MaxConnsPerObservation: 4,
 		JSON:                   isJSON,
@@ -193,7 +234,7 @@ func runDemo(ctx context.Context, logger *log.Logger, s *campus.Scenario, sslPat
 		Pace:                   pace,
 	})
 	if err == nil {
-		logger.Printf("demo: capture complete")
+		logger.Info("demo: capture complete")
 	}
 	return err
 }

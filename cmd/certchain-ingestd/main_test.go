@@ -5,12 +5,17 @@ package main_test
 
 import (
 	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"certchains/internal/obs"
 )
 
 func TestSignalShutdownWritesSnapshot(t *testing.T) {
@@ -56,7 +61,7 @@ func TestSignalShutdownWritesSnapshot(t *testing.T) {
 		}
 		close(lines)
 	}()
-	waitFor := func(marker string) {
+	waitFor := func(marker string) string {
 		t.Helper()
 		deadline := time.After(60 * time.Second)
 		for {
@@ -67,17 +72,23 @@ func TestSignalShutdownWritesSnapshot(t *testing.T) {
 				}
 				t.Log(line)
 				if strings.Contains(line, marker) {
-					return
+					return line
 				}
 			case <-deadline:
 				t.Fatalf("timed out waiting for %q", marker)
 			}
 		}
 	}
-	waitFor("admin surface on")
+	announce := waitFor("admin surface on")
 	waitFor("capture complete")
 	// Give the poll loop a few ticks to drain the tail.
 	time.Sleep(500 * time.Millisecond)
+
+	// The announcement names the real bound address; exercise the live admin
+	// surface before shutting down.
+	addr := adminAddr(t, announce)
+	checkHealthz(t, "http://"+addr+"/healthz")
+	checkMetrics(t, "http://"+addr+"/metrics")
 
 	if err := cmd.Process.Signal(os.Interrupt); err != nil {
 		t.Fatal(err)
@@ -101,5 +112,75 @@ func TestSignalShutdownWritesSnapshot(t *testing.T) {
 	}
 	if st.Size() == 0 {
 		t.Fatal("final snapshot is empty")
+	}
+}
+
+// adminAddr extracts host:port from the daemon's announcement line
+// ("... admin surface on http://127.0.0.1:PORT/ ...").
+func adminAddr(t *testing.T, line string) string {
+	t.Helper()
+	_, rest, ok := strings.Cut(line, "http://")
+	if !ok {
+		t.Fatalf("announcement has no URL: %q", line)
+	}
+	addr, _, ok := strings.Cut(rest, "/")
+	if !ok || addr == "" {
+		t.Fatalf("announcement URL malformed: %q", line)
+	}
+	return addr
+}
+
+// checkHealthz asserts the liveness document reports a build revision and
+// the snapshot age sourced from the shared registry.
+func checkHealthz(t *testing.T, url string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d: %s", resp.StatusCode, body)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("healthz is not JSON: %v\n%s", err, body)
+	}
+	if doc["status"] != "ok" {
+		t.Errorf("healthz status field = %v", doc["status"])
+	}
+	if rev, _ := doc["build_revision"].(string); rev == "" {
+		t.Errorf("healthz build_revision empty: %s", body)
+	}
+	if _, ok := doc["snapshot_age_seconds"]; !ok {
+		t.Errorf("healthz missing snapshot_age_seconds: %s", body)
+	}
+}
+
+// checkMetrics asserts the exposition parses cleanly and carries the build
+// info series.
+func checkMetrics(t *testing.T, url string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Errorf("/metrics fails conformance: %v", err)
+	}
+	if !strings.Contains(string(body), "certchain_build_info{") {
+		t.Errorf("/metrics missing build info series")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -24,6 +25,7 @@ import (
 	"certchains/internal/campus"
 	"certchains/internal/ctlog"
 	"certchains/internal/merkle"
+	"certchains/internal/obs"
 )
 
 func main() {
@@ -79,20 +81,24 @@ func run() error {
 	}
 
 	if *serve != "" {
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			return err
+		}
 		server := &http.Server{
-			Addr:              *serve,
-			Handler:           log.Handler(),
+			Handler:           serveMux(log),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		// Serve until interrupted, then drain in-flight requests before
 		// exiting so monitors mid-download are not cut off. The handler is
 		// registered before the announcement so an interrupt arriving right
-		// after the line appears is never fatal.
+		// after the line appears is never fatal. The announced address is the
+		// listener's (not the flag's), so ":0" announces the real port.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		fmt.Printf("\nserving CT API on http://%s/ct/v1/ (get-sth, get-entries, get-proof, get-consistency, query, add-chain)\n", *serve)
+		fmt.Printf("\nserving CT API on http://%s/ct/v1/ (get-sth, get-entries, get-proof, get-consistency, query, add-chain; admin: /metrics, /healthz)\n", ln.Addr())
 		serveErr := make(chan error, 1)
-		go func() { serveErr <- server.ListenAndServe() }()
+		go func() { serveErr <- server.Serve(ln) }()
 		select {
 		case err := <-serveErr:
 			return err
@@ -107,4 +113,28 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// serveMux is the -serve surface: the RFC 6962-style API plus the standard
+// admin endpoints every serving binary in this repository exposes. Tree
+// metrics refresh from the log on each scrape, and /healthz reads the build
+// revision back out of the same registry /metrics renders.
+func serveMux(log *ctlog.Log) *http.ServeMux {
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, "ctlog")
+	treeSize := reg.Gauge("ctlog_tree_size", "Entries in the CT log's Merkle tree.")
+	refresh := func() { treeSize.With().Set(float64(log.Size())) }
+
+	mux := http.NewServeMux()
+	mux.Handle("/ct/v1/", log.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		refresh()
+		reg.Handler().ServeHTTP(w, r)
+	})
+	hz := obs.HealthzHandler(reg, map[string]string{"tree_size": "ctlog_tree_size"}, nil)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		refresh()
+		hz.ServeHTTP(w, r)
+	})
+	return mux
 }

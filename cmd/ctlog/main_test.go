@@ -1,15 +1,21 @@
 // Process-level e2e for -serve: the CT API server must exit cleanly on
-// SIGINT (draining in-flight requests) instead of dying mid-response.
+// SIGINT (draining in-flight requests) instead of dying mid-response, and
+// its live admin endpoints must report build identity and tree state.
 package main_test
 
 import (
 	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"certchains/internal/obs"
 )
 
 func TestServeShutsDownOnInterrupt(t *testing.T) {
@@ -32,22 +38,35 @@ func TestServeShutsDownOnInterrupt(t *testing.T) {
 	}
 	defer cmd.Process.Kill()
 
-	serving := make(chan bool, 1)
+	serving := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stdout)
 		for sc.Scan() {
 			line := sc.Text()
 			t.Log(line)
 			if strings.Contains(line, "serving CT API") {
-				serving <- true
+				serving <- line
 			}
 		}
 	}()
+	var announce string
 	select {
-	case <-serving:
+	case announce = <-serving:
 	case <-time.After(60 * time.Second):
 		t.Fatal("server never announced itself")
 	}
+
+	// The announcement carries the real bound address (the flag says :0);
+	// exercise the admin surface while the server is live.
+	_, rest, ok := strings.Cut(announce, "http://")
+	if !ok {
+		t.Fatalf("announcement has no URL: %q", announce)
+	}
+	addr, _, ok := strings.Cut(rest, "/")
+	if !ok || addr == "" {
+		t.Fatalf("announcement URL malformed: %q", announce)
+	}
+	checkAdminSurface(t, addr)
 
 	if err := cmd.Process.Signal(os.Interrupt); err != nil {
 		t.Fatal(err)
@@ -61,5 +80,55 @@ func TestServeShutsDownOnInterrupt(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("server did not exit after SIGINT")
+	}
+}
+
+// checkAdminSurface asserts the live /healthz reports a build revision and
+// a positive tree size, and /metrics passes the exposition checker — built
+// binaries carry VCS stamping, so this covers the stamped-path behavior the
+// in-process serveMux test cannot.
+func checkAdminSurface(t *testing.T, addr string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Status        string  `json:"status"`
+		BuildRevision string  `json:"build_revision"`
+		TreeSize      float64 `json:"tree_size"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("healthz is not JSON: %v\n%s", err, body)
+	}
+	if doc.Status != "ok" {
+		t.Errorf("healthz status = %q", doc.Status)
+	}
+	if doc.BuildRevision == "" {
+		t.Errorf("healthz build_revision empty: %s", body)
+	}
+	if doc.TreeSize <= 0 {
+		t.Errorf("healthz tree_size = %v, want > 0", doc.TreeSize)
+	}
+
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Errorf("/metrics fails conformance: %v", err)
+	}
+	if !strings.Contains(string(body), "ctlog_tree_size ") {
+		t.Errorf("/metrics missing tree size gauge:\n%s", body)
 	}
 }

@@ -1,0 +1,63 @@
+// In-process coverage for the -serve admin surface: /metrics must pass the
+// exposition-format checker and /healthz must report the build revision and
+// tree size from the same registry.
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"certchains/internal/campus"
+	"certchains/internal/obs"
+)
+
+func TestServeMuxAdminEndpoints(t *testing.T) {
+	cfg := campus.DefaultConfig()
+	cfg.Seed = 1
+	cfg.Scale = 0.002
+	scenario, err := campus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := serveMux(scenario.CT)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if err := obs.ValidateExposition(rec.Body.Bytes()); err != nil {
+		t.Errorf("/metrics fails conformance: %v\n%s", err, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/healthz status %d", rec.Code)
+	}
+	var doc struct {
+		Status        string  `json:"status"`
+		BuildRevision string  `json:"build_revision"`
+		TreeSize      float64 `json:"tree_size"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/healthz is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if doc.Status != "ok" {
+		t.Errorf("status = %q", doc.Status)
+	}
+	if doc.BuildRevision == "" {
+		t.Error("build_revision empty")
+	}
+	if doc.TreeSize != float64(scenario.CT.Size()) {
+		t.Errorf("tree_size = %v, want %d", doc.TreeSize, scenario.CT.Size())
+	}
+
+	// The CT API itself stays mounted beside the admin endpoints.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/ct/v1/get-sth", nil))
+	if rec.Code != 200 {
+		t.Errorf("/ct/v1/get-sth status %d", rec.Code)
+	}
+}

@@ -1,0 +1,141 @@
+// Command pipeline-bench measures the sharded analysis pipeline stage by
+// stage, using the pipeline's own obs spans as the instrument, and writes a
+// machine-readable baseline (BENCH_pipeline.json). Unlike `go test -bench`,
+// which times whole runs, this reports where inside a run the time goes —
+// load-free scenario analysis split into observe / merge / finalize — at
+// worker widths 1 and GOMAXPROCS, so a perf regression names its stage.
+//
+//	pipeline-bench -scale 0.002 -iters 3 -out BENCH_pipeline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"certchains/internal/analysis"
+	"certchains/internal/campus"
+	"certchains/internal/obs"
+)
+
+type stageResult struct {
+	Stage string `json:"stage"`
+	// NSOp is the stage's best-iteration wall time for one full pipeline run.
+	NSOp int64 `json:"ns_op"`
+	// RecordsPerSec is the stage's input throughput in that iteration; 0 for
+	// stages that reduce state rather than consume records (merge, finalize).
+	RecordsPerSec float64 `json:"records_per_sec"`
+	Records       int64   `json:"records"`
+}
+
+type widthResult struct {
+	Workers       int           `json:"workers"`
+	TotalNSOp     int64         `json:"total_ns_op"`
+	RecordsPerSec float64       `json:"records_per_sec"`
+	Stages        []stageResult `json:"stages"`
+}
+
+type benchFile struct {
+	Tool         string        `json:"tool"`
+	Seed         int64         `json:"seed"`
+	Scale        float64       `json:"scale"`
+	Iters        int           `json:"iters"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	Observations int           `json:"observations"`
+	Build        obs.BuildInfo `json:"build"`
+	Runs         []widthResult `json:"runs"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pipeline-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed  = flag.Int64("seed", 1, "scenario seed")
+		scale = flag.Float64("scale", 0.002, "scenario scale")
+		iters = flag.Int("iters", 3, "iterations per width; best iteration is reported")
+		out   = flag.String("out", "BENCH_pipeline.json", "output path")
+	)
+	flag.Parse()
+
+	cfg := campus.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	scenario, err := campus.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	widths := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		widths = append(widths, n)
+	}
+
+	file := benchFile{
+		Tool:         "pipeline-bench",
+		Seed:         *seed,
+		Scale:        *scale,
+		Iters:        *iters,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Observations: len(scenario.Observations),
+		Build:        obs.Build(),
+	}
+	for _, w := range widths {
+		wr, err := benchWidth(scenario, w, *iters)
+		if err != nil {
+			return err
+		}
+		file.Runs = append(file.Runs, wr)
+		fmt.Printf("workers=%d  total %d ns/op  %.0f records/sec\n", w, wr.TotalNSOp, wr.RecordsPerSec)
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// benchWidth runs the pipeline iters times at one width and keeps the
+// iteration with the smallest end-to-end wall time — the least-noise sample,
+// as `go test -bench` effectively reports.
+func benchWidth(scenario *campus.Scenario, workers, iters int) (widthResult, error) {
+	best := widthResult{Workers: workers}
+	for i := 0; i < iters; i++ {
+		tracer := obs.NewTracer()
+		p := analysis.FromScenario(scenario)
+		p.Tracer = tracer
+		r := p.RunParallel(scenario.Observations, workers)
+		if r == nil {
+			return best, fmt.Errorf("pipeline returned no report")
+		}
+		total := tracer.WallNS()
+		if total <= 0 {
+			return best, fmt.Errorf("tracer recorded no wall time")
+		}
+		if best.TotalNSOp != 0 && total >= best.TotalNSOp {
+			continue
+		}
+		best.TotalNSOp = total
+		best.RecordsPerSec = float64(len(scenario.Observations)) / (float64(total) / 1e9)
+		best.Stages = best.Stages[:0]
+		for _, st := range tracer.Stages() {
+			sr := stageResult{Stage: st.Stage, NSOp: st.WallNS, Records: st.Records}
+			if st.Records > 0 && st.WallNS > 0 {
+				sr.RecordsPerSec = float64(st.Records) / (float64(st.WallNS) / 1e9)
+			}
+			best.Stages = append(best.Stages, sr)
+		}
+	}
+	return best, nil
+}

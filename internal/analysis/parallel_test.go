@@ -17,6 +17,7 @@ import (
 	"certchains/internal/analysis"
 	"certchains/internal/campus"
 	"certchains/internal/lint"
+	"certchains/internal/obs"
 	"certchains/internal/paper"
 )
 
@@ -106,6 +107,82 @@ func TestParallelEquivalence(t *testing.T) {
 				}
 				if failed == 0 && testing.Verbose() {
 					t.Logf("seed %d workers=%d: report identical, all paper checks pass", seed, w)
+				}
+			}
+		})
+	}
+}
+
+// manifestFor builds the provenance record a traced equivalence run would
+// emit, exactly as the CLI assembles it: stage aggregates from the tracer,
+// report digest over the JSON export.
+func manifestFor(tb testing.TB, seed int64, workers int, tracer *obs.Tracer, js []byte) *obs.Manifest {
+	tb.Helper()
+	return &obs.Manifest{
+		Tool:         "equivalence-suite",
+		Seed:         seed,
+		Scale:        equivScale,
+		Workers:      workers,
+		Stages:       tracer.Stages(),
+		ReportSHA256: obs.SHA256Hex(js),
+		WallNS:       tracer.WallNS(),
+		Build:        obs.Build(),
+	}
+}
+
+// TestManifestSubsetEquivalence extends the byte-identity contract to run
+// provenance: for several seeds, the deterministic subset of a traced run's
+// manifest must be byte-identical at every worker width — stage record
+// counts are a pure function of the input even though span counts and wall
+// times are not — and every trace must validate with one span per declared
+// pipeline stage.
+func TestManifestSubsetEquivalence(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			s := generate(t, seed)
+			p := lintingPipeline(s)
+
+			run := func(w int) ([]byte, *obs.Tracer) {
+				tracer := obs.NewTracer()
+				p.Tracer = tracer
+				defer func() { p.Tracer = nil }()
+				r := p.RunParallel(s.Observations, w)
+				_, js := renderings(t, r)
+				sub, err := manifestFor(t, seed, w, tracer, js).DeterministicSubset()
+				if err != nil {
+					t.Fatalf("workers=%d: subset: %v", w, err)
+				}
+				return sub, tracer
+			}
+
+			baseSub, baseTracer := run(1)
+			// The sequential run also shards (one shard), so the stage set is
+			// width-invariant by construction.
+			var trace bytes.Buffer
+			if err := baseTracer.WriteChromeTrace(&trace); err != nil {
+				t.Fatal(err)
+			}
+			if err := obs.ValidateChromeTrace(trace.Bytes(), "observe", "observe-shard", "merge", "finalize"); err != nil {
+				t.Errorf("workers=1 trace: %v", err)
+			}
+
+			for _, w := range workerCounts() {
+				sub, tracer := run(w)
+				if !bytes.Equal(sub, baseSub) {
+					t.Errorf("seed %d workers=%d: deterministic manifest subset differs:\n%s\nvs\n%s",
+						seed, w, sub, baseSub)
+				}
+				var tb bytes.Buffer
+				if err := tracer.WriteChromeTrace(&tb); err != nil {
+					t.Fatal(err)
+				}
+				if err := obs.ValidateChromeTrace(tb.Bytes(), "observe", "observe-shard", "merge", "finalize"); err != nil {
+					t.Errorf("seed %d workers=%d trace: %v", seed, w, err)
 				}
 			}
 		})

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"certchains/internal/graph"
 	"certchains/internal/intercept"
 	"certchains/internal/lint"
+	"certchains/internal/obs"
 	"certchains/internal/stats"
 	"certchains/internal/trustdb"
 )
@@ -36,6 +38,11 @@ type Pipeline struct {
 	// Linting shares the per-shard analysis cache and merges like every
 	// other accumulator, so worker count still never changes output.
 	Linter *lint.Linter
+	// Tracer, when set, records stage spans for every run. Shard spans are
+	// started by the coordinator in shard order before the workers launch,
+	// so the span sequence — though not the durations — is deterministic.
+	// A nil tracer costs nothing.
+	Tracer *obs.Tracer
 }
 
 // NewPipeline builds a pipeline from a generated scenario's components.
@@ -65,15 +72,28 @@ func (p *Pipeline) Run(observations []*campus.Observation) *Report {
 func (p *Pipeline) RunParallel(observations []*campus.Observation, workers int) *Report {
 	workers = normalizeWorkers(workers, len(observations))
 	det := intercept.NewDetector(p.DB, p.CT)
+	stage := p.Tracer.Start("observe", "observe").SetRecords(int64(len(observations)))
 	if workers == 1 {
+		// The sequential path still emits one shard span so the stage set —
+		// which the deterministic manifest subset pins — matches every width.
+		shard := p.Tracer.Start("observe-shard", "observe/shard0").
+			SetRecords(int64(len(observations)))
 		pr := p.newPartial(det)
 		for i, o := range observations {
 			pr.observe(i, o)
 		}
-		return pr.finalize()
+		shard.End()
+		stage.End()
+		return p.mergeAndFinalize([]*partialReport{pr})
 	}
 
 	partials := make([]*partialReport, workers)
+	spans := make([]*obs.Span, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := shardRange(len(observations), workers, w)
+		spans[w] = p.Tracer.Start("observe-shard", fmt.Sprintf("observe/shard%d", w)).
+			SetTID(w).SetRecords(int64(hi - lo))
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := shardRange(len(observations), workers, w)
@@ -85,10 +105,12 @@ func (p *Pipeline) RunParallel(observations []*campus.Observation, workers int) 
 				pr.observe(i, observations[i])
 			}
 			partials[w] = pr
+			spans[w].End()
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	return mergePartials(partials)
+	stage.End()
+	return p.mergeAndFinalize(partials)
 }
 
 // RunStream executes the full analysis over a producer channel without ever
@@ -100,22 +122,32 @@ func (p *Pipeline) RunParallel(observations []*campus.Observation, workers int) 
 func (p *Pipeline) RunStream(observations <-chan *campus.Observation, workers int) *Report {
 	workers = normalizeWorkers(workers, -1)
 	det := intercept.NewDetector(p.DB, p.CT)
+	stage := p.Tracer.Start("observe", "observe")
 
 	type seqObs struct {
 		seq int
 		o   *campus.Observation
 	}
 	work := make(chan seqObs, 4*workers)
+	// total is written only by the dispatcher, which exits before close(work);
+	// every worker observes that close before wg.Done, so the read after
+	// wg.Wait is ordered.
+	var total int64
 	go func() {
 		seq := 0
 		for o := range observations {
 			work <- seqObs{seq: seq, o: o}
 			seq++
 		}
+		total = int64(seq)
 		close(work)
 	}()
 
 	partials := make([]*partialReport, workers)
+	spans := make([]*obs.Span, workers)
+	for w := 0; w < workers; w++ {
+		spans[w] = p.Tracer.Start("observe-shard", fmt.Sprintf("observe/shard%d", w)).SetTID(w)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -124,12 +156,16 @@ func (p *Pipeline) RunStream(observations <-chan *campus.Observation, workers in
 			pr := p.newPartial(det)
 			for so := range work {
 				pr.observe(so.seq, so.o)
+				spans[w].AddRecords(1)
 			}
 			partials[w] = pr
+			spans[w].End()
 		}(w)
 	}
 	wg.Wait()
-	return mergePartials(partials)
+	stage.SetRecords(total)
+	stage.End()
+	return p.mergeAndFinalize(partials)
 }
 
 // normalizeWorkers clamps a worker count: non-positive selects GOMAXPROCS,
@@ -167,6 +203,23 @@ func mergePartials(partials []*partialReport) *Report {
 		merged.merge(pr)
 	}
 	return merged.finalize()
+}
+
+// mergeAndFinalize is mergePartials under the pipeline's tracer. The merge
+// and finalize stages carry zero records — they reduce state rather than
+// consume input — which keeps their deterministic-subset projection
+// width-invariant even though a wider run merges more partials.
+func (p *Pipeline) mergeAndFinalize(partials []*partialReport) *Report {
+	msp := p.Tracer.Start("merge", "merge").Arg("partials", int64(len(partials)))
+	merged := partials[0]
+	for _, pr := range partials[1:] {
+		merged.merge(pr)
+	}
+	msp.End()
+	fsp := p.Tracer.Start("finalize", "finalize")
+	rep := merged.finalize()
+	fsp.End()
+	return rep
 }
 
 // classifyContains assigns the Appendix F.2 misconfiguration pattern of a

@@ -128,6 +128,8 @@ func (w *WindowRing) ObserveBatch(obs []*campus.Observation) {
 	if len(obs) == 0 {
 		return
 	}
+	sp := w.p.Tracer.Start("window-fold", "window/fold").SetRecords(int64(len(obs)))
+	defer sp.End()
 	type item struct {
 		seq int
 		o   *campus.Observation
@@ -204,6 +206,9 @@ func (w *WindowRing) Report(window time.Duration) *Report {
 // sequence numbers continuing after the ring's, and live state is never
 // touched.
 func (w *WindowRing) ReportWith(extra []*campus.Observation, window time.Duration) *Report {
+	sp := w.p.Tracer.Start("window-report", "window/report").
+		Arg("live_buckets", int64(len(w.order)))
+	defer sp.End()
 	out := w.p.newPartial(w.det)
 	all := window <= 0
 	if all {

@@ -7,6 +7,8 @@ import (
 	"net/http/pprof"
 	"strings"
 	"time"
+
+	"certchains/internal/obs"
 )
 
 // Handler returns the daemon's admin surface:
@@ -76,16 +78,32 @@ func (ing *Ingestor) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz reports liveness. Build revision and snapshot age are read
+// back out of the shared registry — the same series /metrics exposes — so
+// the two admin surfaces can never drift apart.
 func (ing *Ingestor) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s := ing.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(struct {
-		Status string `json:"status"`
+	s.Fill(ing.reg)
+	doc := struct {
+		Status        string `json:"status"`
+		BuildRevision string `json:"build_revision"`
+		GoVersion     string `json:"go_version,omitempty"`
 		Stats
-	}{Status: "ok", Stats: s})
+	}{Status: "ok", Stats: s}
+	if info := ing.reg.InfoLabels("certchain_build_info"); info != nil {
+		doc.BuildRevision = info["revision"]
+		doc.GoVersion = info["go_version"]
+	} else {
+		doc.BuildRevision = obs.Build().Revision()
+	}
+	if age, ok := ing.reg.Value("certchain_snapshot_age_seconds"); ok {
+		doc.SnapshotAge = age
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
 }
 
 func (ing *Ingestor) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, ing.Stats().PrometheusText())
+	ing.Stats().Fill(ing.reg)
+	ing.reg.Handler().ServeHTTP(w, r)
 }

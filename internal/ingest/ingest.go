@@ -31,6 +31,7 @@ import (
 	"certchains/internal/analysis"
 	"certchains/internal/campus"
 	"certchains/internal/certmodel"
+	"certchains/internal/obs"
 	"certchains/internal/zeek"
 )
 
@@ -77,6 +78,10 @@ type Ingestor struct {
 	snapshots    int64
 	lastSnapshot time.Time
 	startedAt    time.Time
+
+	// reg is the shared metrics registry behind /metrics and /healthz,
+	// refreshed from a Stats snapshot on every scrape.
+	reg *obs.Registry
 }
 
 // New creates an Ingestor over fresh state.
@@ -89,8 +94,11 @@ func New(p *analysis.Pipeline, cfg Config) *Ingestor {
 		ring:      ring,
 		agg:       newAggregator(cfg.Window.Interval),
 		startedAt: time.Now(),
+		reg:       obs.NewRegistry(),
 	}
+	obs.RegisterBuildInfo(ing.reg, "certchain-ingestd")
 	ing.joiner = zeek.NewIncrementalJoiner(cfg.CertCap, cfg.PendingCap, ing.observeConn)
+	ing.joiner.SetTracer(p.Tracer)
 	ing.sslTail = zeek.NewTailer(cfg.SSLPath, ing.newDecoder)
 	ing.x509Tail = zeek.NewTailer(cfg.X509Path, ing.newDecoder)
 	return ing
@@ -289,11 +297,14 @@ func Restore(p *analysis.Pipeline, cfg Config, data []byte) (*Ingestor, error) {
 		recordErrs:    s.RecErrs,
 		foldedWindows: s.Folded,
 		startedAt:     time.Now(),
+		reg:           obs.NewRegistry(),
 	}
+	obs.RegisterBuildInfo(ing.reg, "certchain-ingestd")
 	if s.WMSet {
 		ing.wm, ing.wmSet = s.WM.Time(), true
 	}
 	ing.joiner = zeek.NewIncrementalJoiner(cfg.CertCap, cfg.PendingCap, ing.observeConn)
+	ing.joiner.SetTracer(p.Tracer)
 	if err := ing.joiner.RestoreState(s.Joiner); err != nil {
 		return nil, err
 	}

@@ -1,13 +1,12 @@
 package ingest
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 	"time"
 
 	"certchains/internal/analysis"
 	"certchains/internal/chain"
+	"certchains/internal/obs"
 	"certchains/internal/zeek"
 )
 
@@ -90,64 +89,75 @@ func (ing *Ingestor) Stats() Stats {
 	return s
 }
 
-// PrometheusText renders the stats in Prometheus exposition format,
-// hand-rolled (no client library — the repository is stdlib-only). Series
-// are emitted in a fixed order so scrapes diff cleanly.
-func (s Stats) PrometheusText() string {
-	var b strings.Builder
-	g := func(name, help string, v any) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
-	}
-	c := func(name, help string, v any) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
-	}
+// Registry returns the ingestor's shared metrics registry. /metrics renders
+// it and /healthz reads build and snapshot state back out of it, so the two
+// surfaces never disagree.
+func (ing *Ingestor) Registry() *obs.Registry { return ing.reg }
 
-	c("certchain_observations_total", "Observations folded into the analysis ring.", s.Observations)
-	c("certchain_conns_visible_total", "Connections with an observable certificate chain.", s.VisibleConns)
-	c("certchain_conns_tls13_total", "Connections whose certificates TLS 1.3 hides.", s.TLS13Conns)
+// Fill refreshes a registry from this stats snapshot. Counters use the
+// scrape-refresh pattern — the snapshot is the source of truth, taken under
+// one lock, and each scrape sets the registry to it — so a scrape is as
+// consistent as the snapshot itself. The registry handles exposition-format
+// escaping; label values (chain categories, log names) pass through raw.
+func (s Stats) Fill(reg *obs.Registry) {
+	set := func(fam *obs.Family, v float64) { fam.With().Set(v) }
 
+	set(reg.Counter("certchain_observations_total", "Observations folded into the analysis ring."), float64(s.Observations))
+	set(reg.Counter("certchain_conns_visible_total", "Connections with an observable certificate chain."), float64(s.VisibleConns))
+	set(reg.Counter("certchain_conns_tls13_total", "Connections whose certificates TLS 1.3 hides."), float64(s.TLS13Conns))
+
+	catConns := reg.Counter("certchain_category_conns_total", "Connections per chain category.", "category")
+	catChains := reg.Counter("certchain_category_chains_total", "Observations per chain category.", "category")
 	cats := make([]int, 0, len(s.Categories))
 	for cat := range s.Categories {
 		cats = append(cats, int(cat))
 	}
 	sort.Ints(cats)
-	fmt.Fprintf(&b, "# HELP certchain_category_conns_total Connections per chain category.\n# TYPE certchain_category_conns_total counter\n")
 	for _, cat := range cats {
-		fmt.Fprintf(&b, "certchain_category_conns_total{category=%q} %d\n", chain.Category(cat).String(), s.Categories[chain.Category(cat)].Conns)
-	}
-	fmt.Fprintf(&b, "# HELP certchain_category_chains_total Observations per chain category.\n# TYPE certchain_category_chains_total counter\n")
-	for _, cat := range cats {
-		fmt.Fprintf(&b, "certchain_category_chains_total{category=%q} %d\n", chain.Category(cat).String(), s.Categories[chain.Category(cat)].Chains)
+		cs := s.Categories[chain.Category(cat)]
+		catConns.With(chain.Category(cat).String()).Set(float64(cs.Conns))
+		catChains.With(chain.Category(cat).String()).Set(float64(cs.Chains))
 	}
 
-	c("certchain_join_ssl_records_total", "ssl.log records consumed by the joiner.", s.Joiner.SSLRecords)
-	c("certchain_join_x509_records_total", "x509.log records consumed by the joiner.", s.Joiner.X509Records)
-	c("certchain_join_joined_total", "Connections joined with their full chain.", s.Joiner.Joined)
-	c("certchain_join_orphans_total", "Connections dropped: a referenced certificate never arrived.", s.Joiner.Orphans)
-	c("certchain_join_evictions_total", "Certificates evicted from the bounded join index.", s.Joiner.Evictions)
-	c("certchain_join_dup_certs_total", "Re-logged certificate ids (first record wins).", s.Joiner.DupCerts)
-	c("certchain_join_forced_total", "Connections drained early by the pending-queue cap.", s.Joiner.Forced)
-	g("certchain_join_pending_depth", "Connections held for the x509 watermark.", s.JoinPending)
-	g("certchain_join_cert_index_size", "Certificates resident in the join index.", s.CertIndex)
+	set(reg.Counter("certchain_join_ssl_records_total", "ssl.log records consumed by the joiner."), float64(s.Joiner.SSLRecords))
+	set(reg.Counter("certchain_join_x509_records_total", "x509.log records consumed by the joiner."), float64(s.Joiner.X509Records))
+	set(reg.Counter("certchain_join_joined_total", "Connections joined with their full chain."), float64(s.Joiner.Joined))
+	set(reg.Counter("certchain_join_orphans_total", "Connections dropped: a referenced certificate never arrived."), float64(s.Joiner.Orphans))
+	set(reg.Counter("certchain_join_evictions_total", "Certificates evicted from the bounded join index."), float64(s.Joiner.Evictions))
+	set(reg.Counter("certchain_join_dup_certs_total", "Re-logged certificate ids (first record wins)."), float64(s.Joiner.DupCerts))
+	set(reg.Counter("certchain_join_forced_total", "Connections drained early by the pending-queue cap."), float64(s.Joiner.Forced))
+	set(reg.Gauge("certchain_join_pending_depth", "Connections held for the x509 watermark."), float64(s.JoinPending))
+	set(reg.Gauge("certchain_join_cert_index_size", "Certificates resident in the join index."), float64(s.CertIndex))
 
-	tail := func(log string, t TailStats) {
-		fmt.Fprintf(&b, "certchain_tail_lag_bytes{log=%q} %d\n", log, t.LagBytes)
-		fmt.Fprintf(&b, "certchain_tail_rotations_total{log=%q} %d\n", log, t.Rotations)
-		fmt.Fprintf(&b, "certchain_tail_parse_errors_total{log=%q} %d\n", log, t.ParseErrs)
+	lag := reg.Gauge("certchain_tail_lag_bytes", "Bytes appended but not yet processed.", "log")
+	rot := reg.Counter("certchain_tail_rotations_total", "Detected rotations and truncations.", "log")
+	perr := reg.Counter("certchain_tail_parse_errors_total", "Malformed lines dropped.", "log")
+	for _, t := range []struct {
+		log string
+		st  TailStats
+	}{{"ssl", s.SSLTail}, {"x509", s.X509Tail}} {
+		lag.With(t.log).Set(float64(t.st.LagBytes))
+		rot.With(t.log).Set(float64(t.st.Rotations))
+		perr.With(t.log).Set(float64(t.st.ParseErrs))
 	}
-	fmt.Fprintf(&b, "# HELP certchain_tail_lag_bytes Bytes appended but not yet processed.\n# TYPE certchain_tail_lag_bytes gauge\n")
-	fmt.Fprintf(&b, "# HELP certchain_tail_rotations_total Detected rotations and truncations.\n# TYPE certchain_tail_rotations_total counter\n")
-	fmt.Fprintf(&b, "# HELP certchain_tail_parse_errors_total Malformed lines dropped.\n# TYPE certchain_tail_parse_errors_total counter\n")
-	tail("ssl", s.SSLTail)
-	tail("x509", s.X509Tail)
 
-	g("certchain_open_aggregates", "Aggregates in still-open windows.", s.OpenAggs)
-	g("certchain_live_buckets", "Live (unspilled) ring buckets.", s.LiveBuckets)
-	c("certchain_folded_windows_total", "Windows folded into the ring.", s.FoldedWindows)
-	c("certchain_late_conns_total", "Connections landing in already-folded windows.", s.LateConns)
-	c("certchain_record_errors_total", "Records rejected by the join layer.", s.RecordErrs)
-	c("certchain_snapshots_total", "State snapshots written.", s.Snapshots)
-	g("certchain_snapshot_age_seconds", "Seconds since the last snapshot (-1 before the first).", s.SnapshotAge)
-	g("certchain_uptime_seconds", "Seconds since the daemon started.", s.Uptime)
-	return b.String()
+	set(reg.Gauge("certchain_open_aggregates", "Aggregates in still-open windows."), float64(s.OpenAggs))
+	set(reg.Gauge("certchain_live_buckets", "Live (unspilled) ring buckets."), float64(s.LiveBuckets))
+	set(reg.Counter("certchain_folded_windows_total", "Windows folded into the ring."), float64(s.FoldedWindows))
+	set(reg.Counter("certchain_late_conns_total", "Connections landing in already-folded windows."), float64(s.LateConns))
+	set(reg.Counter("certchain_record_errors_total", "Records rejected by the join layer."), float64(s.RecordErrs))
+	set(reg.Counter("certchain_snapshots_total", "State snapshots written."), float64(s.Snapshots))
+	set(reg.Gauge("certchain_snapshot_age_seconds", "Seconds since the last snapshot (-1 before the first)."), s.SnapshotAge)
+	set(reg.Gauge("certchain_uptime_seconds", "Seconds since the daemon started."), s.Uptime)
+}
+
+// PrometheusText renders the stats in Prometheus exposition format through a
+// throwaway registry — series sorted by family and label, label values
+// escaped per the format spec. Kept for callers that hold a Stats value
+// rather than the Ingestor; the daemon's /metrics serves the shared registry
+// instead.
+func (s Stats) PrometheusText() string {
+	reg := obs.NewRegistry()
+	s.Fill(reg)
+	return reg.Text()
 }

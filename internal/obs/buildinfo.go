@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary's build, read once from
+// runtime/debug.ReadBuildInfo.
+type BuildInfo struct {
+	GoVersion   string `json:"go_version"`
+	Path        string `json:"path,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build info. Fields missing from the embedded
+// build metadata (test binaries, -buildvcs=false) stay empty.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		buildInfo.Path = bi.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.VCSRevision = s.Value
+			case "vcs.time":
+				buildInfo.VCSTime = s.Value
+			case "vcs.modified":
+				buildInfo.VCSModified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// Revision is the VCS revision, or "unknown" when the binary was built
+// without VCS stamping — health endpoints always report a non-empty value.
+func (b BuildInfo) Revision() string {
+	if b.VCSRevision == "" {
+		return "unknown"
+	}
+	return b.VCSRevision
+}
+
+// RegisterBuildInfo publishes the standard *_info series for a component:
+//
+//	certchain_build_info{component="...",go_version="...",revision="..."} 1
+//
+// Health handlers read the revision back via Registry.InfoLabels, so
+// /metrics and /healthz report from the same source.
+func RegisterBuildInfo(r *Registry, component string) {
+	b := Build()
+	r.Gauge("certchain_build_info",
+		"Build identity of the serving binary (value is always 1).",
+		"component", "go_version", "revision").
+		With(component, b.GoVersion, b.Revision()).Set(1)
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a structured logger for the CLIs and the daemon. format
+// is "text" or "json"; level names follow slog ("debug", "info", "warn",
+// "error").
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text or json)", format)
+	}
+}
+
+// ParseLogLevel maps a flag value to a slog.Level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", s)
+	}
+	return l, nil
+}
+
+// NewDeterministicLogger is the test seam: a text logger whose records omit
+// the time attribute, so equal event sequences log byte-identically.
+func NewDeterministicLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+}

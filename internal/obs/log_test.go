@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	for _, format := range []string{"", "text", "json"} {
+		if _, err := NewLogger(&buf, format, slog.LevelInfo); err != nil {
+			t.Errorf("format %q: %v", format, err)
+		}
+	}
+	if _, err := NewLogger(&buf, "xml", slog.LevelInfo); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("capture complete", "observations", 42)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "capture complete" || rec["observations"] != float64(42) {
+		t.Errorf("json record = %v", rec)
+	}
+}
+
+func TestNewLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "text", slog.LevelWarn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("hidden")
+	logger.Warn("visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("info record passed a warn-level logger")
+	}
+	if !strings.Contains(out, "visible") {
+		t.Error("warn record missing")
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+// TestDeterministicLogger pins the test seam: identical event sequences log
+// byte-identically because the time attribute is stripped.
+func TestDeterministicLogger(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		logger := NewDeterministicLogger(&buf, slog.LevelInfo)
+		logger.Info("window folded", "bucket", 3, "records", 120)
+		logger.Warn("late connection", "window", "2026-01-01T00:00:00Z")
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("two identical sequences differ:\n%s\nvs\n%s", a, b)
+	}
+	if strings.Contains(a, "time=") {
+		t.Errorf("deterministic logger leaked a time attribute:\n%s", a)
+	}
+	if !strings.Contains(a, "msg=\"window folded\"") {
+		t.Errorf("unexpected record shape:\n%s", a)
+	}
+}

@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition is a line-format conformance checker for the Prometheus
+// text exposition format (version 0.0.4), strict enough to catch the
+// escaping bugs a hand-rolled writer produces: unescaped double quotes or
+// raw newlines in label values, malformed metric/label names, samples with
+// no parsable value, HELP/TYPE lines for a different metric than the samples
+// that follow, and duplicate series. The conformance tests run it over the
+// /metrics output of every serving binary.
+func ValidateExposition(data []byte) error {
+	families := make(map[string]*familyState)
+	seenSeries := make(map[string]bool)
+	var lastTyped string
+
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseCommentLine(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if kind == "" { // plain comment
+				continue
+			}
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q in %s line", lineNo, name, kind)
+			}
+			st := families[name]
+			if st == nil {
+				st = &familyState{}
+				families[name] = st
+			}
+			switch kind {
+			case "HELP":
+				if err := checkEscapes(rest, false); err != nil {
+					return fmt.Errorf("line %d: HELP text: %w", lineNo, err)
+				}
+			case "TYPE":
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q", lineNo, rest)
+				}
+				if st.seenSample {
+					return fmt.Errorf("line %d: TYPE %s appears after its samples", lineNo, name)
+				}
+				if st.typ != "" {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				st.typ = rest
+				lastTyped = name
+			}
+			continue
+		}
+
+		name, labels, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := baseFamily(name, families)
+		if st := families[base]; st != nil {
+			st.seenSample = true
+			// The exposition format groups a family's samples under its
+			// HELP/TYPE header; a sample for a *different* typed family in
+			// the middle of a block means the writer interleaved families.
+			if lastTyped != "" && base != lastTyped {
+				return fmt.Errorf("line %d: sample for %s inside the %s block", lineNo, base, lastTyped)
+			}
+		}
+		key := name + "{" + labels + "}"
+		if seenSeries[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seenSeries[key] = true
+	}
+	return nil
+}
+
+// parseCommentLine splits "# HELP name text" / "# TYPE name type"; kind is
+// empty for plain comments.
+func parseCommentLine(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	if !strings.HasPrefix(body, " ") {
+		return "", "", "", fmt.Errorf("comment line missing space after #")
+	}
+	body = body[1:]
+	switch {
+	case strings.HasPrefix(body, "HELP "):
+		kind, body = "HELP", body[len("HELP "):]
+	case strings.HasPrefix(body, "TYPE "):
+		kind, body = "TYPE", body[len("TYPE "):]
+	default:
+		return "", "", "", nil
+	}
+	sp := strings.IndexByte(body, ' ')
+	if sp < 0 {
+		// HELP with empty text is legal; TYPE requires the type word.
+		if kind == "TYPE" {
+			return "", "", "", fmt.Errorf("TYPE line missing type")
+		}
+		return kind, body, "", nil
+	}
+	return kind, body[:sp], body[sp+1:], nil
+}
+
+// parseSampleLine validates `name{labels} value [timestamp]` and returns
+// the metric name and the raw label block (for series identity).
+func parseSampleLine(line string) (name, labels string, err error) {
+	rest := line
+	end := 0
+	for end < len(rest) && isNameChar(rest[end], end == 0) {
+		end++
+	}
+	name = rest[:end]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name at %q", truncate(line))
+	}
+	rest = rest[end:]
+	if strings.HasPrefix(rest, "{") {
+		blockEnd := findLabelBlockEnd(rest)
+		if blockEnd < 0 {
+			return "", "", fmt.Errorf("unterminated label block at %q", truncate(line))
+		}
+		labels = rest[1:blockEnd]
+		if err := validateLabels(labels); err != nil {
+			return "", "", err
+		}
+		rest = rest[blockEnd+1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", fmt.Errorf("expected value [timestamp] after %q", name)
+	}
+	if err := validSampleValue(fields[0]); err != nil {
+		return "", "", fmt.Errorf("metric %s: %w", name, err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", fmt.Errorf("metric %s: bad timestamp %q", name, fields[1])
+		}
+	}
+	return name, labels, nil
+}
+
+// findLabelBlockEnd returns the index of the closing brace of a label
+// block, honoring quoted values with escapes; -1 when unterminated.
+func findLabelBlockEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote && c == '\\':
+			i++ // skip escaped char
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '}':
+			return i
+		case !inQuote && c == '\n':
+			return -1
+		}
+	}
+	return -1
+}
+
+// validateLabels checks each `name="value"` pair: legal label names, quoted
+// values, and only the three legal escapes inside.
+func validateLabels(block string) error {
+	rest := block
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair missing '=' in %q", truncate(block))
+		}
+		lname := rest[:eq]
+		if !validLabelName(lname) {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("label %s: value not quoted", lname)
+		}
+		rest = rest[1:]
+		i := 0
+		for {
+			if i >= len(rest) {
+				return fmt.Errorf("label %s: unterminated value", lname)
+			}
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return fmt.Errorf("label %s: dangling backslash", lname)
+				}
+				switch rest[i+1] {
+				case '\\', '"', 'n':
+					i += 2
+					continue
+				default:
+					return fmt.Errorf("label %s: illegal escape \\%c", lname, rest[i+1])
+				}
+			}
+			if c == '"' {
+				break
+			}
+			if c == '\n' {
+				return fmt.Errorf("label %s: raw newline in value", lname)
+			}
+			i++
+		}
+		rest = rest[i+1:]
+		if rest == "" {
+			break
+		}
+		if !strings.HasPrefix(rest, ",") {
+			return fmt.Errorf("label %s: expected ',' between pairs", lname)
+		}
+		rest = rest[1:]
+	}
+	return nil
+}
+
+// checkEscapes verifies HELP text uses only legal escapes (backslash,
+// and \n; quote escaping is label-value-only).
+func checkEscapes(s string, labelValue bool) error {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			continue
+		}
+		if i+1 >= len(s) {
+			return fmt.Errorf("dangling backslash")
+		}
+		switch s[i+1] {
+		case '\\', 'n':
+		case '"':
+			if !labelValue {
+				return fmt.Errorf(`\" escape is only legal in label values`)
+			}
+		default:
+			return fmt.Errorf("illegal escape \\%c", s[i+1])
+		}
+		i++
+	}
+	return nil
+}
+
+// validSampleValue accepts Go/Prometheus float syntax plus the spec's
+// +Inf/-Inf/NaN spellings.
+func validSampleValue(s string) error {
+	switch s {
+	case "+Inf", "-Inf", "Inf", "NaN":
+		return nil
+	}
+	if _, err := strconv.ParseFloat(s, 64); err != nil {
+		return fmt.Errorf("bad sample value %q", s)
+	}
+	return nil
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "__name__" {
+		return s != ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// familyState tracks one declared family while validating.
+type familyState struct {
+	typ        string
+	seenSample bool
+}
+
+// baseFamily strips histogram/summary sample suffixes to find the family a
+// sample belongs to, preferring an exact family match (a counter literally
+// named *_count stays itself).
+func baseFamily(name string, families map[string]*familyState) string {
+	if _, ok := families[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			base := strings.TrimSuffix(name, suffix)
+			if _, ok := families[base]; ok {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func truncate(s string) string {
+	if len(s) > 60 {
+		return s[:60] + "..."
+	}
+	return s
+}

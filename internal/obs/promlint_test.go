@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateExpositionAccepts covers well-formed documents, including the
+// corners the repo's writers produce: header-only families, escaped label
+// values, special float spellings, histogram blocks, and timestamps.
+func TestValidateExpositionAccepts(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"plain":       "up 1\n",
+		"header only": "# HELP x_total X.\n# TYPE x_total counter\n",
+		"labels":      "# TYPE m gauge\nm{a=\"1\",b=\"2\"} 3\n",
+		"escapes":     `m{v="q\"uote\\back\nnl"} 1` + "\n",
+		"specials":    "a +Inf\nb -Inf\nc NaN\n",
+		"timestamp":   "m 1 1700000000\n",
+		"comment":     "# just a comment\nm 1\n",
+		"histogram": strings.Join([]string{
+			"# TYPE h histogram",
+			`h_bucket{le="1"} 1`,
+			`h_bucket{le="+Inf"} 2`,
+			"h_sum 2.5",
+			"h_count 2",
+			"",
+		}, "\n"),
+	}
+	for name, doc := range cases {
+		if err := ValidateExposition([]byte(doc)); err != nil {
+			t.Errorf("%s: unexpected error: %v\n%s", name, err, doc)
+		}
+	}
+}
+
+// TestValidateExpositionRejects pins the bug classes the checker exists for.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad value":            "m one\n",
+		"extra fields":         "m 1 2 3\n",
+		"bad metric name":      "1m 1\n",
+		"bad label name":       `m{0bad="x"} 1` + "\n",
+		"unquoted label":       "m{a=1} 1\n",
+		"unterminated block":   `m{a="x" 1` + "\n",
+		"unterminated value":   `m{a="x} 1` + "\n",
+		"illegal escape":       `m{a="\q"} 1` + "\n",
+		"dangling backslash":   `m{a="x\"} 1` + "\n",
+		"missing eq":           `m{abc} 1` + "\n",
+		"duplicate series":     "m{a=\"x\"} 1\nm{a=\"x\"} 2\n",
+		"unknown TYPE":         "# TYPE m enum\n",
+		"TYPE missing type":    "# TYPE m\n",
+		"duplicate TYPE":       "# TYPE m counter\n# TYPE m counter\n",
+		"TYPE after samples":   "# HELP m M.\nm 1\n# TYPE m counter\n",
+		"interleaved families": "# TYPE a counter\n# TYPE b counter\na 1\n",
+		"help bad escape":      `# HELP m bad \t escape` + "\n",
+		"no space after hash":  "#HELP m M.\n",
+		"bad TYPE name":        "# TYPE 9m counter\n",
+		"bad timestamp":        "m 1 later\n",
+	}
+	for name, doc := range cases {
+		if err := ValidateExposition([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted invalid exposition:\n%s", name, doc)
+		}
+	}
+}
+
+// TestValidateExpositionRawQuote is the exact hand-rolled-writer bug the
+// issue names: an unescaped double quote inside a label value truncates the
+// value and must be flagged.
+func TestValidateExpositionRawQuote(t *testing.T) {
+	doc := `m{subject="CN="O\U", left"} 1` + "\n"
+	if err := ValidateExposition([]byte(doc)); err == nil {
+		t.Error("accepted a label value with an unescaped double quote")
+	}
+}
+
+func TestBaseFamilySuffixes(t *testing.T) {
+	fams := map[string]*familyState{"h": {}, "real_count": {}}
+	if got := baseFamily("h_bucket", fams); got != "h" {
+		t.Errorf("baseFamily(h_bucket) = %q, want h", got)
+	}
+	if got := baseFamily("real_count", fams); got != "real_count" {
+		t.Errorf("baseFamily(real_count) = %q; exact family must win over suffix stripping", got)
+	}
+	if got := baseFamily("other_sum", fams); got != "other_sum" {
+		t.Errorf("baseFamily(other_sum) = %q, want other_sum (unknown base)", got)
+	}
+}

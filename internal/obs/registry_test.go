@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests served.", "method")
+	c.With("get").Inc()
+	c.With("get").Add(2)
+	c.With("post").Inc()
+	if v := c.With("get").Value(); v != 3 {
+		t.Errorf("counter get = %v, want 3", v)
+	}
+	if v, ok := r.Value("requests_total", "post"); !ok || v != 1 {
+		t.Errorf("Value(requests_total, post) = %v, %v; want 1, true", v, ok)
+	}
+	g := r.Gauge("depth", "Queue depth.")
+	g.With().Set(7)
+	g.With().Set(4)
+	if v, ok := r.Value("depth"); !ok || v != 4 {
+		t.Errorf("gauge after Set = %v, %v; want 4, true", v, ok)
+	}
+	if _, ok := r.Value("absent"); ok {
+		t.Error("Value on absent family reported ok")
+	}
+	if _, ok := r.Value("requests_total", "delete"); ok {
+		t.Error("Value on absent series reported ok")
+	}
+}
+
+func TestReRegisterReturnsSameFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.", "l")
+	b := r.Counter("x_total", "X.", "l")
+	if a != b {
+		t.Error("re-registering an identical family returned a new one")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different kind did not panic")
+		}
+	}()
+	r.Gauge("x_total", "X.", "l")
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bbb_total", "Second family.").With().Add(2)
+	g := r.Gauge("aaa", "First family.", "site")
+	g.With("alpha").Set(1.5)
+	g.With("beta").Set(-3)
+	r.Counter("ccc_total", "Headers only, no samples yet.")
+
+	// Series sort by their encoded key (length-prefixed values), so the
+	// shorter "beta" precedes "alpha"; any fixed total order satisfies the
+	// byte-identity contract.
+	want := strings.Join([]string{
+		`# HELP aaa First family.`,
+		`# TYPE aaa gauge`,
+		`aaa{site="beta"} -3`,
+		`aaa{site="alpha"} 1.5`,
+		`# HELP bbb_total Second family.`,
+		`# TYPE bbb_total counter`,
+		`bbb_total 2`,
+		`# HELP ccc_total Headers only, no samples yet.`,
+		`# TYPE ccc_total counter`,
+		``,
+	}, "\n")
+	if got := r.Text(); got != want {
+		t.Errorf("Text:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ValidateExposition([]byte(r.Text())); err != nil {
+		t.Errorf("golden output fails conformance: %v", err)
+	}
+}
+
+// TestEscaping pins satellite #1: label values and HELP text with
+// backslashes, quotes, and newlines must render escaped — the bug class the
+// hand-rolled ingest writer had — and the escaped output must pass the
+// conformance checker.
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	f := r.Gauge("m", "Help with \\ backslash\nand newline.", "subject")
+	f.With(`CN="O\U", left`).Set(1)
+	f.With("line1\nline2").Set(2)
+
+	text := r.Text()
+	for _, want := range []string{
+		`# HELP m Help with \\ backslash\nand newline.`,
+		`m{subject="CN=\"O\\U\", left"} 1`,
+		`m{subject="line1\nline2"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Count(text, "\n") != 4 {
+		t.Errorf("escaped output has %d newlines, want 4 (raw newline leaked):\n%q", strings.Count(text, "\n"), text)
+	}
+	if err := ValidateExposition([]byte(text)); err != nil {
+		t.Errorf("escaped output fails conformance: %v", err)
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{1, 2})
+	s := h.With()
+	s.Observe(0.5)
+	s.Observe(1.5)
+	s.Observe(3)
+	if v := s.Value(); v != 3 {
+		t.Errorf("histogram Value (count) = %v, want 3", v)
+	}
+	want := strings.Join([]string{
+		`# HELP lat_seconds Latency.`,
+		`# TYPE lat_seconds histogram`,
+		`lat_seconds_bucket{le="1"} 1`,
+		`lat_seconds_bucket{le="2"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		`lat_seconds_sum 5`,
+		`lat_seconds_count 3`,
+		``,
+	}, "\n")
+	if got := r.Text(); got != want {
+		t.Errorf("histogram rendering:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ValidateExposition([]byte(r.Text())); err != nil {
+		t.Errorf("histogram output fails conformance: %v", err)
+	}
+}
+
+func TestFormatValueSpecials(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("v", "Specials.", "k")
+	g.With("pinf").Set(math.Inf(1))
+	g.With("ninf").Set(math.Inf(-1))
+	g.With("nan").Set(math.NaN())
+	text := r.Text()
+	for _, want := range []string{`v{k="pinf"} +Inf`, `v{k="ninf"} -Inf`, `v{k="nan"} NaN`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	if err := ValidateExposition([]byte(text)); err != nil {
+		t.Errorf("special values fail conformance: %v", err)
+	}
+}
+
+func TestInfoLabels(t *testing.T) {
+	r := NewRegistry()
+	if r.InfoLabels("nope") != nil {
+		t.Error("InfoLabels on absent family is non-nil")
+	}
+	f := r.Gauge("build_info", "Build.", "component", "revision")
+	f.With("ingestd", "abc123").Set(1)
+	got := r.InfoLabels("build_info")
+	if got["component"] != "ingestd" || got["revision"] != "abc123" {
+		t.Errorf("InfoLabels = %v", got)
+	}
+	f.With("other", "def456").Set(1)
+	if r.InfoLabels("build_info") != nil {
+		t.Error("InfoLabels with two series is non-nil")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	base := func() *Registry {
+		r := NewRegistry()
+		r.Counter("m", "M.", "l").With("x").Inc()
+		return r
+	}
+	kind := NewRegistry()
+	kind.Gauge("m", "M.", "l").With("x").Set(1)
+	if err := base().Merge(kind); err == nil {
+		t.Error("kind mismatch merged without error")
+	}
+	schema := NewRegistry()
+	schema.Counter("m", "M.", "other").With("x").Inc()
+	if err := base().Merge(schema); err == nil {
+		t.Error("label schema mismatch merged without error")
+	}
+	h1 := NewRegistry()
+	h1.Histogram("h", "H.", []float64{1, 2}).With().Observe(1)
+	h2 := NewRegistry()
+	h2.Histogram("h", "H.", []float64{1, 3}).With().Observe(1)
+	if err := h1.Merge(h2); err == nil {
+		t.Error("bucket bounds mismatch merged without error")
+	}
+	r := base()
+	if err := r.Merge(nil); err != nil {
+		t.Errorf("Merge(nil): %v", err)
+	}
+	if err := r.Merge(r); err != nil {
+		t.Errorf("Merge(self): %v", err)
+	}
+}
+
+// regSpec describes a registry as data so the property tests can materialize
+// the same logical registry any number of times (Merge mutates its
+// receiver).
+type regSpec struct {
+	counters map[string]map[string]float64 // family -> label value -> total
+	observes map[string][]float64          // histogram family -> observations
+}
+
+func (sp regSpec) build() *Registry {
+	r := NewRegistry()
+	for name, series := range sp.counters {
+		f := r.Counter(name, "P.", "l")
+		for lv, v := range series {
+			f.With(lv).Add(v)
+		}
+	}
+	for name, obs := range sp.observes {
+		f := r.Histogram(name, "P.", []float64{0.25, 0.5, 1})
+		for _, v := range obs {
+			f.With().Observe(v)
+		}
+	}
+	return r
+}
+
+// randomSpec derives a registry spec from a seeded generator: a handful of
+// families drawn from a fixed namespace so merges overlap and adopt both.
+func randomSpec(rng *rand.Rand) regSpec {
+	sp := regSpec{counters: map[string]map[string]float64{}, observes: map[string][]float64{}}
+	names := []string{"alpha_total", "beta_total", "gamma_total"}
+	labels := []string{"a", "b", "c"}
+	for _, name := range names {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		sp.counters[name] = map[string]float64{}
+		for _, lv := range labels {
+			if rng.Intn(2) == 0 {
+				sp.counters[name][lv] = float64(rng.Intn(100))
+			}
+		}
+	}
+	if rng.Intn(2) == 0 {
+		n := rng.Intn(5)
+		obs := make([]float64, n)
+		for i := range obs {
+			obs[i] = rng.Float64() * 2
+		}
+		sp.observes["delta_seconds"] = obs
+	}
+	return sp
+}
+
+// TestMergeCommutativeAssociative is the registry mirror of the shard-merge
+// property (FuzzShardMerge): merge order must never change the rendered
+// exposition, because shard registries fan in concurrently in any order.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randomSpec(rng), randomSpec(rng), randomSpec(rng)
+
+		ab := a.build()
+		if err := ab.Merge(b.build()); err != nil {
+			t.Fatalf("seed %d: a·b: %v", seed, err)
+		}
+		ba := b.build()
+		if err := ba.Merge(a.build()); err != nil {
+			t.Fatalf("seed %d: b·a: %v", seed, err)
+		}
+		if ab.Text() != ba.Text() {
+			t.Errorf("seed %d: merge is not commutative:\n%s\nvs\n%s", seed, ab.Text(), ba.Text())
+		}
+
+		abc := a.build()
+		if err := abc.Merge(b.build()); err != nil {
+			t.Fatal(err)
+		}
+		if err := abc.Merge(c.build()); err != nil {
+			t.Fatal(err)
+		}
+		bc := b.build()
+		if err := bc.Merge(c.build()); err != nil {
+			t.Fatal(err)
+		}
+		aBC := a.build()
+		if err := aBC.Merge(bc); err != nil {
+			t.Fatal(err)
+		}
+		if abc.Text() != aBC.Text() {
+			t.Errorf("seed %d: merge is not associative:\n%s\nvs\n%s", seed, abc.Text(), aBC.Text())
+		}
+	}
+}
+
+// FuzzRegistryMerge lets the fuzzer drive the same property over arbitrary
+// seeds, mirroring FuzzShardMerge in internal/analysis.
+func FuzzRegistryMerge(f *testing.F) {
+	f.Add(int64(1), int64(2))
+	f.Add(int64(42), int64(7))
+	f.Fuzz(func(t *testing.T, s1, s2 int64) {
+		a := randomSpec(rand.New(rand.NewSource(s1)))
+		b := randomSpec(rand.New(rand.NewSource(s2)))
+		ab := a.build()
+		if err := ab.Merge(b.build()); err != nil {
+			t.Fatal(err)
+		}
+		ba := b.build()
+		if err := ba.Merge(a.build()); err != nil {
+			t.Fatal(err)
+		}
+		if ab.Text() != ba.Text() {
+			t.Errorf("merge order changed the exposition (seeds %d, %d)", s1, s2)
+		}
+		if err := ValidateExposition([]byte(ab.Text())); err != nil {
+			t.Errorf("merged exposition fails conformance: %v", err)
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// Handler serves the registry as a Prometheus /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// HealthzHandler serves a JSON liveness document sourced from the shared
+// registry: status, the build revision (from the certchain_build_info
+// series), and every gauge/counter the fields function projects. extra,
+// when non-nil, is invoked per request and its pairs are merged in — the
+// place for handler-local state that is not a metric.
+func HealthzHandler(reg *Registry, fields map[string]string, extra func() map[string]any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		doc := map[string]any{"status": "ok"}
+		if info := reg.InfoLabels("certchain_build_info"); info != nil {
+			doc["build_revision"] = info["revision"]
+			doc["go_version"] = info["go_version"]
+		} else {
+			doc["build_revision"] = Build().Revision()
+		}
+		// fields maps JSON key → registry family name (label-less series).
+		keys := make([]string, 0, len(fields))
+		for k := range fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if v, ok := reg.Value(fields[k]); ok {
+				doc[k] = v
+			}
+		}
+		if extra != nil {
+			for k, v := range extra() {
+				doc[k] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(doc)
+	})
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r, "test")
+	r.Counter("hits_total", "Hits.").With().Add(5)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "hits_total 5") {
+		t.Errorf("missing sample:\n%s", body)
+	}
+	if !strings.Contains(body, `certchain_build_info{component="test"`) {
+		t.Errorf("missing build info series:\n%s", body)
+	}
+	if err := ValidateExposition(rec.Body.Bytes()); err != nil {
+		t.Errorf("handler output fails conformance: %v", err)
+	}
+}
+
+func TestHealthzHandler(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r, "test")
+	r.Gauge("certchain_snapshot_age_seconds", "Age.").With().Set(-1)
+
+	h := HealthzHandler(r,
+		map[string]string{"snapshot_age_seconds": "certchain_snapshot_age_seconds", "absent": "no_such_family"},
+		func() map[string]any { return map[string]any{"windows": 3} })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("healthz is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if doc["status"] != "ok" {
+		t.Errorf("status = %v", doc["status"])
+	}
+	if rev, _ := doc["build_revision"].(string); rev == "" {
+		t.Error("build_revision empty; health must always report one")
+	}
+	if doc["snapshot_age_seconds"] != float64(-1) {
+		t.Errorf("snapshot_age_seconds = %v, want -1", doc["snapshot_age_seconds"])
+	}
+	if _, ok := doc["absent"]; ok {
+		t.Error("absent metric projected into healthz")
+	}
+	if doc["windows"] != float64(3) {
+		t.Errorf("extra field windows = %v, want 3", doc["windows"])
+	}
+}
+
+// TestHealthzWithoutBuildInfo: with no build-info series the handler falls
+// back to the process build, whose Revision() is never empty.
+func TestHealthzWithoutBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	rec := httptest.NewRecorder()
+	HealthzHandler(r, nil, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if rev, _ := doc["build_revision"].(string); rev == "" {
+		t.Error("fallback build_revision empty")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" {
+		t.Error("Build().GoVersion empty in a test binary")
+	}
+	if (BuildInfo{}).Revision() != "unknown" {
+		t.Error("empty BuildInfo.Revision() != unknown")
+	}
+	if (BuildInfo{VCSRevision: "abc"}).Revision() != "abc" {
+		t.Error("Revision() does not pass through a real revision")
+	}
+}

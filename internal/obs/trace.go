@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records stage spans. Creation order is the export order, so code
+// that starts spans deterministically (sequential stage code; shard spans
+// started by the coordinator before the workers launch) produces a
+// deterministic span sequence even though the recorded wall-clock durations
+// vary run to run — the separation DESIGN.md §11's determinism rules rest
+// on.
+//
+// A nil *Tracer is a valid no-op: every method works on nil, so
+// instrumented code never branches on whether tracing is enabled.
+type Tracer struct {
+	mu    sync.Mutex
+	clock func() time.Time
+	spans []*Span
+}
+
+// Span is one timed stage interval.
+type Span struct {
+	tr *Tracer
+	// Stage is the logical pipeline stage ("load", "observe", ...); spans
+	// aggregate by stage in manifests.
+	Stage string
+	// Name is the display name (e.g. "observe/shard3").
+	Name string
+	// TID renders as the Chrome trace thread id (shard index).
+	TID int
+
+	start, end time.Time
+	ended      bool
+	// records is the number of input records this span processed; only
+	// width-invariant counts belong here (see Manifest).
+	records int64
+	// args are extra numeric attributes, exported under Chrome trace args.
+	args map[string]int64
+}
+
+// NewTracer returns a tracer on the wall clock.
+func NewTracer() *Tracer { return NewTracerClock(wallNow) }
+
+// NewTracerClock returns a tracer on an injected clock — the determinism
+// seam tests use.
+func NewTracerClock(clock func() time.Time) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+// Start opens a span. Safe on a nil tracer (returns a nil span whose
+// methods no-op).
+func (t *Tracer) Start(stage, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{tr: t, Stage: stage, Name: name, start: t.clock()}
+	t.spans = append(t.spans, sp)
+	return sp
+}
+
+// SetTID tags the span with a thread id (shard index) for the trace view.
+func (s *Span) SetTID(tid int) *Span {
+	if s == nil {
+		return s
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.TID = tid
+	return s
+}
+
+// SetRecords records how many input records the span processed.
+func (s *Span) SetRecords(n int64) *Span {
+	if s == nil {
+		return s
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.records = n
+	return s
+}
+
+// AddRecords accumulates processed records (streaming shards).
+func (s *Span) AddRecords(n int64) *Span {
+	if s == nil {
+		return s
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.records += n
+	return s
+}
+
+// Arg attaches one numeric attribute exported in the trace's args block.
+func (s *Span) Arg(key string, v int64) *Span {
+	if s == nil {
+		return s
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.args == nil {
+		s.args = make(map[string]int64)
+	}
+	s.args[key] = v
+	return s
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if !s.ended {
+		s.end = s.tr.clock()
+		s.ended = true
+	}
+}
+
+// StageStat is the per-stage aggregate a manifest carries: span count,
+// total records, and total wall time across the stage's spans.
+type StageStat struct {
+	Stage   string `json:"stage"`
+	Spans   int    `json:"spans"`
+	Records int64  `json:"records"`
+	WallNS  int64  `json:"wall_ns"`
+}
+
+// Stages aggregates spans by stage, in first-start order. Unfinished spans
+// contribute zero duration.
+func (t *Tracer) Stages() []StageStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := make(map[string]int)
+	var out []StageStat
+	for _, sp := range t.spans {
+		i, ok := idx[sp.Stage]
+		if !ok {
+			i = len(out)
+			idx[sp.Stage] = i
+			out = append(out, StageStat{Stage: sp.Stage})
+		}
+		out[i].Spans++
+		out[i].Records += sp.records
+		if sp.ended {
+			out[i].WallNS += sp.end.Sub(sp.start).Nanoseconds()
+		}
+	}
+	return out
+}
+
+// WallNS is the wall time from the first span's start to the latest span
+// end; 0 with no finished spans.
+func (t *Tracer) WallNS() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var base, last time.Time
+	for _, sp := range t.spans {
+		if base.IsZero() || sp.start.Before(base) {
+			base = sp.start
+		}
+		if sp.ended && sp.end.After(last) {
+			last = sp.end
+		}
+	}
+	if base.IsZero() || last.IsZero() {
+		return 0
+	}
+	return last.Sub(base).Nanoseconds()
+}
+
+// traceEvent is one Chrome trace-event object (the "X" complete-event
+// form), loadable in chrome://tracing and Perfetto.
+type traceEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	TS   int64            `json:"ts"`  // microseconds relative to trace start
+	Dur  int64            `json:"dur"` // microseconds
+	PID  int              `json:"pid"`
+	TID  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// traceFile is the Chrome trace "JSON object format".
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the spans as Chrome trace-event JSON. Events
+// appear in span creation order; timestamps are microseconds relative to
+// the earliest span start.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil tracer has no trace")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var base time.Time
+	for _, sp := range t.spans {
+		if base.IsZero() || sp.start.Before(base) {
+			base = sp.start
+		}
+	}
+	out := traceFile{TraceEvents: make([]traceEvent, 0, len(t.spans)), DisplayTimeUnit: "ms"}
+	for _, sp := range t.spans {
+		ev := traceEvent{
+			Name: sp.Name,
+			Cat:  sp.Stage,
+			Ph:   "X",
+			TS:   sp.start.Sub(base).Microseconds(),
+			PID:  1,
+			TID:  sp.TID,
+		}
+		if sp.ended {
+			ev.Dur = sp.end.Sub(sp.start).Microseconds()
+		}
+		if sp.records != 0 || len(sp.args) > 0 {
+			ev.Args = make(map[string]int64, len(sp.args)+1)
+			for k, v := range sp.args {
+				ev.Args[k] = v
+			}
+			if sp.records != 0 {
+				ev.Args["records"] = sp.records
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ValidateChromeTrace checks that data is a structurally valid Chrome
+// trace-event file: an object with a traceEvents array whose events carry a
+// name, the complete-event phase, and non-negative times — and that every
+// required stage appears as at least one event category. The obs-smoke CI
+// job runs this over certchain-analyze's -trace output.
+func ValidateChromeTrace(data []byte, requiredStages ...string) error {
+	var f traceFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("obs: trace JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace has no events")
+	}
+	stages := make(map[string]int)
+	for i, ev := range f.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("obs: trace event %d has no name", i)
+		}
+		if ev.Ph != "X" {
+			return fmt.Errorf("obs: trace event %d (%s): phase %q, want complete event \"X\"", i, ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			return fmt.Errorf("obs: trace event %d (%s): negative time", i, ev.Name)
+		}
+		stages[ev.Cat]++
+	}
+	var missing []string
+	for _, st := range requiredStages {
+		if stages[st] == 0 {
+			missing = append(missing, st)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("obs: trace missing required stage span(s): %v", missing)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock ticks a fixed step per read — the injectable-clock seam that
+// keeps span *content* deterministic while real runs record real wall time.
+func fakeClock(step time.Duration) func() time.Time {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * step)
+	}
+}
+
+func TestTracerStagesDeterministic(t *testing.T) {
+	tr := NewTracerClock(fakeClock(time.Millisecond))
+	// clock reads: start a=1ms, start b=2ms, end b=3ms, start c=4ms,
+	// end c=5ms, end a=6ms.
+	a := tr.Start("observe", "observe").SetRecords(100)
+	b := tr.Start("observe-shard", "observe/shard0").SetTID(0).SetRecords(60)
+	b.End()
+	c := tr.Start("observe-shard", "observe/shard1").SetTID(1).SetRecords(40)
+	c.End()
+	a.End()
+
+	stages := tr.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("Stages() = %d entries, want 2: %+v", len(stages), stages)
+	}
+	if stages[0].Stage != "observe" || stages[1].Stage != "observe-shard" {
+		t.Errorf("stage order = %q, %q; want first-start order observe, observe-shard", stages[0].Stage, stages[1].Stage)
+	}
+	if stages[0].Spans != 1 || stages[0].Records != 100 {
+		t.Errorf("observe aggregate = %+v", stages[0])
+	}
+	if stages[1].Spans != 2 || stages[1].Records != 100 {
+		t.Errorf("observe-shard aggregate = %+v (want 2 spans, 100 records)", stages[1])
+	}
+	if want := int64(5 * time.Millisecond); stages[0].WallNS != want {
+		t.Errorf("observe wall = %d, want %d", stages[0].WallNS, want)
+	}
+	if want := int64(2 * time.Millisecond); stages[1].WallNS != want {
+		t.Errorf("observe-shard wall = %d, want %d (1ms per shard)", stages[1].WallNS, want)
+	}
+	if want := int64(5 * time.Millisecond); tr.WallNS() != want {
+		t.Errorf("WallNS = %d, want %d (first start to last end)", tr.WallNS(), want)
+	}
+}
+
+func TestSpanEndTwiceKeepsFirst(t *testing.T) {
+	tr := NewTracerClock(fakeClock(time.Millisecond))
+	sp := tr.Start("s", "s")
+	sp.End()
+	first := tr.WallNS()
+	sp.End()
+	if tr.WallNS() != first {
+		t.Errorf("second End moved the end time: %d -> %d", first, tr.WallNS())
+	}
+}
+
+func TestUnfinishedSpanContributesZeroDuration(t *testing.T) {
+	tr := NewTracerClock(fakeClock(time.Millisecond))
+	tr.Start("open", "open").SetRecords(5)
+	st := tr.Stages()
+	if st[0].WallNS != 0 {
+		t.Errorf("unfinished span wall = %d, want 0", st[0].WallNS)
+	}
+	if st[0].Records != 5 {
+		t.Errorf("unfinished span records = %d, want 5", st[0].Records)
+	}
+	if tr.WallNS() != 0 {
+		t.Errorf("WallNS with no finished span = %d, want 0", tr.WallNS())
+	}
+}
+
+// TestNilTracer pins the no-op contract: instrumented code never branches on
+// whether tracing is enabled.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("s", "s")
+	if sp != nil {
+		t.Fatal("nil tracer returned a non-nil span")
+	}
+	sp.SetTID(1).SetRecords(2).AddRecords(3).Arg("k", 4)
+	sp.End()
+	if tr.Stages() != nil {
+		t.Error("nil tracer has stages")
+	}
+	if tr.WallNS() != 0 {
+		t.Error("nil tracer has wall time")
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Error("nil tracer wrote a trace")
+	}
+}
+
+func TestWriteChromeTraceAndValidate(t *testing.T) {
+	tr := NewTracerClock(fakeClock(time.Millisecond))
+	a := tr.Start("load", "load/zeek").SetRecords(10)
+	a.End()
+	b := tr.Start("merge", "merge").Arg("partials", 4)
+	b.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if err := ValidateChromeTrace(data, "load", "merge"); err != nil {
+		t.Errorf("trace fails its own validator: %v", err)
+	}
+	if err := ValidateChromeTrace(data, "load", "merge", "finalize"); err == nil {
+		t.Error("validator missed an absent required stage")
+	} else if !strings.Contains(err.Error(), "finalize") {
+		t.Errorf("missing-stage error does not name the stage: %v", err)
+	}
+	out := string(data)
+	for _, want := range []string{`"name": "load/zeek"`, `"cat": "merge"`, `"ph": "X"`, `"records": 10`, `"partials": 4`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace JSON missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "nope",
+		"unknown fields": `{"traceEvents":[],"bogus":1}`,
+		"no events":      `{"traceEvents":[],"displayTimeUnit":"ms"}`,
+		"unnamed event":  `{"traceEvents":[{"name":"","cat":"s","ph":"X","ts":0,"dur":1,"pid":1,"tid":0}],"displayTimeUnit":"ms"}`,
+		"wrong phase":    `{"traceEvents":[{"name":"e","cat":"s","ph":"B","ts":0,"dur":1,"pid":1,"tid":0}],"displayTimeUnit":"ms"}`,
+		"negative time":  `{"traceEvents":[{"name":"e","cat":"s","ph":"X","ts":-1,"dur":1,"pid":1,"tid":0}],"displayTimeUnit":"ms"}`,
+	}
+	for name, doc := range cases {
+		if err := ValidateChromeTrace([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted invalid trace", name)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"certchains/internal/certmodel"
 	"certchains/internal/chain"
+	"certchains/internal/obs"
 )
 
 // Result is one scanned endpoint.
@@ -45,6 +46,11 @@ type Scanner struct {
 	Timeout time.Duration
 	// Dialer overrides the network dialer (tests inject failures).
 	Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+	// Tracer, when set, records one "scan" span per ScanAll sweep. The span
+	// is opened by the coordinator before any connection launches, so its
+	// position in the trace is deterministic even though scan durations are
+	// pure wall clock.
+	Tracer *obs.Tracer
 }
 
 // New returns a scanner with the given per-connection timeout.
@@ -109,6 +115,10 @@ func (s *Scanner) ScanAll(ctx context.Context, targets []Target, parallelism int
 	if parallelism < 1 {
 		parallelism = 1
 	}
+	sp := s.Tracer.Start("scan", "scan").
+		SetRecords(int64(len(targets))).
+		Arg("parallelism", int64(parallelism))
+	defer sp.End()
 	results := make([]*Result, len(targets))
 	sem := make(chan struct{}, parallelism)
 	done := make(chan int)
@@ -123,6 +133,13 @@ func (s *Scanner) ScanAll(ctx context.Context, targets []Target, parallelism int
 	for range targets {
 		<-done
 	}
+	var reachable int64
+	for _, r := range results {
+		if r.Reachable() {
+			reachable++
+		}
+	}
+	sp.Arg("reachable", reachable)
 	return results
 }
 

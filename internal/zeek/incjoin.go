@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"certchains/internal/certmodel"
+	"certchains/internal/obs"
 )
 
 // IncrementalJoiner joins the two live log streams — ssl.log connections and
@@ -48,7 +49,8 @@ type IncrementalJoiner struct {
 	wmSet    bool
 	finished bool
 
-	stats JoinerStats
+	stats  JoinerStats
+	tracer *obs.Tracer
 }
 
 // JoinerStats are the joiner's observable counters, all monotone.
@@ -158,10 +160,18 @@ func (j *IncrementalJoiner) AddX509Record(rec Record) error {
 	return j.AddX509(r)
 }
 
+// SetTracer attaches a stage tracer; Finish then records a "join-finish"
+// span covering the final drain. A nil tracer is the no-op default.
+func (j *IncrementalJoiner) SetTracer(t *obs.Tracer) { j.tracer = t }
+
 // Finish declares both streams complete (both files carried #close, or the
 // daemon is shutting down) and drains every held connection against the
 // final certificate index.
 func (j *IncrementalJoiner) Finish() error {
+	sp := j.tracer.Start("join-finish", "join/finish").
+		SetRecords(int64(len(j.pending))).
+		Arg("cert_index", int64(len(j.certs)))
+	defer sp.End()
 	j.finished = true
 	return j.drain()
 }
