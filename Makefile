@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz report experiments ingest-smoke obs-smoke clean
+.PHONY: all build vet lint test race bench fuzz report experiments ingest-smoke obs-smoke chaos clean
 
 all: build vet lint test
 
@@ -57,6 +57,25 @@ obs-smoke:
 	$(GO) test -count=1 -run 'TestServeMuxAdminEndpoints' ./cmd/ctlog/
 	$(GO) test -count=1 -run 'TestStatsPrometheusConformance|TestFillEscapesHostileLabels' ./internal/ingest/
 
+# Chaos suite: every fault-injection matrix under the race detector —
+# scanner dial faults, ctlog HTTP faults, middlebox upstream timeout/retry,
+# zeek tailer file faults (including the fault-plan fuzzer's corpus), and
+# the ingest chaos-equivalence suite (faulted runs byte-identical to
+# fault-free at every worker width) — plus a coverage ratchet on the
+# resilience layer itself. The floor only moves up.
+RESILIENCE_COVER_FLOOR = 90
+chaos:
+	$(GO) test -race -count=1 ./internal/resilience/
+	$(GO) test -race -count=1 -run 'TestScanChaos|TestScanAllChaos' ./internal/scanner/
+	$(GO) test -race -count=1 -run 'TestCTLog' ./internal/ctlog/
+	$(GO) test -race -count=1 -run 'TestProxyUpstream' ./internal/middlebox/
+	$(GO) test -race -count=1 -run 'TestTailer|FuzzTailerWithFaults' ./internal/zeek/
+	$(GO) test -race -count=1 -run 'TestIngestChaosEquivalence|TestIngestSnapshotWriteRetry|TestDaemonChaosE2E' ./internal/ingest/
+	@cov=$$($(GO) test -count=1 -cover ./internal/resilience/ | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*'); \
+	echo "internal/resilience coverage: $$cov% (floor $(RESILIENCE_COVER_FLOOR)%)"; \
+	awk -v c="$$cov" -v f="$(RESILIENCE_COVER_FLOOR)" 'BEGIN { exit (c+0 >= f) ? 0 : 1 }' \
+		|| { echo "coverage ratchet failed: $$cov% < $(RESILIENCE_COVER_FLOOR)%"; exit 1; }
+
 # One benchmark per paper table/figure plus ablations (bench_test.go), then
 # the span-driven per-stage pipeline baseline (ns/op and records/sec per
 # stage at workers 1 and GOMAXPROCS).
@@ -71,6 +90,7 @@ fuzz:
 	$(GO) test -fuzz FuzzFieldRoundTrip -fuzztime 20s ./internal/zeek/
 	$(GO) test -fuzz FuzzReader -fuzztime 20s ./internal/zeek/
 	$(GO) test -fuzz FuzzJSONReader -fuzztime 20s ./internal/zeek/
+	$(GO) test -fuzz FuzzTailerWithFaults -fuzztime 30s ./internal/zeek/
 	$(GO) test -fuzz FuzzShardMerge -fuzztime 30s ./internal/analysis/
 	$(GO) test -fuzz FuzzRegistryMerge -fuzztime 20s ./internal/obs/
 	$(GO) test -fuzz FuzzLintChain -fuzztime 30s ./internal/lint/

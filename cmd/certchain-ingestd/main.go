@@ -45,6 +45,7 @@ import (
 	"certchains/internal/ingest"
 	"certchains/internal/lint"
 	"certchains/internal/obs"
+	"certchains/internal/resilience"
 )
 
 func main() {
@@ -70,6 +71,7 @@ func run() error {
 		snapshot   = flag.String("snapshot", "", "state snapshot path (enables resume across restarts)")
 		snapEvery  = flag.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval (negative disables)")
 		poll       = flag.Duration("poll", 500*time.Millisecond, "tail poll interval")
+		ioRetries  = flag.Int("io-retries", 3, "retries per poll/snapshot after a transient I/O failure")
 		lintPro    = flag.String("lint", "", "lint every chain; value is the check profile (paper, strict, all)")
 		demo       = flag.Bool("demo", false, "replay a generated capture into the tailed files")
 		speed      = flag.Float64("speed", 500000, "demo replay speed: log seconds per wall second")
@@ -161,6 +163,8 @@ func run() error {
 		return fmt.Errorf("need both -ssl and -x509 (or -demo)")
 	}
 
+	ioPolicy := resilience.DefaultPolicy()
+	ioPolicy.MaxAttempts = 1 + *ioRetries
 	ing, resumed, err := ingest.RestoreOrNew(pipeline, ingest.Config{
 		SSLPath:      *sslPath,
 		X509Path:     *x5Path,
@@ -169,6 +173,7 @@ func run() error {
 		CertCap:      *certCap,
 		PendingCap:   *pendingCap,
 		SnapshotPath: *snapshot,
+		Retry:        ioPolicy,
 	})
 	if err != nil {
 		return err
@@ -181,6 +186,7 @@ func run() error {
 		Addr:          *addr,
 		Poll:          *poll,
 		SnapshotEvery: *snapEvery,
+		Retry:         ioPolicy,
 		// The daemon speaks printf; fold its lines into the structured
 		// logger's message field.
 		Logf: func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },

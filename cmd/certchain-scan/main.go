@@ -41,6 +41,7 @@ func run() error {
 		sni      = flag.String("sni", "", "server name to offer (default: derived per target)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-connection timeout")
 		parallel = flag.Int("parallel", 8, "concurrent scans")
+		retries  = flag.Int("retries", 3, "retries per target after a transient failure")
 		demo     = flag.Bool("demo", false, "start a local demo farm and scan it")
 		baseSSL  = flag.String("baseline-ssl", "", "prior ssl.log for then-vs-now comparison")
 		baseX509 = flag.String("baseline-x509", "", "prior x509.log for then-vs-now comparison")
@@ -78,6 +79,7 @@ func run() error {
 	}
 
 	sc := scanner.New(*timeout)
+	sc.Retry.MaxAttempts = 1 + *retries
 	cl := chain.NewClassifier(trustdb.New())
 
 	var targets []scanner.Target
@@ -120,7 +122,7 @@ func run() error {
 	results := sc.ScanAll(context.Background(), targets, *parallel)
 	for _, res := range results {
 		if res.Err != nil {
-			fmt.Printf("%-24s UNREACHABLE: %v\n", res.Addr, res.Err)
+			fmt.Printf("%-24s %s after %d attempt(s): %v\n", res.Addr, res.Outcome, res.Attempts, res.Err)
 			continue
 		}
 		a := cl.Analyze(res.Chain)
@@ -136,5 +138,15 @@ func run() error {
 				cmp.OldCategory, cmp.OldLen, cmp.NewCategory, cmp.NewLen, cmp.NewVerdict)
 		}
 	}
+	// Sweep summary: unreachable servers are outcomes, not aborts (§5's
+	// retrospective scan reports what it could not reach).
+	summary := scanner.Summarize(results)
+	fmt.Printf("sweep: %d targets", len(results))
+	for _, outcome := range []string{scanner.OutcomeOK, scanner.OutcomeEmpty, scanner.OutcomeHandshake, scanner.OutcomeDial} {
+		if n := summary[outcome]; n > 0 {
+			fmt.Printf("  %s=%d", outcome, n)
+		}
+	}
+	fmt.Println()
 	return nil
 }

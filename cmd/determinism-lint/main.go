@@ -26,8 +26,12 @@ import (
 // analysis it feeds stays keyed by log time), and the observability layer's
 // single clock seam (internal/obs/clock.go) — every wall-clock read in obs
 // funnels through it, and manifests/traces keep timing data out of the
-// deterministic report contract by construction.
-const defaultAllowlist = "cmd/,examples/,internal/scanner/,internal/ctlog/http.go,internal/lint/lint.go,internal/ingest/,internal/obs/clock.go"
+// deterministic report contract by construction. The resilience layer has
+// the same shape: internal/resilience/clock.go is its only wall-clock
+// contact (the process-wide jitter seed fallback and the real backoff
+// sleeps); tests that need determinism pin Policy.JitterSeed and inject
+// Policy.Sleep, so jitter never reaches report bytes.
+const defaultAllowlist = "cmd/,examples/,internal/scanner/,internal/ctlog/http.go,internal/lint/lint.go,internal/ingest/,internal/obs/clock.go,internal/resilience/clock.go"
 
 func main() {
 	var (

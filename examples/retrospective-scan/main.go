@@ -95,7 +95,10 @@ func run() error {
 	} {
 		res := sc.Scan(context.Background(), srv.addr, srv.domain)
 		if res.Err != nil {
-			return res.Err
+			// An unreachable server is a recorded outcome, not an abort —
+			// the sweep carries on to the remaining targets.
+			fmt.Printf("  %-26s %s after %d attempt(s): %v\n", srv.domain, res.Outcome, res.Attempts, res.Err)
+			continue
 		}
 		a := classifier.Analyze(res.Chain)
 		fmt.Printf("  %-26s %d certs  category=%-20s verdict=%-22s unnecessary=%d\n",

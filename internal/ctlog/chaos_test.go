@@ -1,0 +1,255 @@
+package ctlog
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/obs"
+	"certchains/internal/resilience"
+)
+
+// Chaos matrix for the ctlog client: every plan eventually succeeds, so the
+// decoded responses must be identical to a fault-free fetch, with faults
+// visible only in the retry/fault counters.
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+// faultBody routes Read through a plan-wrapped reader while closing the
+// original body.
+type faultBody struct {
+	r io.Reader
+	c io.Closer
+}
+
+func (b faultBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (b faultBody) Close() error               { return b.c.Close() }
+
+// chaosClient wraps the log server's transport with a fault plan and a
+// deterministic instant-sleep retry policy.
+func chaosClient(t *testing.T, plan *resilience.Plan, m *resilience.Metrics) (*Log, *Client) {
+	t.Helper()
+	l, c := httpEnv(t)
+	inner := c.HTTPClient.Transport
+	c.HTTPClient = &http.Client{Transport: plan.RoundTripper("ctlog.rt", inner)}
+	c.Retry = resilience.DefaultPolicy()
+	c.Retry.JitterSeed = 11
+	c.Retry.Sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	c.Metrics = m
+	return l, c
+}
+
+func TestCTLogChaosMatrix(t *testing.T) {
+	cases := []struct {
+		name   string
+		faults []resilience.Fault
+	}{
+		{"fault-free", nil},
+		{"503-then-ok", []resilience.Fault{
+			{Op: "ctlog.rt", Attempt: 1, Kind: resilience.HTTPStatus, Status: 503},
+		}},
+		{"500-twice-then-ok", []resilience.Fault{
+			{Op: "ctlog.rt", Attempt: 1, Kind: resilience.HTTPStatus, Status: 500},
+			{Op: "ctlog.rt", Attempt: 2, Kind: resilience.HTTPStatus, Status: 502},
+		}},
+		{"timeout-then-ok", []resilience.Fault{
+			{Op: "ctlog.rt", Attempt: 1, Kind: resilience.HTTPTimeout},
+		}},
+		{"reset-then-503-then-ok", []resilience.Fault{
+			{Op: "ctlog.rt", Attempt: 1, Kind: resilience.ConnReset},
+			{Op: "ctlog.rt", Attempt: 2, Kind: resilience.HTTPStatus, Status: 503},
+		}},
+	}
+
+	// Fault-free reference.
+	refLog, refClient := httpEnv(t)
+	refSTH, err := refClient.GetSTH(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEntries, err := refClient.GetEntries(context.Background(), 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = refLog
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			m := resilience.NewMetrics(reg)
+			plan := resilience.NewPlan(c.faults...)
+			plan.SetMetrics(m)
+			l, client := chaosClient(t, plan, m)
+
+			sth, err := client.GetSTH(context.Background())
+			if err != nil {
+				t.Fatalf("GetSTH under plan %s: %v", plan.Describe(), err)
+			}
+			if sth.TreeSize != refSTH.TreeSize || sth.RootHash != refSTH.RootHash {
+				t.Errorf("STH diverged under faults: size=%d root=%x", sth.TreeSize, sth.RootHash)
+			}
+			if !l.VerifySTH(sth) {
+				t.Error("STH fetched through faults must still verify")
+			}
+
+			entries, err := client.GetEntries(context.Background(), 0, 11)
+			if err != nil {
+				t.Fatalf("GetEntries: %v", err)
+			}
+			if len(entries) != len(refEntries) {
+				t.Fatalf("entries = %d, want %d", len(entries), len(refEntries))
+			}
+			for i := range entries {
+				if entries[i].Index != refEntries[i].Index ||
+					entries[i].Cert.FP != refEntries[i].Cert.FP {
+					t.Errorf("entry %d diverged under faults", i)
+				}
+			}
+
+			if plan.Pending() != 0 {
+				t.Errorf("unplayed faults: %s", plan.Describe())
+			}
+			if got := resilience.RetryTotal(reg); got != float64(plan.FailureCount()) {
+				t.Errorf("retries metric = %v, want %d", got, plan.FailureCount())
+			}
+			if got := resilience.FaultTotal(reg); got != float64(plan.InjectedCount()) {
+				t.Errorf("fault metric = %v, want %d", got, plan.InjectedCount())
+			}
+		})
+	}
+}
+
+func TestCTLogChaosSlowRead(t *testing.T) {
+	// A slow response is a degradation, not a failure: no retry happens and
+	// the result is still correct.
+	reg := obs.NewRegistry()
+	m := resilience.NewMetrics(reg)
+	_, c := httpEnv(t)
+	base := c.HTTPClient.Transport
+	plan := resilience.NewPlan()
+	plan.SetMetrics(m)
+
+	// Wrap the response body in a fault reader that delays one read.
+	c.HTTPClient = &http.Client{Transport: roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = faultBody{r: plan.Reader("ctlog.body", resp.Body), c: resp.Body}
+		return resp, nil
+	})}
+	plan.Add(resilience.Fault{Op: "ctlog.body", Attempt: 1, Kind: resilience.SlowRead, Delay: 20 * time.Millisecond})
+	c.Retry = resilience.DefaultPolicy()
+	c.Retry.JitterSeed = 3
+	c.Retry.Sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	c.Metrics = m
+
+	start := time.Now()
+	sth, err := c.GetSTH(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sth.TreeSize != 12 {
+		t.Errorf("tree size = %d", sth.TreeSize)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("slow-read fault did not delay the response")
+	}
+	if got := resilience.RetryTotal(reg); got != 0 {
+		t.Errorf("slow read must not trigger retries, got %v", got)
+	}
+	if got := resilience.FaultTotal(reg); got != 1 {
+		t.Errorf("fault metric = %v, want 1", got)
+	}
+}
+
+func TestCTLogAddChainRetries(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := resilience.NewMetrics(reg)
+	plan := resilience.NewPlan(
+		resilience.Fault{Op: "ctlog.rt", Attempt: 1, Kind: resilience.HTTPStatus, Status: 503},
+	)
+	plan.SetMetrics(m)
+	l, client := chaosClient(t, plan, m)
+
+	mcert := mkCert("CN=HTTP CA", "CN=retry.example.com", "retry.example.com")
+	sct, dup, err := client.AddChain(context.Background(), certmodel.Chain{mcert})
+	if err != nil {
+		t.Fatalf("AddChain: %v", err)
+	}
+	if dup {
+		t.Error("fresh leaf reported duplicate")
+	}
+	if sct.LeafIndex != 12 {
+		t.Errorf("leaf index = %d, want 12", sct.LeafIndex)
+	}
+	if got := l.Size(); got != 13 {
+		t.Errorf("log size = %d, want 13 (retried add-chain must not double-log)", got)
+	}
+	if got := resilience.RetryTotal(reg); got != 1 {
+		t.Errorf("retries metric = %v, want 1", got)
+	}
+}
+
+func TestCTLogClientGivesUpOnPermanentStatus(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := resilience.NewMetrics(reg)
+	plan := resilience.NewPlan()
+	plan.SetMetrics(m)
+	_, client := chaosClient(t, plan, m)
+
+	// A 400 is the server's verdict, not the network's: no retries.
+	_, err := client.GetEntries(context.Background(), 5, 2) // end < start
+	var serr *resilience.StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if v, ok := reg.Value("resilience_attempts_total", "ctlog.get"); !ok || v != 1 {
+		t.Errorf("attempts = %v, want exactly 1 (no retry on 4xx)", v)
+	}
+}
+
+func TestCTLogDefaultClientHasTimeout(t *testing.T) {
+	c := NewClient("http://127.0.0.1:0")
+	hc := c.httpClient()
+	if hc == http.DefaultClient {
+		t.Fatal("default client must never be http.DefaultClient")
+	}
+	if hc.Timeout != DefaultTimeout {
+		t.Errorf("default client timeout = %v, want %v", hc.Timeout, DefaultTimeout)
+	}
+	if c.Retry.MaxAttempts != resilience.DefaultPolicy().MaxAttempts {
+		t.Errorf("NewClient retry budget = %d", c.Retry.MaxAttempts)
+	}
+}
+
+func TestCTLogClientHonorsContextDeadline(t *testing.T) {
+	// A server that never answers within the deadline: the retry loop must
+	// stop when the caller's context expires, not grind through its budget.
+	blocked := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-blocked
+	}))
+	defer srv.Close()
+	defer close(blocked)
+
+	c := NewClient(srv.URL)
+	c.Retry.Sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.GetSTH(ctx)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("client ignored the context deadline (%v)", elapsed)
+	}
+}

@@ -11,11 +11,13 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"certchains/internal/certmodel"
 	"certchains/internal/dn"
 	"certchains/internal/merkle"
+	"certchains/internal/resilience"
 )
 
 // HTTP wire formats, modeled on RFC 6962's JSON messages with the log-level
@@ -286,19 +288,40 @@ func (l *Log) handleAddChain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// Client talks to a log's HTTP API.
+// Client talks to a log's HTTP API. Transient failures — connection
+// errors, timeouts, 5xx responses — are retried within Retry's budget;
+// context deadlines are honored both between attempts and mid-backoff.
 type Client struct {
 	// Base is the server base URL (e.g. "http://127.0.0.1:8634").
 	Base string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to a shared client with DefaultTimeout — never
+	// http.DefaultClient, which waits forever on a dead server.
 	HTTPClient *http.Client
+	// Retry is the request retry budget. The zero value makes a single
+	// attempt; NewClient installs resilience.DefaultPolicy.
+	Retry resilience.Policy
+	// Metrics, when set, books request attempts and retries into the
+	// shared obs registry.
+	Metrics *resilience.Metrics
+}
+
+// DefaultTimeout bounds each request made by a Client with no explicit
+// HTTPClient.
+const DefaultTimeout = 10 * time.Second
+
+var defaultHTTPClient = &http.Client{Timeout: DefaultTimeout}
+
+// NewClient returns a client for base with the default timeout and retry
+// budget.
+func NewClient(base string) *Client {
+	return &Client{Base: base, Retry: resilience.DefaultPolicy()}
 }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
 func (c *Client) get(ctx context.Context, path string, params url.Values, out any) error {
@@ -306,20 +329,24 @@ func (c *Client) get(ctx context.Context, path string, params url.Values, out an
 	if len(params) > 0 {
 		u += "?" + params.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return fmt.Errorf("ctlog client: build request: %w", err)
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return fmt.Errorf("ctlog client: %s: %w", path, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("ctlog client: %s: status %d: %s", path, resp.StatusCode, msg)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	_, err := c.Retry.WithMetrics(c.Metrics).Do(ctx, "ctlog.get", func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return resilience.MarkPermanent(fmt.Errorf("ctlog client: build request: %w", err))
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return fmt.Errorf("ctlog client: %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return fmt.Errorf("ctlog client: %s: %w", path,
+				&resilience.StatusError{Code: resp.StatusCode, Body: strings.TrimSpace(string(msg))})
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
+	return err
 }
 
 // GetSTH fetches and decodes the signed tree head.
@@ -421,7 +448,9 @@ func (c *Client) QueryDomain(ctx context.Context, domain string) ([]*Entry, erro
 	return out, nil
 }
 
-// AddChain submits a chain and returns the SCT.
+// AddChain submits a chain and returns the SCT. Submission is retried on
+// transient failure — safe because add-chain is idempotent (a resubmitted
+// leaf comes back with Duplicate set rather than double-logging).
 func (c *Client) AddChain(ctx context.Context, chain certmodel.Chain) (*SCT, bool, error) {
 	req := struct {
 		Chain []WireCert `json:"chain"`
@@ -433,23 +462,28 @@ func (c *Client) AddChain(ctx context.Context, chain certmodel.Chain) (*SCT, boo
 	if err != nil {
 		return nil, false, fmt.Errorf("ctlog client: marshal: %w", err)
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.Base+"/ct/v1/add-chain", bytes.NewReader(body))
-	if err != nil {
-		return nil, false, err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(httpReq)
-	if err != nil {
-		return nil, false, fmt.Errorf("ctlog client: add-chain: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, false, fmt.Errorf("ctlog client: add-chain: status %d: %s", resp.StatusCode, msg)
-	}
 	var wire WireSCT
-	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+	_, err = c.Retry.WithMetrics(c.Metrics).Do(ctx, "ctlog.add-chain", func(ctx context.Context) error {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.Base+"/ct/v1/add-chain", bytes.NewReader(body))
+		if err != nil {
+			return resilience.MarkPermanent(err)
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		resp, err := c.httpClient().Do(httpReq)
+		if err != nil {
+			return fmt.Errorf("ctlog client: add-chain: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return fmt.Errorf("ctlog client: add-chain: %w",
+				&resilience.StatusError{Code: resp.StatusCode, Body: strings.TrimSpace(string(msg))})
+		}
+		wire = WireSCT{}
+		return json.NewDecoder(resp.Body).Decode(&wire)
+	})
+	if err != nil {
 		return nil, false, err
 	}
 	sig, err := base64.StdEncoding.DecodeString(wire.Signature)

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"certchains/internal/resilience"
 )
 
 // DaemonConfig sizes the daemon's run loop around an Ingestor.
@@ -22,6 +24,10 @@ type DaemonConfig struct {
 	SnapshotEvery time.Duration
 	// ShutdownGrace bounds the HTTP drain on shutdown (default 5s).
 	ShutdownGrace time.Duration
+	// Retry is the per-tick poll retry budget: a poll that fails on a
+	// transient read error is retried within the tick rather than waiting
+	// for the next one. The zero value polls once per tick.
+	Retry resilience.Policy
 	// Logf, when set, receives progress lines (e.g. log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -104,7 +110,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 			// The server died underneath us (not via Shutdown).
 			return err
 		case <-pollT.C:
-			if err := d.ing.PollOnce(); err != nil {
+			if err := d.poll(ctx); err != nil {
 				d.cfg.Logf("ingest: poll: %v", err)
 			}
 		case <-snapC:
@@ -115,11 +121,20 @@ func (d *Daemon) Run(ctx context.Context) error {
 	}
 }
 
+// poll runs one tick's PollOnce under the retry budget. A failed poll
+// leaves the tailers' positions untouched (read faults consume no bytes),
+// so retrying — or giving up until the next tick — never loses data.
+func (d *Daemon) poll(ctx context.Context) error {
+	_, err := d.cfg.Retry.WithMetrics(d.ing.resMetrics).Do(ctx, "ingest.poll",
+		func(context.Context) error { return d.ing.PollOnce() })
+	return err
+}
+
 func (d *Daemon) shutdown(srv *http.Server) error {
 	d.cfg.Logf("ingest: shutting down")
 	// Pick up anything written since the last tick so the final snapshot is
 	// as fresh as the logs.
-	if err := d.ing.PollOnce(); err != nil {
+	if err := d.poll(context.Background()); err != nil {
 		d.cfg.Logf("ingest: final poll: %v", err)
 	}
 	var firstErr error

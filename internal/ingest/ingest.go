@@ -20,8 +20,10 @@
 package ingest
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -32,6 +34,7 @@ import (
 	"certchains/internal/campus"
 	"certchains/internal/certmodel"
 	"certchains/internal/obs"
+	"certchains/internal/resilience"
 	"certchains/internal/zeek"
 )
 
@@ -48,6 +51,13 @@ type Config struct {
 	CertCap, PendingCap int
 	// SnapshotPath, when set, is where SnapshotToFile persists state.
 	SnapshotPath string
+	// FS is the filesystem the tailers read through (nil = the real one);
+	// chaos tests layer a fault plan here.
+	FS resilience.FS
+	// Faults, when set, injects faults into the snapshot writer.
+	Faults *resilience.Plan
+	// Retry is the snapshot-write retry budget; the zero value writes once.
+	Retry resilience.Policy
 }
 
 // Ingestor owns the tail → join → aggregate → ring chain. All methods are
@@ -82,6 +92,8 @@ type Ingestor struct {
 	// reg is the shared metrics registry behind /metrics and /healthz,
 	// refreshed from a Stats snapshot on every scrape.
 	reg *obs.Registry
+	// resMetrics books retry and injected-fault counters into reg.
+	resMetrics *resilience.Metrics
 }
 
 // New creates an Ingestor over fresh state.
@@ -97,10 +109,12 @@ func New(p *analysis.Pipeline, cfg Config) *Ingestor {
 		reg:       obs.NewRegistry(),
 	}
 	obs.RegisterBuildInfo(ing.reg, "certchain-ingestd")
+	ing.resMetrics = resilience.NewMetrics(ing.reg)
+	cfg.Faults.SetMetrics(ing.resMetrics)
 	ing.joiner = zeek.NewIncrementalJoiner(cfg.CertCap, cfg.PendingCap, ing.observeConn)
 	ing.joiner.SetTracer(p.Tracer)
-	ing.sslTail = zeek.NewTailer(cfg.SSLPath, ing.newDecoder)
-	ing.x509Tail = zeek.NewTailer(cfg.X509Path, ing.newDecoder)
+	ing.sslTail = zeek.NewTailerFS(cfg.SSLPath, ing.newDecoder, cfg.FS)
+	ing.x509Tail = zeek.NewTailerFS(cfg.X509Path, ing.newDecoder, cfg.FS)
 	return ing
 }
 
@@ -240,7 +254,10 @@ func (ing *Ingestor) Snapshot() ([]byte, error) {
 }
 
 // SnapshotToFile writes the snapshot atomically (temp file + rename) to
-// cfg.SnapshotPath.
+// cfg.SnapshotPath, retrying transient write failures within cfg.Retry's
+// budget. The atomicity means a failed attempt leaves no partial snapshot:
+// each retry starts a fresh temp file and the rename only happens after a
+// complete write.
 func (ing *Ingestor) SnapshotToFile() error {
 	if ing.cfg.SnapshotPath == "" {
 		return fmt.Errorf("ingest: no snapshot path configured")
@@ -249,12 +266,29 @@ func (ing *Ingestor) SnapshotToFile() error {
 	if err != nil {
 		return err
 	}
+	if _, err := ing.cfg.Retry.WithMetrics(ing.resMetrics).Do(context.Background(), "ingest.snapshot",
+		func(context.Context) error { return ing.writeSnapshot(data) }); err != nil {
+		return err
+	}
+	ing.mu.Lock()
+	ing.snapshots++
+	ing.lastSnapshot = time.Now()
+	ing.mu.Unlock()
+	return nil
+}
+
+// writeSnapshot is one atomic write attempt; cfg.Faults can fail the data
+// write mid-file (the temp file is discarded, so the fault never reaches
+// the real snapshot).
+func (ing *Ingestor) writeSnapshot(data []byte) error {
 	dir := filepath.Dir(ing.cfg.SnapshotPath)
 	tmp, err := os.CreateTemp(dir, ".snapshot-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(data); err != nil {
+	var w io.Writer = tmp
+	w = ing.cfg.Faults.Writer("ingest.snapshot.write", w)
+	if _, err := w.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -267,10 +301,6 @@ func (ing *Ingestor) SnapshotToFile() error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	ing.mu.Lock()
-	ing.snapshots++
-	ing.lastSnapshot = time.Now()
-	ing.mu.Unlock()
 	return nil
 }
 
@@ -300,6 +330,8 @@ func Restore(p *analysis.Pipeline, cfg Config, data []byte) (*Ingestor, error) {
 		reg:           obs.NewRegistry(),
 	}
 	obs.RegisterBuildInfo(ing.reg, "certchain-ingestd")
+	ing.resMetrics = resilience.NewMetrics(ing.reg)
+	cfg.Faults.SetMetrics(ing.resMetrics)
 	if s.WMSet {
 		ing.wm, ing.wmSet = s.WM.Time(), true
 	}
@@ -308,9 +340,9 @@ func Restore(p *analysis.Pipeline, cfg Config, data []byte) (*Ingestor, error) {
 	if err := ing.joiner.RestoreState(s.Joiner); err != nil {
 		return nil, err
 	}
-	ing.sslTail = zeek.NewTailer(cfg.SSLPath, ing.newDecoder)
+	ing.sslTail = zeek.NewTailerFS(cfg.SSLPath, ing.newDecoder, cfg.FS)
 	ing.sslTail.Restore(s.SSLTail)
-	ing.x509Tail = zeek.NewTailer(cfg.X509Path, ing.newDecoder)
+	ing.x509Tail = zeek.NewTailerFS(cfg.X509Path, ing.newDecoder, cfg.FS)
 	ing.x509Tail.Restore(s.X509Tail)
 	return ing, nil
 }

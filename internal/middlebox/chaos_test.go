@@ -1,0 +1,127 @@
+package middlebox
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"net"
+	"testing"
+	"time"
+
+	"certchains/internal/obs"
+	"certchains/internal/resilience"
+)
+
+// intercept dials the proxy as a client would and returns the forged chain.
+func interceptedChain(t *testing.T, addr, sni string) []*x509.Certificate {
+	t.Helper()
+	conn, err := tls.Dial("tcp", addr, &tls.Config{
+		ServerName:         sni,
+		InsecureSkipVerify: true,
+		MinVersion:         tls.VersionTLS12,
+	})
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer conn.Close()
+	return conn.ConnectionState().PeerCertificates
+}
+
+func TestProxyUpstreamTimeoutFires(t *testing.T) {
+	e := newEnv(t)
+	// An upstream that never answers: the dial blocks until the per-connection
+	// context expires. Before the timeout context existed this handler would
+	// have pinned its goroutine forever on context.Background().
+	dialed := make(chan struct{}, 1)
+	e.proxy.Tune(func(p *Proxy) {
+		p.UpstreamTimeout = 150 * time.Millisecond
+		p.DialUpstream = func(ctx context.Context, addr string) (net.Conn, error) {
+			dialed <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+	})
+
+	conn, err := tls.Dial("tcp", e.proxy.Addr, &tls.Config{
+		ServerName:         "www.bank.test",
+		InsecureSkipVerify: true,
+		MinVersion:         tls.VersionTLS12,
+	})
+	if err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	defer conn.Close()
+	<-dialed
+
+	// The handler must give up and drop the connection promptly: a read on
+	// the client side unblocks with an error well before the test deadline.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected the proxy to drop the connection")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("proxy held the connection %v after upstream timed out", elapsed)
+	}
+}
+
+func TestProxyZeroTimeoutStillBoundedByConstructor(t *testing.T) {
+	e := newEnv(t)
+	if e.proxy.UpstreamTimeout != DefaultUpstreamTimeout {
+		t.Fatalf("New must install DefaultUpstreamTimeout, got %v", e.proxy.UpstreamTimeout)
+	}
+}
+
+func TestProxyUpstreamDialRetries(t *testing.T) {
+	e := newEnv(t)
+	reg := obs.NewRegistry()
+	m := resilience.NewMetrics(reg)
+	plan := resilience.NewPlan(
+		resilience.Fault{Op: "middlebox.dial", Attempt: 1, Kind: resilience.DialRefused},
+	)
+	plan.SetMetrics(m)
+
+	// The proxy dials upstream after the client handshake completes, so the
+	// dialed channel is the only safe point to read the plan's counters.
+	faultDial := plan.Dial("middlebox.dial", nil)
+	dialOK := make(chan struct{})
+	e.proxy.Tune(func(p *Proxy) {
+		p.DialUpstream = func(ctx context.Context, addr string) (net.Conn, error) {
+			c, err := faultDial(ctx, "tcp", addr)
+			if err == nil {
+				close(dialOK)
+			}
+			return c, err
+		}
+		p.Retry = resilience.DefaultPolicy()
+		p.Retry.JitterSeed = 5
+		p.Retry.Sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+		p.Metrics = m
+	})
+
+	// Despite the first upstream dial being refused, the interception still
+	// completes: the client sees the forged chain end to end.
+	chain := interceptedChain(t, e.proxy.Addr, "www.bank.test")
+	if len(chain) != 2 {
+		t.Fatalf("forged chain length = %d, want 2", len(chain))
+	}
+	if got := chain[1].Subject.CommonName; got != "Corp SSL Inspection CA" {
+		t.Errorf("issuer = %q, want the inspection CA", got)
+	}
+
+	select {
+	case <-dialOK:
+	case <-time.After(5 * time.Second):
+		t.Fatal("upstream dial never succeeded despite a retry budget")
+	}
+	if plan.Pending() != 0 {
+		t.Errorf("unplayed faults: %s", plan.Describe())
+	}
+	if got := resilience.RetryTotal(reg); got != float64(plan.FailureCount()) {
+		t.Errorf("retries metric = %v, want %d", got, plan.FailureCount())
+	}
+	if got := resilience.FaultTotal(reg); got != float64(plan.InjectedCount()) {
+		t.Errorf("fault metric = %v, want %d", got, plan.InjectedCount())
+	}
+}

@@ -19,9 +19,16 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"certchains/internal/pki"
+	"certchains/internal/resilience"
 )
+
+// DefaultUpstreamTimeout bounds the upstream dial-plus-handshake (and the
+// client-side handshake) when the proxy is built with New. Real appliances
+// give up on dead origins; context.Background() never would.
+const DefaultUpstreamTimeout = 10 * time.Second
 
 // Proxy is a running interception middlebox.
 type Proxy struct {
@@ -38,8 +45,27 @@ type Proxy struct {
 	wg     sync.WaitGroup
 
 	// DialUpstream overrides upstream dialing (tests inject failures);
-	// nil means a plain TCP dial.
+	// nil means a plain TCP dial. Set via Tune once the proxy is running.
 	DialUpstream func(ctx context.Context, addr string) (net.Conn, error)
+	// UpstreamTimeout bounds each connection's upstream dial and handshake
+	// (and the client-side handshake). Zero means no deadline — New sets
+	// DefaultUpstreamTimeout. Set via Tune once the proxy is running.
+	UpstreamTimeout time.Duration
+	// Retry is the upstream dial retry budget; the zero value dials once.
+	// Set via Tune once the proxy is running.
+	Retry resilience.Policy
+	// Metrics, when set, books upstream dial retries into the shared obs
+	// registry. Set via Tune once the proxy is running.
+	Metrics *resilience.Metrics
+}
+
+// Tune adjusts the proxy's tunable fields (upstream dialer, timeout, retry
+// policy, metrics) under the proxy's lock. The accept loop starts inside New,
+// so direct field writes afterwards would race with in-flight handlers.
+func (p *Proxy) Tune(f func(*Proxy)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f(p)
 }
 
 // New starts a proxy that intercepts TLS for clients and forwards to the
@@ -48,9 +74,10 @@ type Proxy struct {
 // which is why campus traffic shows these chains at all.
 func New(ca *pki.CA, upstreamAddr string) (*Proxy, error) {
 	p := &Proxy{
-		ca:       ca,
-		upstream: upstreamAddr,
-		minted:   make(map[string]*tls.Certificate),
+		ca:              ca,
+		upstream:        upstreamAddr,
+		minted:          make(map[string]*tls.Certificate),
+		UpstreamTimeout: DefaultUpstreamTimeout,
 	}
 	cfg := &tls.Config{
 		GetCertificate: p.getCertificate,
@@ -118,23 +145,39 @@ func (p *Proxy) acceptLoop() {
 
 // handle completes the client-side handshake (delivering the forged chain),
 // opens the upstream TLS session, and relays bytes until either side closes.
+// Every setup step runs under UpstreamTimeout, so a dead origin or a stalled
+// client hello can never pin a handler goroutine forever.
 func (p *Proxy) handle(clientConn net.Conn) {
 	tc, ok := clientConn.(*tls.Conn)
 	if !ok {
 		return
 	}
-	if err := tc.HandshakeContext(context.Background()); err != nil {
+	p.mu.Lock()
+	timeout, dial, retry, metrics := p.UpstreamTimeout, p.DialUpstream, p.Retry, p.Metrics
+	p.mu.Unlock()
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if err := tc.HandshakeContext(ctx); err != nil {
 		return
 	}
 
-	dial := p.DialUpstream
 	if dial == nil {
 		dial = func(ctx context.Context, addr string) (net.Conn, error) {
 			var d net.Dialer
 			return d.DialContext(ctx, "tcp", addr)
 		}
 	}
-	raw, err := dial(context.Background(), p.upstream)
+	var raw net.Conn
+	_, err := retry.WithMetrics(metrics).Do(ctx, "middlebox.dial", func(ctx context.Context) error {
+		var derr error
+		raw, derr = dial(ctx, p.upstream)
+		return derr
+	})
 	if err != nil {
 		return // client handshake already succeeded; connection just drops
 	}
@@ -144,7 +187,7 @@ func (p *Proxy) handle(clientConn net.Conn) {
 		InsecureSkipVerify: true, // middleboxes re-validate out of band, if at all
 		MinVersion:         tls.VersionTLS12,
 	})
-	if err := upstream.HandshakeContext(context.Background()); err != nil {
+	if err := upstream.HandshakeContext(ctx); err != nil {
 		return
 	}
 	defer upstream.Close()

@@ -213,9 +213,11 @@ func TestProxyUpstreamFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer proxy.Close()
-	proxy.DialUpstream = func(ctx context.Context, addr string) (net.Conn, error) {
-		return nil, errors.New("injected upstream failure")
-	}
+	proxy.Tune(func(p *Proxy) {
+		p.DialUpstream = func(ctx context.Context, addr string) (net.Conn, error) {
+			return nil, errors.New("injected upstream failure")
+		}
+	})
 	// The client handshake still succeeds (the forged chain is delivered);
 	// the connection then just ends — matching appliance behaviour when
 	// the origin is unreachable.

@@ -1,0 +1,549 @@
+package resilience
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"certchains/internal/obs"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := DialRefused; k <= External; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind-") {
+			t.Errorf("kind %d has no name: %q", int(k), s)
+		}
+	}
+	if Kind(99).String() != "kind-99" {
+		t.Error("unknown kind must render numerically")
+	}
+}
+
+func TestKindFails(t *testing.T) {
+	failing := []Kind{DialRefused, ConnReset, ReadErr, WriteErr, HTTPStatus, HTTPTimeout, OpenErr, StatErr}
+	degrading := []Kind{ShortRead, SlowRead, External}
+	for _, k := range failing {
+		if !k.Fails() {
+			t.Errorf("%s must count as a failing fault", k)
+		}
+	}
+	for _, k := range degrading {
+		if k.Fails() {
+			t.Errorf("%s must not count as a failing fault", k)
+		}
+	}
+}
+
+func TestPlanScheduling(t *testing.T) {
+	p := NewPlan(
+		Fault{Op: "a", Attempt: 1, Kind: ReadErr},
+		Fault{Op: "a", Attempt: 3, Kind: ReadErr},
+		Fault{Op: "b", Attempt: 2, Kind: ShortRead},
+	)
+	if got := p.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3", got)
+	}
+	// a: fault, clean, fault. b: clean, fault (degrading).
+	seq := []struct {
+		op   string
+		want bool
+	}{
+		{"a", true}, {"a", false}, {"a", true},
+		{"b", false}, {"b", true},
+	}
+	for i, s := range seq {
+		if _, ok := p.next(s.op); ok != s.want {
+			t.Fatalf("step %d (%s): injected=%v, want %v", i, s.op, ok, s.want)
+		}
+	}
+	if got := p.InjectedCount(); got != 3 {
+		t.Errorf("InjectedCount = %d, want 3", got)
+	}
+	if got := p.FailureCount(); got != 2 {
+		t.Errorf("FailureCount = %d, want 2 (ShortRead degrades, not fails)", got)
+	}
+	if got := p.Pending(); got != 0 {
+		t.Errorf("Pending = %d, want 0 after plan plays out", got)
+	}
+	byOp := p.InjectedByOp()
+	if byOp["a"] != 2 || byOp["b"] != 1 {
+		t.Errorf("InjectedByOp = %v", byOp)
+	}
+	inj := p.Injected()
+	if len(inj) != 3 || inj[0].Op != "a" || inj[2].Op != "b" {
+		t.Errorf("Injected order = %v", inj)
+	}
+}
+
+func TestPlanAddReplaces(t *testing.T) {
+	p := NewPlan(Fault{Op: "x", Attempt: 1, Kind: ReadErr})
+	p.Add(Fault{Op: "x", Attempt: 1, Kind: ShortRead, N: 2})
+	f, ok := p.next("x")
+	if !ok || f.Kind != ShortRead {
+		t.Fatalf("replacement fault not used: %v %v", f, ok)
+	}
+}
+
+func TestPlanRecordExternal(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPlan()
+	p.SetMetrics(NewMetrics(reg))
+	p.RecordExternal("tail.rotate")
+	if p.InjectedCount() != 1 || p.FailureCount() != 0 {
+		t.Fatalf("external fault counts wrong: injected=%d failures=%d", p.InjectedCount(), p.FailureCount())
+	}
+	if got := FaultTotal(reg); got != 1 {
+		t.Fatalf("FaultTotal = %v, want 1", got)
+	}
+}
+
+func TestNilPlanIsNoop(t *testing.T) {
+	var p *Plan
+	if _, ok := p.next("x"); ok {
+		t.Fatal("nil plan injected a fault")
+	}
+	p.RecordExternal("x")
+	p.SetMetrics(nil)
+	if p.InjectedCount() != 0 || p.FailureCount() != 0 || p.Pending() != 0 {
+		t.Fatal("nil plan counts must be zero")
+	}
+	if p.Injected() != nil || p.InjectedByOp() != nil {
+		t.Fatal("nil plan slices must be nil")
+	}
+	if p.Describe() != "(no plan)" {
+		t.Fatal("nil plan Describe")
+	}
+	// Wrappers pass straight through on a nil plan.
+	if p.Reader("x", strings.NewReader("hi")) == nil {
+		t.Fatal("nil plan Reader")
+	}
+	if p.FS("x", nil) != OS {
+		t.Fatal("nil plan FS must return the inner FS")
+	}
+	if p.RoundTripper("x", http.DefaultTransport) == nil {
+		t.Fatal("nil plan RoundTripper")
+	}
+	if p.Dial("x", nil) == nil {
+		t.Fatal("nil plan Dial")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	p := NewPlan(
+		Fault{Op: "b", Attempt: 1, Kind: ReadErr},
+		Fault{Op: "a", Attempt: 2, Kind: DialRefused},
+		Fault{Op: "a", Attempt: 1, Kind: ConnReset},
+	)
+	want := "a@1:conn-reset a@2:dial-refused b@1:read-err"
+	if got := p.Describe(); got != want {
+		t.Errorf("Describe = %q, want %q", got, want)
+	}
+	if NewPlan().Describe() != "(empty plan)" {
+		t.Error("empty plan Describe")
+	}
+}
+
+func TestDialRefusedThenOK(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	p := NewPlan(Fault{Op: "dial", Attempt: 1, Kind: DialRefused})
+	dial := p.Dial("dial", nil)
+
+	_, err = dial(context.Background(), "tcp", ln.Addr().String())
+	if err == nil || !IsInjected(err) {
+		t.Fatalf("first dial: err = %v, want injected", err)
+	}
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("injected refusal must classify like a real one: %v", err)
+	}
+	if !DefaultRetryable(err) {
+		t.Fatal("injected refusal must be retryable")
+	}
+	conn, err := dial(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("second dial: %v", err)
+	}
+	conn.Close()
+}
+
+func TestDialConnReset(t *testing.T) {
+	p := NewPlan(Fault{Op: "dial", Attempt: 1, Kind: ConnReset})
+	dial := p.Dial("dial", func(context.Context, string, string) (net.Conn, error) {
+		t.Fatal("real dial must not run for a ConnReset fault")
+		return nil, nil
+	})
+	conn, err := dial(context.Background(), "tcp", "example.invalid:443")
+	if err != nil {
+		t.Fatalf("ConnReset dial must succeed: %v", err)
+	}
+	defer conn.Close()
+	// The ClientHello leaves fine…
+	if n, err := conn.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("write: %d, %v", n, err)
+	}
+	// …but the ServerHello never arrives.
+	_, err = conn.Read(make([]byte, 1))
+	if !errors.Is(err, syscall.ECONNRESET) || !IsInjected(err) {
+		t.Fatalf("read: %v, want injected ECONNRESET", err)
+	}
+	// Conn plumbing for TLS.
+	if conn.LocalAddr().Network() != "fault" || conn.RemoteAddr().String() != "injected" {
+		t.Error("fake addrs wrong")
+	}
+	if conn.SetDeadline(time.Time{}) != nil || conn.SetReadDeadline(time.Time{}) != nil || conn.SetWriteDeadline(time.Time{}) != nil {
+		t.Error("deadline setters must be no-ops")
+	}
+}
+
+func TestDialConnResetFailsTLSHandshake(t *testing.T) {
+	// End-to-end: a TLS handshake over a reset conn fails retryably.
+	p := NewPlan(Fault{Op: "dial", Attempt: 1, Kind: ConnReset})
+	conn, err := p.Dial("dial", nil)(context.Background(), "tcp", "example.invalid:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tconn := tls.Client(conn, &tls.Config{InsecureSkipVerify: true})
+	err = tconn.HandshakeContext(context.Background())
+	if err == nil {
+		t.Fatal("handshake must fail on a reset conn")
+	}
+	if !DefaultRetryable(err) {
+		t.Fatalf("mid-handshake reset must classify retryable: %v", err)
+	}
+}
+
+func TestDialSlowRead(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c.Write([]byte("x"))
+		c.Close()
+	}()
+	p := NewPlan(Fault{Op: "dial", Attempt: 1, Kind: SlowRead, Delay: 20 * time.Millisecond})
+	conn, err := p.Dial("dial", nil)(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("slow read returned in %v, want >= 20ms", elapsed)
+	}
+}
+
+func TestDialTimeoutAndDefaultKinds(t *testing.T) {
+	p := NewPlan(
+		Fault{Op: "dial", Attempt: 1, Kind: HTTPTimeout},
+		Fault{Op: "dial", Attempt: 2, Kind: WriteErr}, // unexpected kind → refused
+	)
+	dial := p.Dial("dial", nil)
+	_, err := dial(context.Background(), "tcp", "example.invalid:443")
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() || !nerr.Temporary() {
+		t.Fatalf("timeout fault: %v", err)
+	}
+	if nerr.Error() == "" {
+		t.Fatal("timeout error text empty")
+	}
+	_, err = dial(context.Background(), "tcp", "example.invalid:443")
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("default dial kind: %v", err)
+	}
+}
+
+func TestDialCustomErr(t *testing.T) {
+	custom := errors.New("custom cause")
+	p := NewPlan(Fault{Op: "dial", Attempt: 1, Kind: DialRefused, Err: custom})
+	_, err := p.Dial("dial", nil)(context.Background(), "tcp", "example.invalid:443")
+	if !errors.Is(err, custom) || !IsInjected(err) {
+		t.Fatalf("custom error not chained: %v", err)
+	}
+}
+
+func TestRoundTripperHTTPStatus(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		io.WriteString(w, "real")
+	}))
+	defer srv.Close()
+
+	p := NewPlan(
+		Fault{Op: "get", Attempt: 1, Kind: HTTPStatus, Status: 503},
+		Fault{Op: "get", Attempt: 2, Kind: HTTPStatus}, // default status
+	)
+	client := &http.Client{Transport: p.RoundTripper("get", nil)}
+
+	for want := range []int{503, 503} {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 503 {
+			t.Fatalf("attempt %d: status %d, want 503", want, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "injected") {
+			t.Fatalf("synthesized body = %q", body)
+		}
+	}
+	if hits != 0 {
+		t.Fatalf("server saw %d hits during injected responses", hits)
+	}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "real" || hits != 1 {
+		t.Fatalf("third attempt must reach the server: body=%q hits=%d", body, hits)
+	}
+}
+
+func TestRoundTripperTimeoutAndReset(t *testing.T) {
+	p := NewPlan(
+		Fault{Op: "get", Attempt: 1, Kind: HTTPTimeout},
+		Fault{Op: "get", Attempt: 2, Kind: ConnReset},
+		Fault{Op: "get", Attempt: 3, Kind: ReadErr}, // default → reset
+	)
+	rt := p.RoundTripper("get", nil)
+	req, _ := http.NewRequest("GET", "http://example.invalid/", nil)
+
+	_, err := rt.RoundTrip(req)
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("timeout: %v", err)
+	}
+	_, err = rt.RoundTrip(req)
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("reset: %v", err)
+	}
+	_, err = rt.RoundTrip(req)
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("default kind: %v", err)
+	}
+}
+
+func TestReaderFaults(t *testing.T) {
+	p := NewPlan(
+		Fault{Op: "r", Attempt: 1, Kind: ReadErr},
+		Fault{Op: "r", Attempt: 2, Kind: ShortRead, N: 3},
+		Fault{Op: "r", Attempt: 4, Kind: ShortRead}, // N=0 → 1 byte
+		Fault{Op: "r", Attempt: 5, Kind: SlowRead, Delay: time.Millisecond},
+		Fault{Op: "r", Attempt: 6, Kind: WriteErr}, // unexpected kind → read error
+	)
+	src := strings.NewReader("abcdefghij")
+	r := p.Reader("r", src)
+	buf := make([]byte, 8)
+
+	// 1: failed read consumes nothing.
+	n, err := r.Read(buf)
+	if n != 0 || !errors.Is(err, io.ErrUnexpectedEOF) || !IsInjected(err) {
+		t.Fatalf("ReadErr: n=%d err=%v", n, err)
+	}
+	// 2: short read caps at 3 bytes — and resumes from byte 0.
+	n, err = r.Read(buf)
+	if n != 3 || err != nil || string(buf[:n]) != "abc" {
+		t.Fatalf("ShortRead: n=%d err=%v buf=%q", n, err, buf[:n])
+	}
+	// 3: clean read gets the rest of the buffer's worth.
+	n, err = r.Read(buf)
+	if n != 7 || err != nil || string(buf[:n]) != "defghij" {
+		t.Fatalf("clean: n=%d err=%v buf=%q", n, err, buf[:n])
+	}
+	// 4: default short read = 1 byte, at EOF here.
+	src.Reset("zz")
+	n, _ = r.Read(buf)
+	if n != 1 || buf[0] != 'z' {
+		t.Fatalf("ShortRead default: n=%d", n)
+	}
+	// 5: slow read still returns data.
+	n, err = r.Read(buf)
+	if n != 1 || err != nil {
+		t.Fatalf("SlowRead: n=%d err=%v", n, err)
+	}
+	// 6: unexpected kind degrades to a read error.
+	src.Reset("q")
+	n, err = r.Read(buf)
+	if n != 0 || !IsInjected(err) {
+		t.Fatalf("default kind: n=%d err=%v", n, err)
+	}
+}
+
+func TestWriterFaults(t *testing.T) {
+	p := NewPlan(
+		Fault{Op: "w", Attempt: 1, Kind: WriteErr},
+		Fault{Op: "w", Attempt: 3, Kind: ReadErr}, // unexpected kind → write error
+	)
+	var sb strings.Builder
+	w := p.Writer("w", &sb)
+
+	n, err := w.Write([]byte("lost"))
+	if n != 0 || !errors.Is(err, syscall.EIO) || !IsInjected(err) {
+		t.Fatalf("WriteErr: n=%d err=%v", n, err)
+	}
+	if n, err := w.Write([]byte("kept")); n != 4 || err != nil {
+		t.Fatalf("clean write: n=%d err=%v", n, err)
+	}
+	if _, err := w.Write([]byte("x")); !IsInjected(err) {
+		t.Fatalf("default kind: %v", err)
+	}
+	if sb.String() != "kept" {
+		t.Fatalf("writer state = %q, want only the clean write", sb.String())
+	}
+	var np *Plan
+	if np.Writer("w", &sb) != io.Writer(&sb) {
+		t.Fatal("nil plan Writer must return inner")
+	}
+}
+
+func TestFaultFS(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	if err := os.WriteFile(path, []byte("line1\nline2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewPlan(
+		Fault{Op: "tail.open", Attempt: 1, Kind: OpenErr},
+		Fault{Op: "tail.stat", Attempt: 1, Kind: StatErr},
+		Fault{Op: "tail.read", Attempt: 1, Kind: ReadErr},
+	)
+	fsys := p.FS("tail", nil)
+
+	// First open fails, second succeeds.
+	if _, err := fsys.Open(path); !IsInjected(err) {
+		t.Fatalf("open fault: %v", err)
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// First stat fails, second succeeds and matches the file's own Stat.
+	if _, err := fsys.Stat(path); !IsInjected(err) {
+		t.Fatalf("stat fault: %v", err)
+	}
+	di, err := fsys.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !os.SameFile(di, fi) {
+		t.Fatal("FaultFS FileInfos must stay os.SameFile-compatible")
+	}
+
+	// First read fails without consuming; the retry reads from byte 0.
+	buf := make([]byte, 6)
+	if n, err := f.Read(buf); n != 0 || !IsInjected(err) {
+		t.Fatalf("read fault: n=%d err=%v", n, err)
+	}
+	if n, err := io.ReadFull(f, buf); n != 6 || err != nil || string(buf) != "line1\n" {
+		t.Fatalf("retried read: n=%d err=%v buf=%q", n, err, buf)
+	}
+
+	// Seek passes through.
+	if off, err := f.Seek(0, io.SeekStart); off != 0 || err != nil {
+		t.Fatalf("seek: %d %v", off, err)
+	}
+
+	if p.Pending() != 0 {
+		t.Fatalf("plan not fully played out: %s", p.Describe())
+	}
+	if p.InjectedCount() != 3 || p.FailureCount() != 3 {
+		t.Fatalf("counts: injected=%d failures=%d", p.InjectedCount(), p.FailureCount())
+	}
+}
+
+func TestFaultFSOpenPropagatesRealErrors(t *testing.T) {
+	p := NewPlan()
+	fsys := p.FS("tail", nil)
+	if _, err := fsys.Open(filepath.Join(t.TempDir(), "missing")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("real open error must pass through: %v", err)
+	}
+}
+
+func TestPlanMetricsMatchInjectorRecord(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	p := NewPlan(
+		Fault{Op: "a", Attempt: 1, Kind: ReadErr},
+		Fault{Op: "b", Attempt: 1, Kind: DialRefused},
+	)
+	p.SetMetrics(m)
+	r := p.Reader("a", strings.NewReader("x"))
+	r.Read(make([]byte, 1))
+	p.Dial("b", nil)(context.Background(), "tcp", "example.invalid:1")
+	p.RecordExternal("c")
+
+	if got := FaultTotal(reg); got != float64(p.InjectedCount()) {
+		t.Fatalf("registry fault total %v != injector record %d", got, p.InjectedCount())
+	}
+	if v, ok := reg.Value("resilience_faults_injected_total", "a", "read-err"); !ok || v != 1 {
+		t.Errorf("faults{a,read-err} = %v, %v", v, ok)
+	}
+}
+
+func TestPlanConcurrentUse(t *testing.T) {
+	p := NewPlan(
+		Fault{Op: "par", Attempt: 3, Kind: ReadErr},
+		Fault{Op: "par", Attempt: 7, Kind: ReadErr},
+	)
+	done := make(chan int, 10)
+	for i := 0; i < 10; i++ {
+		go func() {
+			injected := 0
+			if _, ok := p.next("par"); ok {
+				injected++
+			}
+			done <- injected
+		}()
+	}
+	total := 0
+	for i := 0; i < 10; i++ {
+		total += <-done
+	}
+	if total != 2 || p.InjectedCount() != 2 {
+		t.Fatalf("concurrent injection count = %d (recorded %d), want 2", total, p.InjectedCount())
+	}
+}

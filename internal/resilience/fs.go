@@ -1,0 +1,123 @@
+package resilience
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// The tailer-facing filesystem seam. zeek.Tailer (and anything else that
+// follows growing files) opens and stats files through this interface so a
+// fault plan can sit between the code and the kernel. The real
+// implementation is OS; FaultFS layers a plan's open/stat/read faults on
+// top of any inner FS.
+
+// File is the subset of *os.File the tailer needs.
+type File interface {
+	io.Reader
+	io.Seeker
+	io.Closer
+	// Stat mirrors os.File.Stat; the FileInfos it returns must be
+	// os.SameFile-comparable with the FS-level Stat's.
+	Stat() (fs.FileInfo, error)
+}
+
+// FS opens and stats named files. Implementations must return FileInfos
+// compatible with os.SameFile (rotation detection depends on it).
+type FS interface {
+	Open(name string) (File, error)
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error)        { return os.Open(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// FaultFS layers a plan's faults over an inner FS. Operations are named
+// "<op>.open", "<op>.stat", and "<op>.read", each with its own attempt
+// counter, so plans can target (say) the third read of the ssl tail
+// specifically. Read faults never consume bytes, so a retried poll resumes
+// exactly where the failed one stopped.
+type FaultFS struct {
+	plan  *Plan
+	op    string
+	inner FS
+}
+
+// FS wraps inner (nil defaults to OS) with the plan's faults under the
+// given operation prefix.
+func (p *Plan) FS(op string, inner FS) FS {
+	if inner == nil {
+		inner = OS
+	}
+	if p == nil {
+		return inner
+	}
+	return &FaultFS{plan: p, op: op, inner: inner}
+}
+
+// Open implements FS.
+func (f *FaultFS) Open(name string) (File, error) {
+	if fault, ok := f.plan.next(f.op + ".open"); ok {
+		switch fault.Kind {
+		case OpenErr:
+			return nil, injectedErr(fault, fs.ErrPermission)
+		default:
+			return nil, injectedErr(fault, fs.ErrPermission)
+		}
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{plan: f.plan, op: f.op, f: file}, nil
+}
+
+// Stat implements FS.
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	if fault, ok := f.plan.next(f.op + ".stat"); ok {
+		return nil, injectedErr(fault, fs.ErrPermission)
+	}
+	return f.inner.Stat(name)
+}
+
+// faultFile routes reads through the plan; Seek, Close, and Stat pass
+// through (their failure modes are covered by the stat/open seams).
+type faultFile struct {
+	plan *Plan
+	op   string
+	f    File
+}
+
+func (ff *faultFile) Read(b []byte) (int, error) {
+	fault, ok := ff.plan.next(ff.op + ".read")
+	if !ok {
+		return ff.f.Read(b)
+	}
+	switch fault.Kind {
+	case ReadErr:
+		return 0, injectedErr(fault, io.ErrUnexpectedEOF)
+	case ShortRead:
+		n := fault.N
+		if n <= 0 {
+			n = 1
+		}
+		if n < len(b) {
+			b = b[:n]
+		}
+		return ff.f.Read(b)
+	case SlowRead:
+		sleepFor(fault.Delay)
+		return ff.f.Read(b)
+	default:
+		return 0, injectedErr(fault, io.ErrUnexpectedEOF)
+	}
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) { return ff.f.Seek(offset, whence) }
+func (ff *faultFile) Close() error                                 { return ff.f.Close() }
+func (ff *faultFile) Stat() (fs.FileInfo, error)                   { return ff.f.Stat() }

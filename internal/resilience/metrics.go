@@ -1,0 +1,117 @@
+package resilience
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"certchains/internal/obs"
+)
+
+// Metrics books retry and fault-injection activity into the shared obs
+// registry, so the chaos suite can assert "retry counters equal injected
+// failure counts" against the same surface /metrics serves. A nil *Metrics
+// is a valid no-op, mirroring the obs.Tracer convention.
+type Metrics struct {
+	attempts *obs.Family // resilience_attempts_total{op}
+	retries  *obs.Family // resilience_retries_total{op}
+	giveups  *obs.Family // resilience_giveups_total{op}
+	backoff  *obs.Family // resilience_backoff_seconds{op}
+	faults   *obs.Family // resilience_faults_injected_total{op,kind}
+}
+
+// NewMetrics registers the resilience metric families in reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		attempts: reg.Counter("resilience_attempts_total",
+			"I/O operation attempts, including first tries.", "op"),
+		retries: reg.Counter("resilience_retries_total",
+			"Retries after a retryable failure.", "op"),
+		giveups: reg.Counter("resilience_giveups_total",
+			"Operations abandoned: attempts exhausted or error permanent.", "op"),
+		backoff: reg.Histogram("resilience_backoff_seconds",
+			"Backoff delay before each retry.", nil, "op"),
+		faults: reg.Counter("resilience_faults_injected_total",
+			"Faults injected by a test plan (zero in production).", "op", "kind"),
+	}
+}
+
+// Attempt books one attempt of op.
+func (m *Metrics) Attempt(op string) {
+	if m == nil {
+		return
+	}
+	m.attempts.With(op).Inc()
+}
+
+// Retry books one retry of op after a backoff delay d.
+func (m *Metrics) Retry(op string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.retries.With(op).Inc()
+	m.backoff.With(op).Observe(d.Seconds())
+}
+
+// GiveUp books one abandoned op.
+func (m *Metrics) GiveUp(op string) {
+	if m == nil {
+		return
+	}
+	m.giveups.With(op).Inc()
+}
+
+// FaultInjected books one injected fault.
+func (m *Metrics) FaultInjected(op string, kind Kind) {
+	if m == nil {
+		return
+	}
+	m.faults.With(op, kind.String()).Inc()
+}
+
+// RetryTotal sums resilience_retries_total across all ops in reg — the
+// number the chaos-equivalence suite compares to Plan.FailureCount.
+func RetryTotal(reg *obs.Registry) float64 {
+	return sumFamily(reg, "resilience_retries_total")
+}
+
+// FaultTotal sums resilience_faults_injected_total across all ops and
+// kinds in reg.
+func FaultTotal(reg *obs.Registry) float64 {
+	return sumFamily(reg, "resilience_faults_injected_total")
+}
+
+// sumFamily totals every series of one family by scraping the registry's
+// own text rendering — the same bytes /metrics serves, so the assertion
+// covers the export path too.
+func sumFamily(reg *obs.Registry, family string) float64 {
+	total := 0.0
+	for _, line := range strings.Split(reg.Text(), "\n") {
+		name, val, ok := parseSample(line)
+		if ok && name == family {
+			total += val
+		}
+	}
+	return total
+}
+
+// parseSample splits one exposition line into its bare family name and
+// value; comment and malformed lines report ok=false.
+func parseSample(line string) (name string, val float64, ok bool) {
+	if line == "" || strings.HasPrefix(line, "#") {
+		return "", 0, false
+	}
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", 0, false
+	}
+	v, err := strconv.ParseFloat(line[sp+1:], 64)
+	if err != nil {
+		return "", 0, false
+	}
+	name = line[:sp]
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	return name, v, true
+}

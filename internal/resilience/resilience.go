@@ -1,0 +1,322 @@
+// Package resilience is the repository's I/O fault-tolerance layer: a
+// seeded, deterministic fault injector for tests and a shared retry policy
+// for production code.
+//
+// The paper's retrospective scan (§5/§7) and the campus capture both live
+// with flaky reality — unreachable servers, mid-handshake resets,
+// rotated and truncated logs. Every network and file I/O path in this
+// repository (the scanner sweep, the ctlog HTTP client, the middlebox
+// upstream dial, the ingest tailer and snapshot writer) routes through this
+// package's retry.Policy, and every one of those paths can be exercised
+// under an injected fault Plan that deterministically misbehaves at chosen
+// (operation, attempt) points while recording each injected fault for
+// assertion.
+//
+// The chaos-equivalence contract (DESIGN.md §12): for any fault plan in
+// which every operation eventually succeeds, the final analysis report and
+// the manifest's DeterministicSubset are byte-identical to the fault-free
+// run — faults may only change retry counters and spans, never results.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// DialRefused makes a dial fail with a connection-refused error.
+	DialRefused Kind = iota
+	// ConnReset makes a dial succeed but the returned connection reset on
+	// first read — the mid-handshake reset case (the TLS client writes its
+	// ClientHello, then the read of the ServerHello fails).
+	ConnReset
+	// ReadErr makes one read call fail without consuming any bytes.
+	ReadErr
+	// ShortRead caps one read call at N bytes (a partial read; not an
+	// error — exercises callers' short-read handling).
+	ShortRead
+	// SlowRead delays one read call by Delay before reading normally.
+	SlowRead
+	// WriteErr makes one write call fail without writing any bytes.
+	WriteErr
+	// HTTPStatus synthesizes an HTTP response with status Status (the
+	// 5xx-then-ok case) without contacting the server.
+	HTTPStatus
+	// HTTPTimeout makes a round trip fail with a timeout error without
+	// contacting the server.
+	HTTPTimeout
+	// OpenErr makes a file open fail.
+	OpenErr
+	// StatErr makes a file stat fail.
+	StatErr
+	// External records a fault the test harness performed out of band (a
+	// real file truncation or rotation race scripted by the test); the
+	// injector only books it so fault counts stay assertable.
+	External
+)
+
+var kindNames = map[Kind]string{
+	DialRefused: "dial-refused",
+	ConnReset:   "conn-reset",
+	ReadErr:     "read-err",
+	ShortRead:   "short-read",
+	SlowRead:    "slow-read",
+	WriteErr:    "write-err",
+	HTTPStatus:  "http-status",
+	HTTPTimeout: "http-timeout",
+	OpenErr:     "open-err",
+	StatErr:     "stat-err",
+	External:    "external",
+}
+
+// String returns the metric-label form of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind-%d", int(k))
+}
+
+// Fails reports whether a fault of this kind surfaces as an error to the
+// wrapped operation (ShortRead, SlowRead, and External degrade but do not
+// fail). Eventually-successful chaos plans assert that the retry counters
+// equal the number of failing faults injected.
+func (k Kind) Fails() bool {
+	switch k {
+	case ShortRead, SlowRead, External:
+		return false
+	}
+	return true
+}
+
+// Fault is one planned misbehaviour: on the Attempt-th invocation of
+// operation Op, inject Kind.
+type Fault struct {
+	// Op is the wrapped operation's name (e.g. "scan.dial", "tail.ssl.read").
+	Op string
+	// Attempt is the 1-based invocation index the fault fires on.
+	Attempt int
+	// Kind selects the misbehaviour.
+	Kind Kind
+	// Status is the synthesized response code for HTTPStatus faults.
+	Status int
+	// Delay is the injected latency for SlowRead faults.
+	Delay time.Duration
+	// N caps the byte count for ShortRead faults.
+	N int
+	// Err overrides the injected error (nil picks a kind-appropriate one).
+	Err error
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s@%d:%s", f.Op, f.Attempt, f.Kind)
+}
+
+type faultKey struct {
+	op      string
+	attempt int
+}
+
+// Plan is a deterministic fault schedule keyed by (operation, attempt).
+// Wrap an I/O seam with one of the Dial / RoundTripper / Reader / Writer /
+// FS methods; each invocation of the wrapped operation increments that
+// operation's attempt counter, and when (op, attempt) matches a planned
+// fault, the fault is injected and recorded. All methods are safe for
+// concurrent use; per-operation attempt order is the injection order.
+//
+// A nil *Plan is valid and injects nothing, so production constructors can
+// thread an optional plan without branching.
+type Plan struct {
+	mu       sync.Mutex
+	faults   map[faultKey]Fault
+	attempts map[string]int
+	injected []Fault
+
+	// metrics, when set, books each injected fault into
+	// resilience_faults_injected_total{op,kind}.
+	metrics *Metrics
+}
+
+// NewPlan returns a plan holding the given faults.
+func NewPlan(faults ...Fault) *Plan {
+	p := &Plan{
+		faults:   make(map[faultKey]Fault),
+		attempts: make(map[string]int),
+	}
+	for _, f := range faults {
+		p.Add(f)
+	}
+	return p
+}
+
+// Add schedules one fault. Adding a second fault for the same (op, attempt)
+// replaces the first.
+func (p *Plan) Add(f Fault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults[faultKey{f.Op, f.Attempt}] = f
+}
+
+// SetMetrics books injected faults into reg's
+// resilience_faults_injected_total{op,kind} counter, so chaos suites can
+// assert the registry agrees with the injector's own record.
+func (p *Plan) SetMetrics(m *Metrics) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.metrics = m
+}
+
+// next advances op's attempt counter and returns the fault planned for this
+// invocation, if any. Injected faults are recorded.
+func (p *Plan) next(op string) (Fault, bool) {
+	if p == nil {
+		return Fault{}, false
+	}
+	p.mu.Lock()
+	p.attempts[op]++
+	f, ok := p.faults[faultKey{op, p.attempts[op]}]
+	var m *Metrics
+	if ok {
+		p.injected = append(p.injected, f)
+		m = p.metrics
+	}
+	p.mu.Unlock()
+	if ok && m != nil {
+		m.FaultInjected(f.Op, f.Kind)
+	}
+	return f, ok
+}
+
+// RecordExternal books a fault the test harness performed out of band (a
+// real truncation or rotation race), so total fault counts include scripted
+// file damage.
+func (p *Plan) RecordExternal(op string) {
+	if p == nil {
+		return
+	}
+	f := Fault{Op: op, Kind: External}
+	p.mu.Lock()
+	p.injected = append(p.injected, f)
+	m := p.metrics
+	p.mu.Unlock()
+	if m != nil {
+		m.FaultInjected(op, External)
+	}
+}
+
+// Injected returns a copy of every fault injected so far, in injection
+// order.
+func (p *Plan) Injected() []Fault {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Fault(nil), p.injected...)
+}
+
+// InjectedCount is the total number of injected faults.
+func (p *Plan) InjectedCount() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.injected)
+}
+
+// FailureCount is the number of injected faults that surfaced as errors
+// (Kind.Fails) — the count an eventually-successful run's retry metrics
+// must equal.
+func (p *Plan) FailureCount() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.injected {
+		if f.Kind.Fails() {
+			n++
+		}
+	}
+	return n
+}
+
+// InjectedByOp returns per-operation injected-fault counts.
+func (p *Plan) InjectedByOp() map[string]int {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int)
+	for _, f := range p.injected {
+		out[f.Op]++
+	}
+	return out
+}
+
+// Pending is the number of planned faults not yet injected — zero once an
+// eventually-successful plan has fully played out.
+func (p *Plan) Pending() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pending := 0
+	for key := range p.faults {
+		if key.attempt > p.attempts[key.op] {
+			pending++
+		}
+	}
+	return pending
+}
+
+// Describe renders the plan's schedule sorted by (op, attempt), for test
+// failure messages.
+func (p *Plan) Describe() string {
+	if p == nil {
+		return "(no plan)"
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keys := make([]faultKey, 0, len(p.faults))
+	for k := range p.faults {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].op != keys[j].op {
+			return keys[i].op < keys[j].op
+		}
+		return keys[i].attempt < keys[j].attempt
+	})
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += p.faults[k].String()
+	}
+	if out == "" {
+		return "(empty plan)"
+	}
+	return out
+}
+
+// errInjected tags every synthesized error so tests (and error chains) can
+// recognize injector output.
+var errInjected = errors.New("resilience: injected fault")
+
+// IsInjected reports whether err originated from a fault plan.
+func IsInjected(err error) bool { return errors.Is(err, errInjected) }

@@ -1,0 +1,270 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"syscall"
+	"time"
+)
+
+// Policy is a capped-exponential-backoff retry schedule shared by every
+// network and file I/O path in the repository. The zero value retries
+// nothing (one attempt, no delay); DefaultPolicy is the production shape.
+//
+// Backoff jitter is deterministic: the fraction applied to attempt k of
+// operation op is a pure function of (JitterSeed, op, k), so a seeded run
+// replays the exact same delays. A zero JitterSeed draws one process-level
+// seed from the wall clock (clock.go — the package's only wall-clock read),
+// which is what production wants: correlated retries across a fleet
+// re-collide forever without per-process jitter.
+type Policy struct {
+	// MaxAttempts bounds total attempts (including the first); values < 1
+	// mean a single attempt.
+	MaxAttempts int
+	// BaseDelay is the delay before the first retry (default 50ms when
+	// retries are enabled).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per retry (default 2).
+	Multiplier float64
+	// Jitter is the ± fraction applied to each delay, in [0, 1).
+	Jitter float64
+	// JitterSeed makes the jitter sequence deterministic; 0 draws a
+	// process-level seed from the wall clock.
+	JitterSeed int64
+	// Classify overrides retryability classification (nil uses
+	// DefaultRetryable).
+	Classify func(error) bool
+	// Sleep overrides the inter-attempt wait (nil waits on a real timer,
+	// honoring ctx cancellation). Tests inject an instant sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Metrics, when set, books attempts, retries, give-ups, and backoff
+	// delays into the shared obs registry.
+	Metrics *Metrics
+}
+
+// DefaultPolicy is the production retry shape: 4 attempts, 50ms base
+// doubling to a 2s cap, 20% jitter.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts: 4,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.2,
+	}
+}
+
+// WithMetrics returns a copy of the policy booking into m.
+func (p Policy) WithMetrics(m *Metrics) Policy {
+	p.Metrics = m
+	return p
+}
+
+// Do runs fn until it succeeds, returns a non-retryable error, exhausts
+// MaxAttempts, or ctx ends. It returns the number of attempts made and the
+// final error. Context cancellation always wins: a ctx error is returned
+// as-is and never retried, and the backoff sleep itself is context-aware,
+// so a deadline fires mid-wait rather than after it.
+func (p Policy) Do(ctx context.Context, op string, fn func(ctx context.Context) error) (attempts int, err error) {
+	maxAttempts := p.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	classify := p.Classify
+	if classify == nil {
+		classify = DefaultRetryable
+	}
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			return attempt - 1, err
+		}
+		p.Metrics.Attempt(op)
+		err = fn(ctx)
+		if err == nil {
+			return attempt, nil
+		}
+		if attempt >= maxAttempts || !classify(err) || ctx.Err() != nil {
+			p.Metrics.GiveUp(op)
+			return attempt, err
+		}
+		d := p.delay(op, attempt)
+		p.Metrics.Retry(op, d)
+		if serr := p.sleep(ctx, d); serr != nil {
+			// The context died during backoff; surface the attempt error
+			// with the cancellation chained for classification.
+			return attempt, fmt.Errorf("%w (retry aborted: %v)", err, serr)
+		}
+	}
+}
+
+// delay computes the backoff before retry #attempt (1-based), with the
+// deterministic jitter described on Policy.
+func (p Policy) delay(op string, attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	maxD := p.MaxDelay
+	if maxD <= 0 {
+		maxD = 2 * time.Second
+	}
+	d := float64(base)
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if d >= float64(maxD) {
+			d = float64(maxD)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		u := jitter01(p.seed(), op, attempt)
+		d *= 1 + p.Jitter*(2*u-1)
+	}
+	if d > float64(maxD) {
+		d = float64(maxD)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+func (p Policy) seed() int64 {
+	if p.JitterSeed != 0 {
+		return p.JitterSeed
+	}
+	return processSeed()
+}
+
+// jitter01 maps (seed, op, attempt) to a uniform-ish fraction in [0, 1)
+// via FNV-1a — stateless, so concurrent retries never contend and a replay
+// reproduces every delay.
+func jitter01(seed int64, op string, attempt int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(buf[:])
+	io.WriteString(h, op)
+	buf[0] = byte(attempt)
+	buf[1] = byte(attempt >> 8)
+	buf[2] = byte(attempt >> 16)
+	buf[3] = byte(attempt >> 24)
+	h.Write(buf[:4])
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	return sleepCtx(ctx, d)
+}
+
+// --- retryability classification ----------------------------------------
+
+// StatusError carries an HTTP status through an error chain so the
+// classifier can distinguish a 503 (retryable) from a 404 (not).
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	if e.Body == "" {
+		return fmt.Sprintf("status %d", e.Code)
+	}
+	return fmt.Sprintf("status %d: %s", e.Code, e.Body)
+}
+
+// Retryable reports whether the status is worth retrying: 5xx, plus 408
+// (request timeout) and 429 (throttled).
+func (e *StatusError) Retryable() bool {
+	return e.Code >= 500 || e.Code == 408 || e.Code == 429
+}
+
+type markedErr struct {
+	err       error
+	retryable bool
+}
+
+func (m *markedErr) Error() string   { return m.err.Error() }
+func (m *markedErr) Unwrap() error   { return m.err }
+func (m *markedErr) Retryable() bool { return m.retryable }
+
+// MarkRetryable forces err to classify as retryable.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &markedErr{err: err, retryable: true}
+}
+
+// MarkPermanent forces err to classify as non-retryable.
+func MarkPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &markedErr{err: err, retryable: false}
+}
+
+// DefaultRetryable is the shared transient-failure classification:
+//
+//   - context cancellation and deadline expiry are never retryable (the
+//     caller gave up, not the network);
+//   - anything carrying a Retryable() bool (StatusError, marked errors)
+//     answers for itself;
+//   - network timeouts, connection refusals/resets, broken pipes, DNS
+//     hiccups, and truncated streams (io.ErrUnexpectedEOF) are retryable;
+//   - everything else — parse errors, certificate failures, logic errors —
+//     is permanent.
+func DefaultRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	// Explicit marks outrank the context rule: a per-attempt timeout wraps
+	// context.DeadlineExceeded (net dial errors do since Go 1.20) but is
+	// retryable when only the attempt's deadline fired, and the caller says
+	// so with MarkRetryable.
+	var marked interface{ Retryable() bool }
+	if errors.As(err, &marked) {
+		return marked.Retryable()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return true
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.ECONNREFUSED, syscall.ECONNRESET, syscall.ECONNABORTED,
+		syscall.EPIPE, syscall.ETIMEDOUT, syscall.EAGAIN, syscall.EIO,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var dnsErr *net.DNSError
+	if errors.As(err, &dnsErr) {
+		return dnsErr.IsTimeout || dnsErr.IsTemporary
+	}
+	return false
+}

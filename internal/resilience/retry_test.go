@@ -1,0 +1,361 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"certchains/internal/obs"
+)
+
+// instant is the injected no-wait sleep every deterministic test uses.
+func instant(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+// testPolicy is a deterministic 4-attempt policy that never really sleeps.
+func testPolicy() Policy {
+	p := DefaultPolicy()
+	p.JitterSeed = 42
+	p.Sleep = instant
+	return p
+}
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	attempts, err := testPolicy().Do(context.Background(), "op", func(context.Context) error {
+		calls++
+		return nil
+	})
+	if err != nil || attempts != 1 || calls != 1 {
+		t.Fatalf("attempts=%d calls=%d err=%v", attempts, calls, err)
+	}
+}
+
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	calls := 0
+	attempts, err := testPolicy().Do(context.Background(), "op", func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return syscall.ECONNREFUSED
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if attempts != 3 || calls != 3 {
+		t.Fatalf("attempts=%d calls=%d, want 3", attempts, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := testPolicy()
+	p.MaxAttempts = 2
+	calls := 0
+	attempts, err := p.Do(context.Background(), "op", func(context.Context) error {
+		calls++
+		return syscall.ECONNRESET
+	})
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("err = %v", err)
+	}
+	if attempts != 2 || calls != 2 {
+		t.Fatalf("attempts=%d calls=%d, want 2", attempts, calls)
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	perm := errors.New("bad certificate")
+	calls := 0
+	attempts, err := testPolicy().Do(context.Background(), "op", func(context.Context) error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || attempts != 1 || calls != 1 {
+		t.Fatalf("attempts=%d calls=%d err=%v — opaque errors must not retry", attempts, calls, err)
+	}
+}
+
+func TestDoZeroValuePolicySingleAttempt(t *testing.T) {
+	var p Policy
+	p.Sleep = instant
+	calls := 0
+	attempts, err := p.Do(context.Background(), "op", func(context.Context) error {
+		calls++
+		return syscall.ECONNREFUSED
+	})
+	if attempts != 1 || calls != 1 || err == nil {
+		t.Fatalf("zero policy must make exactly one attempt: attempts=%d calls=%d err=%v", attempts, calls, err)
+	}
+}
+
+func TestDoHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	attempts, err := testPolicy().Do(ctx, "op", func(context.Context) error {
+		calls++
+		return nil
+	})
+	if calls != 0 || attempts != 0 {
+		t.Fatalf("cancelled ctx must prevent attempts: calls=%d attempts=%d", calls, attempts)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDoContextCancelledMidRetryLoop(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err := testPolicy().Do(ctx, "op", func(context.Context) error {
+		calls++
+		cancel()
+		return syscall.ECONNREFUSED
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (ctx death must stop the loop)", calls)
+	}
+	if err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestDoContextDeadlineDuringRealSleep(t *testing.T) {
+	// Real sleep path: a 10ms deadline must abort a 10s backoff promptly.
+	p := DefaultPolicy()
+	p.BaseDelay = 10 * time.Second
+	p.MaxDelay = 10 * time.Second
+	p.JitterSeed = 1
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := p.Do(ctx, "op", func(context.Context) error { return syscall.ECONNREFUSED })
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backoff ignored the context deadline (%v)", elapsed)
+	}
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("err = %v, want the attempt error with the cancellation chained", err)
+	}
+}
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{100, 200, 400, 400, 400}
+	for i, w := range want {
+		if d := p.delay("op", i+1); d != w*time.Millisecond {
+			t.Errorf("delay(%d) = %v, want %v", i+1, d, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterDeterministicAndBounded(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Hour, Multiplier: 2, Jitter: 0.2, JitterSeed: 7}
+	d1 := p.delay("op", 1)
+	d2 := p.delay("op", 1)
+	if d1 != d2 {
+		t.Fatalf("jitter not deterministic: %v vs %v", d1, d2)
+	}
+	lo, hi := 80*time.Millisecond, 120*time.Millisecond
+	if d1 < lo || d1 > hi {
+		t.Fatalf("jittered delay %v outside ±20%% of 100ms", d1)
+	}
+	// A different op lands elsewhere in the jitter window (overwhelmingly).
+	other := p.delay("other-op", 1)
+	if other == d1 {
+		t.Logf("note: two ops hashed to the same jitter (possible but unlikely)")
+	}
+}
+
+func TestJitter01Range(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		u := jitter01(99, fmt.Sprintf("op%d", i), i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("jitter01 out of range: %v", u)
+		}
+	}
+}
+
+func TestProcessSeedStable(t *testing.T) {
+	a, b := processSeed(), processSeed()
+	if a != b || a == 0 {
+		t.Fatalf("process seed must be stable and nonzero: %d %d", a, b)
+	}
+	// Unseeded policy uses it without crashing.
+	p := Policy{Jitter: 0.5}
+	if d := p.delay("op", 1); d <= 0 {
+		t.Fatalf("unseeded jittered delay = %v", d)
+	}
+}
+
+func TestSleepCtx(t *testing.T) {
+	if err := sleepCtx(context.Background(), 0); err != nil {
+		t.Fatalf("zero sleep: %v", err)
+	}
+	if err := sleepCtx(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("short sleep: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sleepCtx(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sleep: %v", err)
+	}
+}
+
+func TestStatusErrorClassification(t *testing.T) {
+	cases := []struct {
+		code int
+		want bool
+	}{
+		{500, true}, {503, true}, {599, true}, {429, true}, {408, true},
+		{404, false}, {400, false}, {200, false},
+	}
+	for _, c := range cases {
+		e := &StatusError{Code: c.code}
+		if got := DefaultRetryable(fmt.Errorf("wrap: %w", e)); got != c.want {
+			t.Errorf("status %d retryable = %v, want %v", c.code, got, c.want)
+		}
+		if e.Error() == "" {
+			t.Errorf("status %d: empty error text", c.code)
+		}
+	}
+	if (&StatusError{Code: 503, Body: "overloaded"}).Error() != "status 503: overloaded" {
+		t.Error("StatusError body not rendered")
+	}
+}
+
+func TestDefaultRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"wrapped-canceled", fmt.Errorf("op: %w", context.Canceled), false},
+		{"refused", syscall.ECONNREFUSED, true},
+		{"reset", syscall.ECONNRESET, true},
+		{"aborted", syscall.ECONNABORTED, true},
+		{"pipe", syscall.EPIPE, true},
+		{"etimedout", syscall.ETIMEDOUT, true},
+		{"eio", syscall.EIO, true},
+		{"unexpected-eof", io.ErrUnexpectedEOF, true},
+		{"wrapped-refused", fmt.Errorf("dial: %w", syscall.ECONNREFUSED), true},
+		{"opaque", errors.New("parse error"), false},
+		{"plain-eof", io.EOF, false},
+		{"marked-retryable", MarkRetryable(errors.New("flaky")), true},
+		{"marked-permanent", MarkPermanent(syscall.ECONNREFUSED), false},
+		{"marked-attempt-timeout", MarkRetryable(fmt.Errorf("dial: %w", context.DeadlineExceeded)), true},
+		{"dns-timeout", &net.DNSError{IsTimeout: true}, true},
+		{"dns-notfound", &net.DNSError{IsNotFound: true}, false},
+		{"net-timeout", &timeoutErr{op: "x"}, true},
+		{"op-error-timeout", &net.OpError{Op: "dial", Err: &timeoutErr{op: "y"}}, true},
+	}
+	for _, c := range cases {
+		if got := DefaultRetryable(c.err); got != c.want {
+			t.Errorf("%s: retryable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMarkersPreserveChain(t *testing.T) {
+	base := errors.New("base")
+	if !errors.Is(MarkRetryable(base), base) || !errors.Is(MarkPermanent(base), base) {
+		t.Fatal("marked errors must unwrap to the original")
+	}
+	if MarkRetryable(nil) != nil || MarkPermanent(nil) != nil {
+		t.Fatal("marking nil must stay nil")
+	}
+	if MarkRetryable(base).Error() != "base" {
+		t.Fatal("marker must not change the message")
+	}
+}
+
+func TestCustomClassify(t *testing.T) {
+	p := testPolicy()
+	p.Classify = func(err error) bool { return err.Error() == "again" }
+	calls := 0
+	_, err := p.Do(context.Background(), "op", func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return errors.New("again")
+		}
+		return errors.New("done")
+	})
+	if calls != 2 || err == nil || err.Error() != "done" {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+}
+
+func TestDoMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	p := testPolicy().WithMetrics(m)
+	p.MaxAttempts = 3
+	calls := 0
+	if _, err := p.Do(context.Background(), "flaky", func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return syscall.ECONNRESET
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// One permanent failure books a give-up.
+	if _, err := p.Do(context.Background(), "doomed", func(context.Context) error {
+		return errors.New("permanent")
+	}); err == nil {
+		t.Fatal("want error")
+	}
+
+	if v, ok := reg.Value("resilience_attempts_total", "flaky"); !ok || v != 3 {
+		t.Errorf("attempts{flaky} = %v, %v", v, ok)
+	}
+	if v, ok := reg.Value("resilience_retries_total", "flaky"); !ok || v != 2 {
+		t.Errorf("retries{flaky} = %v, %v", v, ok)
+	}
+	if v, ok := reg.Value("resilience_giveups_total", "doomed"); !ok || v != 1 {
+		t.Errorf("giveups{doomed} = %v, %v", v, ok)
+	}
+	if got := RetryTotal(reg); got != 2 {
+		t.Errorf("RetryTotal = %v, want 2", got)
+	}
+	if got := FaultTotal(reg); got != 0 {
+		t.Errorf("FaultTotal = %v, want 0 (no injector attached)", got)
+	}
+}
+
+func TestNilMetricsSafe(t *testing.T) {
+	var m *Metrics
+	m.Attempt("op")
+	m.Retry("op", time.Second)
+	m.GiveUp("op")
+	m.FaultInjected("op", ReadErr)
+}
+
+func TestParseSample(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		val  float64
+		ok   bool
+	}{
+		{`resilience_retries_total{op="a"} 3`, "resilience_retries_total", 3, true},
+		{`plain_metric 1.5`, "plain_metric", 1.5, true},
+		{`# HELP x y`, "", 0, false},
+		{``, "", 0, false},
+		{`garbage`, "", 0, false},
+	}
+	for _, c := range cases {
+		name, val, ok := parseSample(c.line)
+		if name != c.name || val != c.val || ok != c.ok {
+			t.Errorf("parseSample(%q) = (%q, %v, %v)", c.line, name, val, ok)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// This file wraps the I/O seams the fault injector drives: dial functions,
+// HTTP round trippers, readers, and writers. Each wrapper consults the plan
+// once per invocation; un-faulted invocations pass straight through.
+
+// DialFunc is the net.Dialer.DialContext shape every dial seam in the
+// repository uses.
+type DialFunc func(ctx context.Context, network, addr string) (net.Conn, error)
+
+// injectedErr builds the error a failing fault surfaces, chaining both the
+// errInjected marker and a kind-appropriate cause so retryability
+// classification sees the same errno a real failure would carry.
+func injectedErr(f Fault, cause error) error {
+	if f.Err != nil {
+		return fmt.Errorf("%w: %s: %w", errInjected, f.Op, f.Err)
+	}
+	return fmt.Errorf("%w: %s: %w", errInjected, f.Op, cause)
+}
+
+// timeoutErr is an injected error satisfying net.Error with Timeout()=true.
+type timeoutErr struct{ op string }
+
+func (e *timeoutErr) Error() string   { return "resilience: injected timeout: " + e.op }
+func (e *timeoutErr) Timeout() bool   { return true }
+func (e *timeoutErr) Temporary() bool { return true }
+func (e *timeoutErr) Unwrap() error   { return errInjected }
+
+// Dial wraps dial so the plan can refuse dials or hand back connections
+// that reset mid-handshake. nil dial defaults to a plain TCP dialer.
+func (p *Plan) Dial(op string, dial DialFunc) DialFunc {
+	if dial == nil {
+		var d net.Dialer
+		dial = d.DialContext
+	}
+	if p == nil {
+		return dial
+	}
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		f, ok := p.next(op)
+		if !ok {
+			return dial(ctx, network, addr)
+		}
+		switch f.Kind {
+		case DialRefused:
+			return nil, injectedErr(f, syscall.ECONNREFUSED)
+		case ConnReset:
+			// The dial "succeeds" but the first read resets — without
+			// touching the real server, so the reset is invisible to it.
+			return &resetConn{fault: f}, nil
+		case SlowRead:
+			conn, err := dial(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			return &slowConn{Conn: conn, delay: f.Delay}, nil
+		case HTTPTimeout:
+			return nil, &timeoutErr{op: f.Op}
+		default:
+			return nil, injectedErr(f, syscall.ECONNREFUSED)
+		}
+	}
+}
+
+// resetConn accepts writes (the ClientHello leaves) and resets the first
+// read (the ServerHello never arrives) — a mid-handshake reset.
+type resetConn struct {
+	fault Fault
+}
+
+func (c *resetConn) Read(p []byte) (int, error)       { return 0, injectedErr(c.fault, syscall.ECONNRESET) }
+func (c *resetConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *resetConn) Close() error                     { return nil }
+func (c *resetConn) LocalAddr() net.Addr              { return fakeAddr{} }
+func (c *resetConn) RemoteAddr() net.Addr             { return fakeAddr{} }
+func (c *resetConn) SetDeadline(time.Time) error      { return nil }
+func (c *resetConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *resetConn) SetWriteDeadline(time.Time) error { return nil }
+
+type fakeAddr struct{}
+
+func (fakeAddr) Network() string { return "fault" }
+func (fakeAddr) String() string  { return "injected" }
+
+// slowConn delays every read by delay; used for slow-server simulation.
+type slowConn struct {
+	net.Conn
+	delay time.Duration
+}
+
+func (c *slowConn) Read(p []byte) (int, error) {
+	time.Sleep(c.delay)
+	return c.Conn.Read(p)
+}
+
+// RoundTripper wraps an http.RoundTripper so the plan can synthesize 5xx
+// responses and timeouts without contacting the server. nil inner defaults
+// to http.DefaultTransport.
+func (p *Plan) RoundTripper(op string, inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if p == nil {
+		return inner
+	}
+	return roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		f, ok := p.next(op)
+		if !ok {
+			return inner.RoundTrip(req)
+		}
+		switch f.Kind {
+		case HTTPStatus:
+			status := f.Status
+			if status == 0 {
+				status = http.StatusServiceUnavailable
+			}
+			body := fmt.Sprintf("injected %d for %s", status, f.Op)
+			return &http.Response{
+				Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+				StatusCode:    status,
+				Proto:         "HTTP/1.1",
+				ProtoMajor:    1,
+				ProtoMinor:    1,
+				Header:        http.Header{"Content-Type": []string{"text/plain"}},
+				Body:          io.NopCloser(strings.NewReader(body)),
+				ContentLength: int64(len(body)),
+				Request:       req,
+			}, nil
+		case HTTPTimeout:
+			return nil, &timeoutErr{op: f.Op}
+		case ConnReset, DialRefused:
+			return nil, injectedErr(f, syscall.ECONNRESET)
+		default:
+			return nil, injectedErr(f, syscall.ECONNRESET)
+		}
+	})
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+// Reader wraps r so the plan can fail, shorten, or delay individual read
+// calls. A failed read consumes no bytes, so retrying callers observe the
+// same stream a fault-free run would.
+func (p *Plan) Reader(op string, r io.Reader) io.Reader {
+	if p == nil {
+		return r
+	}
+	return &faultReader{plan: p, op: op, r: r}
+}
+
+type faultReader struct {
+	plan *Plan
+	op   string
+	r    io.Reader
+}
+
+func (fr *faultReader) Read(b []byte) (int, error) {
+	f, ok := fr.plan.next(fr.op)
+	if !ok {
+		return fr.r.Read(b)
+	}
+	switch f.Kind {
+	case ReadErr:
+		return 0, injectedErr(f, io.ErrUnexpectedEOF)
+	case ShortRead:
+		n := f.N
+		if n <= 0 {
+			n = 1
+		}
+		if n < len(b) {
+			b = b[:n]
+		}
+		return fr.r.Read(b)
+	case SlowRead:
+		time.Sleep(f.Delay)
+		return fr.r.Read(b)
+	default:
+		return 0, injectedErr(f, io.ErrUnexpectedEOF)
+	}
+}
+
+// Writer wraps w so the plan can fail individual write calls without
+// writing any bytes — the atomic snapshot writer's transient-failure case.
+func (p *Plan) Writer(op string, w io.Writer) io.Writer {
+	if p == nil {
+		return w
+	}
+	return &faultWriter{plan: p, op: op, w: w}
+}
+
+type faultWriter struct {
+	plan *Plan
+	op   string
+	w    io.Writer
+}
+
+func (fw *faultWriter) Write(b []byte) (int, error) {
+	f, ok := fw.plan.next(fw.op)
+	if !ok {
+		return fw.w.Write(b)
+	}
+	switch f.Kind {
+	case WriteErr:
+		return 0, injectedErr(f, syscall.EIO)
+	default:
+		return 0, injectedErr(f, syscall.EIO)
+	}
+}

@@ -1,0 +1,177 @@
+package scanner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"certchains/internal/obs"
+	"certchains/internal/resilience"
+)
+
+// Chaos matrix for the scanner: every plan here eventually succeeds, so the
+// chaos-equivalence contract applies — the captured chain must be identical
+// to the fault-free scan's, faults may only change attempt counts and retry
+// metrics.
+
+// chaosScanner builds a scanner whose dial path runs through the fault plan
+// and whose retry policy is fully deterministic (seeded jitter, no real
+// sleeping).
+func chaosScanner(plan *resilience.Plan, m *resilience.Metrics) *Scanner {
+	s := New(5 * time.Second)
+	s.Dialer = plan.Dial("scan.dial", nil)
+	s.Retry.JitterSeed = 7
+	s.Retry.Sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	s.Metrics = m
+	return s
+}
+
+func TestScanChaosMatrix(t *testing.T) {
+	env := newFarmEnv(t)
+
+	cases := []struct {
+		name   string
+		faults []resilience.Fault
+	}{
+		{"fault-free", nil},
+		{"dial-fail-then-ok", []resilience.Fault{
+			{Op: "scan.dial", Attempt: 1, Kind: resilience.DialRefused},
+		}},
+		{"dial-fail-twice-then-ok", []resilience.Fault{
+			{Op: "scan.dial", Attempt: 1, Kind: resilience.DialRefused},
+			{Op: "scan.dial", Attempt: 2, Kind: resilience.DialRefused},
+		}},
+		{"reset-then-ok", []resilience.Fault{
+			{Op: "scan.dial", Attempt: 1, Kind: resilience.ConnReset},
+		}},
+		{"refuse-reset-then-ok", []resilience.Fault{
+			{Op: "scan.dial", Attempt: 1, Kind: resilience.DialRefused},
+			{Op: "scan.dial", Attempt: 2, Kind: resilience.ConnReset},
+		}},
+	}
+
+	// The fault-free reference chain.
+	ref := New(5*time.Second).Scan(context.Background(), env.clean.Addr, "clean.example.com")
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			m := resilience.NewMetrics(reg)
+			plan := resilience.NewPlan(c.faults...)
+			plan.SetMetrics(m)
+			s := chaosScanner(plan, m)
+
+			res := s.Scan(context.Background(), env.clean.Addr, "clean.example.com")
+			if res.Err != nil {
+				t.Fatalf("eventually-successful plan must succeed: %v\nplan: %s", res.Err, plan.Describe())
+			}
+			if res.Outcome != OutcomeOK {
+				t.Errorf("outcome = %q", res.Outcome)
+			}
+
+			// Equivalence: the captured chain is byte-identical to the
+			// fault-free scan.
+			if got, want := res.Chain.Key(), ref.Chain.Key(); got != want {
+				t.Errorf("chain diverged under faults:\n got %s\nwant %s", got, want)
+			}
+			if len(res.Raw) != len(ref.Raw) {
+				t.Fatalf("raw cert count = %d, want %d", len(res.Raw), len(ref.Raw))
+			}
+			for i := range res.Raw {
+				if string(res.Raw[i]) != string(ref.Raw[i]) {
+					t.Errorf("raw cert %d differs from fault-free scan", i)
+				}
+			}
+
+			// Accounting: every planned fault fired, attempts = failures + 1,
+			// and the registry's retry counter equals the injector's failing
+			// fault count.
+			if plan.Pending() != 0 {
+				t.Errorf("unplayed faults: %s", plan.Describe())
+			}
+			wantAttempts := plan.FailureCount() + 1
+			if res.Attempts != wantAttempts {
+				t.Errorf("attempts = %d, want %d", res.Attempts, wantAttempts)
+			}
+			if got := resilience.RetryTotal(reg); got != float64(plan.FailureCount()) {
+				t.Errorf("retries metric = %v, want %d", got, plan.FailureCount())
+			}
+			if got := resilience.FaultTotal(reg); got != float64(plan.InjectedCount()) {
+				t.Errorf("fault metric = %v, want %d", got, plan.InjectedCount())
+			}
+		})
+	}
+}
+
+func TestScanChaosBudgetExhaustion(t *testing.T) {
+	env := newFarmEnv(t)
+	reg := obs.NewRegistry()
+	m := resilience.NewMetrics(reg)
+	// More failures than the budget allows: the scan records a degradation
+	// outcome instead of succeeding — and never aborts the sweep.
+	plan := resilience.NewPlan(
+		resilience.Fault{Op: "scan.dial", Attempt: 1, Kind: resilience.DialRefused},
+		resilience.Fault{Op: "scan.dial", Attempt: 2, Kind: resilience.DialRefused},
+		resilience.Fault{Op: "scan.dial", Attempt: 3, Kind: resilience.DialRefused},
+		resilience.Fault{Op: "scan.dial", Attempt: 4, Kind: resilience.DialRefused},
+	)
+	plan.SetMetrics(m)
+	s := chaosScanner(plan, m)
+
+	res := s.Scan(context.Background(), env.clean.Addr, "clean.example.com")
+	if res.Err == nil {
+		t.Fatal("exhausted budget must surface the error")
+	}
+	if !resilience.IsInjected(res.Err) {
+		t.Errorf("err = %v, want injected", res.Err)
+	}
+	if res.Outcome != OutcomeDial {
+		t.Errorf("outcome = %q, want %q", res.Outcome, OutcomeDial)
+	}
+	if res.Attempts != s.Retry.MaxAttempts {
+		t.Errorf("attempts = %d, want %d", res.Attempts, s.Retry.MaxAttempts)
+	}
+	if v, ok := reg.Value("resilience_giveups_total", "scan.target"); !ok || v != 1 {
+		t.Errorf("giveups = %v, %v", v, ok)
+	}
+}
+
+func TestScanAllChaosSweepDegradesGracefully(t *testing.T) {
+	env := newFarmEnv(t)
+	reg := obs.NewRegistry()
+	m := resilience.NewMetrics(reg)
+	// First dial of the sweep is refused once; a dead address never answers.
+	// The plan's per-op counter is shared across the sweep, so keep the
+	// concurrency at 1 for a deterministic fault placement.
+	plan := resilience.NewPlan(
+		resilience.Fault{Op: "scan.dial", Attempt: 1, Kind: resilience.DialRefused},
+	)
+	plan.SetMetrics(m)
+	s := chaosScanner(plan, m)
+
+	targets := []Target{
+		{Addr: env.clean.Addr, SNI: "clean.example.com"},
+		{Addr: "127.0.0.1:1", SNI: "dead.example.com"}, // nothing listens on port 1
+		{Addr: env.single.Addr, SNI: "printer.local"},
+	}
+	results := s.ScanAll(context.Background(), targets, 1)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Err != nil || results[0].Outcome != OutcomeOK {
+		t.Errorf("clean target: err=%v outcome=%q", results[0].Err, results[0].Outcome)
+	}
+	if results[1].Err == nil || results[1].Outcome != OutcomeDial {
+		t.Errorf("dead target must degrade: err=%v outcome=%q", results[1].Err, results[1].Outcome)
+	}
+	if results[2].Err != nil {
+		t.Errorf("sweep must continue past a dead server: %v", results[2].Err)
+	}
+	sum := Summarize(results)
+	if sum[OutcomeOK] != 2 || sum[OutcomeDial] != 1 {
+		t.Errorf("summary = %v", sum)
+	}
+}

@@ -16,6 +16,17 @@ import (
 	"certchains/internal/certmodel"
 	"certchains/internal/chain"
 	"certchains/internal/obs"
+	"certchains/internal/resilience"
+)
+
+// Outcome is the graceful-degradation verdict for one scanned endpoint: a
+// sweep never aborts on an unreachable server, it records what happened and
+// moves on (§5's retrospective scan hit plenty of dead hosts).
+const (
+	OutcomeOK        = "ok"               // handshake completed, chain captured
+	OutcomeEmpty     = "empty-chain"      // handshake completed, no certificates
+	OutcomeDial      = "dial-failed"      // could not connect after retries
+	OutcomeHandshake = "handshake-failed" // connected but TLS never completed
 )
 
 // Result is one scanned endpoint.
@@ -31,7 +42,11 @@ type Result struct {
 	Raw [][]byte
 	// Err is the connection or handshake error, nil on success.
 	Err error
-	// Duration is the wall time of the scan.
+	// Outcome is the degradation verdict (one of the Outcome* constants).
+	Outcome string
+	// Attempts is how many connection attempts the retry budget spent.
+	Attempts int
+	// Duration is the wall time of the scan, including retries.
 	Duration time.Duration
 }
 
@@ -42,10 +57,17 @@ func (r *Result) Reachable() bool {
 
 // Scanner dials endpoints and captures presented chains.
 type Scanner struct {
-	// Timeout bounds each connection attempt.
+	// Timeout bounds each connection attempt (each retry gets a fresh one).
 	Timeout time.Duration
-	// Dialer overrides the network dialer (tests inject failures).
+	// Dialer overrides the network dialer (tests inject failures or wrap it
+	// with a resilience fault plan).
 	Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+	// Retry is the per-target retry budget. The zero value makes a single
+	// attempt; New installs resilience.DefaultPolicy.
+	Retry resilience.Policy
+	// Metrics, when set, books scan attempts and retries into the shared
+	// obs registry.
+	Metrics *resilience.Metrics
 	// Tracer, when set, records one "scan" span per ScanAll sweep. The span
 	// is opened by the coordinator before any connection launches, so its
 	// position in the trace is deterministic even though scan durations are
@@ -53,18 +75,42 @@ type Scanner struct {
 	Tracer *obs.Tracer
 }
 
-// New returns a scanner with the given per-connection timeout.
+// New returns a scanner with the given per-connection timeout and the
+// default retry budget.
 func New(timeout time.Duration) *Scanner {
-	return &Scanner{Timeout: timeout}
+	return &Scanner{Timeout: timeout, Retry: resilience.DefaultPolicy()}
 }
 
 // Scan connects to addr, completes a TLS handshake offering sni, and
 // records the presented chain. Certificate verification is disabled — the
 // point is to observe what the server sends, not to judge it (judging is
-// the analyzer's job).
+// the analyzer's job). Transient failures (refused, reset, timed out) are
+// retried within the scanner's Retry budget; the final error and attempt
+// count are recorded on the result, never surfaced as an abort.
 func (s *Scanner) Scan(ctx context.Context, addr, sni string) *Result {
 	start := time.Now()
-	res := &Result{Addr: addr, SNI: sni}
+	res := &Result{Addr: addr, SNI: sni, Outcome: OutcomeDial}
+
+	policy := s.Retry.WithMetrics(s.Metrics)
+	attempts, err := policy.Do(ctx, "scan.target", func(ctx context.Context) error {
+		return s.scanOnce(ctx, addr, sni, res)
+	})
+	res.Attempts = attempts
+	res.Err = err
+	if err == nil {
+		res.Outcome = OutcomeOK
+		if len(res.Chain) == 0 {
+			res.Outcome = OutcomeEmpty
+		}
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// scanOnce is one connection attempt; it resets the result's chain state so
+// a retried attempt never mixes certificates from a partial predecessor.
+func (s *Scanner) scanOnce(ctx context.Context, addr, sni string, res *Result) error {
+	res.Raw, res.Chain = nil, nil
 
 	dialCtx := ctx
 	if s.Timeout > 0 {
@@ -79,9 +125,8 @@ func (s *Scanner) Scan(ctx context.Context, addr, sni string) *Result {
 	}
 	conn, err := dial(dialCtx, "tcp", addr)
 	if err != nil {
-		res.Err = fmt.Errorf("scanner: dial %s: %w", addr, err)
-		res.Duration = time.Since(start)
-		return res
+		res.Outcome = OutcomeDial
+		return attemptErr(fmt.Errorf("scanner: dial %s: %w", addr, err), dialCtx, ctx)
 	}
 	defer conn.Close()
 
@@ -91,16 +136,24 @@ func (s *Scanner) Scan(ctx context.Context, addr, sni string) *Result {
 		MinVersion:         tls.VersionTLS12,
 	})
 	if err := tc.HandshakeContext(dialCtx); err != nil {
-		res.Err = fmt.Errorf("scanner: handshake %s: %w", addr, err)
-		res.Duration = time.Since(start)
-		return res
+		res.Outcome = OutcomeHandshake
+		return attemptErr(fmt.Errorf("scanner: handshake %s: %w", addr, err), dialCtx, ctx)
 	}
 	for _, cert := range tc.ConnectionState().PeerCertificates {
 		res.Raw = append(res.Raw, cert.Raw)
 		res.Chain = append(res.Chain, certmodel.FromX509(cert))
 	}
-	res.Duration = time.Since(start)
-	return res
+	return nil
+}
+
+// attemptErr marks err retryable when the per-attempt deadline fired while
+// the sweep's own context is still alive — that's a slow server, not a
+// cancelled scan.
+func attemptErr(err error, attemptCtx, parent context.Context) error {
+	if attemptCtx.Err() != nil && parent.Err() == nil {
+		return resilience.MarkRetryable(err)
+	}
+	return err
 }
 
 // Target pairs an endpoint with the SNI to offer.
@@ -133,14 +186,26 @@ func (s *Scanner) ScanAll(ctx context.Context, targets []Target, parallelism int
 	for range targets {
 		<-done
 	}
-	var reachable int64
+	var reachable, attempts int64
 	for _, r := range results {
 		if r.Reachable() {
 			reachable++
 		}
+		attempts += int64(r.Attempts)
 	}
 	sp.Arg("reachable", reachable)
+	sp.Arg("attempts", attempts)
 	return results
+}
+
+// Summarize tallies sweep outcomes — the graceful-degradation report a CLI
+// prints instead of aborting on the first unreachable server.
+func Summarize(results []*Result) map[string]int {
+	out := make(map[string]int)
+	for _, r := range results {
+		out[r.Outcome]++
+	}
+	return out
 }
 
 // Comparison is the then-vs-now verdict for one server (§5).

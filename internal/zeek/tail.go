@@ -9,6 +9,8 @@ import (
 	"io/fs"
 	"os"
 	"strings"
+
+	"certchains/internal/resilience"
 )
 
 // This file implements live log tailing: following a Zeek log file as the
@@ -133,13 +135,17 @@ type TailState struct {
 	Closed    bool     `json:"closed,omitempty"`
 }
 
-// Tailer follows one growing log file.
+// Tailer follows one growing log file. All file I/O goes through a
+// resilience.FS, so a fault plan can fail opens, stats, and reads at chosen
+// points; a failed Poll leaves the tailer's position untouched (read faults
+// consume no bytes), so the caller just polls again.
 type Tailer struct {
 	path   string
 	newDec func() LineDecoder
 	dec    LineDecoder
+	fsys   resilience.FS
 
-	f      *os.File
+	f      resilience.File
 	offset int64  // bytes of fully processed lines in the current file
 	carry  []byte // bytes after offset still waiting for their newline
 	size   int64  // file size at the last poll, for lag reporting
@@ -153,7 +159,16 @@ type Tailer struct {
 // NewTailer follows path, decoding lines with decoders from newDec. The file
 // does not need to exist yet; polls before it appears are no-ops.
 func NewTailer(path string, newDec func() LineDecoder) *Tailer {
-	return &Tailer{path: path, newDec: newDec, dec: newDec()}
+	return NewTailerFS(path, newDec, resilience.OS)
+}
+
+// NewTailerFS is NewTailer with an explicit filesystem — the seam chaos
+// tests use to inject open/stat/read faults.
+func NewTailerFS(path string, newDec func() LineDecoder, fsys resilience.FS) *Tailer {
+	if fsys == nil {
+		fsys = resilience.OS
+	}
+	return &Tailer{path: path, newDec: newDec, dec: newDec(), fsys: fsys}
 }
 
 // Restore positions the tailer from a snapshot. Must be called before the
@@ -202,7 +217,7 @@ func (t *Tailer) Poll(emit func(Record) error) error {
 		t.dec = t.newDec()
 		t.rotations++
 	}
-	named, statErr := os.Stat(t.path)
+	named, statErr := t.fsys.Stat(t.path)
 	rotated := statErr == nil && !os.SameFile(cur, named)
 	if err := t.consume(emit); err != nil {
 		return err
@@ -229,7 +244,7 @@ func (t *Tailer) Poll(emit func(Record) error) error {
 // open opens the tailed path, applying any pending restore offset. A missing
 // file is not an error — the writer just has not created it yet.
 func (t *Tailer) open() error {
-	f, err := os.Open(t.path)
+	f, err := t.fsys.Open(t.path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}

@@ -1,0 +1,319 @@
+package zeek
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"certchains/internal/obs"
+	"certchains/internal/resilience"
+)
+
+// Fault-injected tailer tests. The contract under test: a failed Poll leaves
+// the tailer's position untouched, so polling again after any injected fault
+// yields exactly the records a fault-free tailer would have seen — no
+// duplicates, no dropped lines.
+
+// faultTailer builds a TSV tailer whose filesystem runs through the plan
+// under the "ssl" operation prefix (ops "ssl.open", "ssl.stat", "ssl.read").
+func faultTailer(t *testing.T, path string, plan *resilience.Plan) *Tailer {
+	t.Helper()
+	tl := NewTailerFS(path, func() LineDecoder { return NewTSVDecoder() }, plan.FS("ssl", nil))
+	t.Cleanup(func() { tl.Close() })
+	return tl
+}
+
+// pollUntilClean polls through injected faults until one poll succeeds,
+// bounded so a misbehaving plan cannot hang the test.
+func pollUntilClean(t *testing.T, tl *Tailer, emit func(Record) error) (faults int) {
+	t.Helper()
+	for tries := 0; tries < 50; tries++ {
+		err := tl.Poll(emit)
+		if err == nil {
+			return faults
+		}
+		if !resilience.IsInjected(err) {
+			t.Fatalf("non-injected poll error: %v", err)
+		}
+		faults++
+	}
+	t.Fatal("poll never recovered within 50 tries")
+	return
+}
+
+func TestTailerReadFaultRetryEquivalence(t *testing.T) {
+	path, write, _ := tailerFixtures(t)
+	write(tailHeader + "r1a\tr1b\nr2a\tr2b\nr3a\tr3b\n")
+
+	// Fault-free reference.
+	ref := NewTailer(path, func() LineDecoder { return NewTSVDecoder() })
+	defer ref.Close()
+	want := collectTail(t, ref)
+	if len(want) != 3 {
+		t.Fatalf("reference records = %d", len(want))
+	}
+
+	reg := obs.NewRegistry()
+	m := resilience.NewMetrics(reg)
+	plan := resilience.NewPlan(
+		resilience.Fault{Op: "ssl.read", Attempt: 1, Kind: resilience.ReadErr},
+	)
+	plan.SetMetrics(m)
+	tl := faultTailer(t, path, plan)
+
+	var got []Record
+	faults := pollUntilClean(t, tl, func(r Record) error { got = append(got, r); return nil })
+	if faults != 1 {
+		t.Errorf("faulted polls = %d, want 1", faults)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("records diverged after read fault:\n got %v\nwant %v", got, want)
+	}
+	if plan.Pending() != 0 {
+		t.Errorf("unplayed faults: %s", plan.Describe())
+	}
+	if gotF := resilience.FaultTotal(reg); gotF != float64(plan.InjectedCount()) {
+		t.Errorf("fault metric = %v, want %d", gotF, plan.InjectedCount())
+	}
+}
+
+func TestTailerOpenFaultRetry(t *testing.T) {
+	path, write, _ := tailerFixtures(t)
+	write(tailHeader + "r1a\tr1b\n")
+
+	plan := resilience.NewPlan(
+		resilience.Fault{Op: "ssl.open", Attempt: 1, Kind: resilience.OpenErr},
+	)
+	tl := faultTailer(t, path, plan)
+
+	var got []Record
+	faults := pollUntilClean(t, tl, func(r Record) error { got = append(got, r); return nil })
+	if faults != 1 {
+		t.Errorf("faulted polls = %d, want 1", faults)
+	}
+	if len(got) != 1 {
+		t.Fatalf("records = %d, want 1", len(got))
+	}
+}
+
+func TestTailerShortAndSlowReadsDegradeOnly(t *testing.T) {
+	path, write, _ := tailerFixtures(t)
+	write(tailHeader + "r1a\tr1b\nr2a\tr2b\n")
+
+	// Short and slow reads are degradations: the poll still succeeds and
+	// yields every line.
+	plan := resilience.NewPlan(
+		resilience.Fault{Op: "ssl.read", Attempt: 1, Kind: resilience.ShortRead, N: 7},
+		resilience.Fault{Op: "ssl.read", Attempt: 2, Kind: resilience.ShortRead, N: 3},
+		resilience.Fault{Op: "ssl.read", Attempt: 3, Kind: resilience.SlowRead},
+	)
+	tl := faultTailer(t, path, plan)
+
+	var got []Record
+	if err := tl.Poll(func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatalf("degrading faults must not fail the poll: %v", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("records = %d, want 2", len(got))
+	}
+	if plan.Pending() != 0 {
+		t.Errorf("unplayed faults: %s", plan.Describe())
+	}
+}
+
+func TestTailerStatFaultDelaysRotationOnly(t *testing.T) {
+	path, write, rename := tailerFixtures(t)
+	write(tailHeader + "old1\tx\n")
+
+	// The rotation check's Stat fails on the second poll — exactly when the
+	// rename happens. Rotation detection slips to the next poll; nothing is
+	// lost.
+	plan := resilience.NewPlan(
+		resilience.Fault{Op: "ssl.stat", Attempt: 2, Kind: resilience.StatErr},
+	)
+	tl := faultTailer(t, path, plan)
+
+	var got []Record
+	emit := func(r Record) error { got = append(got, r); return nil }
+	if err := tl.Poll(emit); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("pre-rotation records = %d, want 1", len(got))
+	}
+
+	rename()
+	write(tailHeader + "new1\ty\n")
+	if err := tl.Poll(emit); err != nil {
+		t.Fatalf("stat fault on the rotation check must degrade, not fail: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("rotation detected despite stat fault: records = %d", len(got))
+	}
+	if err := tl.Poll(emit); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("post-rotation records = %d, want 2", len(got))
+	}
+	if v, _ := got[1].Get("a"); v != "new1" {
+		t.Errorf("rotated record a = %q, want new1", v)
+	}
+	if tl.Rotations() != 1 {
+		t.Errorf("rotations = %d, want 1", tl.Rotations())
+	}
+	if plan.Pending() != 0 {
+		t.Errorf("unplayed faults: %s", plan.Describe())
+	}
+}
+
+func TestTailerTruncateMidLineWithReadFault(t *testing.T) {
+	path, write, _ := tailerFixtures(t)
+	write(tailHeader + "r1a\tr1b\nr2a\tr2")
+
+	plan := resilience.NewPlan()
+	tl := faultTailer(t, path, plan)
+
+	var got []Record
+	emit := func(r Record) error { got = append(got, r); return nil }
+	if err := tl.Poll(emit); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("records before truncation = %d, want 1 (partial held)", len(got))
+	}
+
+	// The writer restarts the file mid-line: truncation plus a read fault on
+	// the poll that discovers it. The held partial line dies with the old
+	// file (it was never fully written); the new content arrives intact.
+	if err := os.WriteFile(path, []byte(tailHeader+"fresh1\tz\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plan.RecordExternal("ssl.truncate")
+	// Attempt 3 is the first data read after the truncation-discovery seek,
+	// so the poll that detects the restart also fails — and still loses
+	// nothing on retry.
+	plan.Add(resilience.Fault{Op: "ssl.read", Attempt: 3, Kind: resilience.ReadErr})
+	faults := pollUntilClean(t, tl, emit)
+	if faults != 1 {
+		t.Errorf("faulted polls = %d, want 1", faults)
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d, want 2", len(got))
+	}
+	if v, _ := got[1].Get("a"); v != "fresh1" {
+		t.Errorf("post-truncation record a = %q, want fresh1", v)
+	}
+	if tl.Rotations() != 1 {
+		t.Errorf("rotations = %d, want 1 (truncation counts)", tl.Rotations())
+	}
+	if plan.InjectedCount() < 2 {
+		t.Errorf("injected = %d, want external truncation + read fault recorded", plan.InjectedCount())
+	}
+}
+
+// oracleRecords decodes the full final log content directly — what a tailer
+// must emit regardless of how reads were chopped up or failed along the way.
+func oracleRecords(content []byte) []Record {
+	dec := NewTSVDecoder()
+	var out []Record
+	decode := func(line string) {
+		line = strings.TrimSuffix(line, "\r")
+		rec, err := dec.Decode(line)
+		if err == nil && rec != nil {
+			out = append(out, rec)
+		}
+	}
+	s := string(content)
+	for {
+		i := strings.IndexByte(s, '\n')
+		if i < 0 {
+			break
+		}
+		decode(s[:i])
+		s = s[i+1:]
+	}
+	if s != "" {
+		decode(s)
+	}
+	return out
+}
+
+// FuzzTailerWithFaults feeds the tailer mutated log bytes in arbitrary chunk
+// splits while a seeded fault plan fails opens and reads at arbitrary points.
+// Invariants: the tailer never panics, injected faults never surface as
+// anything but injected errors, and once the plan drains, the emitted records
+// equal a direct decode of the full content — no fully-written line is ever
+// dropped or duplicated.
+func FuzzTailerWithFaults(f *testing.F) {
+	f.Add([]byte(tailHeader+"a1\tb1\na2\tb2\n"), uint8(2), []byte{0x03, 0x41})
+	f.Add([]byte(tailHeader+"a1\tb1\npartial\tli"), uint8(3), []byte{0x00})
+	f.Add([]byte("no header\njust noise\n"), uint8(1), []byte{0x81, 0x22, 0xff})
+	f.Add([]byte(tailHeader), uint8(2), []byte{})
+
+	f.Fuzz(func(t *testing.T, content []byte, chunks uint8, faultSeed []byte) {
+		dir := t.TempDir()
+		path := dir + "/fuzz.log"
+
+		// Derive a deterministic fault plan from the seed bytes: low bits pick
+		// the attempt, the top bit picks open-vs-read.
+		plan := resilience.NewPlan()
+		for i, b := range faultSeed {
+			if i >= 8 {
+				break
+			}
+			attempt := int(b&0x0f) + 1
+			if b&0x80 != 0 {
+				plan.Add(resilience.Fault{Op: "fz.open", Attempt: attempt, Kind: resilience.OpenErr})
+			} else {
+				plan.Add(resilience.Fault{Op: "fz.read", Attempt: attempt, Kind: resilience.ReadErr})
+			}
+		}
+
+		tl := NewTailerFS(path, func() LineDecoder { return NewTSVDecoder() }, plan.FS("fz", nil))
+		defer tl.Close()
+
+		var got []Record
+		emit := func(r Record) error { got = append(got, r); return nil }
+
+		// Append the content in 1..4 chunks, polling (with fault tolerance)
+		// after each append.
+		n := int(chunks%4) + 1
+		for i := 0; i < n; i++ {
+			lo, hi := len(content)*i/n, len(content)*(i+1)/n
+			fh, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fh.Write(content[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+			fh.Close()
+			for tries := 0; tries < 40; tries++ {
+				if err := tl.Poll(emit); err == nil {
+					break
+				} else if !resilience.IsInjected(err) {
+					t.Fatalf("non-injected poll error: %v", err)
+				}
+			}
+		}
+		// Drain any remaining planned faults, then take the final clean poll
+		// and flush the dangling partial line.
+		for tries := 0; tries < 40 && plan.Pending() > 0; tries++ {
+			tl.Poll(emit)
+		}
+		if err := tl.Poll(emit); err != nil {
+			t.Fatalf("final poll: %v", err)
+		}
+		if err := tl.Finish(emit); err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+
+		want := oracleRecords(content)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("tailer diverged from direct decode under faults\n got %v\nwant %v\nplan %s",
+				got, want, plan.Describe())
+		}
+	})
+}
