@@ -9,16 +9,19 @@ all: build vet lint test
 build:
 	$(GO) build ./...
 
+# Static analysis: go vet plus certchain-vet, the project-invariant suite
+# (determinism, merge/snapshot completeness, resilience conventions, hot-path
+# allocations, lock discipline). Suppressions live in .certchain-vet.json
+# (reason required per entry; stale entries fail). The JSON artifact is what
+# CI uploads.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/certchain-vet -artifact vet-report.json .
 
-# Static analysis: go vet, the repo's own determinism analyzer (flags
-# wall-clock reads, unseeded randomness, and map-iteration-ordered output in
-# deterministic packages), and — when installed — staticcheck and govulncheck.
+# Lint: the vet suite and — when installed — staticcheck and govulncheck.
 # The external tools are gated on `command -v` so offline checkouts still
 # lint; CI installs both.
 lint: vet
-	$(GO) run ./cmd/determinism-lint .
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo staticcheck ./...; staticcheck ./...; \
 	else \
@@ -105,4 +108,4 @@ experiments:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt vet-report.json

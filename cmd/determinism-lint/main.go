@@ -1,8 +1,10 @@
-// Command determinism-lint runs the project's determinism analyzer over the
-// source tree: report-producing code must not read the wall clock, draw from
-// the shared math/rand source, or emit output while ranging over a map (see
-// internal/analyzers/determinism). It exits non-zero when any finding
-// remains, so `make lint` and CI gate on it.
+// Command determinism-lint is a thin alias over `certchain-vet
+// -analyzers=determinism`, kept so existing Make targets, CI jobs, and
+// muscle memory keep working. The hardcoded allowlist it used to carry now
+// lives in the checked-in .certchain-vet.json (with a reason per entry); the
+// -allow flag remains for ad-hoc extra fragments and is applied on top.
+//
+// Exit codes match the original: 0 clean, 1 on findings or error.
 //
 // Usage:
 //
@@ -13,30 +15,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
-	"certchains/internal/analyzers/determinism"
+	"certchains/internal/analyzers/vet"
 )
-
-// defaultAllowlist exempts the code where wall-clock time is the feature,
-// not a bug: CLIs and examples (user-facing clocks), the live TLS scanner
-// (handshake timing), the CT log's HTTP front end (tree-head timestamps),
-// the lint engine's own wall-clock default for interactive use, the
-// ingest daemon (poll pacing and snapshot age are operational clocks — the
-// analysis it feeds stays keyed by log time), and the observability layer's
-// single clock seam (internal/obs/clock.go) — every wall-clock read in obs
-// funnels through it, and manifests/traces keep timing data out of the
-// deterministic report contract by construction. The resilience layer has
-// the same shape: internal/resilience/clock.go is its only wall-clock
-// contact (the process-wide jitter seed fallback and the real backoff
-// sleeps); tests that need determinism pin Policy.JitterSeed and inject
-// Policy.Sleep, so jitter never reaches report bytes.
-const defaultAllowlist = "cmd/,examples/,internal/scanner/,internal/ctlog/http.go,internal/lint/lint.go,internal/ingest/,internal/obs/clock.go,internal/resilience/clock.go"
 
 func main() {
 	var (
-		allow = flag.String("allow", defaultAllowlist,
-			"comma-separated path fragments to skip")
+		allow = flag.String("allow", "",
+			"comma-separated path fragments to skip, on top of .certchain-vet.json")
 		tests = flag.Bool("tests", false, "analyze _test.go files too")
 	)
 	flag.Parse()
@@ -46,23 +34,41 @@ func main() {
 		root = flag.Arg(0)
 	}
 
-	cfg := determinism.Config{IncludeTests: *tests}
+	cfg, err := vet.LoadConfig(filepath.Join(root, vet.DefaultConfigName), true)
+	if err != nil {
+		fatal(err)
+	}
 	for _, frag := range strings.Split(*allow, ",") {
 		if frag = strings.TrimSpace(frag); frag != "" {
-			cfg.Allowlist = append(cfg.Allowlist, frag)
+			cfg.Allow = append(cfg.Allow, vet.AllowEntry{
+				Analyzers: []string{"determinism"},
+				Path:      frag,
+				Reason:    "determinism-lint -allow flag",
+			})
 		}
 	}
 
-	findings, err := determinism.AnalyzeDir(root, cfg)
+	res, err := vet.Run(vet.Options{
+		Root:         root,
+		Analyzers:    []string{"determinism"},
+		IncludeTests: *tests,
+		Config:       cfg,
+		// -allow fragments are free-form; don't fail them as stale.
+		SkipStaleCheck: true,
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "determinism-lint:", err)
+		fatal(err)
+	}
+	for _, f := range res.Findings {
+		fmt.Println(vet.FindingString(f))
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "determinism-lint: %d finding(s)\n", len(res.Findings))
 		os.Exit(1)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
-	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "determinism-lint: %d finding(s)\n", len(findings))
-		os.Exit(1)
-	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "determinism-lint:", err)
+	os.Exit(1)
 }

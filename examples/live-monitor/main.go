@@ -20,7 +20,12 @@ import (
 	"certchains/internal/analysis"
 	"certchains/internal/campus"
 	"certchains/internal/ingest"
+	"certchains/internal/resilience"
 )
+
+// adminClient polls the daemon's admin surface; the timeout bounds a stuck
+// scrape the way any operator's probe would.
+var adminClient = &http.Client{Timeout: 5 * time.Second}
 
 func main() {
 	if err := run(); err != nil {
@@ -47,10 +52,13 @@ func run() error {
 	}
 	fmt.Printf("capture: %d observations across the collection period\n", len(scenario.Observations))
 
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
 	// Replay the capture into the log files in the background, paced so the
 	// three-month collection passes in a few wall seconds.
 	replayDone := make(chan error, 1)
-	go func() { replayDone <- replay(scenario, sslPath, x509Path) }()
+	go func() { replayDone <- replay(ctx, scenario, sslPath, x509Path) }()
 
 	ingCfg := ingest.Config{
 		SSLPath:      sslPath,
@@ -59,8 +67,6 @@ func run() error {
 		SnapshotPath: snapPath,
 	}
 	daemonErr := make(chan error, 1)
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	d := ingest.NewDaemon(ingest.New(analysis.FromScenario(scenario), ingCfg), ingest.DaemonConfig{
 		Addr: "127.0.0.1:0",
 		Poll: 50 * time.Millisecond,
@@ -72,7 +78,9 @@ func run() error {
 
 	// Watch the stream arrive through the admin surface.
 	for i := 0; i < 3; i++ {
-		time.Sleep(2 * time.Second)
+		if err := resilience.Sleep(ctx, 2*time.Second); err != nil {
+			return err
+		}
 		var health struct {
 			Observations int `json:"observations"`
 			Joiner       struct {
@@ -81,7 +89,7 @@ func run() error {
 			FoldedWindows int64  `json:"folded_windows"`
 			Watermark     string `json:"watermark"`
 		}
-		if err := getJSON(base+"/healthz", &health); err != nil {
+		if err := getJSON(ctx, base+"/healthz", &health); err != nil {
 			return err
 		}
 		fmt.Printf("t+%-2ds  joined=%-6d folded windows=%-3d observations=%-5d watermark=%s\n",
@@ -120,7 +128,7 @@ func run() error {
 	return nil
 }
 
-func replay(s *campus.Scenario, sslPath, x509Path string) error {
+func replay(ctx context.Context, s *campus.Scenario, sslPath, x509Path string) error {
 	sslF, err := os.Create(sslPath)
 	if err != nil {
 		return err
@@ -143,15 +151,19 @@ func replay(s *campus.Scenario, sslPath, x509Path string) error {
 			}
 			due := wallStart.Add(time.Duration(float64(ts.Sub(logStart)) / speed))
 			if d := time.Until(due); d > 0 {
-				time.Sleep(d)
+				return resilience.Sleep(ctx, d)
 			}
 			return nil
 		},
 	})
 }
 
-func getJSON(url string, into any) error {
-	resp, err := http.Get(url)
+func getJSON(ctx context.Context, url string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := adminClient.Do(req)
 	if err != nil {
 		return err
 	}

@@ -1,3 +1,5 @@
+//certchain:hotpath — observe runs once per connection observation.
+
 package analysis
 
 import (
@@ -19,8 +21,8 @@ import (
 // sequence-tagged (excluded outliers), so merging shard partials in any
 // order and finalizing reproduces the single sequential pass byte for byte.
 type partialReport struct {
-	p        *Pipeline
-	detector *intercept.Detector
+	p        *Pipeline           //certchain:nomerge shared read-only pipeline config, identical across shards
+	detector *intercept.Detector //certchain:nomerge shared read-only sector classifier, identical across shards
 
 	// rep carries the Report fields that accumulate additively during the
 	// observation pass; derived fields are filled by finalize.

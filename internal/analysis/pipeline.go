@@ -1,3 +1,5 @@
+//certchain:hotpath — the observe stage's inner loops run once per observation.
+
 package analysis
 
 import (
@@ -91,6 +93,7 @@ func (p *Pipeline) RunParallel(observations []*campus.Observation, workers int) 
 	spans := make([]*obs.Span, workers)
 	for w := 0; w < workers; w++ {
 		lo, hi := shardRange(len(observations), workers, w)
+		//certchain:coldpath once per shard at stage setup
 		spans[w] = p.Tracer.Start("observe-shard", fmt.Sprintf("observe/shard%d", w)).
 			SetTID(w).SetRecords(int64(hi - lo))
 	}
@@ -146,7 +149,7 @@ func (p *Pipeline) RunStream(observations <-chan *campus.Observation, workers in
 	partials := make([]*partialReport, workers)
 	spans := make([]*obs.Span, workers)
 	for w := 0; w < workers; w++ {
-		spans[w] = p.Tracer.Start("observe-shard", fmt.Sprintf("observe/shard%d", w)).SetTID(w)
+		spans[w] = p.Tracer.Start("observe-shard", fmt.Sprintf("observe/shard%d", w)).SetTID(w) //certchain:coldpath once per shard at stage setup
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

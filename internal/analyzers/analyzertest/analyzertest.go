@@ -1,0 +1,45 @@
+// Package analyzertest runs analyzers over golden fixture trees for the
+// per-analyzer diagnostics tests. Fixtures live in each analyzer's
+// testdata/<case>/ directory — outside the loader's normal walk (Load skips
+// directories named testdata), so fixture violations never pollute a real
+// repo run, while rooting a Load at the case directory itself analyzes them.
+package analyzertest
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"certchains/internal/analyzers"
+)
+
+// Findings runs one analyzer over the tree rooted at root and renders every
+// finding as "path:line analyzer/rule", sorted.
+func Findings(t *testing.T, a analyzers.Analyzer, root string) []string {
+	t.Helper()
+	fset, pkgs, err := analyzers.Load(root, analyzers.LoadConfig{})
+	if err != nil {
+		t.Fatalf("load %s: %v", root, err)
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		for _, f := range a.Analyze(fset, pkg) {
+			out = append(out, fmt.Sprintf("%s:%d %s/%s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Rule))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Expect fails the test unless got matches want exactly.
+func Expect(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d finding(s), want %d\ngot:  %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("finding %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}

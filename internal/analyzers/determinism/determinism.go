@@ -32,6 +32,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"certchains/internal/analyzers"
 )
 
 // Finding is one determinism violation.
@@ -348,4 +350,44 @@ func AnalyzeDir(root string, cfg Config) ([]Finding, error) {
 		findings = append(findings, AnalyzeFile(fset, file)...)
 	}
 	return findings, nil
+}
+
+// Suite adapts the determinism rules to the certchain-vet analyzer suite
+// (internal/analyzers). AnalyzeFile/AnalyzeDir remain for direct use; the
+// suite shape lets the unified driver run determinism alongside mergefields,
+// resilience, hotpath, and locks under one allowlist and emitter set.
+type Suite struct{}
+
+// Name implements analyzers.Analyzer.
+func (Suite) Name() string { return "determinism" }
+
+// Doc implements analyzers.Analyzer.
+func (Suite) Doc() string {
+	return "report-producing code must not read the wall clock, draw unseeded randomness, or emit map-ordered output"
+}
+
+// Rules implements analyzers.Analyzer.
+func (Suite) Rules() []analyzers.RuleDoc {
+	return []analyzers.RuleDoc{
+		{ID: "time-now", Description: "wall-clock read in deterministic code; thread a reference time through config"},
+		{ID: "unseeded-rand", Description: "draw from the shared unseeded math/rand source; use a seeded rand.New generator"},
+		{ID: "map-range-output", Description: "output emitted while ranging over a map; iteration order is random"},
+	}
+}
+
+// Analyze implements analyzers.Analyzer.
+func (Suite) Analyze(fset *token.FileSet, pkg *analyzers.Package) []analyzers.Finding {
+	var out []analyzers.Finding
+	for _, f := range pkg.Files {
+		for _, fd := range AnalyzeFile(fset, f.AST) {
+			out = append(out, analyzers.Finding{
+				Pos:      fd.Pos,
+				Analyzer: "determinism",
+				Rule:     fd.Rule,
+				Message:  fd.Message,
+			})
+		}
+	}
+	analyzers.SortFindings(out)
+	return out
 }

@@ -1,0 +1,19 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"certchains/internal/analyzers/analyzertest"
+	"certchains/internal/analyzers/determinism"
+)
+
+// TestSuiteAdapter checks the analyzers.Analyzer adapter over AnalyzeFile:
+// same rules, findings namespaced under the "determinism" analyzer.
+func TestSuiteAdapter(t *testing.T) {
+	got := analyzertest.Findings(t, determinism.Suite{}, filepath.Join("testdata", "suite"))
+	analyzertest.Expect(t, got, []string{
+		"clock.go:10 determinism/time-now",
+		"clock.go:10 determinism/unseeded-rand",
+	})
+}

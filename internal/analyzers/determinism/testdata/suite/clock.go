@@ -1,0 +1,11 @@
+// Fixture for the Suite adapter: one wall-clock read, one unseeded draw.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() (int64, int) {
+	return time.Now().Unix(), rand.Intn(10)
+}

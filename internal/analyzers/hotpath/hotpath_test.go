@@ -1,0 +1,25 @@
+package hotpath_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"certchains/internal/analyzers/analyzertest"
+	"certchains/internal/analyzers/hotpath"
+)
+
+func TestAnnotatedFileIsRatcheted(t *testing.T) {
+	got := analyzertest.Findings(t, hotpath.Analyzer{}, filepath.Join("testdata", "hot"))
+	analyzertest.Expect(t, got, []string{
+		"hot.go:10 hotpath/bytestring-alloc",
+		"hot.go:12 hotpath/fmt-alloc",
+		"hot.go:14 hotpath/bytestring-alloc",
+		"hot.go:21 hotpath/append-capture",
+		"hot.go:21 hotpath/bytestring-alloc",
+	})
+}
+
+func TestUnannotatedFileIsIgnored(t *testing.T) {
+	got := analyzertest.Findings(t, hotpath.Analyzer{}, filepath.Join("testdata", "unannotated"))
+	analyzertest.Expect(t, got, nil)
+}

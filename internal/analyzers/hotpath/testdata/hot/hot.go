@@ -1,0 +1,38 @@
+//certchain:hotpath — fixture decode layer.
+
+// Positive fixture: every allocation shape the ratchet flags, plus the two
+// suppression forms and the elided map-index conversion.
+package fixture
+
+import "fmt"
+
+func decodeOne(b []byte, seen map[string]int) string {
+	key := string(b)         // flagged: allocates per record
+	seen[string(b)]++        // not flagged: compiler elides the map-index form
+	_ = fmt.Sprintf("%s", b) // flagged: per-record formatting
+	bs := []byte(key)
+	_ = string(bs) // flagged: conversion-declared []byte
+	return key
+}
+
+func collect(lines [][]byte) []string {
+	var out []string
+	each(lines, func(b []byte) {
+		out = append(out, string(b)) // flagged twice: append-capture and bytestring-alloc
+	})
+	//certchain:coldpath suppressed on the line above the statement
+	_ = fmt.Sprintf("suppressed")
+	_ = fmt.Errorf("suppressed too") //certchain:coldpath same-line suppression
+	return out
+}
+
+//certchain:coldpath whole function is setup
+func setup() string {
+	return fmt.Sprintf("cold %d", 1)
+}
+
+func each(lines [][]byte, f func([]byte)) {
+	for _, b := range lines {
+		f(b)
+	}
+}

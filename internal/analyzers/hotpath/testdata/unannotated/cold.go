@@ -1,0 +1,9 @@
+// Negative fixture: no //certchain:hotpath directive, so the ratchet does not
+// apply no matter how allocation-happy the code is.
+package fixture
+
+import "fmt"
+
+func format(b []byte) string {
+	return fmt.Sprintf("%s", string(b))
+}

@@ -1,0 +1,244 @@
+// Package locks statically checks mutex discipline in the concurrent layers
+// (worker pools, the metrics registry, the ingest daemon):
+//
+//   - held-across-block: between mu.Lock() and the matching mu.Unlock() in
+//     the same statement list (or to the end of the function after a
+//     `defer mu.Unlock()`), a channel send/receive, select, WaitGroup.Wait,
+//     or time.Sleep executes while the lock is held. If the channel peer
+//     needs the same lock, that's a deadlock; even when it isn't, a blocked
+//     send serializes every other lock holder behind it.
+//   - defer-unlock-loop: `defer mu.Unlock()` inside a loop body only runs at
+//     function return, so the second iteration self-deadlocks (or, with
+//     different locks, the function accumulates every lock at once).
+//
+// The analysis is straight-line and syntactic: it tracks lock/unlock pairs
+// by the rendered receiver expression ("mu", "r.mu") within one block, which
+// is exactly the shape every accumulator and registry in this repo uses.
+// Flow through gotos, early returns, or lock handles passed between
+// functions is out of scope.
+package locks
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"certchains/internal/analyzers"
+)
+
+// isWaitGroupRecv matches receivers that look like a sync.WaitGroup ("wg",
+// "waitGroup", trailing "WG", ...) by name — the analyzer is untyped, and
+// WaitGroups in this repo are uniformly named wg.
+func isWaitGroupRecv(e ast.Expr) bool {
+	name := analyzers.ExprString(e)
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:]
+	}
+	lower := strings.ToLower(name)
+	return lower == "wg" || strings.HasSuffix(lower, "wg") || strings.Contains(lower, "waitgroup")
+}
+
+// Analyzer implements analyzers.Analyzer.
+type Analyzer struct{}
+
+// Name implements analyzers.Analyzer.
+func (Analyzer) Name() string { return "locks" }
+
+// Doc implements analyzers.Analyzer.
+func (Analyzer) Doc() string {
+	return "no blocking operations while holding a mutex; no defer mu.Unlock() inside loops"
+}
+
+// Rules implements analyzers.Analyzer.
+func (Analyzer) Rules() []analyzers.RuleDoc {
+	return []analyzers.RuleDoc{
+		{ID: "held-across-block", Description: "channel operation, select, Wait, or sleep while a mutex is held"},
+		{ID: "defer-unlock-loop", Description: "defer mu.Unlock() inside a loop runs only at function return; the next iteration deadlocks"},
+	}
+}
+
+// Analyze implements analyzers.Analyzer.
+func (Analyzer) Analyze(fset *token.FileSet, pkg *analyzers.Package) []analyzers.Finding {
+	var findings []analyzers.Finding
+	for _, f := range pkg.Files {
+		timePkgs := analyzers.ImportNames(f.AST, "time")
+		a := &checker{fset: fset, timePkgs: timePkgs}
+		for _, decl := range f.AST.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				a.checkFunc(fd)
+			}
+		}
+		findings = append(findings, a.findings...)
+	}
+	analyzers.SortFindings(findings)
+	return findings
+}
+
+type checker struct {
+	fset     *token.FileSet
+	timePkgs map[string]bool
+	findings []analyzers.Finding
+}
+
+func (c *checker) report(pos token.Pos, rule, msg string) {
+	c.findings = append(c.findings, analyzers.Finding{
+		Pos:      c.fset.Position(pos),
+		Analyzer: "locks",
+		Rule:     rule,
+		Message:  msg,
+	})
+}
+
+// lockCall matches x.Lock()/x.RLock()/x.Unlock()/x.RUnlock() statements,
+// returning the rendered receiver and whether it acquires.
+func lockCall(stmt ast.Stmt) (recv string, acquire, release bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false, false
+	}
+	return lockExpr(es.X)
+}
+
+func lockExpr(e ast.Expr) (recv string, acquire, release bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return analyzers.ExprString(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return analyzers.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// checkFunc walks one function's blocks.
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	// Every block (including closure bodies) gets its own straight-line scan;
+	// lock state does not flow across block boundaries.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BlockStmt); ok {
+			c.checkBlock(b)
+		}
+		return true
+	})
+	// defer-unlock-loop: any defer of *.Unlock() with a loop ancestor.
+	var loopDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			ast.Inspect(loopBody(n), walk)
+			loopDepth--
+			return false
+		case *ast.DeferStmt:
+			if _, _, release := lockExpr(n.Call); release && loopDepth > 0 {
+				c.report(n.Pos(), "defer-unlock-loop",
+					"defer "+analyzers.ExprString(n.Call.Fun)+" inside a loop runs only at function return; unlock explicitly at the end of the iteration")
+			}
+		case *ast.FuncLit:
+			// A closure body is its own function: defers there run when the
+			// closure returns, so a loop around the closure is fine.
+			saved := loopDepth
+			loopDepth = 0
+			ast.Inspect(n.Body, walk)
+			loopDepth = saved
+			return false
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// checkBlock scans one statement list tracking which lock receivers are
+// held. A lock released by `defer` stays held through the end of the block.
+// Statements executed while a lock is held are inspected (nested statements
+// included) for blocking operations; nested blocks that take their own locks
+// are scanned separately by checkFunc's walk, so each finding reports once.
+func (c *checker) checkBlock(block *ast.BlockStmt) {
+	held := map[string]bool{} // receiver -> locked at this point
+	for _, stmt := range block.List {
+		if recv, acquire, release := lockCall(stmt); recv != "" && (acquire || release) {
+			if acquire {
+				held[recv] = true
+			} else {
+				delete(held, recv)
+			}
+			continue
+		}
+		if _, ok := stmt.(*ast.DeferStmt); ok {
+			// defer mu.Unlock() keeps the lock held to the end of the
+			// function; the straight-line scan treats it as held to the end
+			// of the block, which is the same set of statements.
+			continue
+		}
+		if len(held) > 0 {
+			c.checkStmtBlocking(stmt, heldNames(held))
+		}
+	}
+}
+
+// heldNames renders the currently held receivers for messages,
+// deterministically ordered.
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for r := range held {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// checkStmtBlocking reports blocking operations within one statement while
+// locks are held. Function literals are skipped: goroutines launched under a
+// lock run after Unlock in the common case, and flow into them is beyond the
+// straight-line model.
+func (c *checker) checkStmtBlocking(stmt ast.Stmt, lockDesc string) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			c.report(n.Pos(), "held-across-block",
+				"channel send while holding "+lockDesc+"; a blocked receiver stalls every other lock holder")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.report(n.Pos(), "held-across-block",
+					"channel receive while holding "+lockDesc+"; a silent sender stalls every other lock holder")
+			}
+		case *ast.SelectStmt:
+			c.report(n.Pos(), "held-across-block",
+				"select while holding "+lockDesc+"; any blocked case stalls every other lock holder")
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && isWaitGroupRecv(sel.X) {
+				// Only WaitGroup-shaped receivers: sync.Cond.Wait must hold
+				// the lock, and exec.Cmd.Wait has nothing to do with mutexes.
+				c.report(n.Pos(), "held-across-block",
+					analyzers.ExprString(sel.X)+".Wait() while holding "+lockDesc+"; workers that need the lock before Done() deadlock")
+			}
+			if fn, ok := analyzers.PkgCall(n, c.timePkgs); ok && fn == "Sleep" {
+				c.report(n.Pos(), "held-across-block",
+					"time.Sleep while holding "+lockDesc+"; every other lock holder sleeps too")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,27 @@
+package locks_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"certchains/internal/analyzers/analyzertest"
+	"certchains/internal/analyzers/locks"
+)
+
+func TestBlockingUnderLock(t *testing.T) {
+	got := analyzertest.Findings(t, locks.Analyzer{}, filepath.Join("testdata", "bad"))
+	analyzertest.Expect(t, got, []string{
+		"bad.go:18 locks/held-across-block",
+		"bad.go:25 locks/held-across-block",
+		"bad.go:30 locks/held-across-block",
+		"bad.go:31 locks/held-across-block",
+		"bad.go:32 locks/held-across-block",
+		"bad.go:43 locks/defer-unlock-loop",
+		"bad.go:44 locks/held-across-block",
+	})
+}
+
+func TestDisciplinedLockingIsClean(t *testing.T) {
+	got := analyzertest.Findings(t, locks.Analyzer{}, filepath.Join("testdata", "good"))
+	analyzertest.Expect(t, got, nil)
+}

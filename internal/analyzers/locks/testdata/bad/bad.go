@@ -1,0 +1,46 @@
+// Positive fixture: blocking operations under a mutex and a deferred unlock
+// inside a loop.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type pool struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (p *pool) sendHeld() {
+	p.mu.Lock()
+	p.ch <- 1 // flagged: send while holding p.mu
+	p.mu.Unlock()
+}
+
+func (p *pool) recvDeferred() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return <-p.ch // flagged: receive while p.mu is defer-held
+}
+
+func (p *pool) waitAndSleepHeld() {
+	p.mu.Lock()
+	p.wg.Wait()             // flagged: WaitGroup wait under p.mu
+	time.Sleep(time.Second) // flagged: sleep under p.mu
+	select {
+	case v := <-p.ch:
+		_ = v
+	default:
+	}
+	p.mu.Unlock()
+}
+
+func (p *pool) deferInLoop(keys []int) {
+	for range keys {
+		p.mu.Lock()
+		defer p.mu.Unlock() // flagged: runs only at function return
+		p.ch <- 2           // flagged: send while p.mu defer-held
+	}
+}

@@ -1,0 +1,44 @@
+// Negative fixture: disciplined locking — short critical sections, channel
+// work outside the lock, sync.Cond (which must hold its lock across Wait),
+// and per-iteration closures whose defers run every iteration.
+package fixture
+
+import "sync"
+
+type box struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+	ch   chan int
+}
+
+func (b *box) bump() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.ch <- b.n
+}
+
+func (b *box) deferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b *box) waitCond() {
+	b.mu.Lock()
+	for b.n == 0 {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) perIteration(keys []int) {
+	for range keys {
+		func() {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			b.n++
+		}()
+	}
+}

@@ -1,0 +1,28 @@
+// Negative fixture: complete coverage plus every sanctioned exemption.
+package fixture
+
+import "sync"
+
+type gauge struct {
+	mu    sync.Mutex // guard types are exempt automatically
+	cfg   *string    //certchain:nomerge shared configuration, never accumulated
+	hits  int64
+	total int64 //certchain:nosnapshot derived; restoreGauge rebuilds it from hits
+}
+
+func (g *gauge) Merge(o *gauge) {
+	g.hits += o.hits
+	g.total += o.total // mutation marker: drop-merge-total
+}
+
+type gaugeSnapshot struct {
+	Hits int64
+}
+
+func (g *gauge) Snapshot() gaugeSnapshot {
+	return gaugeSnapshot{Hits: g.hits}
+}
+
+func restoreGauge(s gaugeSnapshot) *gauge {
+	return &gauge{hits: s.Hits}
+}

@@ -1,0 +1,28 @@
+// Positive fixture: a Merge body and a snapshot codec that both drop fields.
+package fixture
+
+type counter struct {
+	hits   int64
+	misses int64
+	errs   int64   // dropped by Merge and by the codec: two findings
+	label  *string // dropped as well: two findings
+	skip   int64   //certchain:nomerge
+}
+
+func (c *counter) Merge(o *counter) {
+	c.hits += o.hits
+	c.misses += o.misses
+}
+
+type counterSnapshot struct {
+	Hits   int64
+	Misses int64
+}
+
+func (c *counter) Snapshot() counterSnapshot {
+	return counterSnapshot{Hits: c.hits, Misses: c.misses}
+}
+
+func restoreCounter(s counterSnapshot) *counter {
+	return &counter{hits: s.Hits, misses: s.Misses}
+}

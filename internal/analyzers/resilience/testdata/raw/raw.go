@@ -1,0 +1,17 @@
+// Positive fixture: every raw network/sleep form the rules flag.
+package fixture
+
+import (
+	"crypto/tls"
+	"net"
+	"net/http"
+	"time"
+)
+
+func raw() {
+	_, _ = http.Get("http://example.test/")
+	_ = http.DefaultClient
+	_, _ = net.Dial("tcp", "example.test:443")
+	_, _ = tls.Dial("tcp", "example.test:443", nil)
+	time.Sleep(time.Second)
+}

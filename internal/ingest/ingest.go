@@ -397,7 +397,7 @@ type aggWindow struct {
 // aggregator buckets joined connections into per-interval observation
 // aggregates, closing a window once the join watermark passes its end.
 type aggregator struct {
-	interval time.Duration
+	interval time.Duration //certchain:nosnapshot config; Restore threads it from the ring snapshot's authoritative IntervalNS
 	windows  map[int64]*aggWindow
 	order    []int64 // ascending open-window indexes
 

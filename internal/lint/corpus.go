@@ -17,7 +17,7 @@ import (
 // connection counters add (each observation belongs to exactly one shard).
 // Any merge order therefore summarizes byte-identically.
 type CorpusReport struct {
-	linter *Linter
+	linter *Linter //certchain:nomerge shared deterministic lint engine, not accumulated state
 	// observations / conns count every linted observation additively.
 	observations int64
 	conns        int64

@@ -110,6 +110,68 @@ func sarifLevel(s Severity) string {
 	}
 }
 
+// SARIFRuleDesc describes one rule for WriteSARIFRun.
+type SARIFRuleDesc struct {
+	// ID is the stable rule identifier.
+	ID string
+	// Short is the one-line rule description.
+	Short string
+	// Full is the long description; empty falls back to Short.
+	Full string
+}
+
+// SARIFResultDesc describes one result for WriteSARIFRun.
+type SARIFResultDesc struct {
+	// RuleID names the violated rule.
+	RuleID string
+	// Level is the SARIF level vocabulary: "note", "warning", or "error".
+	Level string
+	// Message explains the violation.
+	Message string
+	// URI locates the artifact (a file path or logical artifact name).
+	URI string
+	// Line is the 1-based region start; 0 emits no region.
+	Line int
+}
+
+// WriteSARIFRun emits one SARIF 2.1.0 run for any tool — the shared emitter
+// behind certchain-lint's chain reports and certchain-vet's static-analysis
+// findings.
+func WriteSARIFRun(w io.Writer, toolName string, rules []SARIFRuleDesc, results []SARIFResultDesc) error {
+	driver := sarifDriver{Name: toolName, Rules: []sarifRule{}}
+	for _, r := range rules {
+		full := r.Full
+		if full == "" {
+			full = r.Short
+		}
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               r.ID,
+			ShortDescription: sarifMessage{Text: r.Short},
+			FullDescription:  sarifMessage{Text: full},
+		})
+	}
+	out := []sarifResult{}
+	for _, r := range results {
+		res := sarifResult{
+			RuleID:  r.RuleID,
+			Level:   r.Level,
+			Message: sarifMessage{Text: r.Message},
+		}
+		phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: r.URI}}
+		if r.Line > 0 {
+			phys.Region = &sarifRegion{StartLine: r.Line}
+		}
+		res.Locations = []sarifLocation{{PhysicalLocation: phys}}
+		out = append(out, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: out}},
+	}
+	return writeIndented(w, log, "sarif")
+}
+
 // WriteSARIF emits findings as a SARIF 2.1.0 log. The linter's enabled
 // checks become the tool's rule set (one rule per check, with description
 // and citation), and each finding becomes a result located at the offending
@@ -119,34 +181,28 @@ func WriteSARIF(w io.Writer, l *Linter, artifact string, findings []Finding) err
 	if artifact == "" {
 		artifact = "chain"
 	}
-	driver := sarifDriver{Name: "certchain-lint", Rules: []sarifRule{}}
+	rules := make([]SARIFRuleDesc, 0, len(l.EnabledChecks()))
 	for _, c := range l.EnabledChecks() {
-		driver.Rules = append(driver.Rules, sarifRule{
-			ID:               c.ID,
-			ShortDescription: sarifMessage{Text: c.Description},
-			FullDescription:  sarifMessage{Text: c.Description + " (" + c.Citation + ")"},
+		rules = append(rules, SARIFRuleDesc{
+			ID:    c.ID,
+			Short: c.Description,
+			Full:  c.Description + " (" + c.Citation + ")",
 		})
 	}
-	results := []sarifResult{}
+	results := make([]SARIFResultDesc, 0, len(findings))
 	for _, f := range findings {
-		res := sarifResult{
+		r := SARIFResultDesc{
 			RuleID:  f.Check,
 			Level:   sarifLevel(f.Severity),
-			Message: sarifMessage{Text: f.Message},
+			Message: f.Message,
+			URI:     artifact,
 		}
-		phys := sarifPhysical{ArtifactLocation: sarifArtifact{URI: artifact}}
 		if f.CertIndex >= 0 {
-			phys.Region = &sarifRegion{StartLine: f.CertIndex + 1}
+			r.Line = f.CertIndex + 1
 		}
-		res.Locations = []sarifLocation{{PhysicalLocation: phys}}
-		results = append(results, res)
+		results = append(results, r)
 	}
-	log := sarifLog{
-		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
-		Version: "2.1.0",
-		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
-	}
-	return writeIndented(w, log, "sarif")
+	return WriteSARIFRun(w, "certchain-lint", rules, results)
 }
 
 func writeIndented(w io.Writer, v any, kind string) error {

@@ -32,6 +32,14 @@ func processSeed() int64 {
 	return procSeed
 }
 
+// Sleep waits d or until ctx ends, whichever is first. It is the sanctioned
+// replacement for bare time.Sleep outside this package (the resilience
+// static-analysis rule flags raw sleeps): callers get cancellation for free
+// and tests can drive them through a context instead of wall time.
+func Sleep(ctx context.Context, d time.Duration) error {
+	return sleepCtx(ctx, d)
+}
+
 // sleepCtx waits d or until ctx ends, whichever is first.
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	if d <= 0 {

@@ -14,7 +14,7 @@ import (
 // weighted by counts.
 type CDF struct {
 	counts map[int]int64
-	total  int64
+	total  int64 //certchain:nosnapshot derived; CDFFromSnapshot rebuilds it through Add
 }
 
 // NewCDF returns an empty distribution.

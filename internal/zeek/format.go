@@ -1,3 +1,5 @@
+//certchain:hotpath — the TSV reader and writer run once per log line.
+
 // Package zeek implements the Zeek network-monitor log format and the two
 // log streams the paper's pipeline consumes: ssl.log (TLS connection
 // records) and x509.log (certificate records), cross-referenced through
@@ -47,6 +49,9 @@ func NewWriter(w io.Writer, h Header) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 1<<16), header: h}
 }
 
+// writeHeader emits the '#'-directive block once per stream.
+//
+//certchain:coldpath runs once per log stream, not per record
 func (w *Writer) writeHeader() error {
 	h := w.header
 	if len(h.Fields) != len(h.Types) {
@@ -80,7 +85,7 @@ func (w *Writer) WriteRecord(values []string) error {
 		}
 	}
 	if len(values) != len(w.header.Fields) {
-		return fmt.Errorf("zeek: record has %d values, header has %d fields", len(values), len(w.header.Fields))
+		return fmt.Errorf("zeek: record has %d values, header has %d fields", len(values), len(w.header.Fields)) //certchain:coldpath caller-bug error path
 	}
 	for i, v := range values {
 		if i > 0 {
@@ -269,7 +274,7 @@ func (r *Reader) Read() (Record, error) {
 		line, rerr := r.br.ReadString('\n')
 		if rerr != nil {
 			if rerr != io.EOF {
-				return nil, fmt.Errorf("zeek: read: %w", rerr)
+				return nil, fmt.Errorf("zeek: read: %w", rerr) //certchain:coldpath I/O error path
 			}
 			r.eof = true
 		}
@@ -289,7 +294,7 @@ func (r *Reader) Read() (Record, error) {
 			continue
 		}
 		if len(r.header.Fields) == 0 {
-			return nil, fmt.Errorf("zeek: line %d: data before #fields header", r.line)
+			return nil, fmt.Errorf("zeek: line %d: data before #fields header", r.line) //certchain:coldpath malformed-stream error path
 		}
 		parts := strings.Split(line, Separator)
 		if len(parts) != len(r.header.Fields) {
@@ -297,7 +302,7 @@ func (r *Reader) Read() (Record, error) {
 				// The writer is mid-record; the fragment is not data yet.
 				continue
 			}
-			return nil, fmt.Errorf("zeek: line %d: %d values for %d fields", r.line, len(parts), len(r.header.Fields))
+			return nil, fmt.Errorf("zeek: line %d: %d values for %d fields", r.line, len(parts), len(r.header.Fields)) //certchain:coldpath malformed-line error path
 		}
 		rec := make(Record, len(parts))
 		for i, f := range r.header.Fields {

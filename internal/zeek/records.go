@@ -1,6 +1,9 @@
+//certchain:hotpath — record parsing runs once per ssl.log/x509.log row.
+
 package zeek
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -9,6 +12,15 @@ import (
 
 	"certchains/internal/certmodel"
 	"certchains/internal/dn"
+)
+
+// Static parse errors: these fire per malformed record on the decode hot
+// path, so they must not allocate a formatted string per row.
+var (
+	errSSLMissingTS  = errors.New("zeek: ssl record missing ts")
+	errSSLMissingUID = errors.New("zeek: ssl record missing uid")
+	errX509MissingTS = errors.New("zeek: x509 record missing ts")
+	errX509MissingID = errors.New("zeek: x509 record missing id")
 )
 
 // SSLRecord is one ssl.log row: a TLS connection observation.
@@ -82,11 +94,11 @@ func ParseSSLRecord(rec Record) (*SSLRecord, error) {
 	r := &SSLRecord{}
 	var ok bool
 	if r.TS, ok = rec.GetTime("ts"); !ok {
-		return nil, fmt.Errorf("zeek: ssl record missing ts")
+		return nil, errSSLMissingTS
 	}
 	r.UID, _ = rec.Get("uid")
 	if r.UID == "" {
-		return nil, fmt.Errorf("zeek: ssl record missing uid")
+		return nil, errSSLMissingUID
 	}
 	r.OrigH, _ = rec.Get("id.orig_h")
 	r.OrigP, _ = rec.GetInt("id.orig_p")
@@ -186,11 +198,11 @@ func ParseX509Record(rec Record) (*X509Record, error) {
 	r := &X509Record{}
 	var ok bool
 	if r.TS, ok = rec.GetTime("ts"); !ok {
-		return nil, fmt.Errorf("zeek: x509 record missing ts")
+		return nil, errX509MissingTS
 	}
 	r.ID, _ = rec.Get("id")
 	if r.ID == "" {
-		return nil, fmt.Errorf("zeek: x509 record missing id")
+		return nil, errX509MissingID
 	}
 	r.Version, _ = rec.GetInt("certificate.version")
 	r.Serial, _ = rec.Get("certificate.serial")
@@ -216,11 +228,11 @@ func ParseX509Record(rec Record) (*X509Record, error) {
 func (r *X509Record) ToMeta() (*certmodel.Meta, error) {
 	issuer, err := dn.Parse(r.Issuer)
 	if err != nil {
-		return nil, fmt.Errorf("zeek: x509 %s: bad issuer: %w", r.ID, err)
+		return nil, fmt.Errorf("zeek: x509 %s: bad issuer: %w", r.ID, err) //certchain:coldpath malformed-record error path
 	}
 	subject, err := dn.Parse(r.Subject)
 	if err != nil {
-		return nil, fmt.Errorf("zeek: x509 %s: bad subject: %w", r.ID, err)
+		return nil, fmt.Errorf("zeek: x509 %s: bad subject: %w", r.ID, err) //certchain:coldpath malformed-record error path
 	}
 	m := &certmodel.Meta{
 		FP:        certmodel.Fingerprint(r.ID),
