@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz report experiments ingest-smoke obs-smoke chaos clean
+.PHONY: all build vet lint test race bench fuzz report experiments ingest-smoke obs-smoke dist-smoke chaos clean
 
 all: build vet lint test
 
@@ -60,6 +60,16 @@ obs-smoke:
 	$(GO) test -count=1 -run 'TestServeMuxAdminEndpoints' ./cmd/ctlog/
 	$(GO) test -count=1 -run 'TestStatsPrometheusConformance|TestFillEscapesHostileLabels' ./internal/ingest/
 
+# Distributed topology smoke: the three-rung equivalence claim — one
+# sequential pass, N goroutines in one process, N worker processes — is
+# byte-identical on text report, JSON export, and manifest deterministic
+# subset; then the real-binary rung (3 certchain-shardd + certchain-coord vs
+# the single-process -local run), including the chaos run that SIGKILLs a
+# worker mid-partition and still demands identical bytes.
+dist-smoke:
+	$(GO) test -count=1 -run 'TestDistTopologyEquivalence|TestCoordWorkerDeathRequeue|TestCoordDuplicateCompletion' ./internal/dist/
+	$(GO) test -count=1 -run 'TestDistProcessEquivalence|TestDistChaosKillWorker' ./cmd/certchain-coord/
+
 # Chaos suite: every fault-injection matrix under the race detector —
 # scanner dial faults, ctlog HTTP faults, middlebox upstream timeout/retry,
 # zeek tailer file faults (including the fault-plan fuzzer's corpus), and
@@ -97,6 +107,7 @@ fuzz:
 	$(GO) test -fuzz FuzzShardMerge -fuzztime 30s ./internal/analysis/
 	$(GO) test -fuzz FuzzRegistryMerge -fuzztime 20s ./internal/obs/
 	$(GO) test -fuzz FuzzLintChain -fuzztime 30s ./internal/lint/
+	$(GO) test -fuzz FuzzPartialSnapshotDecode -fuzztime 20s ./internal/analysis/
 
 # The full paper report with paper-vs-measured verification.
 report:

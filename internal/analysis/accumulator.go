@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"certchains/internal/campus"
+	"certchains/internal/certmodel"
+	"certchains/internal/intercept"
+	"certchains/internal/obs"
+)
+
+// Accumulator is the exported shard accumulator: the unit of work the
+// distributed topology moves between processes. A worker observes its
+// partition into one Accumulator, encodes the state, and ships it to the
+// coordinator, which decodes, rebases sequence tags, merges, and finalizes —
+// exactly the in-process shard lifecycle of RunParallel, stretched across a
+// process boundary. Because the underlying merge is commutative and the
+// encoding canonical, N worker processes, N goroutines, and one sequential
+// pass all finalize byte-identically over the same observation stream.
+//
+// An Accumulator is not safe for concurrent use; give each goroutine its own
+// and Merge.
+type Accumulator struct {
+	pr *partialReport
+	// n counts every observation folded in — it is the next local sequence
+	// number, and after OffsetSeq the count still holds (offsets shift tags,
+	// not cardinality).
+	n int64
+}
+
+// StateSchema and StateVersion stamp the encoded accumulator state. A
+// coordinator built against a different codec revision must refuse a
+// worker's partial rather than mis-merge it, so DecodeState rejects any
+// other pair with a *certmodel.SchemaError.
+const (
+	StateSchema  = "certchains/analysis-partial"
+	StateVersion = 1
+)
+
+// accumState is the sealed payload: the partial's canonical snapshot plus
+// the deduplicated certificate table its chain keys reference, and the
+// observation count the coordinator needs to rebase downstream partitions.
+type accumState struct {
+	Observations int64                    `json:"observations"`
+	Certs        []certmodel.MetaSnapshot `json:"certs,omitempty"`
+	Partial      *partialSnapshot         `json:"partial"`
+}
+
+// NewAccumulator creates an empty accumulator over the pipeline's
+// components. Each accumulator carries its own CT-mismatch detector;
+// detection is a pure function of the pipeline's DB and CT log, so separate
+// detectors agree with a shared one.
+func (p *Pipeline) NewAccumulator() *Accumulator {
+	det := intercept.NewDetector(p.DB, p.CT)
+	return &Accumulator{pr: p.newPartial(det)}
+}
+
+// Observe folds one observation in. Observations are sequence-tagged in
+// arrival order starting at zero; when this accumulator covers a later slice
+// of a larger input, rebase with OffsetSeq before merging.
+func (a *Accumulator) Observe(o *campus.Observation) {
+	a.pr.observe(int(a.n), o)
+	a.n++
+}
+
+// Observations is the number of observations folded in so far.
+func (a *Accumulator) Observations() int64 { return a.n }
+
+// Merge folds another accumulator into this one. Merging is commutative and
+// associative over rebased accumulators; the source is read, not mutated.
+func (a *Accumulator) Merge(o *Accumulator) {
+	a.pr.merge(o.pr)
+	a.n += o.n
+}
+
+// OffsetSeq shifts every sequence tag by base, rebasing a partition-local
+// accumulator into the global input order: partition i's base is the total
+// observation count of partitions 0..i-1. Only the Figure 1 outlier list
+// carries sequence tags, so the shift is O(outliers).
+func (a *Accumulator) OffsetSeq(base int64) {
+	for i := range a.pr.excluded {
+		a.pr.excluded[i].seq += int(base)
+	}
+}
+
+// Finalize runs the finishing passes and returns the completed report. The
+// accumulator should not be used afterwards.
+func (a *Accumulator) Finalize() *Report { return a.pr.finalize() }
+
+// EncodeState serializes the accumulator under the versioned state schema.
+// The encoding is canonical — equal accumulators encode byte-identically —
+// so digests over shipped partials are stable.
+func (a *Accumulator) EncodeState() ([]byte, error) {
+	certs := make(map[certmodel.Fingerprint]*certmodel.Meta)
+	st := accumState{
+		Observations: a.n,
+		Partial:      a.pr.snapshot(certs),
+	}
+	fps := make([]string, 0, len(certs))
+	for fp := range certs {
+		fps = append(fps, string(fp))
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		st.Certs = append(st.Certs, certs[certmodel.Fingerprint(fp)].Snapshot())
+	}
+	return certmodel.Seal(StateSchema, StateVersion, st)
+}
+
+// DecodeState rebuilds an accumulator from EncodeState bytes. The bytes
+// cross a process boundary, so every malformation — wrong schema, truncated
+// JSON, dangling chain references — degrades to an error, never a panic; a
+// schema/version mismatch is a *certmodel.SchemaError.
+func (p *Pipeline) DecodeState(data []byte) (*Accumulator, error) {
+	payload, err := certmodel.Open(data, StateSchema, StateVersion)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: decode state: %w", err)
+	}
+	var st accumState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, fmt.Errorf("analysis: decode state: %w", err)
+	}
+	if st.Observations < 0 {
+		return nil, fmt.Errorf("analysis: decode state: negative observation count %d", st.Observations)
+	}
+	table := make(map[certmodel.Fingerprint]*certmodel.Meta, len(st.Certs))
+	for _, ms := range st.Certs {
+		m := ms.Meta()
+		if m.FP == "" {
+			return nil, fmt.Errorf("analysis: decode state: certificate with empty fingerprint")
+		}
+		table[m.FP] = m
+	}
+	det := intercept.NewDetector(p.DB, p.CT)
+	pr, err := p.restorePartial(st.Partial, det, func(fp certmodel.Fingerprint) *certmodel.Meta {
+		return table[fp]
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: decode state: %w", err)
+	}
+	return &Accumulator{pr: pr, n: st.Observations}, nil
+}
+
+// AccumulateStream consumes a producer channel through a dispatcher and
+// worker pool and returns the merged (unfinalized) accumulator — RunStream
+// without the finalize, which is what a distributed worker ships upstream.
+// Sequence tags follow producer order, so the result finalizes
+// byte-identically at any worker count.
+func (p *Pipeline) AccumulateStream(observations <-chan *campus.Observation, workers int) *Accumulator {
+	workers = normalizeWorkers(workers, -1)
+	det := intercept.NewDetector(p.DB, p.CT)
+	stage := p.Tracer.Start("observe", "observe")
+
+	type seqObs struct {
+		seq int
+		o   *campus.Observation
+	}
+	work := make(chan seqObs, 4*workers)
+	// total is written only by the dispatcher, which exits before close(work);
+	// every worker observes that close before wg.Done, so the read after
+	// wg.Wait is ordered.
+	var total int64
+	go func() {
+		seq := 0
+		for o := range observations {
+			work <- seqObs{seq: seq, o: o}
+			seq++
+		}
+		total = int64(seq)
+		close(work)
+	}()
+
+	partials := make([]*partialReport, workers)
+	spans := make([]*obs.Span, workers)
+	for w := 0; w < workers; w++ {
+		spans[w] = p.Tracer.Start("observe-shard", fmt.Sprintf("observe/shard%d", w)).SetTID(w) //certchain:coldpath once per shard at stage setup
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pr := p.newPartial(det)
+			for so := range work {
+				pr.observe(so.seq, so.o)
+				spans[w].AddRecords(1)
+			}
+			partials[w] = pr
+			spans[w].End()
+		}(w)
+	}
+	wg.Wait()
+	stage.SetRecords(total)
+	stage.End()
+
+	msp := p.Tracer.Start("merge", "merge").Arg("partials", int64(len(partials)))
+	merged := partials[0]
+	for _, pr := range partials[1:] {
+		merged.merge(pr)
+	}
+	msp.End()
+	return &Accumulator{pr: merged, n: total}
+}

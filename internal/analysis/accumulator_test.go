@@ -1,0 +1,166 @@
+// Equivalence and robustness suite for the exported Accumulator — the shard
+// lifecycle the distributed topology runs across process boundaries:
+// observe partitions, encode, decode on the other side, rebase, merge,
+// finalize. The wire form is adversarial input to the coordinator, so the
+// decoder is also fuzzed: malformed bytes must error, never panic.
+package analysis_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"certchains/internal/analysis"
+	"certchains/internal/campus"
+	"certchains/internal/certmodel"
+)
+
+// partitionObservations splits the observation slice into n contiguous
+// partitions, mirroring how the coordinator splits a capture into worker
+// inputs.
+func partitionObservations(obs []*campus.Observation, n int) [][]*campus.Observation {
+	parts := make([][]*campus.Observation, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := len(obs)*i/n, len(obs)*(i+1)/n
+		parts = append(parts, obs[lo:hi])
+	}
+	return parts
+}
+
+// TestAccumulatorWireEquivalence runs the full distributed shard lifecycle
+// in miniature: per-partition accumulators are encoded, decoded by a second
+// pipeline instance (the "coordinator"), rebased by the cumulative
+// observation counts, merged in partition order, and finalized. The result
+// must be byte-identical to the sequential run over the concatenated
+// observations, and the encoding itself must be byte-stable.
+func TestAccumulatorWireEquivalence(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			s := generate(t, seed)
+			worker := lintingPipeline(s)
+			coord := lintingPipeline(s)
+			baseText, baseJSON := renderings(t, worker.RunParallel(s.Observations, 1))
+
+			for _, parts := range []int{1, 3, 5} {
+				t.Run(fmt.Sprintf("parts%d", parts), func(t *testing.T) {
+					merged := coord.NewAccumulator()
+					var base int64
+					for i, part := range partitionObservations(s.Observations, parts) {
+						acc := worker.NewAccumulator()
+						for _, o := range part {
+							acc.Observe(o)
+						}
+						if got := acc.Observations(); got != int64(len(part)) {
+							t.Fatalf("partition %d: Observations() = %d, want %d", i, got, len(part))
+						}
+						wire, err := acc.EncodeState()
+						if err != nil {
+							t.Fatal(err)
+						}
+						again, err := acc.EncodeState()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !bytes.Equal(wire, again) {
+							t.Fatalf("partition %d: EncodeState is not byte-stable", i)
+						}
+						restored, err := coord.DecodeState(wire)
+						if err != nil {
+							t.Fatalf("partition %d: %v", i, err)
+						}
+						restored.OffsetSeq(base)
+						base += restored.Observations()
+						merged.Merge(restored)
+					}
+					text, js := renderings(t, merged.Finalize())
+					if text != baseText {
+						t.Errorf("parts=%d: rendered report differs from sequential", parts)
+					}
+					if !bytes.Equal(js, baseJSON) {
+						t.Errorf("parts=%d: JSON export differs from sequential", parts)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestDecodeStateRejectsForeign pins the wire versioning: state sealed under
+// another schema revision — or not sealed at all — must surface the typed
+// schema error.
+func TestDecodeStateRejectsForeign(t *testing.T) {
+	s := generate(t, 1)
+	p := lintingPipeline(s)
+	future, err := certmodel.Seal(analysis.StateSchema, analysis.StateVersion+1, map[string]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"future version", future},
+		{"unversioned JSON", []byte(`{"observations":3,"partial":null}`)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := p.DecodeState(tc.data)
+			var se *certmodel.SchemaError
+			if !errors.As(err, &se) {
+				t.Fatalf("DecodeState err = %v, want *certmodel.SchemaError", err)
+			}
+		})
+	}
+	if _, err := p.DecodeState([]byte("not json")); err == nil {
+		t.Fatal("garbage bytes decoded without error")
+	}
+}
+
+// FuzzPartialSnapshotDecode hammers the partial-state decoder with mutated
+// and truncated wire bytes. The decoder parses network input on the
+// coordinator, so any outcome but (accumulator, nil) or (nil, error) — in
+// particular any panic — is a bug. Decoded accumulators must also survive
+// the operations the coordinator performs on them.
+func FuzzPartialSnapshotDecode(f *testing.F) {
+	s := generate(f, 1)
+	p := lintingPipeline(s)
+
+	acc := p.NewAccumulator()
+	for _, o := range s.Observations[:len(s.Observations)/4] {
+		acc.Observe(o)
+	}
+	valid, err := acc.EncodeState()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{"schema":"certchains/analysis-partial","version":1,"payload":{}}`))
+	f.Add([]byte(`{"schema":"certchains/analysis-partial","version":1,"payload":{"observations":-1}}`))
+	f.Add([]byte(`{"schema":"certchains/analysis-partial","version":1,"payload":{"partial":{"chains":["|"]}}}`))
+	f.Add([]byte(`{"schema":"x","version":9,"payload":{}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		restored, err := p.DecodeState(data)
+		if err != nil {
+			if restored != nil {
+				t.Fatal("DecodeState returned both an accumulator and an error")
+			}
+			return
+		}
+		// Whatever decoded must behave like an accumulator: rebase, merge
+		// into a fresh one, and finalize without panicking.
+		restored.OffsetSeq(7)
+		merged := p.NewAccumulator()
+		merged.Merge(restored)
+		if rep := merged.Finalize(); rep == nil {
+			t.Fatal("finalize returned nil report")
+		}
+	})
+}

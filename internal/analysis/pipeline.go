@@ -123,52 +123,11 @@ func (p *Pipeline) RunParallel(observations []*campus.Observation, workers int) 
 // so the report is byte-identical to Run over the same observations in the
 // same producer order.
 func (p *Pipeline) RunStream(observations <-chan *campus.Observation, workers int) *Report {
-	workers = normalizeWorkers(workers, -1)
-	det := intercept.NewDetector(p.DB, p.CT)
-	stage := p.Tracer.Start("observe", "observe")
-
-	type seqObs struct {
-		seq int
-		o   *campus.Observation
-	}
-	work := make(chan seqObs, 4*workers)
-	// total is written only by the dispatcher, which exits before close(work);
-	// every worker observes that close before wg.Done, so the read after
-	// wg.Wait is ordered.
-	var total int64
-	go func() {
-		seq := 0
-		for o := range observations {
-			work <- seqObs{seq: seq, o: o}
-			seq++
-		}
-		total = int64(seq)
-		close(work)
-	}()
-
-	partials := make([]*partialReport, workers)
-	spans := make([]*obs.Span, workers)
-	for w := 0; w < workers; w++ {
-		spans[w] = p.Tracer.Start("observe-shard", fmt.Sprintf("observe/shard%d", w)).SetTID(w) //certchain:coldpath once per shard at stage setup
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			pr := p.newPartial(det)
-			for so := range work {
-				pr.observe(so.seq, so.o)
-				spans[w].AddRecords(1)
-			}
-			partials[w] = pr
-			spans[w].End()
-		}(w)
-	}
-	wg.Wait()
-	stage.SetRecords(total)
-	stage.End()
-	return p.mergeAndFinalize(partials)
+	acc := p.AccumulateStream(observations, workers)
+	fsp := p.Tracer.Start("finalize", "finalize")
+	rep := acc.Finalize()
+	fsp.End()
+	return rep
 }
 
 // normalizeWorkers clamps a worker count: non-positive selects GOMAXPROCS,

@@ -1,0 +1,77 @@
+package certmodel
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Envelope is the versioned frame around every top-level snapshot this
+// system serializes past a process boundary: the ingest daemon's state file
+// and the distributed wire protocol's messages. The schema string names the
+// payload's shape and the version its revision; a decoder that sees an
+// unknown pair must refuse rather than guess — silently unmarshaling a
+// payload from a different codec revision is exactly the cross-version
+// decode hazard the envelope exists to close.
+//
+// The envelope itself is plain canonical JSON (fixed field order, payload
+// carried verbatim), so sealing the same payload twice yields identical
+// bytes and digests over sealed snapshots stay meaningful.
+type Envelope struct {
+	Schema  string          `json:"schema"`
+	Version int             `json:"version"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// SchemaError reports an envelope whose schema/version pair does not match
+// what the decoder implements. It is the typed rejection every versioned
+// decoder in the repository returns; callers distinguish it from payload
+// corruption with errors.As.
+type SchemaError struct {
+	// Schema and Version are what the envelope carried ("" and 0 when the
+	// bytes had no envelope at all — a pre-versioning snapshot).
+	Schema  string
+	Version int
+	// WantSchema and WantVersion are what the decoder implements.
+	WantSchema  string
+	WantVersion int
+}
+
+// Error implements error.
+func (e *SchemaError) Error() string {
+	if e.Schema == "" && e.Version == 0 {
+		return fmt.Sprintf("certmodel: snapshot has no schema envelope (want %s v%d)", e.WantSchema, e.WantVersion)
+	}
+	return fmt.Sprintf("certmodel: snapshot schema %s v%d does not match %s v%d",
+		e.Schema, e.Version, e.WantSchema, e.WantVersion)
+}
+
+// Seal wraps payload in a schema-versioned envelope. The payload is
+// marshaled with encoding/json (sorted map keys), so equal payloads seal to
+// identical bytes.
+func Seal(schema string, version int, payload any) ([]byte, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("certmodel: seal %s v%d: %w", schema, version, err)
+	}
+	return json.Marshal(Envelope{Schema: schema, Version: version, Payload: raw})
+}
+
+// Open verifies data's envelope against the schema/version the caller
+// implements and returns the payload bytes. A missing or mismatched
+// envelope returns a *SchemaError; malformed JSON returns a decode error.
+func Open(data []byte, schema string, version int) (json.RawMessage, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("certmodel: open %s v%d: %w", schema, version, err)
+	}
+	if env.Schema != schema || env.Version != version {
+		return nil, &SchemaError{
+			Schema: env.Schema, Version: env.Version,
+			WantSchema: schema, WantVersion: version,
+		}
+	}
+	if len(env.Payload) == 0 {
+		return nil, fmt.Errorf("certmodel: open %s v%d: envelope has no payload", schema, version)
+	}
+	return env.Payload, nil
+}

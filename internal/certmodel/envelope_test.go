@@ -1,0 +1,84 @@
+package certmodel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	type payload struct {
+		A int    `json:"a"`
+		B string `json:"b"`
+	}
+	data, err := Seal("certchains/test", 3, payload{A: 7, B: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Seal("certchains/test", 3, payload{A: 7, B: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("sealing the same payload twice differs:\n%s\n%s", data, again)
+	}
+	raw, err := Open(data, "certchains/test", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `{"a":7,"b":"x"}` {
+		t.Fatalf("payload = %s", raw)
+	}
+}
+
+func TestEnvelopeRejectsMismatch(t *testing.T) {
+	data, err := Seal("certchains/test", 3, map[string]int{"a": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		schema  string
+		version int
+	}{
+		{"wrong schema", "certchains/other", 3},
+		{"wrong version", "certchains/test", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Open(data, tc.schema, tc.version)
+			var se *SchemaError
+			if !errors.As(err, &se) {
+				t.Fatalf("err = %v, want *SchemaError", err)
+			}
+			if se.Schema != "certchains/test" || se.Version != 3 {
+				t.Fatalf("SchemaError carried %q v%d", se.Schema, se.Version)
+			}
+			if se.WantSchema != tc.schema || se.WantVersion != tc.version {
+				t.Fatalf("SchemaError wanted %q v%d", se.WantSchema, se.WantVersion)
+			}
+		})
+	}
+}
+
+func TestEnvelopeRejectsUnversionedBytes(t *testing.T) {
+	// A pre-envelope snapshot is plain JSON with no schema field; it must be
+	// refused with the typed error, not part-decoded.
+	_, err := Open([]byte(`{"ssl_tail":{},"ring":null}`), "certchains/ingest-state", 1)
+	var se *SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SchemaError", err)
+	}
+	if se.Schema != "" || se.Version != 0 {
+		t.Fatalf("legacy bytes reported schema %q v%d", se.Schema, se.Version)
+	}
+}
+
+func TestEnvelopeRejectsGarbage(t *testing.T) {
+	if _, err := Open([]byte("not json"), "s", 1); err == nil {
+		t.Fatal("garbage bytes opened without error")
+	}
+	if _, err := Open([]byte(`{"schema":"s","version":1}`), "s", 1); err == nil {
+		t.Fatal("missing payload opened without error")
+	}
+}

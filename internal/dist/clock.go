@@ -1,0 +1,10 @@
+package dist
+
+import "time"
+
+// wallNow is the package's single wall-clock contact. Only the lease
+// protocol consumes real time (deadlines, renewal on heartbeat); everything
+// that reaches report bytes is keyed by observation sequence, never by the
+// clock. Tests inject a fake clock through CoordConfig.Now, so the lease
+// machinery is fully deterministic under test.
+func wallNow() time.Time { return time.Now() }

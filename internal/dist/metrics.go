@@ -1,0 +1,57 @@
+package dist
+
+import "certchains/internal/obs"
+
+// Metric families for the distributed topology, booked into the shared obs
+// registry on both sides: the coordinator tracks the lease protocol's churn
+// (assignments, requeues, duplicate completions — the knobs the chaos suite
+// turns), the worker its ingest volume. All of it is operational telemetry;
+// none of it reaches report bytes, so topology churn never perturbs the
+// equivalence claim.
+
+// CoordMetrics books the coordinator's lease-protocol counters.
+type CoordMetrics struct {
+	assigned   *obs.Series
+	completed  *obs.Series
+	requeued   *obs.Series
+	duplicates *obs.Series
+	stateBytes *obs.Series
+	mergeSec   *obs.Series
+}
+
+// NewCoordMetrics registers the coordinator families in reg.
+func NewCoordMetrics(reg *obs.Registry) *CoordMetrics {
+	return &CoordMetrics{
+		assigned: reg.Counter("certchain_dist_partitions_assigned_total",
+			"Partition assignments sent to workers, including reassignments.").With(),
+		completed: reg.Counter("certchain_dist_partitions_completed_total",
+			"Partitions whose partial state was merged exactly once.").With(),
+		requeued: reg.Counter("certchain_dist_partitions_requeued_total",
+			"Partitions requeued after lease expiry, worker death, or reported failure.").With(),
+		duplicates: reg.Counter("certchain_dist_duplicate_completions_total",
+			"Completions discarded because the partition had already been merged.").With(),
+		stateBytes: reg.Counter("certchain_dist_state_bytes_total",
+			"Encoded partial-state bytes pulled from workers.").With(),
+		mergeSec: reg.Histogram("certchain_dist_merge_seconds",
+			"Wall time of the coordinator's partial merge.", obs.DefaultDurationBuckets).With(),
+	}
+}
+
+// WorkerMetrics books a worker's ingest counters.
+type WorkerMetrics struct {
+	partitions   *obs.Family
+	observations *obs.Series
+	stateBytes   *obs.Series
+}
+
+// NewWorkerMetrics registers the worker families in reg.
+func NewWorkerMetrics(reg *obs.Registry) *WorkerMetrics {
+	return &WorkerMetrics{
+		partitions: reg.Counter("certchain_dist_worker_partitions_total",
+			"Partitions this worker finished, by terminal state.", "state"),
+		observations: reg.Counter("certchain_dist_worker_observations_total",
+			"Observations this worker folded across all partitions.").With(),
+		stateBytes: reg.Counter("certchain_dist_worker_state_bytes_total",
+			"Encoded partial-state bytes this worker produced.").With(),
+	}
+}

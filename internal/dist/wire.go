@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"certchains/internal/certmodel"
+	"certchains/internal/obs"
+)
+
+// Wire protocol: three message kinds, each sealed in a schema-versioned
+// envelope (certmodel.Seal) so a coordinator and worker built against
+// different codec revisions refuse each other's bytes instead of
+// mis-merging them. Payloads are canonical JSON — sorted keys, sorted
+// slices — so equal states serialize byte-identically and the coordinator
+// can digest what it pulls.
+const (
+	// WireVersion revs whenever any wire payload shape changes.
+	WireVersion = 1
+
+	// SchemaAssignment seals the coordinator→worker partition assignment.
+	SchemaAssignment = "certchains/dist-assignment"
+	// SchemaStatus seals the worker's status (heartbeat) response.
+	SchemaStatus = "certchains/dist-status"
+	// SchemaPartial seals the worker's partial-state response.
+	SchemaPartial = "certchains/dist-partial"
+)
+
+// Assignment hands one partition to a worker. Lease is the coordinator's
+// fencing token for this (partition, attempt): the worker echoes it in
+// status and partial responses, so state from a superseded attempt is
+// recognizably stale.
+type Assignment struct {
+	Lease     string    `json:"lease"`
+	Partition Partition `json:"partition"`
+}
+
+// Partition terminal and live states as the worker reports them.
+const (
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// PartitionStatus is one partition's state in a heartbeat response.
+type PartitionStatus struct {
+	ID           string `json:"id"`
+	Lease        string `json:"lease"`
+	State        string `json:"state"`
+	Error        string `json:"error,omitempty"`
+	Observations int64  `json:"observations,omitempty"`
+}
+
+// StatusResponse is the worker's full status: every partition it has been
+// assigned, sorted by ID. A successful poll doubles as the lease heartbeat.
+type StatusResponse struct {
+	Worker     string            `json:"worker"`
+	Partitions []PartitionStatus `json:"partitions,omitempty"`
+}
+
+// PartialResponse ships one completed partition's state upstream: the
+// sealed accumulator snapshot (analysis.Accumulator.EncodeState bytes,
+// themselves enveloped), the partition input digests for the run manifest,
+// and the worker's metrics shard. Everything the coordinator needs to
+// merge, attribute, and account — nothing that depends on when or where the
+// partition ran.
+type PartialResponse struct {
+	ID           string                `json:"id"`
+	Lease        string                `json:"lease"`
+	Observations int64                 `json:"observations"`
+	State        []byte                `json:"state"`
+	Inputs       []obs.InputDigest     `json:"inputs,omitempty"`
+	Metrics      *obs.RegistrySnapshot `json:"metrics,omitempty"`
+}
+
+// sealWire envelopes a wire payload under its schema at WireVersion.
+func sealWire(schema string, v any) ([]byte, error) {
+	return certmodel.Seal(schema, WireVersion, v)
+}
+
+// openWire verifies the envelope and decodes the payload into v. Mismatched
+// schema or version surfaces the typed *certmodel.SchemaError; the caller
+// treats it as permanent, not retryable.
+func openWire(data []byte, schema string, v any) error {
+	payload, err := certmodel.Open(data, schema, WireVersion)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("dist: decode %s: %w", schema, err)
+	}
+	return nil
+}

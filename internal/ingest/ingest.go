@@ -215,6 +215,16 @@ func (ing *Ingestor) Closed() bool {
 	return ing.sslTail.Closed() && ing.x509Tail.Closed()
 }
 
+// SnapshotSchema and SnapshotVersion stamp the daemon's persisted state
+// file. Restore refuses anything else with a typed *certmodel.SchemaError:
+// before the envelope, a daemon restarted against a snapshot from a
+// different codec revision would silently decode whatever fields still
+// lined up and drop the rest.
+const (
+	SnapshotSchema  = "certchains/ingest-state"
+	SnapshotVersion = 1
+)
+
 // snapshotFile is the daemon's full persisted state.
 type snapshotFile struct {
 	SSLTail   zeek.TailState               `json:"ssl_tail"`
@@ -250,7 +260,7 @@ func (ing *Ingestor) Snapshot() ([]byte, error) {
 	if ing.wmSet {
 		s.WM = certmodel.SnapTime(ing.wm)
 	}
-	return json.Marshal(s)
+	return certmodel.Seal(SnapshotSchema, SnapshotVersion, s)
 }
 
 // SnapshotToFile writes the snapshot atomically (temp file + rename) to
@@ -304,10 +314,16 @@ func (ing *Ingestor) writeSnapshot(data []byte) error {
 	return nil
 }
 
-// Restore rebuilds an Ingestor from Snapshot output.
+// Restore rebuilds an Ingestor from Snapshot output. A snapshot written by
+// a different codec revision (or with no envelope at all) is rejected with
+// a *certmodel.SchemaError rather than part-decoded.
 func Restore(p *analysis.Pipeline, cfg Config, data []byte) (*Ingestor, error) {
+	payload, err := certmodel.Open(data, SnapshotSchema, SnapshotVersion)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: snapshot: %w", err)
+	}
 	var s snapshotFile
-	if err := json.Unmarshal(data, &s); err != nil {
+	if err := json.Unmarshal(payload, &s); err != nil {
 		return nil, fmt.Errorf("ingest: decode snapshot: %w", err)
 	}
 	ring, err := analysis.RestoreWindowRing(p, cfg.Window, s.Ring)

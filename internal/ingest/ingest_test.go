@@ -11,6 +11,7 @@ package ingest_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -23,6 +24,7 @@ import (
 
 	"certchains/internal/analysis"
 	"certchains/internal/campus"
+	"certchains/internal/certmodel"
 	"certchains/internal/ingest"
 	"certchains/internal/lint"
 )
@@ -354,6 +356,41 @@ func TestIngestorSnapshotRestartEquivalence(t *testing.T) {
 						t.Errorf("restarted run folded %d observations, uninterrupted %d", got, want)
 					}
 				})
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsForeignSnapshot pins the cross-version restore hazard:
+// state files sealed under a different schema revision — or written before
+// envelopes existed at all — must be refused with the typed schema error,
+// never part-decoded into a fresh daemon.
+func TestRestoreRejectsForeignSnapshot(t *testing.T) {
+	s := scenario(t, 1)
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"legacy unversioned", []byte(`{"ssl_tail":{},"x509_tail":{}}`)},
+	}
+	sealed, err := certmodel.Seal(ingest.SnapshotSchema, ingest.SnapshotVersion+1, map[string]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, struct {
+		name string
+		data []byte
+	}{"future version", sealed})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ingest.Restore(newPipeline(s), ingest.Config{}, tc.data)
+			var se *certmodel.SchemaError
+			if !errors.As(err, &se) {
+				t.Fatalf("Restore err = %v, want *certmodel.SchemaError", err)
+			}
+			if se.WantSchema != ingest.SnapshotSchema || se.WantVersion != ingest.SnapshotVersion {
+				t.Fatalf("SchemaError wants %q v%d", se.WantSchema, se.WantVersion)
 			}
 		})
 	}

@@ -85,6 +85,15 @@ var nondeterministicFlags = map[string]bool{
 	"metrics-addr": true,
 	"log-format":   true,
 	"log-level":    true,
+	// Distributed-topology knobs: which processes ran the partitions, how
+	// leases were paced, and chaos throttles never reach report bytes.
+	"local":      true,
+	"lease":      true,
+	"poll":       true,
+	"goroutines": true,
+	"addr":       true,
+	"name":       true,
+	"throttle":   true,
 }
 
 // deterministicStage is a stage's width-invariant projection: the total

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry snapshot codec: the distributed analysis ships each worker's
+// metric shard to the coordinator, which folds them through Registry.Merge —
+// the same commutative contract every other accumulator rides. The codec is
+// canonical (families sorted by name, series sorted by label values), so
+// equal registries serialize byte-identically and sealed snapshots digest
+// stably.
+
+// RegistrySnapshot is the serialized form of a Registry.
+type RegistrySnapshot struct {
+	Families []FamilySnapshot `json:"families,omitempty"`
+}
+
+// FamilySnapshot is one serialized metric family.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Kind    int              `json:"kind"`
+	Labels  []string         `json:"labels,omitempty"`
+	Buckets []float64        `json:"buckets,omitempty"`
+	Series  []SeriesSnapshot `json:"series,omitempty"`
+}
+
+// SeriesSnapshot is one serialized time series. Value carries the
+// counter/gauge value; histogram series carry the per-bucket counts (the
+// implicit +Inf bucket last), sum, and count instead.
+type SeriesSnapshot struct {
+	Values       []string `json:"values,omitempty"`
+	Value        float64  `json:"value,omitempty"`
+	BucketCounts []uint64 `json:"bucket_counts,omitempty"`
+	Sum          float64  `json:"sum,omitempty"`
+	Count        uint64   `json:"count,omitempty"`
+}
+
+// Snapshot serializes the registry.
+func (r *Registry) Snapshot() *RegistrySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s := &RegistrySnapshot{}
+	for _, name := range names {
+		f := r.families[name]
+		fs := FamilySnapshot{
+			Name:    f.name,
+			Help:    f.help,
+			Kind:    int(f.kind),
+			Labels:  append([]string(nil), f.labels...),
+			Buckets: append([]float64(nil), f.buckets...),
+		}
+		keys := make([]string, 0, len(f.series))
+		for key := range f.series {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			se := f.series[key]
+			fs.Series = append(fs.Series, SeriesSnapshot{
+				Values:       append([]string(nil), se.values...),
+				Value:        se.val,
+				BucketCounts: append([]uint64(nil), se.bucketCounts...),
+				Sum:          se.sum,
+				Count:        se.count,
+			})
+		}
+		s.Families = append(s.Families, fs)
+	}
+	return s
+}
+
+// RegistryFromSnapshot rebuilds a registry. Malformed snapshots (unknown
+// kinds, label-arity mismatches, bucket-count mismatches) return errors —
+// the codec now parses network input, so it must degrade to an error, never
+// a panic.
+func RegistryFromSnapshot(s *RegistrySnapshot) (*Registry, error) {
+	r := NewRegistry()
+	if s == nil {
+		return r, nil
+	}
+	for _, fs := range s.Families {
+		if fs.Name == "" {
+			return nil, fmt.Errorf("obs: registry snapshot family with empty name")
+		}
+		var f *Family
+		switch Kind(fs.Kind) {
+		case KindCounter:
+			f = r.Counter(fs.Name, fs.Help, fs.Labels...)
+		case KindGauge:
+			f = r.Gauge(fs.Name, fs.Help, fs.Labels...)
+		case KindHistogram:
+			if len(fs.Buckets) == 0 {
+				return nil, fmt.Errorf("obs: registry snapshot histogram %q has no buckets", fs.Name)
+			}
+			f = r.Histogram(fs.Name, fs.Help, fs.Buckets, fs.Labels...)
+		default:
+			return nil, fmt.Errorf("obs: registry snapshot family %q has unknown kind %d", fs.Name, fs.Kind)
+		}
+		for _, ss := range fs.Series {
+			if len(ss.Values) != len(fs.Labels) {
+				return nil, fmt.Errorf("obs: registry snapshot %q series has %d label values, want %d",
+					fs.Name, len(ss.Values), len(fs.Labels))
+			}
+			se := f.With(ss.Values...)
+			r.mu.Lock()
+			se.val = ss.Value
+			se.sum = ss.Sum
+			se.count = ss.Count
+			if Kind(fs.Kind) == KindHistogram {
+				if len(ss.BucketCounts) != len(fs.Buckets)+1 {
+					r.mu.Unlock()
+					return nil, fmt.Errorf("obs: registry snapshot %q series has %d bucket counts, want %d",
+						fs.Name, len(ss.BucketCounts), len(fs.Buckets)+1)
+				}
+				copy(se.bucketCounts, ss.BucketCounts)
+			}
+			r.mu.Unlock()
+		}
+	}
+	return r, nil
+}

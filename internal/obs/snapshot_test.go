@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func populatedRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Jobs.", "state").With("done").Add(3)
+	r.Counter("jobs_total", "Jobs.", "state").With("failed").Add(1)
+	r.Gauge("depth", "Queue depth.").With().Set(7)
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10}, "op")
+	h.With("fetch").Observe(0.05)
+	h.With("fetch").Observe(2.5)
+	h.With("merge").Observe(0.5)
+	return r
+}
+
+func TestRegistrySnapshotRoundTrip(t *testing.T) {
+	r := populatedRegistry()
+	want := r.Text()
+
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatal("snapshot of unchanged registry is not byte-stable")
+	}
+
+	var s RegistrySnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RegistryFromSnapshot(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Text(); got != want {
+		t.Fatalf("restored registry renders differently:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}
+
+func TestRegistrySnapshotMergesLikeLiveRegistries(t *testing.T) {
+	// Restored shards must merge exactly as the live registries would: the
+	// coordinator only ever sees the serialized form.
+	a, b := populatedRegistry(), NewRegistry()
+	b.Counter("jobs_total", "Jobs.", "state").With("done").Add(5)
+	b.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10}, "op").With("fetch").Observe(0.2)
+
+	direct := NewRegistry()
+	if err := direct.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+
+	viaWire := NewRegistry()
+	for _, src := range []*Registry{a, b} {
+		data, err := json.Marshal(src.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s RegistrySnapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := RegistryFromSnapshot(&s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := viaWire.Merge(restored); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if direct.Text() != viaWire.Text() {
+		t.Fatalf("wire merge differs from direct merge:\n--- direct\n%s\n--- wire\n%s", direct.Text(), viaWire.Text())
+	}
+}
+
+func TestRegistryFromSnapshotRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *RegistrySnapshot
+	}{
+		{"empty family name", &RegistrySnapshot{Families: []FamilySnapshot{{Name: ""}}}},
+		{"unknown kind", &RegistrySnapshot{Families: []FamilySnapshot{{Name: "x", Kind: 9}}}},
+		{"histogram without buckets", &RegistrySnapshot{Families: []FamilySnapshot{{Name: "x", Kind: int(KindHistogram)}}}},
+		{"label arity mismatch", &RegistrySnapshot{Families: []FamilySnapshot{{
+			Name: "x", Kind: int(KindCounter), Labels: []string{"a"},
+			Series: []SeriesSnapshot{{Values: []string{"1", "2"}}},
+		}}}},
+		{"bucket count mismatch", &RegistrySnapshot{Families: []FamilySnapshot{{
+			Name: "x", Kind: int(KindHistogram), Buckets: []float64{1},
+			Series: []SeriesSnapshot{{BucketCounts: []uint64{1}}},
+		}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := RegistryFromSnapshot(tc.s); err == nil {
+				t.Fatal("malformed snapshot restored without error")
+			}
+		})
+	}
+	if r, err := RegistryFromSnapshot(nil); err != nil || r == nil {
+		t.Fatalf("nil snapshot: %v", err)
+	}
+}
