@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz report experiments ingest-smoke obs-smoke dist-smoke chaos clean
+.PHONY: all build vet lint test race bench fuzz report experiments ingest-smoke obs-smoke dist-smoke serve-smoke chaos clean
 
 all: build vet lint test
 
@@ -65,10 +65,24 @@ obs-smoke:
 # byte-identical on text report, JSON export, and manifest deterministic
 # subset; then the real-binary rung (3 certchain-shardd + certchain-coord vs
 # the single-process -local run), including the chaos run that SIGKILLs a
-# worker mid-partition and still demands identical bytes.
+# worker mid-partition and still demands identical bytes. The trace tests
+# cover the cross-process spliced Chrome trace: worker span sets ride the
+# partial snapshots, stale-run spans are fenced out, and the real-binary run
+# emits one artifact with coordinator + every worker's tracks.
 dist-smoke:
-	$(GO) test -count=1 -run 'TestDistTopologyEquivalence|TestCoordWorkerDeathRequeue|TestCoordDuplicateCompletion' ./internal/dist/
-	$(GO) test -count=1 -run 'TestDistProcessEquivalence|TestDistChaosKillWorker' ./cmd/certchain-coord/
+	$(GO) test -count=1 -run 'TestDistTopologyEquivalence|TestCoordWorkerDeathRequeue|TestCoordDuplicateCompletion|TestDistSplicedTrace|TestDistStaleTraceNotSpliced|TestRunLocalTrace' ./internal/dist/
+	$(GO) test -count=1 -run 'TestDistProcessEquivalence|TestDistProcessTrace|TestDistChaosKillWorker' ./cmd/certchain-coord/
+
+# Serving-telemetry smoke: the shared HTTP middleware's metric families and
+# deterministic access logs (including concurrent scrapes), the quantile
+# estimator, and the BENCH_serve schema validator; then a short real
+# serve-bench run — its fresh output AND the committed baseline must both
+# pass obs-check.
+serve-smoke:
+	$(GO) test -count=1 -run 'TestMiddleware|TestParseRoutes|TestSeriesQuantile|TestValidateServeBench' ./internal/obs/
+	$(GO) run ./cmd/serve-bench -duration 1s -out /tmp/BENCH_serve_smoke.json
+	$(GO) run ./cmd/obs-check -serve-bench /tmp/BENCH_serve_smoke.json
+	$(GO) run ./cmd/obs-check -serve-bench BENCH_serve.json
 
 # Chaos suite: every fault-injection matrix under the race detector —
 # scanner dial faults, ctlog HTTP faults, middlebox upstream timeout/retry,
@@ -90,11 +104,14 @@ chaos:
 		|| { echo "coverage ratchet failed: $$cov% < $(RESILIENCE_COVER_FLOOR)%"; exit 1; }
 
 # One benchmark per paper table/figure plus ablations (bench_test.go), then
-# the span-driven per-stage pipeline baseline (ns/op and records/sec per
-# stage at workers 1 and GOMAXPROCS).
+# the span-driven per-stage pipeline baseline (ns/op, records/sec, and
+# allocs/op per stage at workers 1 and GOMAXPROCS), then the serving-path
+# baseline (p50/p95/p99 latency and QPS for /report under concurrent load
+# while ingest runs).
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) run ./cmd/pipeline-bench -out BENCH_pipeline.json
+	$(GO) run ./cmd/serve-bench -out BENCH_serve.json
 
 # Short fuzz pass over the parsers and the shard-merge property (longer
 # runs: increase -fuzztime).

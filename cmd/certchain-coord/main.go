@@ -18,10 +18,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"certchains/internal/analysis"
 	"certchains/internal/campus"
@@ -40,21 +44,23 @@ func main() {
 
 func run() error {
 	var (
-		partsDir   = flag.String("parts", "", "directory of <stem>.ssl.log/<stem>.x509.log partition pairs")
-		workersCSV = flag.String("workers", "", "comma-separated certchain-shardd base URLs")
-		local      = flag.Bool("local", false, "run every partition in-process instead of distributing")
-		gen        = flag.Int("gen", 0, "first write the seeded scenario into -parts as this many partitions")
-		seed       = flag.Int64("seed", 1, "scenario seed; must match the workers'")
-		scale      = flag.Float64("scale", 0.01, "fraction of paper-scale volume; must match the workers'")
-		format     = flag.String("format", "tsv", "partition log format: tsv or json")
-		lintPro    = flag.String("lint", "", "lint every chain; value is the check profile (paper, strict, all); must match the workers'")
-		asJSON     = flag.Bool("json", false, "emit the machine-readable JSON export instead of text")
-		goroutines = flag.Int("goroutines", 0, "-local pool width per partition (0 = GOMAXPROCS); any value produces an identical report")
-		leaseTTL   = flag.Duration("lease", dist.DefaultLeaseTTL, "lease TTL; a partition unheard-of this long is requeued")
-		poll       = flag.Duration("poll", dist.DefaultPoll, "worker status poll interval (the lease heartbeat)")
-		manifest   = flag.String("manifest", "", "write a run provenance manifest to this path")
-		logFormat  = flag.String("log-format", "text", "log format: text or json")
-		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		partsDir    = flag.String("parts", "", "directory of <stem>.ssl.log/<stem>.x509.log partition pairs")
+		workersCSV  = flag.String("workers", "", "comma-separated certchain-shardd base URLs")
+		local       = flag.Bool("local", false, "run every partition in-process instead of distributing")
+		gen         = flag.Int("gen", 0, "first write the seeded scenario into -parts as this many partitions")
+		seed        = flag.Int64("seed", 1, "scenario seed; must match the workers'")
+		scale       = flag.Float64("scale", 0.01, "fraction of paper-scale volume; must match the workers'")
+		format      = flag.String("format", "tsv", "partition log format: tsv or json")
+		lintPro     = flag.String("lint", "", "lint every chain; value is the check profile (paper, strict, all); must match the workers'")
+		asJSON      = flag.Bool("json", false, "emit the machine-readable JSON export instead of text")
+		goroutines  = flag.Int("goroutines", 0, "-local pool width per partition (0 = GOMAXPROCS); any value produces an identical report")
+		leaseTTL    = flag.Duration("lease", dist.DefaultLeaseTTL, "lease TTL; a partition unheard-of this long is requeued")
+		poll        = flag.Duration("poll", dist.DefaultPoll, "worker status poll interval (the lease heartbeat)")
+		manifest    = flag.String("manifest", "", "write a run provenance manifest to this path")
+		tracePath   = flag.String("trace", "", "write the spliced cross-process Chrome trace (coordinator + worker spans) to this path")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /healthz on this address for the run's duration (lease, requeue, and duplicate counters)")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
@@ -121,6 +127,13 @@ func run() error {
 	tracer := obs.NewTracer()
 	reg := obs.NewRegistry()
 	obs.RegisterBuildInfo(reg, "certchain-coord")
+	if *metricsAddr != "" {
+		stopMetrics, err := serveMetrics(*metricsAddr, reg, logger)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+	}
 	coord := dist.NewCoordinator(dist.CoordConfig{
 		Pipeline:   pipeline,
 		Workers:    workers,
@@ -146,6 +159,30 @@ func run() error {
 	logger.Info("run complete",
 		"partitions", res.Partitions, "observations", res.Observations,
 		"requeues", res.Requeues, "duplicates", res.Duplicates)
+	if res.WorkerMetrics != nil {
+		// Fold the workers' shards into the coordinator's registry: a final
+		// -metrics-addr scrape shows the whole topology's counters, not just
+		// the lease protocol's.
+		if err := reg.Merge(res.WorkerMetrics); err != nil {
+			logger.Warn("merge worker metrics", "err", err)
+		}
+	}
+
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteTrace(tf, tracer); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		logger.Info("wrote trace", "path", *tracePath,
+			"run_id", res.RunID, "worker_span_sets", len(res.PartitionTraces))
+	}
 
 	var reportBytes []byte
 	if *asJSON {
@@ -186,4 +223,27 @@ func setFlags() map[string]string {
 	flags := make(map[string]string)
 	flag.Visit(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
 	return flags
+}
+
+// serveMetrics exposes the coordinator's registry while the run is in
+// flight — the lease, requeue, and duplicate counters are scrapeable live
+// instead of vanishing with the process. The surface rides the shared
+// serving middleware like every other daemon's.
+func serveMetrics(addr string, reg *obs.Registry, logger *slog.Logger) (func(), error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/healthz", obs.HealthzHandler(reg, nil, nil))
+	h := obs.NewHTTPMetrics(reg).Middleware(mux, logger, "/metrics", "/healthz")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	logger.Info("metrics up", "addr", fmt.Sprintf("http://%s/metrics", ln.Addr()))
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}, nil
 }

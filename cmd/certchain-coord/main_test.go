@@ -17,6 +17,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"certchains/internal/obs"
 )
 
 // buildBinaries compiles certchain-coord and certchain-shardd once per test
@@ -137,6 +139,49 @@ func TestDistProcessEquivalence(t *testing.T) {
 	gotJSON := runCoord(t, coord, partsDir, "-workers", strings.Join(workers, ","), "-json")
 	if !bytes.Equal(gotJSON, refJSON) {
 		t.Error("distributed JSON export diverges from single-process -local run")
+	}
+}
+
+// TestDistProcessTrace is the real-binary rung of the spliced-trace claim:
+// a distributed run's -trace artifact is one Chrome trace carrying spans
+// from the coordinator process and every worker process — validated with
+// the same checker CI's obs-check invokes.
+func TestDistProcessTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binaries; skipped in -short")
+	}
+	coord, shardd := buildBinaries(t)
+	partsDir := filepath.Join(t.TempDir(), "parts")
+	tracePath := filepath.Join(t.TempDir(), "run.trace.json")
+
+	ports := freePorts(t, 2)
+	var workers []string
+	for _, p := range ports {
+		startShard(t, shardd, p)
+		workers = append(workers, fmt.Sprintf("http://127.0.0.1:%d", p))
+	}
+	runCoord(t, coord, partsDir,
+		"-gen", "3",
+		"-workers", strings.Join(workers, ","),
+		"-trace", tracePath,
+	)
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coordinator + 2 workers = 3 process tracks; every dist stage plus the
+	// workers' pipeline stages must have spans.
+	if err := obs.ValidateSplicedChromeTrace(data, 3,
+		"dist-ingest", "dist-merge", "finalize", "observe", "dist-encode"); err != nil {
+		t.Fatalf("spliced trace: %v", err)
+	}
+	procs, err := obs.ChromeTraceProcesses(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 3 {
+		t.Fatalf("trace has %d process tracks (%v), want 3", len(procs), procs)
 	}
 }
 

@@ -174,6 +174,7 @@ func run() error {
 		PendingCap:   *pendingCap,
 		SnapshotPath: *snapshot,
 		Retry:        ioPolicy,
+		AccessLog:    logger,
 	})
 	if err != nil {
 		return err

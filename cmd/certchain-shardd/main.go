@@ -107,6 +107,7 @@ func run() error {
 		Goroutines: *goroutines,
 		Registry:   reg,
 		Throttle:   *throttle,
+		AccessLog:  logger,
 		Logf:       func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) },
 	})
 	defer worker.Close()

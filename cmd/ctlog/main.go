@@ -15,6 +15,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -117,9 +118,11 @@ func run() error {
 
 // serveMux is the -serve surface: the RFC 6962-style API plus the standard
 // admin endpoints every serving binary in this repository exposes. Tree
-// metrics refresh from the log on each scrape, and /healthz reads the build
-// revision back out of the same registry /metrics renders.
-func serveMux(log *ctlog.Log) *http.ServeMux {
+// metrics refresh from the log on each scrape, /healthz reads the build
+// revision back out of the same registry /metrics renders, and the whole
+// surface is wrapped in the shared serving telemetry (obs.HTTPMetrics), so
+// a scrape also shows per-route latency and size histograms.
+func serveMux(log *ctlog.Log) http.Handler {
 	reg := obs.NewRegistry()
 	obs.RegisterBuildInfo(reg, "ctlog")
 	treeSize := reg.Gauge("ctlog_tree_size", "Entries in the CT log's Merkle tree.")
@@ -136,5 +139,7 @@ func serveMux(log *ctlog.Log) *http.ServeMux {
 		refresh()
 		hz.ServeHTTP(w, r)
 	})
-	return mux
+	logger := obs.NewDeterministicLogger(os.Stderr, slog.LevelInfo)
+	return obs.NewHTTPMetrics(reg).Middleware(mux, logger,
+		"/ct/v1/", "/metrics", "/healthz")
 }

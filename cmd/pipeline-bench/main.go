@@ -3,7 +3,10 @@
 // machine-readable baseline (BENCH_pipeline.json). Unlike `go test -bench`,
 // which times whole runs, this reports where inside a run the time goes —
 // load-free scenario analysis split into observe / merge / finalize — at
-// worker widths 1 and GOMAXPROCS, so a perf regression names its stage.
+// worker widths 1 and GOMAXPROCS, so a perf regression names its stage. A
+// sequential Accumulator-API pass additionally charges each stage its heap
+// allocations (allocs_per_op / alloc_bytes_per_op), so an allocation
+// regression names its stage too.
 //
 //	pipeline-bench -scale 0.002 -iters 3 -out BENCH_pipeline.json
 package main
@@ -28,6 +31,13 @@ type stageResult struct {
 	// stages that reduce state rather than consume records (merge, finalize).
 	RecordsPerSec float64 `json:"records_per_sec"`
 	Records       int64   `json:"records"`
+	// AllocsPerOp / AllocBytesPerOp charge the stage its heap allocations for
+	// one full pipeline run, measured by a separate single-threaded
+	// Accumulator-API pass (GC-fenced runtime.MemStats deltas) — concurrent
+	// widths would smear allocations across stages. Stages the sequential
+	// pass has no counterpart for (observe-shard) report zero.
+	AllocsPerOp     int64 `json:"allocs_per_op"`
+	AllocBytesPerOp int64 `json:"alloc_bytes_per_op"`
 }
 
 type widthResult struct {
@@ -86,10 +96,17 @@ func run() error {
 		Observations: len(scenario.Observations),
 		Build:        obs.Build(),
 	}
+	allocs := measureAllocs(scenario)
 	for _, w := range widths {
 		wr, err := benchWidth(scenario, w, *iters)
 		if err != nil {
 			return err
+		}
+		for i := range wr.Stages {
+			if st, ok := allocs[wr.Stages[i].Stage]; ok {
+				wr.Stages[i].AllocsPerOp = st.allocs
+				wr.Stages[i].AllocBytesPerOp = st.bytes
+			}
 		}
 		file.Runs = append(file.Runs, wr)
 		fmt.Printf("workers=%d  total %d ns/op  %.0f records/sec\n", w, wr.TotalNSOp, wr.RecordsPerSec)
@@ -104,6 +121,52 @@ func run() error {
 	}
 	fmt.Printf("wrote %s\n", *out)
 	return nil
+}
+
+type allocStat struct{ allocs, bytes int64 }
+
+// measureAllocs runs the sequential Accumulator API once — Observe over each
+// half, Merge of the halves (seq-rebased like the real merge path), Finalize —
+// and charges each phase its GC-fenced runtime.MemStats delta. The unit is
+// allocations per full stage execution, the same "op" ns_op uses. Allocation
+// counts are deterministic under a single goroutine, so one pass suffices;
+// wall time stays with the traced iterations.
+func measureAllocs(scenario *campus.Scenario) map[string]allocStat {
+	p := analysis.FromScenario(scenario)
+	stats := make(map[string]allocStat)
+	var m0, m1 runtime.MemStats
+	snap := func() {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+	}
+	charge := func(stage string) {
+		runtime.ReadMemStats(&m1)
+		stats[stage] = allocStat{
+			allocs: int64(m1.Mallocs - m0.Mallocs),
+			bytes:  int64(m1.TotalAlloc - m0.TotalAlloc),
+		}
+	}
+
+	a, b := p.NewAccumulator(), p.NewAccumulator()
+	half := len(scenario.Observations) / 2
+	snap()
+	for _, o := range scenario.Observations[:half] {
+		a.Observe(o)
+	}
+	for _, o := range scenario.Observations[half:] {
+		b.Observe(o)
+	}
+	charge("observe")
+
+	snap()
+	b.OffsetSeq(a.Observations())
+	a.Merge(b)
+	charge("merge")
+
+	snap()
+	a.Finalize()
+	charge("finalize")
+	return stats
 }
 
 // benchWidth runs the pipeline iters times at one width and keeps the

@@ -1,0 +1,306 @@
+// Command serve-bench is the serving-layer load harness: it boots an
+// in-process certchain-ingestd admin surface, replays a seeded campus
+// capture into the tailed logs so ingest is genuinely running, and drives
+// GET /report (text and JSON) at sustained concurrency. The result is
+// BENCH_serve.json — p50/p95/p99 latency, QPS, and error counts per route —
+// the serving-path baseline ROADMAP's serving item calls for, validated by
+// obs.ValidateServeBench in CI.
+//
+//	serve-bench -seed 1 -scale 0.01 -concurrency 4 -duration 2s -out BENCH_serve.json
+//
+// Latency quantiles come from a client-side obs histogram via
+// Series.Quantile — the same estimator Prometheus's histogram_quantile
+// applies to the daemon's own certchain_http_request_seconds series, so the
+// committed baseline and a dashboard read agree. The harness also scrapes
+// the daemon's /metrics once and fails if the exposition does not pass
+// obs.ValidateExposition — the serving telemetry is load-tested and
+// conformance-checked in one pass.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"certchains/internal/analysis"
+	"certchains/internal/campus"
+	"certchains/internal/ingest"
+	"certchains/internal/obs"
+	"certchains/internal/resilience"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// benchRoutes are the driven report variants; the label is the route name
+// BENCH_serve.json carries, the query is what the client requests.
+var benchRoutes = []struct{ label, query string }{
+	{"/report", "/report"},
+	{"/report?format=json", "/report?format=json"},
+}
+
+func run() error {
+	var (
+		seed        = flag.Int64("seed", 1, "scenario seed")
+		scale       = flag.Float64("scale", 0.01, "fraction of paper-scale volume")
+		concurrency = flag.Int("concurrency", 4, "concurrent report clients")
+		duration    = flag.Duration("duration", 2*time.Second, "measured load window")
+		warmup      = flag.Duration("warmup", 300*time.Millisecond, "unmeasured warmup before the window")
+		out         = flag.String("out", "BENCH_serve.json", "output path")
+	)
+	flag.Parse()
+	if *concurrency < 1 {
+		return fmt.Errorf("concurrency must be >= 1")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cfg := campus.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	scenario, err := campus.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	// The daemon tails real files; the replay goroutine below feeds them for
+	// the whole bench so /report is served from a moving, mid-ingest state.
+	dir, err := os.MkdirTemp("", "serve-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	sslPath := filepath.Join(dir, "ssl.log")
+	x5Path := filepath.Join(dir, "x509.log")
+	for _, p := range []string{sslPath, x5Path} {
+		if err := os.WriteFile(p, nil, 0o644); err != nil {
+			return err
+		}
+	}
+
+	ing := ingest.New(analysis.FromScenario(scenario), ingest.Config{
+		SSLPath:  sslPath,
+		X509Path: x5Path,
+	})
+	d := ingest.NewDaemon(ing, ingest.DaemonConfig{
+		Addr: "127.0.0.1:0",
+		Poll: 50 * time.Millisecond,
+	})
+	daemonErr := make(chan error, 1)
+	go func() { daemonErr <- d.Run(ctx) }()
+	select {
+	case <-d.Started():
+	case err := <-daemonErr:
+		return fmt.Errorf("daemon never started: %w", err)
+	}
+	base := "http://" + d.Addr()
+
+	// Pace the replay across the full bench (warmup + window), so ingest
+	// keeps folding new observations while clients read.
+	go replay(ctx, scenario, sslPath, x5Path, *warmup+*duration)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	reg := obs.NewRegistry()
+	latency := reg.Histogram("servebench_request_seconds",
+		"Client-observed /report latency.", obs.DefaultDurationBuckets, "route")
+	// allLatency folds every route into one series for the headline
+	// quantiles — observed alongside the per-route series, since bucket
+	// counts sum commutatively either way.
+	allLatency := reg.Histogram("servebench_all_request_seconds",
+		"Client-observed latency across all routes.", obs.DefaultDurationBuckets).With()
+	var requests, errors [2]atomic.Int64
+
+	var recording atomic.Bool
+	var wg sync.WaitGroup
+	loadCtx, stopLoad := context.WithCancel(ctx)
+	defer stopLoad()
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; loadCtx.Err() == nil; i++ {
+				ri := i % len(benchRoutes)
+				t0 := time.Now()
+				ok := fetch(loadCtx, client, base+benchRoutes[ri].query)
+				if loadCtx.Err() != nil {
+					return // aborted mid-request by the window closing
+				}
+				if recording.Load() {
+					sec := time.Since(t0).Seconds()
+					latency.With(benchRoutes[ri].label).Observe(sec)
+					allLatency.Observe(sec)
+					requests[ri].Add(1)
+					if !ok {
+						errors[ri].Add(1)
+					}
+				}
+			}
+		}(c)
+	}
+
+	if err := resilience.Sleep(ctx, *warmup); err != nil {
+		return err
+	}
+	recording.Store(true)
+	t0 := time.Now()
+	if err := resilience.Sleep(ctx, *duration); err != nil {
+		return err
+	}
+	// On a loaded box a short window can close before any in-flight request
+	// completes; stretch it until at least one sample lands so the baseline
+	// is always well-formed. QPS uses the stretched window, so the numbers
+	// stay honest.
+	for requests[0].Load()+requests[1].Load() == 0 && time.Since(t0) < *duration+time.Minute {
+		if err := resilience.Sleep(ctx, 50*time.Millisecond); err != nil {
+			return err
+		}
+	}
+	recording.Store(false)
+	window := time.Since(t0)
+	stopLoad()
+	wg.Wait()
+
+	// Conformance gate: the daemon's exposition under load must validate.
+	if err := checkExposition(ctx, client, base); err != nil {
+		return err
+	}
+
+	bench := obs.ServeBench{
+		Tool:        "serve-bench",
+		Seed:        *seed,
+		Scale:       *scale,
+		Concurrency: *concurrency,
+		DurationNS:  window.Nanoseconds(),
+		Build:       obs.Build(),
+	}
+	for ri, rt := range benchRoutes {
+		s := latency.With(rt.label)
+		bench.Routes = append(bench.Routes, obs.ServeBenchRoute{
+			Route:    rt.label,
+			Requests: requests[ri].Load(),
+			Errors:   errors[ri].Load(),
+			Latency: obs.ServeBenchLatency{
+				P50Sec: s.Quantile(0.50),
+				P95Sec: s.Quantile(0.95),
+				P99Sec: s.Quantile(0.99),
+			},
+		})
+		bench.Requests += requests[ri].Load()
+		bench.Errors += errors[ri].Load()
+	}
+	bench.Latency = obs.ServeBenchLatency{
+		P50Sec: allLatency.Quantile(0.50), P95Sec: allLatency.Quantile(0.95), P99Sec: allLatency.Quantile(0.99),
+	}
+	bench.QPS = float64(bench.Requests) / window.Seconds()
+
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := obs.ValidateServeBench(data); err != nil {
+		return fmt.Errorf("self-check: %w", err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serve-bench: %d requests (%d errors) at %.0f req/s over %s, p50 %.2fms p95 %.2fms p99 %.2fms -> %s\n",
+		bench.Requests, bench.Errors, bench.QPS, window.Round(time.Millisecond),
+		bench.Latency.P50Sec*1e3, bench.Latency.P95Sec*1e3, bench.Latency.P99Sec*1e3, *out)
+
+	cancel()
+	return <-daemonErr
+}
+
+// fetch drives one request and reports whether it succeeded (transport OK
+// and status 200). The body is drained so connections are reused.
+func fetch(ctx context.Context, client *http.Client, url string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// checkExposition scrapes /metrics once after the load and validates the
+// daemon's exposition — including the middleware's serving families — with
+// the repository's Prometheus conformance checker.
+func checkExposition(ctx context.Context, client *http.Client, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("scrape /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return fmt.Errorf("scrape /metrics: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape /metrics: status %d", resp.StatusCode)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		return fmt.Errorf("daemon exposition under load: %w", err)
+	}
+	return nil
+}
+
+// replay feeds the scenario into the tailed logs, paced so the capture
+// spans roughly the whole bench.
+func replay(ctx context.Context, s *campus.Scenario, sslPath, x5Path string, span time.Duration) {
+	sslF, err := os.OpenFile(sslPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer sslF.Close()
+	x5F, err := os.OpenFile(x5Path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer x5F.Close()
+
+	var wallStart, logStart time.Time
+	campus.Replay(s.Observations, sslF, x5F, campus.ReplayOptions{
+		MaxConnsPerObservation: 4,
+		BatchRecords:           16,
+		Pace: func(ts time.Time) error {
+			if logStart.IsZero() {
+				logStart, wallStart = ts, time.Now()
+				return nil
+			}
+			logSpan := s.End().Sub(logStart)
+			if logSpan <= 0 {
+				return ctx.Err()
+			}
+			frac := float64(ts.Sub(logStart)) / float64(logSpan)
+			due := wallStart.Add(time.Duration(frac * float64(span)))
+			wait := time.Until(due)
+			if wait <= 0 {
+				return ctx.Err()
+			}
+			return resilience.Sleep(ctx, wait)
+		},
+	})
+}

@@ -148,11 +148,20 @@ func (p *Pipeline) DecodeState(data []byte) (*Accumulator, error) {
 // worker pool and returns the merged (unfinalized) accumulator — RunStream
 // without the finalize, which is what a distributed worker ships upstream.
 // Sequence tags follow producer order, so the result finalizes
-// byte-identically at any worker count.
+// byte-identically at any worker count. Spans go to the pipeline's tracer.
 func (p *Pipeline) AccumulateStream(observations <-chan *campus.Observation, workers int) *Accumulator {
+	return p.AccumulateStreamTracer(observations, workers, p.Tracer)
+}
+
+// AccumulateStreamTracer is AccumulateStream with an explicit tracer: a
+// distributed worker ingesting several partitions concurrently gives each
+// one its own tracer (its span set ships upstream per partition), which a
+// shared Pipeline.Tracer could not keep apart. A nil tracer disables
+// tracing without touching the accumulation path.
+func (p *Pipeline) AccumulateStreamTracer(observations <-chan *campus.Observation, workers int, tracer *obs.Tracer) *Accumulator {
 	workers = normalizeWorkers(workers, -1)
 	det := intercept.NewDetector(p.DB, p.CT)
-	stage := p.Tracer.Start("observe", "observe")
+	stage := tracer.Start("observe", "observe")
 
 	type seqObs struct {
 		seq int
@@ -176,7 +185,7 @@ func (p *Pipeline) AccumulateStream(observations <-chan *campus.Observation, wor
 	partials := make([]*partialReport, workers)
 	spans := make([]*obs.Span, workers)
 	for w := 0; w < workers; w++ {
-		spans[w] = p.Tracer.Start("observe-shard", fmt.Sprintf("observe/shard%d", w)).SetTID(w) //certchain:coldpath once per shard at stage setup
+		spans[w] = tracer.Start("observe-shard", fmt.Sprintf("observe/shard%d", w)).SetTID(w) //certchain:coldpath once per shard at stage setup
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -196,7 +205,7 @@ func (p *Pipeline) AccumulateStream(observations <-chan *campus.Observation, wor
 	stage.SetRecords(total)
 	stage.End()
 
-	msp := p.Tracer.Start("merge", "merge").Arg("partials", int64(len(partials)))
+	msp := tracer.Start("merge", "merge").Arg("partials", int64(len(partials)))
 	merged := partials[0]
 	for _, pr := range partials[1:] {
 		merged.merge(pr)

@@ -61,8 +61,15 @@ type CoordConfig struct {
 	Registry *obs.Registry
 	// Tracer, when set, records the dist stage spans (dist-ingest,
 	// dist-merge, finalize) — the same fixed set at every topology, so the
-	// manifest's deterministic subset stays topology-invariant.
+	// manifest's deterministic subset stays topology-invariant. Worker span
+	// sets never land here; they ride Result.PartitionTraces into the
+	// spliced cross-process trace artifact only.
 	Tracer *obs.Tracer
+	// RunID names this run in trace propagation: assignments carry it, and
+	// the coordinator splices only span sets echoed under it, so a worker
+	// re-serving a partition ingested for an earlier run cannot put stale
+	// spans in this run's trace. Empty derives one from the lease clock.
+	RunID string
 	// FS is RunLocal's partition-read seam; nil uses the real filesystem.
 	FS resilience.FS
 	// Now injects the lease clock; nil uses the wall clock. Report bytes
@@ -93,6 +100,20 @@ type Result struct {
 	// WorkerMetrics is the merged metric shard of every worker that
 	// contributed a partial (nil in RunLocal).
 	WorkerMetrics *obs.Registry
+	// RunID is the trace ID the run propagated; PartitionTraces are the
+	// span sets workers shipped back under it, one per merged partition
+	// (empty in RunLocal, and for workers running a pre-trace wire
+	// version). ProcessTraces splices them into the cross-process artifact.
+	RunID           string
+	PartitionTraces []PartitionTrace
+}
+
+// PartitionTrace is one merged partition's span set, attributed to the
+// worker whose partial won the merge.
+type PartitionTrace struct {
+	Partition Partition
+	Worker    string
+	Spans     []obs.SpanSnapshot
 }
 
 // NewCoordinator builds a coordinator over cfg.
@@ -156,7 +177,13 @@ func (c *Coordinator) Run(ctx context.Context, parts []Partition) (*Result, erro
 	if len(c.cfg.Workers) == 0 {
 		return nil, fmt.Errorf("dist: no workers")
 	}
-	res := &Result{Partitions: len(parts)}
+	runID := c.cfg.RunID
+	if runID == "" {
+		// Derived from the injected lease clock — operational identity only,
+		// never report bytes.
+		runID = fmt.Sprintf("run-%d", c.cfg.Now().UnixNano())
+	}
+	res := &Result{Partitions: len(parts), RunID: runID}
 	queue := append([]Partition(nil), parts...)
 	leases := make(map[string]*lease)
 	completed := make(map[string]*partResult)
@@ -199,7 +226,7 @@ func (c *Coordinator) Run(ctx context.Context, parts []Partition) (*Result, erro
 			queue = queue[1:]
 			attempts[part.ID]++
 			token := fmt.Sprintf("%s#%d", part.ID, attempts[part.ID])
-			if err := c.assign(ctx, wk, Assignment{Lease: token, Partition: part}); err != nil {
+			if err := c.assign(ctx, wk, Assignment{Lease: token, Partition: part, Trace: runID}); err != nil {
 				healthy[wk] = false
 				queue = append(queue, part)
 				c.logf("dist: assign %s to %s: %v", part.ID, wk, err)
@@ -261,6 +288,11 @@ func (c *Coordinator) Run(ctx context.Context, parts []Partition) (*Result, erro
 						break
 					}
 					completed[id] = &partResult{acc: acc, inputs: resp.Inputs}
+					if resp.Trace == runID && len(resp.Spans) > 0 {
+						res.PartitionTraces = append(res.PartitionTraces, PartitionTrace{
+							Partition: ls.part, Worker: wk, Spans: resp.Spans,
+						})
+					}
 					snaps[wk] = resp.Metrics
 					delete(leases, id)
 					c.metrics.completed.Inc()
@@ -341,7 +373,7 @@ func (c *Coordinator) RunLocal(ctx context.Context, parts []Partition) (*Result,
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		acc, inputs, err := ingestPartition(ctx, c.cfg.Pipeline, c.fs, c.cfg.Format, c.cfg.Goroutines, 0, part)
+		acc, inputs, err := ingestPartition(ctx, c.cfg.Pipeline, c.fs, c.cfg.Format, c.cfg.Goroutines, 0, part, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -517,10 +549,17 @@ func (c *Coordinator) getSealed(ctx context.Context, op, url, schema string, v a
 // ingestPartition streams one partition through the Zeek loader into an
 // in-process shard pool, digesting the raw inputs on the way past. Both the
 // worker daemon and RunLocal ride this one path — the topology rungs differ
-// only in where the returned accumulator is merged.
+// only in where the returned accumulator is merged. tracer, when non-nil,
+// receives the partition's spans: a dist-ingest span covering the whole
+// ingest plus the stream stages underneath it. RunLocal passes nil — its
+// coordinator tracer keeps the fixed topology-invariant stage set.
 func ingestPartition(ctx context.Context, p *analysis.Pipeline, fs resilience.FS,
-	format analysis.Format, goroutines int, throttle time.Duration, part Partition) (*analysis.Accumulator, []obs.InputDigest, error) {
+	format analysis.Format, goroutines int, throttle time.Duration, part Partition,
+	tracer *obs.Tracer) (*analysis.Accumulator, []obs.InputDigest, error) {
 
+	isp := tracer.Start("dist-ingest", "ingest/"+part.ID).
+		SetTID(part.Index).Arg("partition", int64(part.Index))
+	defer isp.End()
 	sslF, err := fs.Open(part.SSL)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dist: open %s: %w", part.SSL, err)
@@ -548,10 +587,11 @@ func ingestPartition(ctx context.Context, p *analysis.Pipeline, fs resilience.FS
 			return nil
 		})
 	}()
-	acc := p.AccumulateStream(obsCh, goroutines)
+	acc := p.AccumulateStreamTracer(obsCh, goroutines, tracer)
 	if err := <-loadErr; err != nil {
 		return nil, nil, fmt.Errorf("dist: load partition %s: %w", part.ID, err)
 	}
+	isp.SetRecords(acc.Observations())
 	inputs := []obs.InputDigest{sslR.digest(part.SSL), x5R.digest(part.X509)}
 	return acc, inputs, nil
 }

@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"io"
+	"sort"
+
+	"certchains/internal/obs"
+)
+
+// Cross-process trace assembly. Each worker ships a partition's spans as
+// process-local offsets (the processes' wall clocks are not comparable);
+// the coordinator splices them into one Chrome trace with one pid per
+// process. Per worker, partition span sets are rebased end-to-end in
+// partition-index order — the coordinator's deterministic order, not the
+// workers' racy completion order — so equal runs lay out equal tracks even
+// though the recorded durations differ.
+
+// ProcessTraces arranges the run's spans for obs.WriteSplicedChromeTrace:
+// the coordinator's own tracer first (pid 1), then one process per
+// contributing worker in URL order (pid 2+). Workers that shipped no spans
+// produce no entry.
+func (r *Result) ProcessTraces(coord *obs.Tracer) []obs.ProcessTrace {
+	procs := []obs.ProcessTrace{{Process: "coordinator", PID: 1, Spans: coord.Snapshot()}}
+
+	byWorker := make(map[string][]PartitionTrace)
+	for _, pt := range r.PartitionTraces {
+		byWorker[pt.Worker] = append(byWorker[pt.Worker], pt)
+	}
+	workers := make([]string, 0, len(byWorker))
+	for wk := range byWorker {
+		workers = append(workers, wk)
+	}
+	sort.Strings(workers)
+
+	for i, wk := range workers {
+		pts := byWorker[wk]
+		sort.Slice(pts, func(a, b int) bool { return pts[a].Partition.Index < pts[b].Partition.Index })
+		var spans []obs.SpanSnapshot
+		var offset int64
+		for _, pt := range pts {
+			var end int64
+			for _, sp := range pt.Spans {
+				sp.StartUS += offset
+				args := make(map[string]int64, len(sp.Args)+1)
+				for k, v := range sp.Args {
+					args[k] = v
+				}
+				args["partition"] = int64(pt.Partition.Index)
+				sp.Args = args
+				spans = append(spans, sp)
+				if e := sp.StartUS + sp.DurUS; e > end {
+					end = e
+				}
+			}
+			offset = end
+		}
+		procs = append(procs, obs.ProcessTrace{Process: "worker " + wk, PID: 2 + i, Spans: spans})
+	}
+	return procs
+}
+
+// WriteTrace writes the run's spliced cross-process Chrome trace: the
+// coordinator's stage spans plus every shipped worker span set. The output
+// passes obs.ValidateSplicedChromeTrace with one process per contributor.
+func (r *Result) WriteTrace(w io.Writer, coord *obs.Tracer) error {
+	return obs.WriteSplicedChromeTrace(w, r.ProcessTraces(coord))
+}

@@ -1,0 +1,184 @@
+package dist_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"certchains/internal/analysis"
+	"certchains/internal/dist"
+	"certchains/internal/obs"
+	"certchains/internal/resilience"
+)
+
+// TestDistSplicedTrace runs the real topology and requires one Chrome trace
+// artifact carrying the coordinator's stage spans plus every worker's
+// shipped span sets — the cross-process observability claim end to end.
+func TestDistSplicedTrace(t *testing.T) {
+	t.Parallel()
+	s := scenario(t, 1)
+	parts, err := dist.WritePartitions(s.Observations, t.TempDir(), 3, analysis.FormatTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := startWorkers(t, 2, func(i int) dist.WorkerConfig {
+		return dist.WorkerConfig{
+			Name:     fmt.Sprintf("w%d", i),
+			Pipeline: newPipeline(s, ""),
+			Format:   analysis.FormatTSV,
+		}
+	})
+	tracer := obs.NewTracer()
+	c := dist.NewCoordinator(dist.CoordConfig{
+		Pipeline: newPipeline(s, ""),
+		Workers:  workers,
+		Format:   analysis.FormatTSV,
+		LeaseTTL: 2 * time.Second,
+		Poll:     20 * time.Millisecond,
+		Retry:    resilience.DefaultPolicy(),
+		Tracer:   tracer,
+		RunID:    "run-test",
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := c.Run(ctx, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.RunID != "run-test" {
+		t.Errorf("RunID = %q, want the configured run-test", res.RunID)
+	}
+	if len(res.PartitionTraces) != len(parts) {
+		t.Fatalf("PartitionTraces = %d, want one per partition (%d)", len(res.PartitionTraces), len(parts))
+	}
+	for _, pt := range res.PartitionTraces {
+		if len(pt.Spans) == 0 {
+			t.Errorf("partition %s shipped no spans", pt.Partition.ID)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteTrace(&buf, tracer); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Coordinator + both workers (3 partitions round-robin over 2 workers
+	// lands at least one on each), with the full cross-process stage set.
+	if err := obs.ValidateSplicedChromeTrace(data, 3,
+		"dist-ingest", "dist-merge", "finalize", "observe", "observe-shard", "merge", "dist-encode"); err != nil {
+		t.Errorf("spliced trace invalid: %v", err)
+	}
+	pids, err := obs.ChromeTraceProcesses(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pids) != 3 {
+		t.Errorf("trace has %d processes, want coordinator + 2 workers", len(pids))
+	}
+
+	// Per-worker layout is seq-rebased in partition-index order: within one
+	// process, a higher-index partition's dist-ingest span never starts
+	// before a lower-index one's.
+	procs := res.ProcessTraces(tracer)
+	for _, proc := range procs[1:] {
+		lastIdx, lastStart := int64(-1), int64(-1)
+		for _, sp := range proc.Spans {
+			if sp.Stage != "dist-ingest" {
+				continue
+			}
+			idx := sp.Args["partition"]
+			if idx < lastIdx || (idx > lastIdx && sp.StartUS < lastStart) {
+				t.Errorf("%s: partition %d dist-ingest at %dus out of index order (prev partition %d at %dus)",
+					proc.Process, idx, sp.StartUS, lastIdx, lastStart)
+			}
+			lastIdx, lastStart = idx, sp.StartUS
+		}
+	}
+}
+
+// TestDistStaleTraceNotSpliced pins the fencing: a second run against
+// workers that completed everything under the first run's trace ID receives
+// the state (deterministic, so re-serving is correct) but not the spans —
+// they belong to the other run's artifact.
+func TestDistStaleTraceNotSpliced(t *testing.T) {
+	t.Parallel()
+	s := scenario(t, 1)
+	parts, err := dist.WritePartitions(s.Observations, t.TempDir(), 2, analysis.FormatTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := startWorkers(t, 1, func(i int) dist.WorkerConfig {
+		return dist.WorkerConfig{Name: "w0", Pipeline: newPipeline(s, ""), Format: analysis.FormatTSV}
+	})
+	run := func(runID string) (*dist.Result, *obs.Tracer) {
+		tracer := obs.NewTracer()
+		c := dist.NewCoordinator(dist.CoordConfig{
+			Pipeline: newPipeline(s, ""),
+			Workers:  workers,
+			Format:   analysis.FormatTSV,
+			LeaseTTL: 2 * time.Second,
+			Poll:     20 * time.Millisecond,
+			Retry:    resilience.DefaultPolicy(),
+			Tracer:   tracer,
+			RunID:    runID,
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		res, err := c.Run(ctx, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, tracer
+	}
+
+	first, _ := run("run-a")
+	if len(first.PartitionTraces) != len(parts) {
+		t.Fatalf("first run shipped %d span sets, want %d", len(first.PartitionTraces), len(parts))
+	}
+	second, tracer := run("run-b")
+	if len(second.PartitionTraces) != 0 {
+		t.Errorf("second run spliced %d stale span sets, want 0", len(second.PartitionTraces))
+	}
+	// The artifact degrades to coordinator-only — still a valid trace.
+	var buf bytes.Buffer
+	if err := second.WriteTrace(&buf, tracer); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateSplicedChromeTrace(buf.Bytes(), 1, "dist-ingest", "dist-merge", "finalize"); err != nil {
+		t.Errorf("coordinator-only trace invalid: %v", err)
+	}
+}
+
+// TestRunLocalTrace pins that the reference rung still writes a valid
+// single-process trace and ships no partition span sets.
+func TestRunLocalTrace(t *testing.T) {
+	t.Parallel()
+	s := scenario(t, 1)
+	parts, err := dist.WritePartitions(s.Observations, t.TempDir(), 2, analysis.FormatTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer()
+	c := dist.NewCoordinator(dist.CoordConfig{
+		Pipeline: newPipeline(s, ""),
+		Format:   analysis.FormatTSV,
+		Tracer:   tracer,
+	})
+	res, err := c.RunLocal(context.Background(), parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PartitionTraces) != 0 {
+		t.Errorf("RunLocal shipped %d partition span sets, want 0", len(res.PartitionTraces))
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTrace(&buf, tracer); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateSplicedChromeTrace(buf.Bytes(), 1, "dist-ingest", "dist-merge", "finalize"); err != nil {
+		t.Errorf("local trace invalid: %v", err)
+	}
+}

@@ -15,8 +15,10 @@ import (
 // slices — so equal states serialize byte-identically and the coordinator
 // can digest what it pulls.
 const (
-	// WireVersion revs whenever any wire payload shape changes.
-	WireVersion = 1
+	// WireVersion revs whenever any wire payload shape changes. Version 2
+	// added trace propagation: Assignment carries the run's trace ID and
+	// PartialResponse echoes it alongside the partition's span snapshots.
+	WireVersion = 2
 
 	// SchemaAssignment seals the coordinator→worker partition assignment.
 	SchemaAssignment = "certchains/dist-assignment"
@@ -33,6 +35,12 @@ const (
 type Assignment struct {
 	Lease     string    `json:"lease"`
 	Partition Partition `json:"partition"`
+	// Trace is the coordinator's run-scoped trace ID. The worker records the
+	// partition's spans under it and echoes it in the partial response, so
+	// the coordinator only splices spans that belong to this run — a retried
+	// partition adopted from a dead coordinator's attempt cannot smuggle a
+	// stale span set into the new run's trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Partition terminal and live states as the worker reports them.
@@ -71,6 +79,13 @@ type PartialResponse struct {
 	State        []byte                `json:"state"`
 	Inputs       []obs.InputDigest     `json:"inputs,omitempty"`
 	Metrics      *obs.RegistrySnapshot `json:"metrics,omitempty"`
+	// Trace echoes the Assignment's trace ID; Spans are the partition's span
+	// set as process-local offsets (obs.SpanSnapshot), ready for the
+	// coordinator to splice into the run's cross-process trace. Both ride
+	// outside the sealed State so trace shipping cannot perturb the
+	// accumulator bytes the equivalence claim is pinned on.
+	Trace string             `json:"trace,omitempty"`
+	Spans []obs.SpanSnapshot `json:"spans,omitempty"`
 }
 
 // sealWire envelopes a wire payload under its schema at WireVersion.

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -38,6 +39,10 @@ type WorkerConfig struct {
 	// the chaos knob that holds a partition open so lease expiry and
 	// mid-partition kills are testable.
 	Throttle time.Duration
+	// AccessLog, when set, receives one record per HTTP request (route,
+	// method, code, bytes — no timestamps beyond the handler's own; latency
+	// lives in the Registry's histograms).
+	AccessLog *slog.Logger
 	// Logf, when set, receives diagnostic lines.
 	Logf func(format string, args ...any)
 }
@@ -72,11 +77,17 @@ type Worker struct {
 type workerPartition struct {
 	part    Partition
 	lease   string
+	trace   string
 	state   string
 	errMsg  string
 	obsN    int64
 	encoded []byte
 	inputs  []obs.InputDigest
+	// spans is the completed ingest's span set, recorded under trace. A
+	// later assignment may swap the lease token freely, but trace stays
+	// pinned to the ingest that actually produced the state — the
+	// coordinator drops span sets from foreign runs.
+	spans []obs.SpanSnapshot
 }
 
 // NewWorker builds a worker. Close releases its ingest goroutines.
@@ -116,7 +127,10 @@ func (w *Worker) logf(format string, args ...any) {
 	}
 }
 
-// Handler returns the worker's HTTP surface.
+// Handler returns the worker's HTTP surface, wrapped in the shared serving
+// telemetry: per-route latency/size histograms and the request counter land
+// in the worker's registry, so the coordinator's merged WorkerMetrics view
+// includes each worker's serving profile alongside its ingest counters.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /assign", w.handleAssign)
@@ -127,7 +141,8 @@ func (w *Worker) Handler() http.Handler {
 		fmt.Fprintf(rw, "{\"status\":\"ok\",\"worker\":%q}\n", w.cfg.Name)
 	})
 	mux.Handle("GET /metrics", w.reg.Handler())
-	return mux
+	return obs.NewHTTPMetrics(w.reg).Middleware(mux, w.cfg.AccessLog,
+		"POST /assign", "GET /status", "GET /partial", "GET /healthz", "GET /metrics")
 }
 
 func (w *Worker) handleAssign(rw http.ResponseWriter, r *http.Request) {
@@ -149,12 +164,13 @@ func (w *Worker) handleAssign(rw http.ResponseWriter, r *http.Request) {
 	wp := w.parts[a.Partition.ID]
 	switch {
 	case wp == nil:
-		wp = &workerPartition{part: a.Partition, lease: a.Lease, state: StateRunning}
+		wp = &workerPartition{part: a.Partition, lease: a.Lease, trace: a.Trace, state: StateRunning}
 		w.parts[a.Partition.ID] = wp
 		go w.runPartition(wp)
 	case wp.state == StateFailed:
-		// Reassignment after a reported failure: restart under the new lease.
-		wp.lease, wp.state, wp.errMsg = a.Lease, StateRunning, ""
+		// Reassignment after a reported failure: restart under the new lease
+		// (and the new run's trace — the retry's spans belong to it).
+		wp.lease, wp.trace, wp.state, wp.errMsg = a.Lease, a.Trace, StateRunning, ""
 		go w.runPartition(wp)
 	default:
 		// Running or done: adopt the new fencing token; completed state is
@@ -201,6 +217,8 @@ func (w *Worker) handlePartial(rw http.ResponseWriter, r *http.Request) {
 			Observations: wp.obsN,
 			State:        wp.encoded,
 			Inputs:       append([]obs.InputDigest(nil), wp.inputs...),
+			Trace:        wp.trace,
+			Spans:        append([]obs.SpanSnapshot(nil), wp.spans...),
 		}
 	}
 	w.mu.Unlock()
@@ -225,12 +243,12 @@ func (w *Worker) writeSealed(rw http.ResponseWriter, schema string, v any) {
 // runPartition ingests one partition end to end: stream the Zeek join
 // through the shard pool, encode the accumulator, retain only the bytes.
 func (w *Worker) runPartition(wp *workerPartition) {
-	obsN, encoded, inputs, err := w.ingest(wp.part)
+	obsN, encoded, inputs, spans, err := w.ingest(wp.part)
 	w.mu.Lock()
 	if err != nil {
 		wp.state, wp.errMsg = StateFailed, err.Error()
 	} else {
-		wp.state, wp.obsN, wp.encoded, wp.inputs = StateDone, obsN, encoded, inputs
+		wp.state, wp.obsN, wp.encoded, wp.inputs, wp.spans = StateDone, obsN, encoded, inputs, spans
 	}
 	w.mu.Unlock()
 	if err != nil {
@@ -245,17 +263,23 @@ func (w *Worker) runPartition(wp *workerPartition) {
 		w.cfg.Name, wp.part.ID, obsN, len(encoded))
 }
 
-func (w *Worker) ingest(part Partition) (int64, []byte, []obs.InputDigest, error) {
+func (w *Worker) ingest(part Partition) (int64, []byte, []obs.InputDigest, []obs.SpanSnapshot, error) {
+	// Each partition records into its own tracer: its span set ships
+	// upstream by itself, and concurrent partitions never interleave spans.
+	tracer := obs.NewTracer()
 	acc, inputs, err := ingestPartition(w.ctx, w.cfg.Pipeline, w.fs, w.cfg.Format,
-		w.cfg.Goroutines, w.cfg.Throttle, part)
+		w.cfg.Goroutines, w.cfg.Throttle, part, tracer)
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, nil, err
 	}
+	esp := tracer.Start("dist-encode", "encode/"+part.ID).SetTID(part.Index)
 	encoded, err := acc.EncodeState()
+	esp.SetRecords(int64(len(encoded)))
+	esp.End()
 	if err != nil {
-		return 0, nil, nil, fmt.Errorf("dist: encode partition %s: %w", part.ID, err)
+		return 0, nil, nil, nil, fmt.Errorf("dist: encode partition %s: %w", part.ID, err)
 	}
-	return acc.Observations(), encoded, inputs, nil
+	return acc.Observations(), encoded, inputs, tracer.Snapshot(), nil
 }
 
 // digestReader hashes the raw stream while the loader consumes it, yielding

@@ -19,7 +19,11 @@ import (
 //	GET /debug/pprof/...                            — runtime profiling
 //
 // Everything is stdlib; the mux is private so the daemon controls exactly
-// what is exposed.
+// what is exposed. The surface is wrapped in the shared serving telemetry
+// (obs.HTTPMetrics): per-route latency and response-size histograms, the
+// request counter, and the in-flight gauge land in the same registry
+// /metrics renders, so a scrape shows the daemon's own serving profile —
+// and serve-bench's client-side quantiles have a server-side counterpart.
 func (ing *Ingestor) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/report", ing.handleReport)
@@ -30,7 +34,8 @@ func (ing *Ingestor) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return obs.NewHTTPMetrics(ing.reg).Middleware(mux, ing.cfg.AccessLog,
+		"/report", "/healthz", "/metrics", "/debug/pprof/")
 }
 
 // parseWindow maps the ?window= query to a trailing duration; 0 means all

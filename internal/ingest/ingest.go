@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -58,6 +59,10 @@ type Config struct {
 	Faults *resilience.Plan
 	// Retry is the snapshot-write retry budget; the zero value writes once.
 	Retry resilience.Policy
+	// AccessLog, when set, receives one record per admin-surface request
+	// (route, method, code, bytes). Latency lives in the registry's
+	// histograms, not the log line.
+	AccessLog *slog.Logger
 }
 
 // Ingestor owns the tail → join → aggregate → ring chain. All methods are

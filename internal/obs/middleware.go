@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HTTP serving telemetry, shared by every daemon in the repository
+// (certchain-ingestd, certchain-shardd, certchain-coord, ctlog -serve): a
+// per-route latency histogram, a per-route response-size histogram, a
+// request counter by route/method/code, and an in-flight gauge, all in the
+// daemon's existing registry — plus structured access logs. The access log
+// line carries no timestamps or durations (latency lives in the histogram),
+// so under the deterministic slog handler equal request sequences log
+// byte-identically; that is what the middleware's conformance tests pin.
+
+// DefaultSizeBuckets spans one header's worth of bytes to a full corpus
+// report, the range of one admin response.
+var DefaultSizeBuckets = []float64{
+	256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+}
+
+// HTTPMetrics books the serving families into a registry once; Middleware
+// then wraps any handler with them. One HTTPMetrics per daemon — wrapping
+// several muxes with the same instance aggregates into the same families.
+type HTTPMetrics struct {
+	requests  *Family
+	latency   *Family
+	respBytes *Family
+	inflight  *Series
+	clock     func() time.Time
+}
+
+// NewHTTPMetrics registers the HTTP serving families in reg.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.Counter("certchain_http_requests_total",
+			"HTTP requests served, by route, method, and status code.", "route", "method", "code"),
+		latency: reg.Histogram("certchain_http_request_seconds",
+			"HTTP request latency by route.", DefaultDurationBuckets, "route"),
+		respBytes: reg.Histogram("certchain_http_response_bytes",
+			"HTTP response body bytes by route.", DefaultSizeBuckets, "route"),
+		inflight: reg.Gauge("certchain_http_inflight_requests",
+			"HTTP requests currently being served.").With(),
+		clock: wallNow,
+	}
+}
+
+// withClock injects a deterministic clock — the middleware tests' seam.
+func (m *HTTPMetrics) withClock(clock func() time.Time) *HTTPMetrics {
+	m.clock = clock
+	return m
+}
+
+// routePattern is one known route: an optional method, an exact path or a
+// "/"-terminated prefix, and the label the metrics carry.
+type routePattern struct {
+	label  string
+	method string
+	path   string
+	prefix bool
+}
+
+// parseRoutes compiles ServeMux-style patterns ("GET /status", "/report",
+// "/debug/pprof/") into matchers, longest path first so the most specific
+// route wins.
+func parseRoutes(patterns []string) []routePattern {
+	rps := make([]routePattern, 0, len(patterns))
+	for _, pat := range patterns {
+		rp := routePattern{label: pat, path: pat}
+		if method, path, ok := strings.Cut(pat, " "); ok && !strings.HasPrefix(pat, "/") {
+			rp.method, rp.path = method, path
+		}
+		rp.prefix = strings.HasSuffix(rp.path, "/") && rp.path != "/"
+		rps = append(rps, rp)
+	}
+	sort.SliceStable(rps, func(i, j int) bool { return len(rps[i].path) > len(rps[j].path) })
+	return rps
+}
+
+// RouteOther labels requests that match no registered route. Folding them
+// into one label keeps the metric cardinality bounded no matter what paths
+// clients probe.
+const RouteOther = "other"
+
+func resolveRoute(rps []routePattern, r *http.Request) string {
+	for _, rp := range rps {
+		if rp.method != "" && rp.method != r.Method {
+			continue
+		}
+		if rp.prefix {
+			if strings.HasPrefix(r.URL.Path, rp.path) {
+				return rp.label
+			}
+			continue
+		}
+		if r.URL.Path == rp.path {
+			return rp.label
+		}
+	}
+	return RouteOther
+}
+
+// statusRecorder captures the response code and body size on the way out.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.code == 0 {
+		sr.code = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.code == 0 {
+		sr.code = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards streaming (pprof profiles, long reports) to the underlying
+// writer when it supports it.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware wraps next with the serving telemetry. routes are the surface's
+// known patterns ("GET /status", "/report", "/debug/pprof/"); a request is
+// labeled with the longest match, or RouteOther. logger, when non-nil,
+// receives one access-log record per request (msg "http": route, method,
+// code, bytes). Metrics and the log line are recorded even when next
+// panics, and the in-flight gauge never leaks.
+func (m *HTTPMetrics) Middleware(next http.Handler, logger *slog.Logger, routes ...string) http.Handler {
+	rps := parseRoutes(routes)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := resolveRoute(rps, r)
+		start := m.clock()
+		sr := &statusRecorder{ResponseWriter: w}
+		m.inflight.Inc()
+		defer func() {
+			rec := recover()
+			m.inflight.Add(-1)
+			code := sr.code
+			if code == 0 {
+				// Handler wrote nothing: the server surfaces 200 — or 500 if
+				// it panicked first. The telemetry needs a concrete label
+				// either way.
+				code = http.StatusOK
+				if rec != nil {
+					code = http.StatusInternalServerError
+				}
+			}
+			m.latency.With(route).Observe(m.clock().Sub(start).Seconds())
+			m.respBytes.With(route).Observe(float64(sr.bytes))
+			m.requests.With(route, r.Method, strconv.Itoa(code)).Inc()
+			if logger != nil {
+				logger.Info("http",
+					"route", route, "method", r.Method, "code", code, "bytes", sr.bytes)
+			}
+			if rec != nil {
+				panic(rec)
+			}
+		}()
+		next.ServeHTTP(sr, r)
+	})
+}

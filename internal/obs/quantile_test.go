@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesQuantile(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Histogram("q_seconds", "q", []float64{0.1, 1, 10}).With()
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		s.Observe(v)
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0.25, 0.1},   // target lands exactly on the first bucket's bound
+		{0.5, 1},      // exactly on the second bucket's bound
+		{0.375, 0.55}, // halfway through bucket (0.1, 1]
+		{1, 10},       // +Inf observation clamps to the largest finite bound
+		{0, 0},        // q=0 interpolates to the first bucket's lower edge
+		{-1, 0},       // clamped into [0, 1]
+		{2, 10},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSeriesQuantileDegenerate(t *testing.T) {
+	reg := NewRegistry()
+	if got := reg.Histogram("empty_seconds", "e", []float64{1, 2}).With().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", got)
+	}
+	c := reg.Counter("hits_total", "h").With()
+	c.Add(10)
+	if got := c.Quantile(0.5); got != 0 {
+		t.Errorf("counter Quantile = %v, want 0", got)
+	}
+	// Every observation above the largest bound: clamp, never +Inf or NaN.
+	s := reg.Histogram("hot_seconds", "h", []float64{0.1, 1}).With()
+	s.Observe(99)
+	if got := s.Quantile(0.5); got != 1 {
+		t.Errorf("all-overflow Quantile = %v, want clamp to 1", got)
+	}
+}

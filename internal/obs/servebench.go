@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ServeBench is the BENCH_serve.json schema: the serving-layer latency
+// baseline cmd/serve-bench writes after driving a daemon's /report surface
+// at sustained concurrency while ingest runs. Quantiles come from the
+// harness's client-side obs histogram (Series.Quantile), so the committed
+// baseline and a dashboard's histogram_quantile over the daemon's own
+// middleware series use the same estimator. CI validates both the committed
+// baseline and each smoke run's output with ValidateServeBench.
+type ServeBench struct {
+	Tool        string  `json:"tool"` // "serve-bench"
+	Seed        int64   `json:"seed"`
+	Scale       float64 `json:"scale"`
+	Concurrency int     `json:"concurrency"`
+	// DurationNS is the measured load window (excluding warmup).
+	DurationNS int64 `json:"duration_ns"`
+	// Requests and Errors count every request issued in the window; an
+	// error is a transport failure or a non-200 status.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// QPS is Requests divided by the window.
+	QPS float64 `json:"qps"`
+	// Latency aggregates all routes; Routes breaks the same data down.
+	Latency ServeBenchLatency `json:"latency"`
+	Routes  []ServeBenchRoute `json:"routes"`
+	Build   BuildInfo         `json:"build"`
+}
+
+// ServeBenchLatency carries the baseline quantiles in seconds.
+type ServeBenchLatency struct {
+	P50Sec float64 `json:"p50_seconds"`
+	P95Sec float64 `json:"p95_seconds"`
+	P99Sec float64 `json:"p99_seconds"`
+}
+
+// ServeBenchRoute is one driven route's share of the run.
+type ServeBenchRoute struct {
+	Route    string            `json:"route"`
+	Requests int64             `json:"requests"`
+	Errors   int64             `json:"errors"`
+	Latency  ServeBenchLatency `json:"latency"`
+}
+
+func (l ServeBenchLatency) check() error {
+	if l.P50Sec < 0 || l.P95Sec < 0 || l.P99Sec < 0 {
+		return fmt.Errorf("negative latency quantile")
+	}
+	if l.P50Sec > l.P95Sec || l.P95Sec > l.P99Sec {
+		return fmt.Errorf("quantiles not monotone: p50=%g p95=%g p99=%g", l.P50Sec, l.P95Sec, l.P99Sec)
+	}
+	return nil
+}
+
+// ValidateServeBench is the schema gate for a BENCH_serve.json document:
+// required fields present, counts consistent, quantiles monotone.
+func ValidateServeBench(data []byte) error {
+	var b ServeBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return fmt.Errorf("obs: serve-bench JSON: %w", err)
+	}
+	if b.Tool != "serve-bench" {
+		return fmt.Errorf("obs: serve-bench tool %q, want \"serve-bench\"", b.Tool)
+	}
+	if b.Concurrency < 1 {
+		return fmt.Errorf("obs: serve-bench concurrency %d < 1", b.Concurrency)
+	}
+	if b.DurationNS <= 0 {
+		return fmt.Errorf("obs: serve-bench duration_ns %d <= 0", b.DurationNS)
+	}
+	if b.Requests <= 0 {
+		return fmt.Errorf("obs: serve-bench made no requests")
+	}
+	if b.Errors < 0 || b.Errors > b.Requests {
+		return fmt.Errorf("obs: serve-bench errors %d out of range (requests %d)", b.Errors, b.Requests)
+	}
+	if b.QPS <= 0 {
+		return fmt.Errorf("obs: serve-bench qps %g <= 0", b.QPS)
+	}
+	if err := b.Latency.check(); err != nil {
+		return fmt.Errorf("obs: serve-bench latency: %w", err)
+	}
+	if len(b.Routes) == 0 {
+		return fmt.Errorf("obs: serve-bench has no routes")
+	}
+	var reqSum, errSum int64
+	seen := make(map[string]bool)
+	for _, rt := range b.Routes {
+		if rt.Route == "" {
+			return fmt.Errorf("obs: serve-bench route with empty name")
+		}
+		if seen[rt.Route] {
+			return fmt.Errorf("obs: serve-bench route %q duplicated", rt.Route)
+		}
+		seen[rt.Route] = true
+		if rt.Requests < 0 || rt.Errors < 0 || rt.Errors > rt.Requests {
+			return fmt.Errorf("obs: serve-bench route %q counts inconsistent", rt.Route)
+		}
+		if err := rt.Latency.check(); err != nil {
+			return fmt.Errorf("obs: serve-bench route %q latency: %w", rt.Route, err)
+		}
+		reqSum += rt.Requests
+		errSum += rt.Errors
+	}
+	if reqSum != b.Requests || errSum != b.Errors {
+		return fmt.Errorf("obs: serve-bench route counts (%d req, %d err) disagree with totals (%d req, %d err)",
+			reqSum, errSum, b.Requests, b.Errors)
+	}
+	if b.Build.GoVersion == "" {
+		return fmt.Errorf("obs: serve-bench missing build.go_version")
+	}
+	return nil
+}

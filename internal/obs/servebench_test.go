@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func validServeBench() ServeBench {
+	lat := ServeBenchLatency{P50Sec: 0.002, P95Sec: 0.01, P99Sec: 0.05}
+	return ServeBench{
+		Tool:        "serve-bench",
+		Seed:        42,
+		Scale:       1,
+		Concurrency: 8,
+		DurationNS:  2_000_000_000,
+		Requests:    1000,
+		Errors:      2,
+		QPS:         500,
+		Latency:     lat,
+		Routes: []ServeBenchRoute{
+			{Route: "/report", Requests: 600, Errors: 2, Latency: lat},
+			{Route: "/report?format=json", Requests: 400, Latency: lat},
+		},
+		Build: BuildInfo{GoVersion: "go1.23"},
+	}
+}
+
+func TestValidateServeBench(t *testing.T) {
+	data, err := json.Marshal(validServeBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateServeBench(data); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+
+	mutations := map[string]func(*ServeBench){
+		"wrong tool":         func(b *ServeBench) { b.Tool = "pipeline-bench" },
+		"zero concurrency":   func(b *ServeBench) { b.Concurrency = 0 },
+		"zero duration":      func(b *ServeBench) { b.DurationNS = 0 },
+		"no requests":        func(b *ServeBench) { b.Requests = 0 },
+		"errors > requests":  func(b *ServeBench) { b.Errors = b.Requests + 1 },
+		"zero qps":           func(b *ServeBench) { b.QPS = 0 },
+		"non-monotone":       func(b *ServeBench) { b.Latency.P95Sec = b.Latency.P99Sec * 2 },
+		"negative quantile":  func(b *ServeBench) { b.Latency.P50Sec = -1 },
+		"no routes":          func(b *ServeBench) { b.Routes = nil },
+		"empty route name":   func(b *ServeBench) { b.Routes[0].Route = "" },
+		"duplicate route":    func(b *ServeBench) { b.Routes[1].Route = b.Routes[0].Route },
+		"route sum mismatch": func(b *ServeBench) { b.Routes[0].Requests++ },
+		"route err mismatch": func(b *ServeBench) { b.Routes[0].Errors = 0 },
+		"route non-monotone": func(b *ServeBench) { b.Routes[1].Latency.P50Sec = 99 },
+		"missing build":      func(b *ServeBench) { b.Build = BuildInfo{} },
+	}
+	for name, mutate := range mutations {
+		b := validServeBench()
+		mutate(&b)
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateServeBench(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := ValidateServeBench([]byte("not json")); err == nil {
+		t.Error("non-JSON accepted")
+	} else if !strings.Contains(err.Error(), "serve-bench JSON") {
+		t.Errorf("JSON error unclear: %v", err)
+	}
+}

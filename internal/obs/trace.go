@@ -185,17 +185,19 @@ func (t *Tracer) WallNS() int64 {
 	return last.Sub(base).Nanoseconds()
 }
 
-// traceEvent is one Chrome trace-event object (the "X" complete-event
-// form), loadable in chrome://tracing and Perfetto.
+// traceEvent is one Chrome trace-event object, loadable in chrome://tracing
+// and Perfetto. Spans use the "X" complete-event form; spliced multi-process
+// traces additionally carry "M" process_name metadata events, whose args
+// hold a string — hence the map[string]any.
 type traceEvent struct {
-	Name string           `json:"name"`
-	Cat  string           `json:"cat"`
-	Ph   string           `json:"ph"`
-	TS   int64            `json:"ts"`  // microseconds relative to trace start
-	Dur  int64            `json:"dur"` // microseconds
-	PID  int              `json:"pid"`
-	TID  int              `json:"tid"`
-	Args map[string]int64 `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`  // microseconds relative to trace start
+	Dur  int64          `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // traceFile is the Chrome trace "JSON object format".
@@ -233,7 +235,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			ev.Dur = sp.end.Sub(sp.start).Microseconds()
 		}
 		if sp.records != 0 || len(sp.args) > 0 {
-			ev.Args = make(map[string]int64, len(sp.args)+1)
+			ev.Args = make(map[string]any, len(sp.args)+1)
 			for k, v := range sp.args {
 				ev.Args[k] = v
 			}
@@ -250,31 +252,37 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 
 // ValidateChromeTrace checks that data is a structurally valid Chrome
 // trace-event file: an object with a traceEvents array whose events carry a
-// name, the complete-event phase, and non-negative times — and that every
-// required stage appears as at least one event category. The obs-smoke CI
-// job runs this over certchain-analyze's -trace output.
+// name, a complete-event or metadata phase, and non-negative times — and
+// that every required stage appears as at least one span category. The
+// obs-smoke CI job runs this over certchain-analyze's -trace output; the
+// dist-smoke job runs it over the coordinator's spliced cross-process trace.
 func ValidateChromeTrace(data []byte, requiredStages ...string) error {
-	var f traceFile
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&f); err != nil {
-		return fmt.Errorf("obs: trace JSON: %w", err)
-	}
-	if len(f.TraceEvents) == 0 {
-		return fmt.Errorf("obs: trace has no events")
+	f, err := decodeChromeTrace(data)
+	if err != nil {
+		return err
 	}
 	stages := make(map[string]int)
+	spans := 0
 	for i, ev := range f.TraceEvents {
 		if ev.Name == "" {
 			return fmt.Errorf("obs: trace event %d has no name", i)
 		}
-		if ev.Ph != "X" {
-			return fmt.Errorf("obs: trace event %d (%s): phase %q, want complete event \"X\"", i, ev.Name, ev.Ph)
+		switch ev.Ph {
+		case "M":
+			// Metadata names a process or thread; it carries no timing.
+			continue
+		case "X":
+		default:
+			return fmt.Errorf("obs: trace event %d (%s): phase %q, want complete event \"X\" or metadata \"M\"", i, ev.Name, ev.Ph)
 		}
 		if ev.TS < 0 || ev.Dur < 0 {
 			return fmt.Errorf("obs: trace event %d (%s): negative time", i, ev.Name)
 		}
+		spans++
 		stages[ev.Cat]++
+	}
+	if spans == 0 {
+		return fmt.Errorf("obs: trace has no span events")
 	}
 	var missing []string
 	for _, st := range requiredStages {
@@ -287,4 +295,38 @@ func ValidateChromeTrace(data []byte, requiredStages ...string) error {
 		return fmt.Errorf("obs: trace missing required stage span(s): %v", missing)
 	}
 	return nil
+}
+
+func decodeChromeTrace(data []byte) (*traceFile, error) {
+	var f traceFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("obs: trace JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return nil, fmt.Errorf("obs: trace has no events")
+	}
+	return &f, nil
+}
+
+// ChromeTraceProcesses returns the sorted distinct PIDs that contribute span
+// (phase "X") events to the trace — metadata-only processes do not count. A
+// spliced cross-process trace from an N-worker run reports N+1 processes.
+func ChromeTraceProcesses(data []byte) ([]int, error) {
+	f, err := decodeChromeTrace(data)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool)
+	var pids []int
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" || seen[ev.PID] {
+			continue
+		}
+		seen[ev.PID] = true
+		pids = append(pids, ev.PID)
+	}
+	sort.Ints(pids)
+	return pids, nil
 }

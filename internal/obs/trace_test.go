@@ -3,18 +3,20 @@ package obs
 import (
 	"bytes"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
 
 // fakeClock ticks a fixed step per read — the injectable-clock seam that
 // keeps span *content* deterministic while real runs record real wall time.
+// The counter is atomic so concurrent readers (the middleware's scrape
+// test) stay race-free; sequential tests see the same 1,2,3… ticks.
 func fakeClock(step time.Duration) func() time.Time {
 	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
-	n := 0
+	var n atomic.Int64
 	return func() time.Time {
-		n++
-		return t0.Add(time.Duration(n) * step)
+		return t0.Add(time.Duration(n.Add(1)) * step)
 	}
 }
 

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Cross-process trace splicing: a distributed run's spans are recorded by
+// tracers in different processes whose wall clocks are not comparable, so a
+// worker ships its span set as offsets relative to its own first span
+// (SpanSnapshot), and the coordinator splices the sets into one Chrome trace
+// with one pid per process. Within a pid, timestamps are internally
+// consistent; across pids, only the coordinator-chosen order is meaningful —
+// which is exactly the Chrome trace viewer's model (one track group per
+// process). The spliced artifact is operational telemetry: it never feeds
+// report bytes, so topology and timing churn cannot perturb the equivalence
+// claim.
+
+// SpanSnapshot is one span in wire form: stage, name, and timings as
+// microsecond offsets from the owning tracer's earliest span start. The
+// snapshot crosses process boundaries inside the dist layer's sealed
+// envelopes, so it carries no absolute times.
+type SpanSnapshot struct {
+	Stage   string           `json:"stage"`
+	Name    string           `json:"name"`
+	TID     int              `json:"tid,omitempty"`
+	StartUS int64            `json:"start_us"`
+	DurUS   int64            `json:"dur_us"`
+	Records int64            `json:"records,omitempty"`
+	Args    map[string]int64 `json:"args,omitempty"`
+}
+
+// Snapshot exports the tracer's spans in creation order, timestamps rebased
+// to the earliest span start. Unfinished spans export zero duration.
+func (t *Tracer) Snapshot() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var base time.Time
+	for _, sp := range t.spans {
+		if base.IsZero() || sp.start.Before(base) {
+			base = sp.start
+		}
+	}
+	out := make([]SpanSnapshot, 0, len(t.spans))
+	for _, sp := range t.spans {
+		ss := SpanSnapshot{
+			Stage:   sp.Stage,
+			Name:    sp.Name,
+			TID:     sp.TID,
+			StartUS: sp.start.Sub(base).Microseconds(),
+			Records: sp.records,
+		}
+		if sp.ended {
+			ss.DurUS = sp.end.Sub(sp.start).Microseconds()
+		}
+		if len(sp.args) > 0 {
+			ss.Args = make(map[string]int64, len(sp.args))
+			for k, v := range sp.args {
+				ss.Args[k] = v
+			}
+		}
+		out = append(out, ss)
+	}
+	return out
+}
+
+// ProcessTrace groups one process's spans for splicing: a display name, the
+// Chrome trace pid, and the span set in the order the process recorded them.
+type ProcessTrace struct {
+	Process string         `json:"process"`
+	PID     int            `json:"pid"`
+	Spans   []SpanSnapshot `json:"spans,omitempty"`
+}
+
+// WriteSplicedChromeTrace exports multiple processes' span sets as one
+// Chrome trace-event file: per process, a process_name metadata event
+// followed by its spans, emitted in the order given (the coordinator orders
+// itself first, then workers deterministically). Processes with empty span
+// sets are skipped entirely — a worker that contributed no spans leaves no
+// track. The output passes ValidateChromeTrace.
+func WriteSplicedChromeTrace(w io.Writer, procs []ProcessTrace) error {
+	out := traceFile{DisplayTimeUnit: "ms"}
+	for _, proc := range procs {
+		if len(proc.Spans) == 0 {
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  proc.PID,
+			Args: map[string]any{"name": proc.Process},
+		})
+		for _, sp := range proc.Spans {
+			ev := traceEvent{
+				Name: sp.Name,
+				Cat:  sp.Stage,
+				Ph:   "X",
+				TS:   sp.StartUS,
+				Dur:  sp.DurUS,
+				PID:  proc.PID,
+				TID:  sp.TID,
+			}
+			if sp.Records != 0 || len(sp.Args) > 0 {
+				ev.Args = make(map[string]any, len(sp.Args)+1)
+				for k, v := range sp.Args {
+					ev.Args[k] = v
+				}
+				if sp.Records != 0 {
+					ev.Args["records"] = sp.Records
+				}
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	if len(out.TraceEvents) == 0 {
+		return fmt.Errorf("obs: spliced trace has no spans")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ValidateSplicedChromeTrace checks a spliced cross-process trace: it must
+// pass ValidateChromeTrace (including the required stages) and carry spans
+// from at least minProcesses distinct pids. The dist-smoke CI job runs this
+// over the coordinator's -trace artifact.
+func ValidateSplicedChromeTrace(data []byte, minProcesses int, requiredStages ...string) error {
+	if err := ValidateChromeTrace(data, requiredStages...); err != nil {
+		return err
+	}
+	pids, err := ChromeTraceProcesses(data)
+	if err != nil {
+		return err
+	}
+	if len(pids) < minProcesses {
+		sort.Ints(pids)
+		return fmt.Errorf("obs: spliced trace has spans from %d process(es) %v, want >= %d", len(pids), pids, minProcesses)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSnapshotRebasesToEarliestStart(t *testing.T) {
+	tr := NewTracerClock(fakeClock(time.Millisecond))
+	// clock reads: start a=1ms, start b=2ms, end b=3ms, end a=4ms.
+	a := tr.Start("dist-ingest", "partition0").SetTID(0).SetRecords(7)
+	b := tr.Start("dist-encode", "encode0").Arg("bytes", 128)
+	b.End()
+	a.End()
+
+	snaps := tr.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("Snapshot() = %d spans, want 2", len(snaps))
+	}
+	if snaps[0].StartUS != 0 {
+		t.Errorf("first span start = %dus, want 0 (rebased to earliest start)", snaps[0].StartUS)
+	}
+	if snaps[0].DurUS != 3000 || snaps[1].DurUS != 1000 {
+		t.Errorf("durations = %dus, %dus; want 3000, 1000", snaps[0].DurUS, snaps[1].DurUS)
+	}
+	if snaps[1].StartUS != 1000 {
+		t.Errorf("second span start = %dus, want 1000", snaps[1].StartUS)
+	}
+	if snaps[0].Records != 7 || snaps[1].Args["bytes"] != 128 {
+		t.Errorf("records/args lost in snapshot: %+v", snaps)
+	}
+
+	var nilTr *Tracer
+	if nilTr.Snapshot() != nil {
+		t.Error("nil tracer produced a snapshot")
+	}
+}
+
+func TestTracerSnapshotUnfinishedSpanZeroDuration(t *testing.T) {
+	tr := NewTracerClock(fakeClock(time.Millisecond))
+	tr.Start("open", "open")
+	snaps := tr.Snapshot()
+	if len(snaps) != 1 || snaps[0].DurUS != 0 {
+		t.Errorf("unfinished span snapshot = %+v, want one span with zero duration", snaps)
+	}
+}
+
+// workerSpans builds a plausible shipped span set: a dist-ingest span per
+// partition plus its encode span, exactly what a shard daemon snapshots.
+func workerSpans(partition int, durUS int64) []SpanSnapshot {
+	return []SpanSnapshot{
+		{Stage: "dist-ingest", Name: "partition", TID: partition, StartUS: 0, DurUS: durUS,
+			Records: 10, Args: map[string]int64{"partition": int64(partition)}},
+		{Stage: "dist-encode", Name: "encode", TID: partition, StartUS: durUS, DurUS: durUS / 2},
+	}
+}
+
+func TestWriteSplicedChromeTrace(t *testing.T) {
+	procs := []ProcessTrace{
+		{Process: "coordinator", PID: 1, Spans: []SpanSnapshot{
+			{Stage: "dist-ingest", Name: "dist-ingest", StartUS: 0, DurUS: 9000, Records: 30},
+			{Stage: "dist-merge", Name: "dist-merge", StartUS: 9000, DurUS: 500, Records: 3},
+			{Stage: "finalize", Name: "finalize", StartUS: 9500, DurUS: 200},
+		}},
+		{Process: "worker http://127.0.0.1:1001", PID: 2, Spans: workerSpans(0, 4000)},
+		{Process: "worker http://127.0.0.1:1002", PID: 3, Spans: workerSpans(1, 3000)},
+	}
+	var buf bytes.Buffer
+	if err := WriteSplicedChromeTrace(&buf, procs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if err := ValidateSplicedChromeTrace(data, 3, "dist-ingest", "dist-merge", "finalize"); err != nil {
+		t.Errorf("spliced trace fails its own validator: %v", err)
+	}
+	pids, err := ChromeTraceProcesses(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pids) != 3 || pids[0] != 1 || pids[2] != 3 {
+		t.Errorf("ChromeTraceProcesses = %v, want [1 2 3]", pids)
+	}
+	out := string(data)
+	for _, want := range []string{`"ph": "M"`, `"name": "process_name"`, "coordinator", "worker http://127.0.0.1:1001"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spliced trace missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestSplicedTraceDuplicateTIDsAcrossWorkers pins that two workers may both
+// use tid 0 for their first partition: pids keep the tracks apart, so the
+// validator must accept the duplicate thread ids.
+func TestSplicedTraceDuplicateTIDsAcrossWorkers(t *testing.T) {
+	procs := []ProcessTrace{
+		{Process: "w1", PID: 2, Spans: workerSpans(0, 1000)},
+		{Process: "w2", PID: 3, Spans: workerSpans(0, 2000)},
+	}
+	var buf bytes.Buffer
+	if err := WriteSplicedChromeTrace(&buf, procs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSplicedChromeTrace(buf.Bytes(), 2, "dist-ingest"); err != nil {
+		t.Errorf("duplicate TIDs across processes rejected: %v", err)
+	}
+}
+
+// TestSplicedTraceOutOfOrderTimestamps pins that splicing never reorders or
+// rejects span sets whose starts are not monotone — each process's offsets
+// are internally consistent but the shipped order is creation order, which
+// concurrent partitions interleave.
+func TestSplicedTraceOutOfOrderTimestamps(t *testing.T) {
+	procs := []ProcessTrace{
+		{Process: "w1", PID: 2, Spans: []SpanSnapshot{
+			{Stage: "dist-ingest", Name: "late", TID: 1, StartUS: 5000, DurUS: 100},
+			{Stage: "dist-ingest", Name: "early", TID: 0, StartUS: 0, DurUS: 100},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSplicedChromeTrace(&buf, procs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if err := ValidateSplicedChromeTrace(data, 1, "dist-ingest"); err != nil {
+		t.Errorf("out-of-order starts rejected: %v", err)
+	}
+	// Creation order survives: "late" is emitted before "early".
+	out := string(data)
+	if strings.Index(out, `"late"`) > strings.Index(out, `"early"`) {
+		t.Error("splicing reordered spans; shipped creation order must survive")
+	}
+}
+
+func TestSplicedTraceEmptyWorkerSpanSets(t *testing.T) {
+	// An empty worker leaves no track — not even its metadata event.
+	procs := []ProcessTrace{
+		{Process: "coordinator", PID: 1, Spans: []SpanSnapshot{
+			{Stage: "dist-merge", Name: "dist-merge", StartUS: 0, DurUS: 100},
+		}},
+		{Process: "idle-worker", PID: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteSplicedChromeTrace(&buf, procs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if strings.Contains(string(data), "idle-worker") {
+		t.Error("empty worker left a metadata track in the trace")
+	}
+	if err := ValidateSplicedChromeTrace(data, 1, "dist-merge"); err != nil {
+		t.Errorf("trace with one live process rejected: %v", err)
+	}
+	if err := ValidateSplicedChromeTrace(data, 2); err == nil {
+		t.Error("validator counted the empty worker as a process")
+	} else if !strings.Contains(err.Error(), "want >= 2") {
+		t.Errorf("min-process error unclear: %v", err)
+	}
+
+	// All-empty splice is an error, not an empty file.
+	if err := WriteSplicedChromeTrace(&bytes.Buffer{}, []ProcessTrace{{Process: "w", PID: 2}}); err == nil {
+		t.Error("all-empty splice produced a trace")
+	}
+}
+
+// TestValidateChromeTraceMetadataOnly pins that a trace of only "M" events
+// (no spans) is invalid: the artifact must show work, not just process names.
+func TestValidateChromeTraceMetadataOnly(t *testing.T) {
+	doc := `{"traceEvents":[{"name":"process_name","ph":"M","ts":0,"dur":0,"pid":1,"tid":0,"args":{"name":"x"}}],"displayTimeUnit":"ms"}`
+	if err := ValidateChromeTrace([]byte(doc)); err == nil {
+		t.Error("metadata-only trace accepted")
+	} else if !strings.Contains(err.Error(), "no span events") {
+		t.Errorf("metadata-only error unclear: %v", err)
+	}
+}
