@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz report experiments ingest-smoke obs-smoke dist-smoke serve-smoke chaos clean
+.PHONY: all build vet lint test race bench bench-ratchet fuzz report experiments ingest-smoke obs-smoke dist-smoke serve-smoke chaos clean
 
 all: build vet lint test
 
@@ -113,6 +113,14 @@ bench:
 	$(GO) run ./cmd/pipeline-bench -out BENCH_pipeline.json
 	$(GO) run ./cmd/serve-bench -out BENCH_serve.json
 
+# CI gate on pipeline performance: replay the benchmark harness with the
+# committed baseline's parameters and fail on >10% observe records/sec
+# regression or any stage's allocs_per_op growing past a small jitter
+# allowance. After an intentional optimization, regenerate the baseline with
+# `go run ./cmd/pipeline-bench -out BENCH_pipeline.json` and commit it.
+bench-ratchet:
+	$(GO) run ./cmd/bench-ratchet -baseline BENCH_pipeline.json
+
 # Short fuzz pass over the parsers and the shard-merge property (longer
 # runs: increase -fuzztime).
 fuzz:
@@ -121,6 +129,8 @@ fuzz:
 	$(GO) test -fuzz FuzzReader -fuzztime 20s ./internal/zeek/
 	$(GO) test -fuzz FuzzJSONReader -fuzztime 20s ./internal/zeek/
 	$(GO) test -fuzz FuzzTailerWithFaults -fuzztime 30s ./internal/zeek/
+	$(GO) test -fuzz FuzzTSVDecodeEquivalence -fuzztime 30s ./internal/zeek/
+	$(GO) test -fuzz FuzzJSONDecodeEquivalence -fuzztime 30s ./internal/zeek/
 	$(GO) test -fuzz FuzzShardMerge -fuzztime 30s ./internal/analysis/
 	$(GO) test -fuzz FuzzRegistryMerge -fuzztime 20s ./internal/obs/
 	$(GO) test -fuzz FuzzLintChain -fuzztime 30s ./internal/lint/

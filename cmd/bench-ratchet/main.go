@@ -1,0 +1,101 @@
+// Command bench-ratchet is the CI gate on pipeline performance: it replays
+// the pipeline benchmark harness with the committed baseline's own seed,
+// scale, and iteration count, then compares the fresh run against
+// BENCH_pipeline.json. The run fails when the observe stage loses more than
+// the records/sec budget (default 10%) or any stage's allocs_per_op grows
+// beyond a small jitter allowance — improvements always pass, so the
+// committed baseline only ratchets forward (regenerate it with
+// cmd/pipeline-bench after an intentional optimization).
+//
+//	bench-ratchet -baseline BENCH_pipeline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"certchains/internal/obs"
+	"certchains/internal/pipebench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-ratchet:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_pipeline.json", "committed baseline to ratchet against")
+		rpsBudget    = flag.Float64("max-rps-regression", 0, "override fractional observe records/sec budget (0 = default)")
+		allocBudget  = flag.Float64("max-alloc-growth", -1, "override fractional allocs_per_op budget (-1 = default)")
+		retries      = flag.Int("retries", 2, "extra fresh runs before a wall-clock failure is final")
+		freshOut     = flag.String("fresh-out", "", "also write the fresh run's document here")
+	)
+	flag.Parse()
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidatePipelineBench(data); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var baseline obs.PipelineBench
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+
+	budget := obs.DefaultPipelineRatchet()
+	if *rpsBudget > 0 {
+		budget.MaxRPSRegression = *rpsBudget
+	}
+	if *allocBudget >= 0 {
+		budget.MaxAllocGrowth = *allocBudget
+	}
+
+	// The fresh side gets double the baseline's iterations, and a wall-clock
+	// failure is retried: scheduler noise on a shared runner then fails
+	// toward passing, while a genuine regression (the slow paths this gate
+	// exists for are multiples, not percentages) fails every attempt.
+	// Allocation counts are deterministic, so their verdict never flips.
+	iters := 2 * baseline.Iters
+	fmt.Printf("baseline %s: seed=%d scale=%g iters=%d; fresh runs use iters=%d\n",
+		*baselinePath, baseline.Seed, baseline.Scale, baseline.Iters, iters)
+	var lastErr error
+	for attempt := 0; attempt <= *retries; attempt++ {
+		fresh, err := pipebench.Run(baseline.Seed, baseline.Scale, iters)
+		if err != nil {
+			return fmt.Errorf("fresh run: %w", err)
+		}
+		freshData, err := json.MarshalIndent(fresh, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := obs.ValidatePipelineBench(append(freshData, '\n')); err != nil {
+			return fmt.Errorf("fresh run: %w", err)
+		}
+		if *freshOut != "" {
+			if err := os.WriteFile(*freshOut, append(freshData, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		for _, br := range baseline.Runs {
+			if fr := fresh.Run(br.Workers); fr != nil {
+				bo, fo := br.Stage("observe"), fr.Stage("observe")
+				fmt.Printf("attempt %d workers=%d  observe %.0f -> %.0f records/sec  allocs %d -> %d\n",
+					attempt+1, br.Workers, bo.RecordsPerSec, fo.RecordsPerSec, bo.AllocsPerOp, fo.AllocsPerOp)
+			}
+		}
+		lastErr = obs.ComparePipelineBench(&baseline, fresh, budget)
+		if lastErr == nil {
+			fmt.Println("ratchet ok")
+			return nil
+		}
+		fmt.Fprintln(os.Stderr, "bench-ratchet:", lastErr)
+	}
+	return lastErr
+}

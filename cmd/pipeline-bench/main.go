@@ -2,11 +2,13 @@
 // stage, using the pipeline's own obs spans as the instrument, and writes a
 // machine-readable baseline (BENCH_pipeline.json). Unlike `go test -bench`,
 // which times whole runs, this reports where inside a run the time goes —
-// load-free scenario analysis split into observe / merge / finalize — at
-// worker widths 1 and GOMAXPROCS, so a perf regression names its stage. A
-// sequential Accumulator-API pass additionally charges each stage its heap
-// allocations (allocs_per_op / alloc_bytes_per_op), so an allocation
-// regression names its stage too.
+// load-free scenario analysis split into observe / observe-shard /
+// observe-handoff / merge / finalize — at worker widths 1 and GOMAXPROCS,
+// so a perf regression names its stage. A warmed sequential Accumulator-API
+// pass additionally charges each stage its steady-state heap allocations
+// (allocs_per_op / alloc_bytes_per_op), so an allocation regression names
+// its stage too. cmd/bench-ratchet compares a fresh run of this harness
+// against the committed baseline in CI.
 //
 //	pipeline-bench -scale 0.002 -iters 3 -out BENCH_pipeline.json
 package main
@@ -16,47 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
-	"certchains/internal/analysis"
-	"certchains/internal/campus"
-	"certchains/internal/obs"
+	"certchains/internal/pipebench"
 )
-
-type stageResult struct {
-	Stage string `json:"stage"`
-	// NSOp is the stage's best-iteration wall time for one full pipeline run.
-	NSOp int64 `json:"ns_op"`
-	// RecordsPerSec is the stage's input throughput in that iteration; 0 for
-	// stages that reduce state rather than consume records (merge, finalize).
-	RecordsPerSec float64 `json:"records_per_sec"`
-	Records       int64   `json:"records"`
-	// AllocsPerOp / AllocBytesPerOp charge the stage its heap allocations for
-	// one full pipeline run, measured by a separate single-threaded
-	// Accumulator-API pass (GC-fenced runtime.MemStats deltas) — concurrent
-	// widths would smear allocations across stages. Stages the sequential
-	// pass has no counterpart for (observe-shard) report zero.
-	AllocsPerOp     int64 `json:"allocs_per_op"`
-	AllocBytesPerOp int64 `json:"alloc_bytes_per_op"`
-}
-
-type widthResult struct {
-	Workers       int           `json:"workers"`
-	TotalNSOp     int64         `json:"total_ns_op"`
-	RecordsPerSec float64       `json:"records_per_sec"`
-	Stages        []stageResult `json:"stages"`
-}
-
-type benchFile struct {
-	Tool         string        `json:"tool"`
-	Seed         int64         `json:"seed"`
-	Scale        float64       `json:"scale"`
-	Iters        int           `json:"iters"`
-	GOMAXPROCS   int           `json:"gomaxprocs"`
-	Observations int           `json:"observations"`
-	Build        obs.BuildInfo `json:"build"`
-	Runs         []widthResult `json:"runs"`
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -74,42 +38,12 @@ func run() error {
 	)
 	flag.Parse()
 
-	cfg := campus.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Scale = *scale
-	scenario, err := campus.Generate(cfg)
+	file, err := pipebench.Run(*seed, *scale, *iters)
 	if err != nil {
 		return err
 	}
-
-	widths := []int{1}
-	if n := runtime.GOMAXPROCS(0); n > 1 {
-		widths = append(widths, n)
-	}
-
-	file := benchFile{
-		Tool:         "pipeline-bench",
-		Seed:         *seed,
-		Scale:        *scale,
-		Iters:        *iters,
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		Observations: len(scenario.Observations),
-		Build:        obs.Build(),
-	}
-	allocs := measureAllocs(scenario)
-	for _, w := range widths {
-		wr, err := benchWidth(scenario, w, *iters)
-		if err != nil {
-			return err
-		}
-		for i := range wr.Stages {
-			if st, ok := allocs[wr.Stages[i].Stage]; ok {
-				wr.Stages[i].AllocsPerOp = st.allocs
-				wr.Stages[i].AllocBytesPerOp = st.bytes
-			}
-		}
-		file.Runs = append(file.Runs, wr)
-		fmt.Printf("workers=%d  total %d ns/op  %.0f records/sec\n", w, wr.TotalNSOp, wr.RecordsPerSec)
+	for _, wr := range file.Runs {
+		fmt.Printf("workers=%d  total %d ns/op  %.0f records/sec\n", wr.Workers, wr.TotalNSOp, wr.RecordsPerSec)
 	}
 
 	data, err := json.MarshalIndent(file, "", "  ")
@@ -121,84 +55,4 @@ func run() error {
 	}
 	fmt.Printf("wrote %s\n", *out)
 	return nil
-}
-
-type allocStat struct{ allocs, bytes int64 }
-
-// measureAllocs runs the sequential Accumulator API once — Observe over each
-// half, Merge of the halves (seq-rebased like the real merge path), Finalize —
-// and charges each phase its GC-fenced runtime.MemStats delta. The unit is
-// allocations per full stage execution, the same "op" ns_op uses. Allocation
-// counts are deterministic under a single goroutine, so one pass suffices;
-// wall time stays with the traced iterations.
-func measureAllocs(scenario *campus.Scenario) map[string]allocStat {
-	p := analysis.FromScenario(scenario)
-	stats := make(map[string]allocStat)
-	var m0, m1 runtime.MemStats
-	snap := func() {
-		runtime.GC()
-		runtime.ReadMemStats(&m0)
-	}
-	charge := func(stage string) {
-		runtime.ReadMemStats(&m1)
-		stats[stage] = allocStat{
-			allocs: int64(m1.Mallocs - m0.Mallocs),
-			bytes:  int64(m1.TotalAlloc - m0.TotalAlloc),
-		}
-	}
-
-	a, b := p.NewAccumulator(), p.NewAccumulator()
-	half := len(scenario.Observations) / 2
-	snap()
-	for _, o := range scenario.Observations[:half] {
-		a.Observe(o)
-	}
-	for _, o := range scenario.Observations[half:] {
-		b.Observe(o)
-	}
-	charge("observe")
-
-	snap()
-	b.OffsetSeq(a.Observations())
-	a.Merge(b)
-	charge("merge")
-
-	snap()
-	a.Finalize()
-	charge("finalize")
-	return stats
-}
-
-// benchWidth runs the pipeline iters times at one width and keeps the
-// iteration with the smallest end-to-end wall time — the least-noise sample,
-// as `go test -bench` effectively reports.
-func benchWidth(scenario *campus.Scenario, workers, iters int) (widthResult, error) {
-	best := widthResult{Workers: workers}
-	for i := 0; i < iters; i++ {
-		tracer := obs.NewTracer()
-		p := analysis.FromScenario(scenario)
-		p.Tracer = tracer
-		r := p.RunParallel(scenario.Observations, workers)
-		if r == nil {
-			return best, fmt.Errorf("pipeline returned no report")
-		}
-		total := tracer.WallNS()
-		if total <= 0 {
-			return best, fmt.Errorf("tracer recorded no wall time")
-		}
-		if best.TotalNSOp != 0 && total >= best.TotalNSOp {
-			continue
-		}
-		best.TotalNSOp = total
-		best.RecordsPerSec = float64(len(scenario.Observations)) / (float64(total) / 1e9)
-		best.Stages = best.Stages[:0]
-		for _, st := range tracer.Stages() {
-			sr := stageResult{Stage: st.Stage, NSOp: st.WallNS, Records: st.Records}
-			if st.Records > 0 && st.WallNS > 0 {
-				sr.RecordsPerSec = float64(st.Records) / (float64(st.WallNS) / 1e9)
-			}
-			best.Stages = append(best.Stages, sr)
-		}
-	}
-	return best, nil
 }

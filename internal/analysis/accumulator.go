@@ -158,25 +158,61 @@ func (p *Pipeline) AccumulateStream(observations <-chan *campus.Observation, wor
 // one its own tracer (its span set ships upstream per partition), which a
 // shared Pipeline.Tracer could not keep apart. A nil tracer disables
 // tracing without touching the accumulation path.
+//
+// Internally the stream is re-chunked into batches of Pipeline.Batch
+// observations per worker handoff; batching only amortizes channel sends and
+// never changes output (the equivalence suite pins every batch size
+// byte-identical).
 func (p *Pipeline) AccumulateStreamTracer(observations <-chan *campus.Observation, workers int, tracer *obs.Tracer) *Accumulator {
+	size := p.normalizeBatch()
+	batches := make(chan []*campus.Observation, 2)
+	go func() {
+		buf := make([]*campus.Observation, 0, size)
+		for o := range observations {
+			buf = append(buf, o)
+			if len(buf) == size {
+				batches <- buf
+				buf = make([]*campus.Observation, 0, size)
+			}
+		}
+		if len(buf) > 0 {
+			batches <- buf
+		}
+		close(batches)
+	}()
+	return p.AccumulateBatchesTracer(batches, workers, tracer)
+}
+
+// obsBatch is one worker handoff: a run of observations starting at global
+// sequence number start.
+type obsBatch struct {
+	start int
+	obs   []*campus.Observation
+}
+
+// AccumulateBatchesTracer is the batch-native accumulation path: producers
+// that already hold observation slices hand them over whole, one channel
+// send per batch instead of per record. Sequence tags follow the
+// concatenation order of the incoming batches, so the result finalizes
+// byte-identically to the per-record stream over the same observations.
+func (p *Pipeline) AccumulateBatchesTracer(batches <-chan []*campus.Observation, workers int, tracer *obs.Tracer) *Accumulator {
 	workers = normalizeWorkers(workers, -1)
 	det := intercept.NewDetector(p.DB, p.CT)
 	stage := tracer.Start("observe", "observe")
 
-	type seqObs struct {
-		seq int
-		o   *campus.Observation
-	}
-	work := make(chan seqObs, 4*workers)
+	work := make(chan obsBatch, 4*workers)
 	// total is written only by the dispatcher, which exits before close(work);
 	// every worker observes that close before wg.Done, so the read after
 	// wg.Wait is ordered.
 	var total int64
 	go func() {
 		seq := 0
-		for o := range observations {
-			work <- seqObs{seq: seq, o: o}
-			seq++
+		for b := range batches {
+			if len(b) == 0 {
+				continue
+			}
+			work <- obsBatch{start: seq, obs: b}
+			seq += len(b)
 		}
 		total = int64(seq)
 		close(work)
@@ -193,9 +229,11 @@ func (p *Pipeline) AccumulateStreamTracer(observations <-chan *campus.Observatio
 		go func(w int) {
 			defer wg.Done()
 			pr := p.newPartial(det)
-			for so := range work {
-				pr.observe(so.seq, so.o)
-				spans[w].AddRecords(1)
+			for b := range work {
+				for i, o := range b.obs {
+					pr.observe(b.start+i, o)
+				}
+				spans[w].AddRecords(int64(len(b.obs)))
 			}
 			partials[w] = pr
 			spans[w].End()
@@ -212,4 +250,10 @@ func (p *Pipeline) AccumulateStreamTracer(observations <-chan *campus.Observatio
 	}
 	msp.End()
 	return &Accumulator{pr: merged, n: total}
+}
+
+// AccumulateBatches is AccumulateBatchesTracer under the pipeline's own
+// tracer.
+func (p *Pipeline) AccumulateBatches(batches <-chan []*campus.Observation, workers int) *Accumulator {
+	return p.AccumulateBatchesTracer(batches, workers, p.Tracer)
 }

@@ -53,6 +53,10 @@ type partialReport struct {
 	excluded []excludedLength
 	// analyses caches structure analyses per unique chain key.
 	analyses map[string]*chain.Analysis
+	// keyBuf is a reusable scratch buffer for composite map keys. Probing
+	// with m[string(keyBuf)] compiles to an allocation-free lookup; a key
+	// string is materialized only on first sight of a value.
+	keyBuf []byte //certchain:nomerge scratch buffer, no accumulated state
 	// lintReport accumulates corpus lint findings; nil when the pipeline has
 	// no linter.
 	lintReport *lint.CorpusReport
@@ -107,12 +111,13 @@ func (p *Pipeline) newPartial(det *intercept.Detector) *partialReport {
 // first sight within this shard. Analyses are deterministic, so shards that
 // re-analyze a chain another shard also saw produce identical results.
 func (pr *partialReport) analyze(ch certmodel.Chain) *chain.Analysis {
-	k := ch.Key()
-	if a, ok := pr.analyses[k]; ok {
+	pr.keyBuf = ch.AppendKey(pr.keyBuf[:0])
+	if a, ok := pr.analyses[string(pr.keyBuf)]; ok {
 		return a
 	}
-	a := pr.p.Classifier.Analyze(ch)
-	pr.analyses[k] = a
+	key := string(pr.keyBuf)
+	a := pr.p.Classifier.AnalyzeKeyed(key, ch)
+	pr.analyses[key] = a
 	return a
 }
 
@@ -187,11 +192,18 @@ func (pr *partialReport) accumulateHybrid(o *campus.Observation, a *chain.Analys
 	pr.hybridGraph.AddChain(o.Chain, a.Classes)
 	pr.portHist["hybrid"][o.Port] += o.Conns
 
-	key := o.ServerIP + "|" + o.Domain
-	if pr.hybridServerChains[key] == nil {
-		pr.hybridServerChains[key] = make(map[string]bool)
+	pr.keyBuf = append(pr.keyBuf[:0], o.ServerIP...)
+	pr.keyBuf = append(pr.keyBuf, '|')
+	pr.keyBuf = append(pr.keyBuf, o.Domain...)
+	set := pr.hybridServerChains[string(pr.keyBuf)]
+	if set == nil {
+		set = make(map[string]bool)
+		pr.hybridServerChains[string(pr.keyBuf)] = set
 	}
-	pr.hybridServerChains[key][o.Chain.Key()] = true
+	pr.keyBuf = o.Chain.AppendKey(pr.keyBuf[:0])
+	if !set[string(pr.keyBuf)] {
+		set[string(pr.keyBuf)] = true
+	}
 
 	switch hc {
 	case chain.HybridCompleteNonPubToPub:
@@ -301,14 +313,14 @@ func (pr *partialReport) accumulateInterception(o *campus.Observation, a *chain.
 	// Independent CT cross-reference detection (§3.2.1).
 	if o.Domain != "" {
 		if pr.detector.Examine(o.Chain[0], o.Domain, o.First) == intercept.IssuerMismatch {
-			pr.detected[o.Chain[0].Issuer.Normalized()] = true
+			pr.detected[o.Chain[0].IssuerKey()] = true
 		}
 	}
 
 	// Attribute to a curated entity for Table 1: match the leaf issuer or
 	// any chain member's issuer against the registry.
 	for _, m := range o.Chain {
-		if iss, ok := pr.p.Registry.Lookup(m.Issuer); ok {
+		if iss, ok := pr.p.Registry.LookupKey(m.IssuerKey()); ok {
 			pr.sectorConns[iss.Category] += o.Conns
 			if pr.sectorIPs[iss.Category] == nil {
 				pr.sectorIPs[iss.Category] = make(map[string]bool)
@@ -319,7 +331,7 @@ func (pr *partialReport) accumulateInterception(o *campus.Observation, a *chain.
 			if pr.sectorIssuers[iss.Category] == nil {
 				pr.sectorIssuers[iss.Category] = make(map[string]bool)
 			}
-			pr.sectorIssuers[iss.Category][iss.DN.Normalized()] = true
+			pr.sectorIssuers[iss.Category][iss.Key()] = true
 			break
 		}
 	}

@@ -35,6 +35,12 @@ type Pipeline struct {
 	// Workers is the shard/worker count Run uses; 0 or negative selects
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// Batch is the streaming handoff batch size: RunStream/AccumulateStream
+	// dispatch observations to workers in slices of up to Batch records
+	// rather than one channel send per record. 0 or negative selects
+	// DefaultBatch. Batching never changes output — the equivalence suite
+	// pins per-record and batched feeds byte-identical.
+	Batch int
 	// Linter, when set, lints every visible chain during the observation
 	// pass and adds a corpus prevalence summary to the report (Report.Lint).
 	// Linting shares the per-shard analysis cache and merges like every
@@ -128,6 +134,29 @@ func (p *Pipeline) RunStream(observations <-chan *campus.Observation, workers in
 	rep := acc.Finalize()
 	fsp.End()
 	return rep
+}
+
+// RunStreamBatches is RunStream over a batch-native producer: one channel
+// send per observation slice. Output is byte-identical to RunStream over the
+// flattened stream.
+func (p *Pipeline) RunStreamBatches(batches <-chan []*campus.Observation, workers int) *Report {
+	acc := p.AccumulateBatches(batches, workers)
+	fsp := p.Tracer.Start("finalize", "finalize")
+	rep := acc.Finalize()
+	fsp.End()
+	return rep
+}
+
+// DefaultBatch is the streaming handoff batch size when Pipeline.Batch is
+// unset.
+const DefaultBatch = 64
+
+// normalizeBatch resolves the configured batch size.
+func (p *Pipeline) normalizeBatch() int {
+	if p.Batch > 0 {
+		return p.Batch
+	}
+	return DefaultBatch
 }
 
 // normalizeWorkers clamps a worker count: non-positive selects GOMAXPROCS,
@@ -224,7 +253,7 @@ func (p *Pipeline) appendedTrustAnchor(a *chain.Analysis) bool {
 		return false
 	}
 	for _, i := range a.Unnecessary {
-		if i > a.Complete.End && a.Chain[i].SelfSigned() && p.DB.IsTrustAnchorSubject(a.Chain[i].Subject) {
+		if i > a.Complete.End && a.Chain[i].SelfSigned() && p.DB.IsTrustAnchorKey(a.Chain[i].SubjectKey()) {
 			return true
 		}
 	}
@@ -252,8 +281,9 @@ func missingIssuer(a *chain.Analysis) bool {
 		return false
 	}
 	issuer := a.Chain[0].Issuer
+	issuerKey := a.Chain[0].IssuerKey()
 	for _, m := range a.Chain[1:] {
-		if m.Subject.Equal(issuer) {
+		if len(m.Subject) == len(issuer) && m.SubjectKey() == issuerKey {
 			return false
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 
 	"certchains/internal/campus"
@@ -85,10 +86,14 @@ func LoadFormatFunc(format Format, ssl, x509 io.Reader, emit func(*campus.Observ
 	}
 	byKey := make(map[string]*agg)
 	var order []string
+	var keyBuf []byte
 
-	join := zeek.Join
+	// FastJoin pools the Connection and SSL record between callbacks; the
+	// aggregation below retains only safe values — the canonical Chain,
+	// immutable field strings, and the TS value.
+	join := zeek.FastJoin
 	if format == FormatJSON {
-		join = zeek.JoinJSON
+		join = zeek.FastJoinJSON
 	}
 	err = join(ssl, x509, func(c *zeek.Connection, err error) error {
 		if err != nil {
@@ -96,9 +101,14 @@ func LoadFormatFunc(format Format, ssl, x509 io.Reader, emit func(*campus.Observ
 			// pipelines; the row is dropped.
 			return nil
 		}
-		key := c.Chain.Key() + "|" + c.SSL.RespH + "|" + fmt.Sprint(c.SSL.RespP)
-		a := byKey[key]
+		keyBuf = c.Chain.AppendKey(keyBuf[:0])
+		keyBuf = append(keyBuf, '|')
+		keyBuf = append(keyBuf, c.SSL.RespH...)
+		keyBuf = append(keyBuf, '|')
+		keyBuf = strconv.AppendInt(keyBuf, int64(c.SSL.RespP), 10)
+		a := byKey[string(keyBuf)]
 		if a == nil {
+			key := string(keyBuf)
 			a = &agg{
 				o: &campus.Observation{
 					Chain:    c.Chain,

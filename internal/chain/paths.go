@@ -130,22 +130,32 @@ const (
 type chainKeys struct {
 	issuer  []string
 	subject []string
-	// issuerCount maps normalized issuer DN to its occurrence count.
-	issuerCount map[string]int
 }
 
 func keysOf(ch certmodel.Chain) *chainKeys {
+	// One backing array for both key slices; delivered chains are short, so
+	// occurrence counting scans the issuer slice instead of building a map.
+	backing := make([]string, 2*len(ch))
 	k := &chainKeys{
-		issuer:      make([]string, len(ch)),
-		subject:     make([]string, len(ch)),
-		issuerCount: make(map[string]int, len(ch)),
+		issuer:  backing[:len(ch):len(ch)],
+		subject: backing[len(ch):],
 	}
 	for i, m := range ch {
-		k.issuer[i] = m.Issuer.Normalized()
-		k.subject[i] = m.Subject.Normalized()
-		k.issuerCount[k.issuer[i]]++
+		k.issuer[i] = m.IssuerKey()
+		k.subject[i] = m.SubjectKey()
 	}
 	return k
+}
+
+// issuedCount returns how many chain members name key as their issuer.
+func (k *chainKeys) issuedCount(key string) int {
+	n := 0
+	for _, ik := range k.issuer {
+		if ik == key {
+			n++
+		}
+	}
+	return n
 }
 
 // isLeaf is the keyed implementation behind IsLeaf.
@@ -165,7 +175,7 @@ func (k *chainKeys) isLeaf(ch certmodel.Chain, i int) bool {
 	if k.issuer[i] == k.subject[i] {
 		return false
 	}
-	return k.issuerCount[k.subject[i]] == 0
+	return k.issuedCount(k.subject[i]) == 0
 }
 
 // IsLeaf reports whether chain[i] looks like an end-entity certificate:
@@ -193,7 +203,7 @@ func IsLeafPosition(ch certmodel.Chain, i int) bool {
 		return true
 	}
 	k := keysOf(ch)
-	issued := k.issuerCount[k.subject[0]]
+	issued := k.issuedCount(k.subject[0])
 	if k.issuer[0] == k.subject[0] {
 		// Self-signed first certificate: discount its own issuer slot.
 		issued--
@@ -225,11 +235,10 @@ func (c *Classifier) Analyze(ch certmodel.Chain) *Analysis {
 	a.Links = make([]LinkState, len(ch)-1)
 	mismatches := 0
 	for i := 0; i < len(ch)-1; i++ {
-		child, parent := ch[i], ch[i+1]
 		switch {
 		case keys.issuer[i] == keys.subject[i+1]:
 			a.Links[i] = LinkMatch
-		case c.CrossSigns.Exempt(child.Issuer, parent.Subject):
+		case c.CrossSigns.ExemptKeys(keys.issuer[i], keys.subject[i+1]):
 			a.Links[i] = LinkCrossSign
 		default:
 			a.Links[i] = LinkMismatch

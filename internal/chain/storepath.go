@@ -34,12 +34,12 @@ const maxStorePathDepth = 8
 // incomplete or polluted.
 func BuildStorePath(db *trustdb.DB, leaf *certmodel.Meta) StorePath {
 	out := StorePath{Path: certmodel.Chain{leaf}}
-	seen := map[string]bool{leaf.Subject.Normalized(): true}
+	seen := map[string]bool{leaf.SubjectKey(): true}
 	cur := leaf
 	for depth := 0; depth < maxStorePathDepth; depth++ {
-		issuerKey := cur.Issuer.Normalized()
+		issuerKey := cur.IssuerKey()
 		// Terminal: the issuer is a trust anchor; root omission is fine.
-		if db.IsTrustAnchorSubject(cur.Issuer) {
+		if db.IsTrustAnchorKey(issuerKey) {
 			out.Complete = true
 			out.Anchor = cur.Issuer.String()
 			return out

@@ -101,7 +101,7 @@ func (g *Graph) refreshRole(n *Node, ch certmodel.Chain) {
 		if other.FP == n.FP {
 			continue
 		}
-		if other.Issuer.Equal(n.Meta.Subject) {
+		if len(other.Issuer) == len(n.Meta.Subject) && other.IssuerKey() == n.Meta.SubjectKey() {
 			n.Role = RoleIntermediate
 			return
 		}

@@ -9,7 +9,6 @@ package intercept
 
 import (
 	"fmt"
-	"strconv"
 	"sync"
 	"time"
 
@@ -50,6 +49,18 @@ type Issuer struct {
 	Name string
 	// Category is the Table 1 sector.
 	Category Category
+
+	// key memoizes DN.Normalized(); Registry.Add fills it so hot-path
+	// attribution never re-normalizes.
+	key string
+}
+
+// Key returns the normalized DN key, memoized by Registry.Add.
+func (i *Issuer) Key() string {
+	if i.key != "" {
+		return i.key
+	}
+	return i.DN.Normalized()
 }
 
 // Registry is the curated set of identified interception issuers — the
@@ -68,15 +79,19 @@ func NewRegistry() *Registry {
 
 // Add registers an issuer. Re-adding the same DN overwrites the entry.
 func (r *Registry) Add(iss *Issuer) {
-	key := iss.DN.Normalized()
+	iss.key = iss.DN.Normalized()
 	r.mu.Lock()
-	r.byDN[key] = iss
+	r.byDN[iss.key] = iss
 	r.mu.Unlock()
 }
 
 // Lookup returns the issuer entry for a DN.
 func (r *Registry) Lookup(d dn.DN) (*Issuer, bool) {
-	key := d.Normalized()
+	return r.LookupKey(d.Normalized())
+}
+
+// LookupKey is Lookup for callers that already hold the normalized DN key.
+func (r *Registry) LookupKey(key string) (*Issuer, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	i, ok := r.byDN[key]
@@ -153,18 +168,26 @@ type Detector struct {
 	// triple — common once observations are aggregated per chain — skip the
 	// CT queries entirely.
 	mu    sync.RWMutex
-	cache map[string]Verdict
+	cache map[examineKey]Verdict
+}
+
+// examineKey identifies one Examine input triple. A comparable struct key
+// avoids the string concatenation the cache previously paid per probe.
+type examineKey struct {
+	fp  certmodel.Fingerprint
+	sni string
+	at  int64
 }
 
 // NewDetector builds a detector over the trust database and CT log.
 func NewDetector(db *trustdb.DB, ct *ctlog.Log) *Detector {
-	return &Detector{DB: db, CT: ct, cache: make(map[string]Verdict)}
+	return &Detector{DB: db, CT: ct, cache: make(map[examineKey]Verdict)}
 }
 
 // Examine applies the §3.2.1 procedure to one observation: the delivered
 // leaf certificate, the connection SNI, and the observation time.
 func (d *Detector) Examine(leaf *certmodel.Meta, sni string, at time.Time) Verdict {
-	key := string(leaf.FP) + "|" + sni + "|" + strconv.FormatInt(at.UnixNano(), 36)
+	key := examineKey{fp: leaf.FP, sni: sni, at: at.UnixNano()}
 	d.mu.RLock()
 	v, ok := d.cache[key]
 	d.mu.RUnlock()

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// PipelineBench is the BENCH_pipeline.json schema: the per-stage pipeline
+// baseline cmd/pipeline-bench writes and cmd/bench-ratchet enforces. Stage
+// wall times come from the pipeline's own spans; allocation counts from a
+// GC-fenced sequential pass. The observe span encloses the observe-shard
+// worker spans, so those two rows overlap by construction — the derived
+// observe-handoff row (observe minus the shard sum) restores additivity:
+// observe-handoff + observe-shard + merge + finalize covers the run without
+// double-counting.
+type PipelineBench struct {
+	Tool         string             `json:"tool"` // "pipeline-bench"
+	Seed         int64              `json:"seed"`
+	Scale        float64            `json:"scale"`
+	Iters        int                `json:"iters"`
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	Observations int                `json:"observations"`
+	Build        BuildInfo          `json:"build"`
+	Runs         []PipelineBenchRun `json:"runs"`
+}
+
+// PipelineBenchRun is one worker width's best iteration.
+type PipelineBenchRun struct {
+	Workers       int                  `json:"workers"`
+	TotalNSOp     int64                `json:"total_ns_op"`
+	RecordsPerSec float64              `json:"records_per_sec"`
+	Stages        []PipelineBenchStage `json:"stages"`
+}
+
+// PipelineBenchStage is one stage of that run.
+type PipelineBenchStage struct {
+	Stage string `json:"stage"`
+	// NSOp is the stage's wall time for one full pipeline run.
+	NSOp int64 `json:"ns_op"`
+	// RecordsPerSec is the stage's input throughput; 0 for stages that
+	// reduce state rather than consume records (merge, finalize).
+	RecordsPerSec float64 `json:"records_per_sec"`
+	Records       int64   `json:"records"`
+	// AllocsPerOp / AllocBytesPerOp charge the stage its steady-state heap
+	// allocations for one full pipeline run, measured by a warmed
+	// single-threaded pass. Stages with no sequential counterpart
+	// (observe-shard, observe-handoff) report zero.
+	AllocsPerOp     int64 `json:"allocs_per_op"`
+	AllocBytesPerOp int64 `json:"alloc_bytes_per_op"`
+}
+
+// StageObserveHandoff is the derived stage name: the slice of the observe
+// span not spent inside any observe-shard span (fan-out/fan-in overhead).
+const StageObserveHandoff = "observe-handoff"
+
+// Run returns the run at the given worker width, or nil.
+func (b *PipelineBench) Run(workers int) *PipelineBenchRun {
+	for i := range b.Runs {
+		if b.Runs[i].Workers == workers {
+			return &b.Runs[i]
+		}
+	}
+	return nil
+}
+
+// Stage returns the named stage of the run, or nil.
+func (r *PipelineBenchRun) Stage(name string) *PipelineBenchStage {
+	for i := range r.Stages {
+		if r.Stages[i].Stage == name {
+			return &r.Stages[i]
+		}
+	}
+	return nil
+}
+
+// ValidatePipelineBench is the schema gate for a BENCH_pipeline.json
+// document: required fields present, counts consistent, stages unique, the
+// observe stage present with throughput, and — when the derived
+// observe-handoff row exists — exactly the clamped difference between the
+// observe span and the observe-shard sum.
+func ValidatePipelineBench(data []byte) error {
+	var b PipelineBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return fmt.Errorf("obs: pipeline-bench JSON: %w", err)
+	}
+	if b.Tool != "pipeline-bench" {
+		return fmt.Errorf("obs: pipeline-bench tool %q, want \"pipeline-bench\"", b.Tool)
+	}
+	if b.Iters < 1 {
+		return fmt.Errorf("obs: pipeline-bench iters %d < 1", b.Iters)
+	}
+	if b.GOMAXPROCS < 1 {
+		return fmt.Errorf("obs: pipeline-bench gomaxprocs %d < 1", b.GOMAXPROCS)
+	}
+	if b.Observations <= 0 {
+		return fmt.Errorf("obs: pipeline-bench observations %d <= 0", b.Observations)
+	}
+	if b.Build.GoVersion == "" {
+		return fmt.Errorf("obs: pipeline-bench missing build.go_version")
+	}
+	if len(b.Runs) == 0 {
+		return fmt.Errorf("obs: pipeline-bench has no runs")
+	}
+	widths := make(map[int]bool)
+	for _, r := range b.Runs {
+		if r.Workers < 1 {
+			return fmt.Errorf("obs: pipeline-bench run workers %d < 1", r.Workers)
+		}
+		if widths[r.Workers] {
+			return fmt.Errorf("obs: pipeline-bench width %d duplicated", r.Workers)
+		}
+		widths[r.Workers] = true
+		if r.TotalNSOp <= 0 {
+			return fmt.Errorf("obs: pipeline-bench width %d total_ns_op %d <= 0", r.Workers, r.TotalNSOp)
+		}
+		if r.RecordsPerSec <= 0 {
+			return fmt.Errorf("obs: pipeline-bench width %d records_per_sec %g <= 0", r.Workers, r.RecordsPerSec)
+		}
+		if len(r.Stages) == 0 {
+			return fmt.Errorf("obs: pipeline-bench width %d has no stages", r.Workers)
+		}
+		seen := make(map[string]bool)
+		var shardNS int64
+		for _, st := range r.Stages {
+			if st.Stage == "" {
+				return fmt.Errorf("obs: pipeline-bench width %d stage with empty name", r.Workers)
+			}
+			if seen[st.Stage] {
+				return fmt.Errorf("obs: pipeline-bench width %d stage %q duplicated", r.Workers, st.Stage)
+			}
+			seen[st.Stage] = true
+			if st.NSOp < 0 || st.Records < 0 || st.AllocsPerOp < 0 || st.AllocBytesPerOp < 0 {
+				return fmt.Errorf("obs: pipeline-bench width %d stage %q has a negative count", r.Workers, st.Stage)
+			}
+			if st.RecordsPerSec < 0 {
+				return fmt.Errorf("obs: pipeline-bench width %d stage %q records_per_sec %g < 0", r.Workers, st.Stage, st.RecordsPerSec)
+			}
+			if st.Stage == "observe-shard" {
+				shardNS = st.NSOp
+			}
+		}
+		observe := r.Stage("observe")
+		if observe == nil {
+			return fmt.Errorf("obs: pipeline-bench width %d missing observe stage", r.Workers)
+		}
+		if observe.RecordsPerSec <= 0 {
+			return fmt.Errorf("obs: pipeline-bench width %d observe records_per_sec %g <= 0", r.Workers, observe.RecordsPerSec)
+		}
+		if h := r.Stage(StageObserveHandoff); h != nil {
+			want := observe.NSOp - shardNS
+			if want < 0 {
+				want = 0
+			}
+			if h.NSOp != want {
+				return fmt.Errorf("obs: pipeline-bench width %d observe-handoff %d ns, want observe - observe-shard = %d ns",
+					r.Workers, h.NSOp, want)
+			}
+		}
+	}
+	return nil
+}
+
+// PipelineRatchet is the regression budget ComparePipelineBench enforces.
+type PipelineRatchet struct {
+	// MaxRPSRegression is the largest tolerated fractional drop in the
+	// observe stage's records_per_sec (0.10 = a fresh run may be up to 10%
+	// slower than the committed baseline).
+	MaxRPSRegression float64
+	// MaxAllocGrowth is the largest tolerated fractional growth in any
+	// stage's allocs_per_op, on top of AllocSlack absolute allocations of
+	// headroom for runtime jitter (map growth, timer internals).
+	MaxAllocGrowth float64
+	AllocSlack     int64
+}
+
+// DefaultPipelineRatchet is the budget `make bench-ratchet` and CI use.
+func DefaultPipelineRatchet() PipelineRatchet {
+	return PipelineRatchet{MaxRPSRegression: 0.10, MaxAllocGrowth: 0.02, AllocSlack: 64}
+}
+
+// ComparePipelineBench ratchets a fresh pipeline-bench run against the
+// committed baseline: for every worker width present in both documents, the
+// fresh observe stage may not lose more than MaxRPSRegression of the
+// baseline's records/sec, and no stage's allocs_per_op may grow beyond the
+// budget. Improvements always pass — the ratchet only tightens.
+func ComparePipelineBench(baseline, fresh *PipelineBench, budget PipelineRatchet) error {
+	matched := 0
+	for _, br := range baseline.Runs {
+		fr := fresh.Run(br.Workers)
+		if fr == nil {
+			continue
+		}
+		matched++
+		bObs, fObs := br.Stage("observe"), fr.Stage("observe")
+		if bObs == nil || fObs == nil {
+			return fmt.Errorf("obs: ratchet width %d: observe stage missing", br.Workers)
+		}
+		floor := bObs.RecordsPerSec * (1 - budget.MaxRPSRegression)
+		if fObs.RecordsPerSec < floor {
+			return fmt.Errorf("obs: ratchet width %d: observe %.0f records/sec below floor %.0f (baseline %.0f, budget %.0f%%)",
+				br.Workers, fObs.RecordsPerSec, floor, bObs.RecordsPerSec, budget.MaxRPSRegression*100)
+		}
+		for _, bst := range br.Stages {
+			if bst.AllocsPerOp == 0 {
+				continue
+			}
+			fst := fr.Stage(bst.Stage)
+			if fst == nil {
+				return fmt.Errorf("obs: ratchet width %d: stage %q missing from fresh run", br.Workers, bst.Stage)
+			}
+			ceil := bst.AllocsPerOp + int64(float64(bst.AllocsPerOp)*budget.MaxAllocGrowth) + budget.AllocSlack
+			if fst.AllocsPerOp > ceil {
+				return fmt.Errorf("obs: ratchet width %d: stage %q allocs_per_op %d above ceiling %d (baseline %d)",
+					br.Workers, bst.Stage, fst.AllocsPerOp, ceil, bst.AllocsPerOp)
+			}
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("obs: ratchet matched no worker widths between baseline and fresh run")
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func pipelineBenchFixture() *PipelineBench {
+	return &PipelineBench{
+		Tool:         "pipeline-bench",
+		Seed:         1,
+		Scale:        0.002,
+		Iters:        3,
+		GOMAXPROCS:   8,
+		Observations: 1879,
+		Build:        BuildInfo{GoVersion: "go1.24"},
+		Runs: []PipelineBenchRun{{
+			Workers:       1,
+			TotalNSOp:     10_000_000,
+			RecordsPerSec: 187_900,
+			Stages: []PipelineBenchStage{
+				{Stage: "observe", NSOp: 8_000_000, RecordsPerSec: 234_875, Records: 1879, AllocsPerOp: 50_000, AllocBytesPerOp: 2 << 20},
+				{Stage: "observe-shard", NSOp: 7_500_000, Records: 1879, RecordsPerSec: 250_533},
+				{Stage: "merge", NSOp: 500_000, AllocsPerOp: 7_000, AllocBytesPerOp: 1 << 19},
+				{Stage: "finalize", NSOp: 1_500_000, AllocsPerOp: 2_700, AllocBytesPerOp: 1 << 18},
+				{Stage: StageObserveHandoff, NSOp: 500_000},
+			},
+		}},
+	}
+}
+
+func marshalBench(t *testing.T, b *PipelineBench) []byte {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestValidatePipelineBench(t *testing.T) {
+	if err := ValidatePipelineBench(marshalBench(t, pipelineBenchFixture())); err != nil {
+		t.Fatalf("valid fixture rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(*PipelineBench)
+		wantSub string
+	}{
+		{"wrong tool", func(b *PipelineBench) { b.Tool = "serve-bench" }, "tool"},
+		{"no runs", func(b *PipelineBench) { b.Runs = nil }, "no runs"},
+		{"zero observations", func(b *PipelineBench) { b.Observations = 0 }, "observations"},
+		{"missing build", func(b *PipelineBench) { b.Build.GoVersion = "" }, "go_version"},
+		{"duplicate width", func(b *PipelineBench) { b.Runs = append(b.Runs, b.Runs[0]) }, "duplicated"},
+		{"duplicate stage", func(b *PipelineBench) {
+			b.Runs[0].Stages = append(b.Runs[0].Stages, b.Runs[0].Stages[2])
+		}, "duplicated"},
+		{"missing observe", func(b *PipelineBench) { b.Runs[0].Stages[0].Stage = "decode" }, "observe"},
+		{"negative allocs", func(b *PipelineBench) { b.Runs[0].Stages[2].AllocsPerOp = -1 }, "negative"},
+		{"handoff mismatch", func(b *PipelineBench) { b.Runs[0].Stage(StageObserveHandoff).NSOp = 1 }, "observe-handoff"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := pipelineBenchFixture()
+			tc.mutate(b)
+			err := ValidatePipelineBench(marshalBench(t, b))
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestPipelineRatchet(t *testing.T) {
+	budget := DefaultPipelineRatchet()
+	base := pipelineBenchFixture()
+
+	t.Run("identical run passes", func(t *testing.T) {
+		if err := ComparePipelineBench(base, pipelineBenchFixture(), budget); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("improvement passes", func(t *testing.T) {
+		fresh := pipelineBenchFixture()
+		fresh.Runs[0].Stage("observe").RecordsPerSec *= 3
+		fresh.Runs[0].Stage("observe").AllocsPerOp /= 10
+		if err := ComparePipelineBench(base, fresh, budget); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("small regression within budget passes", func(t *testing.T) {
+		fresh := pipelineBenchFixture()
+		fresh.Runs[0].Stage("observe").RecordsPerSec *= 0.95
+		fresh.Runs[0].Stage("merge").AllocsPerOp += 50 // inside AllocSlack
+		if err := ComparePipelineBench(base, fresh, budget); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("rps regression fails", func(t *testing.T) {
+		fresh := pipelineBenchFixture()
+		fresh.Runs[0].Stage("observe").RecordsPerSec *= 0.85
+		err := ComparePipelineBench(base, fresh, budget)
+		if err == nil || !strings.Contains(err.Error(), "below floor") {
+			t.Fatalf("error %v, want rps floor violation", err)
+		}
+	})
+	t.Run("alloc growth fails", func(t *testing.T) {
+		fresh := pipelineBenchFixture()
+		st := fresh.Runs[0].Stage("observe")
+		st.AllocsPerOp = st.AllocsPerOp*2 + 1000
+		err := ComparePipelineBench(base, fresh, budget)
+		if err == nil || !strings.Contains(err.Error(), "allocs_per_op") {
+			t.Fatalf("error %v, want alloc ceiling violation", err)
+		}
+	})
+	t.Run("no matching width fails", func(t *testing.T) {
+		fresh := pipelineBenchFixture()
+		fresh.Runs[0].Workers = 16
+		err := ComparePipelineBench(base, fresh, budget)
+		if err == nil || !strings.Contains(err.Error(), "matched no worker widths") {
+			t.Fatalf("error %v, want no-match failure", err)
+		}
+	})
+	t.Run("missing stage in fresh run fails", func(t *testing.T) {
+		fresh := pipelineBenchFixture()
+		stages := fresh.Runs[0].Stages
+		fresh.Runs[0].Stages = append(stages[:2:2], stages[3:]...) // drop merge
+		err := ComparePipelineBench(base, fresh, budget)
+		if err == nil || !strings.Contains(err.Error(), "missing from fresh run") {
+			t.Fatalf("error %v, want missing-stage failure", err)
+		}
+	})
+}

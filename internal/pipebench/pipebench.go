@@ -1,0 +1,164 @@
+// Package pipebench is the pipeline benchmark harness behind
+// cmd/pipeline-bench and cmd/bench-ratchet: it measures the sharded analysis
+// pipeline stage by stage using the pipeline's own obs spans, charges each
+// stage its steady-state heap allocations with a warmed GC-fenced sequential
+// pass, and emits the obs.PipelineBench document the CI ratchet enforces.
+package pipebench
+
+import (
+	"fmt"
+	"runtime"
+
+	"certchains/internal/analysis"
+	"certchains/internal/campus"
+	"certchains/internal/obs"
+)
+
+// Run generates the benchmark scenario and measures it at worker widths 1
+// and GOMAXPROCS, iters iterations each, keeping each width's best
+// (least-noise) iteration — the sample `go test -bench` effectively reports.
+func Run(seed int64, scale float64, iters int) (*obs.PipelineBench, error) {
+	cfg := campus.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Scale = scale
+	scenario, err := campus.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	widths := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		widths = append(widths, n)
+	}
+
+	file := &obs.PipelineBench{
+		Tool:         "pipeline-bench",
+		Seed:         seed,
+		Scale:        scale,
+		Iters:        iters,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Observations: len(scenario.Observations),
+		Build:        obs.Build(),
+	}
+	allocs := measureAllocs(scenario)
+	for _, w := range widths {
+		wr, err := benchWidth(scenario, w, iters)
+		if err != nil {
+			return nil, err
+		}
+		for i := range wr.Stages {
+			if st, ok := allocs[wr.Stages[i].Stage]; ok {
+				wr.Stages[i].AllocsPerOp = st.allocs
+				wr.Stages[i].AllocBytesPerOp = st.bytes
+			}
+		}
+		file.Runs = append(file.Runs, wr)
+	}
+	return file, nil
+}
+
+type allocStat struct{ allocs, bytes int64 }
+
+// measureAllocs runs the sequential Accumulator API — Observe over each
+// half, Merge of the halves (seq-rebased like the real merge path),
+// Finalize — and charges each phase its GC-fenced runtime.MemStats delta.
+// The unit is allocations per full stage execution, the same "op" ns_op
+// uses. A full warm-up pass runs first so one-time cache fills (interned
+// strings, per-Meta DN key memos) are not charged to the measured pass: the
+// committed baseline tracks the steady state the ratchet protects.
+// Allocation counts are deterministic under a single goroutine, so one
+// measured pass suffices; wall time stays with the traced iterations.
+func measureAllocs(scenario *campus.Scenario) map[string]allocStat {
+	half := len(scenario.Observations) / 2
+	pass := func(p *analysis.Pipeline, charge func(stage string), snap func()) {
+		a, b := p.NewAccumulator(), p.NewAccumulator()
+		snap()
+		for _, o := range scenario.Observations[:half] {
+			a.Observe(o)
+		}
+		for _, o := range scenario.Observations[half:] {
+			b.Observe(o)
+		}
+		charge("observe")
+
+		snap()
+		b.OffsetSeq(a.Observations())
+		a.Merge(b)
+		charge("merge")
+
+		snap()
+		a.Finalize()
+		charge("finalize")
+	}
+
+	// Warm-up: full pass, nothing charged.
+	pass(analysis.FromScenario(scenario), func(string) {}, func() {})
+
+	stats := make(map[string]allocStat)
+	var m0, m1 runtime.MemStats
+	snap := func() {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+	}
+	charge := func(stage string) {
+		runtime.ReadMemStats(&m1)
+		stats[stage] = allocStat{
+			allocs: int64(m1.Mallocs - m0.Mallocs),
+			bytes:  int64(m1.TotalAlloc - m0.TotalAlloc),
+		}
+	}
+	pass(analysis.FromScenario(scenario), charge, snap)
+	return stats
+}
+
+// benchWidth runs the pipeline iters times at one width and keeps the
+// iteration with the smallest end-to-end wall time. The tracer's observe
+// span encloses the observe-shard worker spans (even at workers=1), so
+// summing raw stage rows would double-count the observe phase; the derived
+// observe-handoff row — observe minus the shard sum, clamped at zero —
+// carries the fan-out/fan-in overhead and restores additivity.
+func benchWidth(scenario *campus.Scenario, workers, iters int) (obs.PipelineBenchRun, error) {
+	best := obs.PipelineBenchRun{Workers: workers}
+	for i := 0; i < iters; i++ {
+		tracer := obs.NewTracer()
+		p := analysis.FromScenario(scenario)
+		p.Tracer = tracer
+		r := p.RunParallel(scenario.Observations, workers)
+		if r == nil {
+			return best, fmt.Errorf("pipeline returned no report")
+		}
+		total := tracer.WallNS()
+		if total <= 0 {
+			return best, fmt.Errorf("tracer recorded no wall time")
+		}
+		if best.TotalNSOp != 0 && total >= best.TotalNSOp {
+			continue
+		}
+		best.TotalNSOp = total
+		best.RecordsPerSec = float64(len(scenario.Observations)) / (float64(total) / 1e9)
+		best.Stages = best.Stages[:0]
+		var observeNS, shardNS int64
+		for _, st := range tracer.Stages() {
+			sr := obs.PipelineBenchStage{Stage: st.Stage, NSOp: st.WallNS, Records: st.Records}
+			if st.Records > 0 && st.WallNS > 0 {
+				sr.RecordsPerSec = float64(st.Records) / (float64(st.WallNS) / 1e9)
+			}
+			switch st.Stage {
+			case "observe":
+				observeNS = st.WallNS
+			case "observe-shard":
+				shardNS = st.WallNS
+			}
+			best.Stages = append(best.Stages, sr)
+		}
+		handoff := observeNS - shardNS
+		if handoff < 0 {
+			handoff = 0
+		}
+		best.Stages = append(best.Stages, obs.PipelineBenchStage{
+			Stage: obs.StageObserveHandoff,
+			NSOp:  handoff,
+		})
+	}
+	return best, nil
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"certchains/internal/certmodel"
 	"certchains/internal/dn"
@@ -72,7 +73,15 @@ type DB struct {
 	// lookup the classifier performs.
 	bySubject map[string][]*Entry
 	byFP      map[certmodel.Fingerprint]*Entry
+	// gen counts mutations; caches keyed on classification results
+	// invalidate when it advances.
+	gen atomic.Int64
 }
+
+// Gen returns the mutation generation: it advances on every change that can
+// alter a classification result, so derived caches can use it as a validity
+// stamp.
+func (db *DB) Gen() int64 { return db.gen.Load() }
 
 // New returns an empty database.
 func New() *DB {
@@ -94,7 +103,7 @@ func (db *DB) AddRoot(store string, m *certmodel.Meta) {
 // issuer is unknown to the database.
 func (db *DB) AddCCADBIntermediate(m *certmodel.Meta) error {
 	db.mu.RLock()
-	_, ok := db.bySubject[m.Issuer.Normalized()]
+	_, ok := db.bySubject[m.IssuerKey()]
 	db.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("trustdb: CCADB intermediate %q does not chain to a participating root", m.Subject.String())
@@ -106,6 +115,7 @@ func (db *DB) AddCCADBIntermediate(m *certmodel.Meta) error {
 func (db *DB) add(store string, m *certmodel.Meta, intermediate bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.gen.Add(1)
 	if e, ok := db.byFP[m.FP]; ok {
 		for _, s := range e.Stores {
 			if s == store {
@@ -118,7 +128,7 @@ func (db *DB) add(store string, m *certmodel.Meta, intermediate bool) {
 	}
 	e := &Entry{Meta: m, Stores: []string{store}, Intermediate: intermediate}
 	db.byFP[m.FP] = e
-	key := m.Subject.Normalized()
+	key := m.SubjectKey()
 	db.bySubject[key] = append(db.bySubject[key], e)
 }
 
@@ -126,9 +136,16 @@ func (db *DB) add(store string, m *certmodel.Meta, intermediate bool) {
 // DN — i.e. whether a certificate naming this DN as issuer was issued by a
 // public-DB issuer.
 func (db *DB) ContainsSubject(d dn.DN) bool {
+	return db.ContainsSubjectKey(d.Normalized())
+}
+
+// ContainsSubjectKey is ContainsSubject for callers that already hold the
+// normalized DN key (certmodel.Meta.IssuerKey/SubjectKey); it avoids
+// re-normalizing on the observe hot path.
+func (db *DB) ContainsSubjectKey(key string) bool {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return len(db.bySubject[d.Normalized()]) > 0
+	return len(db.bySubject[key]) > 0
 }
 
 // ContainsFP reports whether the exact certificate is in any database.
@@ -148,7 +165,7 @@ func (db *DB) LookupSubject(d dn.DN) []*Entry {
 
 // Classify applies the §3.2.1 rule to one certificate.
 func (db *DB) Classify(m *certmodel.Meta) Class {
-	if db.ContainsSubject(m.Issuer) {
+	if db.ContainsSubjectKey(m.IssuerKey()) {
 		return IssuedByPublicDB
 	}
 	return IssuedByNonPublicDB
@@ -158,9 +175,15 @@ func (db *DB) Classify(m *certmodel.Meta) Class {
 // entry in at least one root store — the "anchored to a public trust root"
 // test of §4.2.
 func (db *DB) IsTrustAnchorSubject(d dn.DN) bool {
+	return db.IsTrustAnchorKey(d.Normalized())
+}
+
+// IsTrustAnchorKey is IsTrustAnchorSubject for callers that already hold the
+// normalized DN key.
+func (db *DB) IsTrustAnchorKey(key string) bool {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	for _, e := range db.bySubject[d.Normalized()] {
+	for _, e := range db.bySubject[key] {
 		if !e.Intermediate {
 			return true
 		}

@@ -1,0 +1,244 @@
+//certchain:hotpath — the byte-slice ND-JSON scanner runs once per log line.
+
+package zeek
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"unicode/utf8"
+)
+
+// maxJSONLine mirrors the legacy JSONReader's bufio.Scanner token limit: a
+// line at or beyond this length (excluding the newline) is the same
+// too-long error the Scanner reports.
+const maxJSONLine = 1 << 24
+
+// jsonScanner is the zero-allocation analogue of JSONReader's line loop: it
+// reads ND-JSON lines into a reused row buffer. Line accounting (empty
+// lines count), carriage-return stripping, and the too-long and I/O error
+// strings are pinned byte-identical to JSONReader by the differential
+// fuzzer in equiv_fuzz_test.go.
+type jsonScanner struct {
+	br   *bufio.Reader
+	row  []byte
+	cur  []byte // current line view (row minus terminators)
+	line int
+	eof  bool
+}
+
+func newJSONScanner(r io.Reader) *jsonScanner {
+	return &jsonScanner{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (s *jsonScanner) readLine() (terminated bool, err error) {
+	s.row = s.row[:0]
+	for {
+		chunk, err := s.br.ReadSlice('\n')
+		s.row = append(s.row, chunk...)
+		switch err {
+		case nil:
+			return true, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			s.eof = true
+			return false, nil
+		default:
+			s.eof = true
+			return false, err //certchain:coldpath I/O error path
+		}
+	}
+}
+
+// scan advances to the next non-empty line. It returns false at end of
+// stream; the line is left in s.cur.
+func (s *jsonScanner) scan() (bool, error) {
+	for !s.eof {
+		terminated, err := s.readLine()
+		if err != nil {
+			return false, fmt.Errorf("zeek: json scan: %w", err) //certchain:coldpath I/O error path
+		}
+		row := s.row
+		if terminated {
+			row = row[:len(row)-1]
+		}
+		// The legacy Scanner rejects the token before stripping its \r.
+		if len(row) >= maxJSONLine {
+			return false, fmt.Errorf("zeek: json scan: %w", bufio.ErrTooLong) //certchain:coldpath malformed-stream error path
+		}
+		if n := len(row); n > 0 && row[n-1] == '\r' {
+			row = row[:n-1]
+		}
+		if terminated || len(row) > 0 {
+			s.line++
+		}
+		if len(row) == 0 {
+			continue
+		}
+		s.cur = row
+		return true, nil
+	}
+	return false, nil
+}
+
+// jsonTok is a minimal tokenizer over one ND-JSON line. It recognizes only
+// the flat, escape-free shape Zeek's writers emit; anything outside that
+// subset makes the caller fall back to the legacy full-line parse, which
+// guarantees behavioural equivalence on anomalous input (including the
+// exact encoding/json error text for malformed lines).
+type jsonTok struct {
+	b []byte
+	i int
+}
+
+func (t *jsonTok) ws() {
+	for t.i < len(t.b) {
+		switch t.b[t.i] {
+		case ' ', '\t', '\r', '\n':
+			t.i++
+		default:
+			return
+		}
+	}
+}
+
+func (t *jsonTok) peek() byte {
+	t.ws()
+	if t.i >= len(t.b) {
+		return 0
+	}
+	return t.b[t.i]
+}
+
+// simpleString scans a JSON string containing no escapes, no control bytes,
+// and only valid UTF-8 (encoding/json would rewrite invalid sequences), and
+// returns its contents as a view into the line.
+func (t *jsonTok) simpleString() ([]byte, bool) {
+	b := t.b
+	if t.i >= len(b) || b[t.i] != '"' {
+		return nil, false
+	}
+	i := t.i + 1
+	start := i
+	for i < len(b) {
+		c := b[i]
+		if c == '"' {
+			s := b[start:i]
+			if !utf8.Valid(s) {
+				return nil, false
+			}
+			t.i = i + 1
+			return s, true
+		}
+		if c == '\\' || c < 0x20 {
+			return nil, false
+		}
+		i++
+	}
+	return nil, false
+}
+
+// number scans a strict-grammar JSON number and converts it exactly as
+// encoding/json does (both route through strconv.ParseFloat semantics).
+// Out-of-range literals return ok=false so the caller falls back to the
+// legacy parse and its exact error.
+func (t *jsonTok) number() (float64, bool) {
+	b := t.b
+	i := t.i
+	start := i
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(b) && b[i] == '0':
+		i++
+	case i < len(b) && b[i] >= '1' && b[i] <= '9':
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return 0, false
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	f, ok := parseFloatBytes(b[start:i])
+	if !ok {
+		return 0, false
+	}
+	t.i = i
+	return f, true
+}
+
+func (t *jsonTok) literal(lit string) bool {
+	if len(t.b)-t.i >= len(lit) && string(t.b[t.i:t.i+len(lit)]) == lit {
+		t.i += len(lit)
+		return true
+	}
+	return false
+}
+
+// skipValue validates and skips one value of the supported subset (string,
+// number, bool, null, array of those). Nested objects and anything
+// malformed return false, sending the caller to the legacy parse.
+func (t *jsonTok) skipValue() bool {
+	t.ws()
+	if t.i >= len(t.b) {
+		return false
+	}
+	switch c := t.b[t.i]; {
+	case c == '"':
+		_, ok := t.simpleString()
+		return ok
+	case c == '-' || (c >= '0' && c <= '9'):
+		_, ok := t.number()
+		return ok
+	case c == 't':
+		return t.literal("true")
+	case c == 'f':
+		return t.literal("false")
+	case c == 'n':
+		return t.literal("null")
+	case c == '[':
+		t.i++
+		if t.peek() == ']' {
+			t.i++
+			return true
+		}
+		for {
+			if !t.skipValue() {
+				return false
+			}
+			switch t.peek() {
+			case ',':
+				t.i++
+			case ']':
+				t.i++
+				return true
+			default:
+				return false
+			}
+		}
+	default:
+		return false
+	}
+}

@@ -1,0 +1,351 @@
+//certchain:hotpath — the byte-slice TSV scanner runs once per log line.
+
+package zeek
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// tsvScanner is the zero-allocation analogue of Reader: it reads a Zeek
+// ASCII log line by line into a reused row buffer and splits fields as byte
+// views, resolving escapes in place on access. Its observable behaviour —
+// line accounting, header handling, truncation tolerance, and every error
+// string — is pinned byte-identical to Reader by the differential fuzzers
+// in equiv_fuzz_test.go.
+type tsvScanner struct {
+	br   *bufio.Reader
+	row  []byte   // owned copy of the current line; cols alias it
+	cols [][]byte // field views into row, escapes resolved lazily per access
+	// fields is the current #fields directive; gen bumps on every directive
+	// so decoders know to recompute their column indices.
+	fields []string
+	gen    int
+	line   int
+	eof    bool
+}
+
+func newTSVScanner(r io.Reader) *tsvScanner {
+	return &tsvScanner{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// readLine accumulates one line into s.row and reports whether it was
+// newline-terminated. The row buffer is reused across lines.
+func (s *tsvScanner) readLine() (terminated bool, err error) {
+	s.row = s.row[:0]
+	for {
+		chunk, err := s.br.ReadSlice('\n')
+		s.row = append(s.row, chunk...)
+		switch err {
+		case nil:
+			return true, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			s.eof = true
+			return false, nil
+		default:
+			s.eof = true
+			return false, err //certchain:coldpath I/O error path
+		}
+	}
+}
+
+// scan advances to the next data row, handling directives and the same
+// mid-write tolerance Reader documents. It returns false at end of stream.
+func (s *tsvScanner) scan() (bool, error) {
+	for !s.eof {
+		terminated, err := s.readLine()
+		if err != nil {
+			return false, fmt.Errorf("zeek: read: %w", err) //certchain:coldpath I/O error path
+		}
+		row := s.row
+		if terminated {
+			row = row[:len(row)-1]
+		}
+		if n := len(row); n > 0 && row[n-1] == '\r' {
+			row = row[:n-1]
+		}
+		if len(row) == 0 {
+			continue
+		}
+		s.line++
+		if row[0] == '#' {
+			if !terminated {
+				// A directive fragment cut mid-write: not yet a directive.
+				continue
+			}
+			s.directive(row)
+			continue
+		}
+		if len(s.fields) == 0 {
+			return false, fmt.Errorf("zeek: line %d: data before #fields header", s.line) //certchain:coldpath malformed-stream error path
+		}
+		s.split(row)
+		if len(s.cols) != len(s.fields) {
+			if !terminated {
+				// The writer is mid-record; the fragment is not data yet.
+				continue
+			}
+			return false, fmt.Errorf("zeek: line %d: %d values for %d fields", s.line, len(s.cols), len(s.fields)) //certchain:coldpath malformed-line error path
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// directive folds one '#'-prefixed header line. Only #fields affects the
+// join; other directives (#separator, #types, #close, ...) are ignored
+// exactly as parseDirective ignores them for record decoding.
+func (s *tsvScanner) directive(row []byte) {
+	const prefix = "#fields\t"
+	switch {
+	case len(row) >= len(prefix) && string(row[:len(prefix)]) == prefix:
+		s.fields = splitFields(string(row[len(prefix):]))
+		s.gen++
+	case string(row) == "#fields": //certchain:coldpath once per directive line, not per record
+		// SplitN yields an empty rest, which Split maps to one empty name.
+		s.fields = []string{""}
+		s.gen++
+	}
+}
+
+// splitFields is strings.Split(rest, Separator) — one empty name for an
+// empty rest, matching the legacy header parse.
+func splitFields(rest string) []string {
+	out := make([]string, 0, 16)
+	for {
+		i := indexByteString(rest, '\t')
+		if i < 0 {
+			return append(out, rest)
+		}
+		out = append(out, rest[:i])
+		rest = rest[i+1:]
+	}
+}
+
+func indexByteString(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// split cuts row into tab-separated field views without copying.
+func (s *tsvScanner) split(row []byte) {
+	s.cols = s.cols[:0]
+	for {
+		i := bytes.IndexByte(row, '\t')
+		if i < 0 {
+			s.cols = append(s.cols, row)
+			return
+		}
+		s.cols = append(s.cols, row[:i])
+		row = row[i+1:]
+	}
+}
+
+// field returns the unescaped bytes of column c and whether the field is
+// set: the unset sentinel maps to absent, the empty sentinel to a present
+// empty value — Record.Get over byte views. Each column must be accessed at
+// most once per row (unescaping rewrites the view in place). c < 0 means
+// the header lacks the field.
+func (s *tsvScanner) field(c int) ([]byte, bool) {
+	if c < 0 {
+		return nil, false
+	}
+	v := unescapeInPlace(s.cols[c])
+	s.cols[c] = v
+	if string(v) == UnsetField {
+		return nil, false
+	}
+	if string(v) == EmptyField {
+		return v[:0], true
+	}
+	return v, true
+}
+
+// fieldTime parses a Zeek time column — Record.GetTime over byte views.
+func (s *tsvScanner) fieldTime(c int) (time.Time, bool) {
+	v, ok := s.field(c)
+	if !ok {
+		return time.Time{}, false
+	}
+	f, ok := parseFloatBytes(v)
+	if !ok {
+		return time.Time{}, false
+	}
+	return epochToTime(f), true
+}
+
+// fieldInt parses a count/int column — Record.GetInt over byte views.
+func (s *tsvScanner) fieldInt(c int) (int, bool) {
+	v, ok := s.field(c)
+	if !ok {
+		return 0, false
+	}
+	return parseIntBytes(v)
+}
+
+// fieldBool parses a Zeek bool column — Record.GetBool over byte views.
+func (s *tsvScanner) fieldBool(c int) (value, present bool) {
+	v, ok := s.field(c)
+	if !ok {
+		return false, false
+	}
+	return string(v) == "T", true
+}
+
+// unescapeInPlace resolves the Zeek writer's escapes, rewriting b in place
+// (the result is never longer than the input). The state machine mirrors
+// unescapeField byte for byte, including its tolerance of dangling and
+// malformed escapes.
+func unescapeInPlace(b []byte) []byte {
+	i := bytes.IndexByte(b, '\\')
+	if i < 0 {
+		return b
+	}
+	w := i
+	for i < len(b) {
+		if b[i] == '\\' && i+1 < len(b) {
+			switch b[i+1] {
+			case '\\':
+				b[w] = '\\'
+				w++
+				i += 2
+				continue
+			case 'x':
+				if i+3 < len(b) {
+					hi, okHi := hexVal(b[i+2])
+					lo, okLo := hexVal(b[i+3])
+					if okHi && okLo {
+						b[w] = hi<<4 | lo
+						w++
+						i += 4
+						continue
+					}
+				}
+			}
+		}
+		b[w] = b[i]
+		w++
+		i++
+	}
+	return b[:w]
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// pow10 holds the exactly-representable powers of ten the fast float path
+// divides by (10^0 .. 10^22 are exact in float64).
+var pow10 = [23]float64{
+	1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// parseFloatBytes parses a decimal float without allocating for the common
+// Zeek time shape (plain digits with one optional dot). The fast path only
+// fires when the result is provably identical to strconv.ParseFloat: the
+// mantissa fits 2^53 (float64(mant) exact) and the scale is an exact power
+// of ten, so the IEEE division is the correctly-rounded decimal value.
+// Everything else — exponents, underscores, huge mantissas, malformed input
+// — falls back to ParseFloat on a copied string.
+func parseFloatBytes(b []byte) (float64, bool) {
+	var (
+		mant    uint64
+		digits  int
+		frac    int
+		seenDot bool
+		neg     bool
+	)
+	i := 0
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		i++
+	}
+	fast := i < len(b)
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c == '.' {
+			if seenDot {
+				fast = false
+				break
+			}
+			seenDot = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			fast = false
+			break
+		}
+		mant = mant*10 + uint64(c-'0')
+		digits++
+		if seenDot {
+			frac++
+		}
+	}
+	if fast && digits > 0 && digits <= 19 && mant <= 1<<53 && frac <= 22 {
+		f := float64(mant) / pow10[frac]
+		if neg {
+			f = -f
+		}
+		return f, true
+	}
+	f, err := strconv.ParseFloat(string(b), 64) //certchain:coldpath rare shape, exact-oracle fallback
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// epochToTime converts epoch seconds exactly as Record.GetTime does.
+func epochToTime(f float64) time.Time {
+	sec := int64(f)
+	nsec := int64((f - float64(sec)) * 1e9)
+	return time.Unix(sec, nsec).UTC()
+}
+
+// parseIntBytes parses a base-10 int with strconv.Atoi's semantics without
+// allocating for inputs short enough to preclude overflow; longer inputs
+// fall back to Atoi itself for exact range behaviour.
+func parseIntBytes(b []byte) (int, bool) {
+	i := 0
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		i++
+	}
+	if i == len(b) || len(b)-i > 18 {
+		n, err := strconv.Atoi(string(b)) //certchain:coldpath rare shape, exact-oracle fallback
+		if err != nil {
+			return 0, false
+		}
+		return n, true
+	}
+	n := 0
+	for j := i; j < len(b); j++ {
+		c := b[j]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	if i == 1 && b[0] == '-' {
+		n = -n
+	}
+	return n, true
+}
